@@ -1,0 +1,59 @@
+//! Criterion bench: end-to-end bound computations.
+//!
+//! The headline ablation is Theorem 3: the scalar-tail (`ρᴺ`) lower-bound
+//! solve against the full matrix-geometric solve — the paper's
+//! "dramatically" cheaper improved method (§IV-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slb_core::{BoundKind, BoundModel, Sqd};
+
+fn bench_lower_bound_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound");
+    for &(n, t) in &[(3usize, 2u32), (3, 3), (6, 3)] {
+        let sqd = Sqd::new(n, 2, 0.9).unwrap();
+        let label = format!("N{n}_T{t}");
+        group.bench_with_input(
+            BenchmarkId::new("scalar_tail_theorem3", &label),
+            &sqd,
+            |b, sqd| b.iter(|| sqd.lower_bound(t).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_matrix_geometric", &label),
+            &sqd,
+            |b, sqd| b.iter(|| sqd.lower_bound_full_r(t).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_upper_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upper_bound");
+    for &(n, t, rho) in &[(3usize, 2u32, 0.7f64), (3, 3, 0.7), (6, 3, 0.7)] {
+        let sqd = Sqd::new(n, 2, rho).unwrap();
+        let label = format!("N{n}_T{t}");
+        group.bench_with_input(BenchmarkId::new("solve", &label), &sqd, |b, sqd| {
+            b.iter(|| sqd.upper_bound(t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qbd_assembly");
+    for &(n, t) in &[(3usize, 3u32), (6, 3), (12, 3)] {
+        let sqd = Sqd::new(n, 2, 0.8).unwrap();
+        let model = BoundModel::new(sqd, BoundKind::Lower, t).unwrap();
+        let label = format!("N{n}_T{t}");
+        group.bench_with_input(BenchmarkId::new("blocks", &label), &model, |b, model| {
+            b.iter(|| model.qbd_blocks().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lower_bound_paths, bench_upper_bound, bench_block_assembly
+}
+criterion_main!(benches);

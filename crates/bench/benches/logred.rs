@@ -1,0 +1,49 @@
+//! Criterion bench: the G-matrix computation — logarithmic reduction
+//! (the paper's choice, §IV-A) against cyclic reduction, the U-based
+//! fixed point and natural functional iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slb_core::{BoundKind, BoundModel, Sqd};
+use slb_qbd::{
+    cyclic_reduction, functional_iteration, logarithmic_reduction, u_based_iteration,
+};
+
+fn bench_g_computation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("g_matrix");
+    for &(n, t, rho) in &[(3usize, 2u32, 0.9f64), (3, 3, 0.9), (6, 3, 0.9)] {
+        let sqd = Sqd::new(n, 2, rho).unwrap();
+        let blocks = BoundModel::new(sqd, BoundKind::Lower, t)
+            .unwrap()
+            .qbd_blocks()
+            .unwrap();
+        let label = format!("N{n}_T{t}_rho{rho}");
+        group.bench_with_input(
+            BenchmarkId::new("logarithmic_reduction", &label),
+            &blocks,
+            |b, blocks| b.iter(|| logarithmic_reduction(blocks, 1e-13, 64).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cyclic_reduction", &label),
+            &blocks,
+            |b, blocks| b.iter(|| cyclic_reduction(blocks, 1e-12, 64).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("u_based_iteration", &label),
+            &blocks,
+            |b, blocks| b.iter(|| u_based_iteration(blocks, 1e-10, 1_000_000).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("functional_iteration", &label),
+            &blocks,
+            |b, blocks| b.iter(|| functional_iteration(blocks, 1e-10, 1_000_000).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_g_computation
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: simulator throughput per policy — quantifies the cost
+//! of regenerating the paper's 10⁸-job simulation points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slb_sim::{Policy, SimConfig};
+
+fn bench_policies(c: &mut Criterion) {
+    const JOBS: u64 = 100_000;
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(JOBS));
+    for (name, policy) in [
+        ("random", Policy::Random),
+        ("sq2", Policy::SqD { d: 2 }),
+        ("jsq", Policy::Jsq),
+        ("round_robin", Policy::RoundRobin),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(name, "N16_rho0.9"),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    SimConfig::new(16, 0.9)
+                        .unwrap()
+                        .policy(policy)
+                        .jobs(JOBS)
+                        .warmup(JOBS / 10)
+                        .seed(1)
+                        .run()
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_large_n(c: &mut Criterion) {
+    const JOBS: u64 = 100_000;
+    let mut group = c.benchmark_group("simulator_scale");
+    group.throughput(Throughput::Elements(JOBS));
+    for &n in &[10usize, 50, 250] {
+        group.bench_with_input(BenchmarkId::new("sq2", n), &n, |b, &n| {
+            b.iter(|| {
+                SimConfig::new(n, 0.95)
+                    .unwrap()
+                    .policy(Policy::SqD { d: 2 })
+                    .jobs(JOBS)
+                    .warmup(JOBS / 10)
+                    .seed(1)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies, bench_large_n
+}
+criterion_main!(benches);

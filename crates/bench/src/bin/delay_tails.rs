@@ -1,0 +1,78 @@
+//! Delay *percentiles*, beyond the paper's means: the mixture-of-Erlangs
+//! distribution bounds (slb-core `delay_dist`) against simulated
+//! percentiles and the exact brute-force law.
+//!
+//! For each utilization the table lists the median, 90th and 99th
+//! percentile of the sojourn time under the lower model, the exact
+//! (brute-force) chain, the simulator and the upper model — the
+//! distributional extension of Figure 10.
+//!
+//! ```text
+//! cargo run -p slb-bench --release --bin delay_tails -- \
+//!     [--n 3] [--d 2] [--t 3] [--jobs 1000000] [--out delay_tails.csv]
+//! ```
+
+use slb_bench::{arg_parse, arg_value, f4, Table};
+use slb_core::brute::BruteForce;
+use slb_core::{BoundKind, Sqd};
+use slb_sim::{Policy, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg_parse(&args, "--n", 3);
+    let d: usize = arg_parse(&args, "--d", 2);
+    let t: u32 = arg_parse(&args, "--t", 3);
+    let jobs: u64 = arg_parse(&args, "--jobs", 1_000_000);
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "delay_tails.csv".into());
+    let percentiles = [0.5, 0.9, 0.99];
+
+    println!("Sojourn-time percentiles: SQ({d}), N = {n}, T = {t}\n");
+    let mut table = Table::new([
+        "rho", "p", "lower", "exact", "sim", "upper",
+    ]);
+
+    for &rho in &[0.5, 0.7, 0.85, 0.95] {
+        let sqd = Sqd::new(n, d, rho).expect("valid parameters");
+        let lo = sqd
+            .delay_distribution(BoundKind::Lower, t)
+            .expect("lower distribution");
+        let hi = sqd.delay_distribution(BoundKind::Upper, t).ok();
+        let cap = if rho > 0.9 { 60 } else { 35 };
+        let exact = BruteForce::solve(n, d, rho, cap)
+            .expect("brute force")
+            .delay_distribution()
+            .expect("exact distribution");
+        let sim = SimConfig::new(n, rho)
+            .expect("validated rho")
+            .policy(Policy::SqD { d })
+            .jobs(jobs)
+            .warmup(jobs / 10)
+            .seed(0xD1A7)
+            .run()
+            .expect("validated config");
+
+        for &p in &percentiles {
+            let hi_cell = hi
+                .as_ref()
+                .map_or("unstable".to_string(), |h| {
+                    f4(h.quantile(p).expect("quantile"))
+                });
+            let row = [
+                f4(rho),
+                format!("{p}"),
+                f4(lo.quantile(p).expect("quantile")),
+                f4(exact.quantile(p).expect("quantile")),
+                f4(sim.delay_quantile(p).expect("measured jobs exist")),
+                hi_cell,
+            ];
+            println!(
+                "rho={} p={}: lower={} exact={} sim={} upper={}",
+                row[0], row[1], row[2], row[3], row[4], row[5]
+            );
+            table.push(row);
+        }
+    }
+
+    table.write_csv(&out).expect("write CSV");
+    println!("\nwrote {out}");
+}

@@ -1,0 +1,110 @@
+//! Figure 10 — mean delay vs utilization for SQ(2): upper bound,
+//! simulation, lower bound, and the asymptotic approximation.
+//!
+//! Panels: (a) N=3, T=2; (b) N=3, T=3; (c) N=6, T=3; (d) N=12, T=3.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p slb-bench --release --bin fig10 -- \
+//!     [--panel a|b|c|d|all] [--jobs 2000000] [--out fig10_a.csv] [--quick]
+//! ```
+//!
+//! Where the upper-bound model is unstable (high utilization at small `T`
+//! — exactly the blow-up visible in the paper's plots), the UB column
+//! reports `inf`.
+
+use slb_bench::{arg_parse, arg_value, f4, Table};
+use slb_core::{CoreError, Sqd};
+use slb_sim::{Policy, SimConfig};
+
+struct Panel {
+    name: &'static str,
+    n: usize,
+    t: u32,
+}
+
+const PANELS: &[Panel] = &[
+    Panel { name: "a", n: 3, t: 2 },
+    Panel { name: "b", n: 3, t: 3 },
+    Panel { name: "c", n: 6, t: 3 },
+    Panel { name: "d", n: 12, t: 3 },
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = arg_value(&args, "--panel").unwrap_or_else(|| "all".into());
+    let jobs: u64 = arg_parse(&args, "--jobs", 2_000_000);
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let utils: Vec<f64> = if quick {
+        vec![0.3, 0.6, 0.9]
+    } else {
+        (1..=19).map(|i| i as f64 * 0.05).collect()
+    };
+
+    for panel in PANELS {
+        if which != "all" && which != panel.name {
+            continue;
+        }
+        run_panel(panel, &utils, jobs, &args);
+    }
+}
+
+fn run_panel(panel: &Panel, utils: &[f64], jobs: u64, args: &[String]) {
+    let d = 2usize;
+    println!(
+        "\nFigure 10({}): SQ({d}), N = {}, T = {} — average delay vs utilization",
+        panel.name, panel.n, panel.t
+    );
+    let mut table = Table::new([
+        "panel", "N", "T", "rho", "lower", "sim", "sim_ci", "upper", "asymptotic",
+    ]);
+
+    for &rho in utils {
+        let sqd = Sqd::new(panel.n, d, rho).expect("valid parameters");
+        let lb = sqd.lower_bound(panel.t).expect("lower bound solve").delay;
+        let ub = match sqd.upper_bound(panel.t) {
+            Ok(r) => f4(r.delay),
+            Err(CoreError::UpperBoundUnstable { .. }) => "inf".to_string(),
+            Err(e) => panic!("upper bound failed unexpectedly: {e}"),
+        };
+        let asy = sqd.asymptotic_delay();
+        let sim = SimConfig::new(panel.n, rho)
+            .expect("validated rho")
+            .policy(Policy::SqD { d })
+            .jobs(jobs)
+            .warmup(jobs / 10)
+            .seed(0xF10 + (rho * 1000.0) as u64)
+            .run()
+            .expect("validated config");
+
+        println!(
+            "rho={rho:<5.2} lower={:<8} sim={:<8} upper={:<8} asym={:<8}",
+            f4(lb),
+            f4(sim.mean_delay),
+            ub,
+            f4(asy)
+        );
+        table.push([
+            panel.name.to_string(),
+            panel.n.to_string(),
+            panel.t.to_string(),
+            f4(rho),
+            f4(lb),
+            f4(sim.mean_delay),
+            f4(sim.ci_halfwidth),
+            ub,
+            f4(asy),
+        ]);
+    }
+
+    let out = arg_value(args, "--out")
+        .unwrap_or_else(|| format!("fig10_{}.csv", panel.name));
+    table.write_csv(&out).expect("write CSV");
+    println!(
+        "wrote {out}; expected shape: lower <= sim <= upper, lower tight, \
+         upper blowing up before rho = 1 (earlier for smaller T), \
+         asymptotic below sim with the gap widening as rho -> 1"
+    );
+}

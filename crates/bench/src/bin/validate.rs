@@ -1,0 +1,214 @@
+//! End-to-end validation harness: runs the paper's core claims as a
+//! compact pass/fail report. Useful as a quick post-install check
+//! (`cargo run -p slb-bench --release --bin validate`) — the full
+//! evidence lives in the test suite (`cargo test --workspace`).
+
+use slb_core::brute::BruteForce;
+use slb_core::Sqd;
+use slb_sim::{Policy, SimConfig};
+
+struct Report {
+    passed: usize,
+    failed: usize,
+}
+
+impl Report {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        if ok {
+            self.passed += 1;
+            println!("PASS  {name}: {detail}");
+        } else {
+            self.failed += 1;
+            println!("FAIL  {name}: {detail}");
+        }
+    }
+}
+
+fn main() {
+    let mut report = Report {
+        passed: 0,
+        failed: 0,
+    };
+
+    // 1. Sandwich vs brute force.
+    for (n, d, lam, t) in [(3usize, 2usize, 0.7f64, 3u32), (4, 2, 0.6, 2), (3, 3, 0.8, 3)] {
+        let exact = BruteForce::solve(n, d, lam, 32).expect("brute force").mean_delay();
+        let sqd = Sqd::new(n, d, lam).expect("params");
+        let lb = sqd.lower_bound(t).expect("lb").delay;
+        let ub = sqd.upper_bound(t).expect("ub").delay;
+        report.check(
+            "sandwich",
+            lb <= exact + 1e-6 && exact <= ub + 1e-6,
+            format!("N={n} d={d} λ={lam}: {lb:.4} ≤ {exact:.4} ≤ {ub:.4}"),
+        );
+    }
+
+    // 2. Theorem 3 agreement between solve paths.
+    for (n, d, lam, t) in [(3usize, 2usize, 0.8f64, 3u32), (4, 3, 0.7, 2)] {
+        let sqd = Sqd::new(n, d, lam).expect("params");
+        let fast = sqd.lower_bound(t).expect("scalar").delay;
+        let full = sqd.lower_bound_full_r(t).expect("full").delay;
+        let rel = ((fast - full) / full).abs();
+        report.check(
+            "theorem3",
+            rel < 1e-6,
+            format!("N={n} d={d} λ={lam}: scalar vs full rel. diff {rel:.2e}"),
+        );
+    }
+
+    // 3. Simulation inside the bounds.
+    {
+        let (n, d, lam, t) = (6usize, 2usize, 0.8f64, 3u32);
+        let sqd = Sqd::new(n, d, lam).expect("params");
+        let lb = sqd.lower_bound(t).expect("lb").delay;
+        let ub = sqd.upper_bound(t).expect("ub").delay;
+        let sim = SimConfig::new(n, lam)
+            .expect("cfg")
+            .policy(Policy::SqD { d })
+            .jobs(500_000)
+            .warmup(50_000)
+            .seed(1)
+            .run()
+            .expect("sim");
+        let slack = 4.0 * sim.ci_halfwidth + 5e-3;
+        report.check(
+            "simulation",
+            lb <= sim.mean_delay + slack && sim.mean_delay <= ub + slack,
+            format!(
+                "N={n}: {lb:.4} ≤ {:.4}±{:.4} ≤ {ub:.4}",
+                sim.mean_delay, sim.ci_halfwidth
+            ),
+        );
+    }
+
+    // 4. Asymptotic formula underestimates at small N / high ρ.
+    {
+        let sqd = Sqd::new(3, 2, 0.9).expect("params");
+        let asym = sqd.asymptotic_delay();
+        let lb = sqd.lower_bound(3).expect("lb").delay;
+        report.check(
+            "asymptotic-gap",
+            asym < lb,
+            format!("N=3 λ=0.9: asymptotic {asym:.4} < lower bound {lb:.4}"),
+        );
+    }
+
+    // 5. Upper-bound stability frontier grows with T.
+    {
+        let sqd = Sqd::new(3, 2, 0.5).expect("params");
+        let s2 = sqd.upper_bound_saturation(2, 1e-3).expect("frontier");
+        let s4 = sqd.upper_bound_saturation(4, 1e-3).expect("frontier");
+        report.check(
+            "frontier",
+            s2 < s4 && s4 < 1.0,
+            format!("saturation: T=2 → {s2:.3}, T=4 → {s4:.3}"),
+        );
+    }
+
+    // 6. MAP extension: Poisson-as-MAP degenerates to the scalar model,
+    // and the modulated sandwich holds against its own brute force.
+    {
+        let (n, d, lam, t) = (3usize, 2usize, 0.7f64, 3u32);
+        let map = slb_markov::Map::poisson(lam * n as f64).expect("map");
+        let modulated = slb_mapph::MapSqd::new(n, d, &map)
+            .expect("model")
+            .lower_bound(t)
+            .expect("lb")
+            .delay;
+        let scalar = Sqd::new(n, d, lam)
+            .expect("params")
+            .lower_bound(t)
+            .expect("lb")
+            .delay;
+        report.check(
+            "map-degeneration",
+            (modulated - scalar).abs() < 1e-6,
+            format!("Poisson-as-MAP {modulated:.6} vs scalar {scalar:.6}"),
+        );
+
+        let mmpp = slb_markov::Map::mmpp2(0.3, 0.3, 0.4, 1.6).expect("map");
+        let model = slb_mapph::MapSqd::with_utilization(n, d, &mmpp, lam).expect("model");
+        let lb = model.lower_bound(t).expect("lb").delay;
+        let ub = model.upper_bound(t).expect("ub").delay;
+        let exact = slb_mapph::MapBrute::solve(
+            n,
+            d,
+            &mmpp.with_rate(lam * n as f64).expect("scale"),
+            20,
+        )
+        .expect("brute")
+        .mean_delay();
+        report.check(
+            "map-sandwich",
+            lb <= exact + 1e-3 && exact <= ub + 1e-3,
+            format!("MMPP: {lb:.4} ≤ {exact:.4} ≤ {ub:.4}"),
+        );
+    }
+
+    // 7. Delay percentiles: upper curve dominates the exact survival.
+    {
+        let (n, d, lam, t) = (3usize, 2usize, 0.7f64, 3u32);
+        let sqd = Sqd::new(n, d, lam).expect("params");
+        let hi = sqd
+            .delay_distribution(slb_core::BoundKind::Upper, t)
+            .expect("dist");
+        let exact = BruteForce::solve(n, d, lam, 30)
+            .expect("brute")
+            .delay_distribution()
+            .expect("dist");
+        let dominated = (1..=60).all(|i| {
+            let x = f64::from(i) * 0.25;
+            exact.survival(x) <= hi.survival(x) + 1e-9
+        });
+        report.check(
+            "percentiles",
+            dominated,
+            format!(
+                "p99: exact {:.3} ≤ upper {:.3}",
+                exact.quantile(0.99).expect("q"),
+                hi.quantile(0.99).expect("q")
+            ),
+        );
+    }
+
+    // 8. Mean-field fixed point reproduces Eq. 16.
+    {
+        let (d, rho) = (2usize, 0.85f64);
+        let mut mf = slb_core::meanfield::MeanField::new(rho, d).expect("params");
+        mf.run(300.0, 0.02);
+        let eq16 = slb_core::asymptotic::mean_delay(rho, d);
+        report.check(
+            "meanfield",
+            (mf.mean_delay() - eq16).abs() < 1e-6,
+            format!("ODE {:.6} vs Eq.16 {eq16:.6}", mf.mean_delay()),
+        );
+    }
+
+    // 9. All four G algorithms agree on a bound-model block set.
+    {
+        let sqd = Sqd::new(3, 2, 0.85).expect("params");
+        let blocks = slb_core::BoundModel::new(sqd, slb_core::BoundKind::Lower, 3)
+            .expect("model")
+            .qbd_blocks()
+            .expect("blocks");
+        let lr = slb_qbd::logarithmic_reduction(&blocks, 1e-14, 64).expect("logred");
+        let cr = slb_qbd::cyclic_reduction(&blocks, 1e-13, 64).expect("cr");
+        let ub = slb_qbd::u_based_iteration(&blocks, 1e-13, 200_000).expect("u-based");
+        report.check(
+            "g-algorithms",
+            lr.g.approx_eq(&cr.g, 1e-8) && lr.g.approx_eq(&ub.g, 1e-7),
+            format!(
+                "logred {} it / CR {} it / U-based {} it, all agree",
+                lr.iterations, cr.iterations, ub.iterations
+            ),
+        );
+    }
+
+    println!(
+        "\n{} passed, {} failed",
+        report.passed, report.failed
+    );
+    if report.failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,181 @@
+//! # slb-bench
+//!
+//! Experiment harness regenerating every figure of the ICDCS 2016
+//! evaluation, plus Criterion micro-benchmarks for the numerical kernels.
+//!
+//! Binaries (see `DESIGN.md` §5 for the experiment index):
+//!
+//! * `fig9` — relative error of the asymptotic approximation vs
+//!   simulation (Figure 9a/9b).
+//! * `fig10` — mean delay vs utilization with lower bound, upper bound,
+//!   simulation and asymptotic curves (Figure 10a–d).
+//! * `logred_iters` — logarithmic-reduction iteration counts across all
+//!   evaluated configurations (the "within k = 6" claim of §IV-A).
+//!
+//! Each binary prints aligned series to stdout and writes a CSV next to
+//! the invocation (override with `--out`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple long-format results table that renders to CSV and to an
+/// aligned console listing.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn push<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        fs::write(path, self.to_csv())
+    }
+
+    /// Renders an aligned console listing.
+    pub fn to_aligned(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = h.len();
+        }
+        for r in &self.rows {
+            for (c, cell) in r.iter().enumerate() {
+                width[c] = width[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], width: &[usize], out: &mut String| {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = width[c]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &width, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            fmt_row(r, &width, &mut out);
+        }
+        out
+    }
+}
+
+/// Minimal `--flag value` CLI parser for the experiment binaries.
+///
+/// Returns the value following `--name`, if present.
+pub fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses `--name value` into a `T`, falling back to `default`; exits with
+/// a message on malformed input (appropriate for a CLI tool).
+pub fn arg_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match arg_value(args, name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: could not parse {name} value '{v}'");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Formats a float with 4 decimal places (shared by all tables).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(["a", "b"]);
+        t.push(["1", "2"]);
+        t.push(["30", "4"]);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n30,4\n");
+        // Right-aligned columns: "a" padded to width 2 ("30"), "b" to 1.
+        let aligned = t.to_aligned();
+        assert!(aligned.starts_with(" a  b\n"), "got {aligned:?}");
+        assert!(aligned.contains("30  4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_enforced() {
+        let mut t = Table::new(["a", "b"]);
+        t.push(["only one"]);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--rho", "0.75", "--jobs", "1000"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--rho").as_deref(), Some("0.75"));
+        assert_eq!(arg_parse(&args, "--jobs", 5u64), 1000);
+        assert_eq!(arg_parse(&args, "--missing", 7u64), 7);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f4(1.23456), "1.2346");
+    }
+}

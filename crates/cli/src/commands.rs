@@ -1,0 +1,359 @@
+//! Subcommand implementations. Each takes the flag slice after the
+//! command word, prints an aligned table, and optionally writes CSV.
+
+use slb_bench::{arg_parse, arg_value, f4, Table};
+use slb_core::brute::BruteForce;
+use slb_core::meanfield::MeanField;
+use slb_core::sigma::{solve_sigma, Interarrival};
+use slb_core::{asymptotic, BoundKind, Sqd};
+use slb_markov::Map;
+use slb_mapph::MapSqd;
+use slb_sim::{Policy, SimConfig};
+
+type CmdResult = Result<(), String>;
+
+fn finish(table: &Table, args: &[String]) -> CmdResult {
+    print!("{}", table.to_aligned());
+    if let Some(path) = arg_value(args, "--csv") {
+        table
+            .write_csv(&path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nwrote {path}");
+    }
+    Ok(())
+}
+
+fn parse_percentiles(args: &[String]) -> Result<Vec<f64>, String> {
+    let raw = arg_value(args, "--percentiles").unwrap_or_else(|| "0.5,0.9,0.99".into());
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad percentile '{s}'"))
+        })
+        .collect()
+}
+
+/// `slb bounds` — one-point bounds with the exact (brute-force) value.
+pub fn bounds(args: &[String]) -> CmdResult {
+    let n: usize = arg_parse(args, "--n", 3);
+    let d: usize = arg_parse(args, "--d", 2);
+    let rho: f64 = arg_parse(args, "--rho", 0.7);
+    let t: u32 = arg_parse(args, "--t", 3);
+    let sqd = Sqd::new(n, d, rho).map_err(|e| e.to_string())?;
+
+    let lb = sqd.lower_bound(t).map_err(|e| e.to_string())?;
+    let ub = sqd.upper_bound(t).map(|r| f4(r.delay));
+    let asym = sqd.asymptotic_delay();
+    // Brute force only where the state space stays small.
+    let exact = if n <= 5 {
+        let cap = if rho > 0.9 { 60 } else { 35 };
+        BruteForce::solve(n, d, rho, cap)
+            .map(|b| f4(b.mean_delay()))
+            .unwrap_or_else(|_| "-".into())
+    } else {
+        "-".into()
+    };
+
+    println!("SQ({d}) mean delay, N = {n}, rho = {rho}, T = {t}\n");
+    let mut table = Table::new(["metric", "value"]);
+    table.push(["lower bound", &f4(lb.delay)]);
+    table.push(["exact (brute force)", &exact]);
+    table.push([
+        "upper bound",
+        &ub.unwrap_or_else(|_| "unstable (raise --t)".into()),
+    ]);
+    table.push(["asymptotic (Eq. 16)", &f4(asym)]);
+    table.push(["level states", &lb.level_states.to_string()]);
+    finish(&table, args)
+}
+
+/// `slb sweep` — bounds across utilizations (a Figure-10 panel).
+pub fn sweep(args: &[String]) -> CmdResult {
+    let n: usize = arg_parse(args, "--n", 3);
+    let d: usize = arg_parse(args, "--d", 2);
+    let t: u32 = arg_parse(args, "--t", 3);
+    let points: usize = arg_parse(args, "--points", 9);
+    if points < 2 {
+        return Err("need at least 2 sweep points".into());
+    }
+
+    println!("SQ({d}) delay bounds vs utilization, N = {n}, T = {t}\n");
+    let mut table = Table::new(["rho", "lower", "upper", "asymptotic"]);
+    for i in 1..=points {
+        let rho = i as f64 / (points as f64 + 1.0);
+        let sqd = Sqd::new(n, d, rho).map_err(|e| e.to_string())?;
+        let lb = sqd.lower_bound(t).map_err(|e| e.to_string())?;
+        let ub = sqd
+            .upper_bound(t)
+            .map_or("unstable".to_string(), |r| f4(r.delay));
+        table.push([
+            f4(rho),
+            f4(lb.delay),
+            ub,
+            f4(sqd.asymptotic_delay()),
+        ]);
+    }
+    finish(&table, args)
+}
+
+/// `slb dist` — percentile bounds from the delay distributions.
+pub fn dist(args: &[String]) -> CmdResult {
+    let n: usize = arg_parse(args, "--n", 3);
+    let d: usize = arg_parse(args, "--d", 2);
+    let rho: f64 = arg_parse(args, "--rho", 0.7);
+    let t: u32 = arg_parse(args, "--t", 3);
+    let ps = parse_percentiles(args)?;
+    let sqd = Sqd::new(n, d, rho).map_err(|e| e.to_string())?;
+
+    let lo = sqd
+        .delay_distribution(BoundKind::Lower, t)
+        .map_err(|e| e.to_string())?;
+    let hi = sqd.delay_distribution(BoundKind::Upper, t).ok();
+
+    println!("SQ({d}) delay percentiles, N = {n}, rho = {rho}, T = {t}\n");
+    let mut table = Table::new(["p", "lower", "upper"]);
+    for &p in &ps {
+        let ql = lo.quantile(p).map_err(|e| e.to_string())?;
+        let qh = hi
+            .as_ref()
+            .map(|h| h.quantile(p).map(f4).map_err(|e| e.to_string()))
+            .transpose()?
+            .unwrap_or_else(|| "unstable".into());
+        table.push([format!("{p}"), f4(ql), qh]);
+    }
+    println!(
+        "mean: lower {} / upper {}\n",
+        f4(lo.mean()),
+        hi.map_or("unstable".into(), |h| f4(h.mean()))
+    );
+    finish(&table, args)
+}
+
+fn parse_policy(args: &[String], d: usize) -> Result<Policy, String> {
+    let raw = arg_value(args, "--policy").unwrap_or_else(|| "sqd".into());
+    match raw.as_str() {
+        "sqd" => Ok(Policy::SqD { d }),
+        "sqd-replace" => Ok(Policy::SqDReplace { d }),
+        "sqd-mem" => Ok(Policy::SqDMemory { d }),
+        "random" => Ok(Policy::Random),
+        "jsq" => Ok(Policy::Jsq),
+        "rr" => Ok(Policy::RoundRobin),
+        "jiq" => Ok(Policy::Jiq),
+        other => Err(format!(
+            "unknown policy '{other}' (try sqd, sqd-replace, sqd-mem, random, jsq, rr, jiq)"
+        )),
+    }
+}
+
+/// `slb simulate` — one simulation run with percentile readouts.
+pub fn simulate(args: &[String]) -> CmdResult {
+    let n: usize = arg_parse(args, "--n", 3);
+    let d: usize = arg_parse(args, "--d", 2);
+    let rho: f64 = arg_parse(args, "--rho", 0.7);
+    let jobs: u64 = arg_parse(args, "--jobs", 1_000_000);
+    let warmup: u64 = arg_parse(args, "--warmup", jobs / 10);
+    let seed: u64 = arg_parse(args, "--seed", 1);
+    let policy = parse_policy(args, d)?;
+
+    let res = SimConfig::new(n, rho)
+        .map_err(|e| e.to_string())?
+        .policy(policy)
+        .jobs(jobs)
+        .warmup(warmup)
+        .seed(seed)
+        .run()
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "{policy:?}, N = {n}, rho = {rho}: {} jobs measured\n",
+        res.jobs_measured
+    );
+    let mut table = Table::new(["metric", "value"]);
+    table.push(["mean delay", &f4(res.mean_delay)]);
+    table.push(["95% CI halfwidth", &f4(res.ci_halfwidth)]);
+    table.push(["mean jobs in system", &f4(res.mean_jobs_in_system)]);
+    for &p in &parse_percentiles(args)? {
+        let q = res
+            .delay_quantile(p)
+            .ok_or_else(|| "no jobs measured".to_string())?;
+        table.push([format!("p{:02.0} delay", p * 100.0), f4(q)]);
+    }
+    table.push(["max queue length", &res.max_queue_len.to_string()]);
+    finish(&table, args)
+}
+
+/// `slb sigma` — the Theorem-2 root for a renewal interarrival law.
+pub fn sigma(args: &[String]) -> CmdResult {
+    let rho: f64 = arg_parse(args, "--rho", 0.7);
+    if !(rho > 0.0 && rho < 1.0) {
+        return Err(format!("need 0 < rho < 1, got {rho}"));
+    }
+    let law = arg_value(args, "--law").unwrap_or_else(|| "poisson".into());
+    // Laws are normalized to mean interarrival 1/ρ (unit service rate,
+    // single-server scaling as in Theorem 2).
+    let inter = match law.as_str() {
+        "poisson" => Interarrival::Exponential { rate: rho },
+        "erlang" => {
+            let k: u32 = arg_parse(args, "--k", 2);
+            Interarrival::Erlang {
+                k,
+                rate: f64::from(k) * rho,
+            }
+        }
+        "deterministic" => Interarrival::Deterministic { gap: 1.0 / rho },
+        "hyperexp" => {
+            let p: f64 = arg_parse(args, "--p", 0.5);
+            let r1: f64 = arg_parse(args, "--r1", 0.5);
+            let r2: f64 = arg_parse(args, "--r2", 2.0);
+            // Rescale both rates so the mean becomes 1/ρ.
+            let mean = p / r1 + (1.0 - p) / r2;
+            let c = mean * rho;
+            Interarrival::HyperExp {
+                p,
+                rate1: r1 * c,
+                rate2: r2 * c,
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown law '{other}' (try poisson, erlang, deterministic, hyperexp)"
+            ))
+        }
+    };
+    let sigma = solve_sigma(&inter, 1.0).map_err(|e| e.to_string())?;
+
+    println!("Theorem-2 decay root for {law} arrivals at rho = {rho}\n");
+    let mut table = Table::new(["metric", "value"]);
+    table.push(["sigma", &format!("{sigma:.10}")]);
+    table.push(["rho (Poisson reference)", &format!("{rho:.10}")]);
+    table.push(["GI/M/1 mean delay 1/(1-sigma)", &f4(1.0 / (1.0 - sigma))]);
+    finish(&table, args)
+}
+
+/// `slb meanfield` — fixed point and relaxation of the fluid limit.
+pub fn meanfield(args: &[String]) -> CmdResult {
+    let d: usize = arg_parse(args, "--d", 2);
+    let rho: f64 = arg_parse(args, "--rho", 0.9);
+    let k_max: usize = arg_parse(args, "--kmax", 8);
+
+    let mut mf = MeanField::new(rho, d).map_err(|e| e.to_string())?;
+    let relax = mf
+        .run_to_equilibrium(1e-8, 0.05, 1_000_000.0)
+        .map_err(|e| e.to_string())?;
+
+    println!("Mean-field SQ({d}) at rho = {rho} (empty start)\n");
+    let mut table = Table::new(["k", "s_k (ODE)", "s_k (Eq. 16)"]);
+    for k in 1..=k_max {
+        let ode = mf.tail_fractions().get(k - 1).copied().unwrap_or(0.0);
+        let closed = asymptotic::tail_fraction(rho, d, k as u32);
+        table.push([k.to_string(), format!("{ode:.8}"), format!("{closed:.8}")]);
+    }
+    println!(
+        "relaxation time to 1e-8 residual: {}\nmean delay: {} (Eq. 16: {})\n",
+        f4(relax),
+        f4(mf.mean_delay()),
+        f4(asymptotic::mean_delay(rho, d))
+    );
+    finish(&table, args)
+}
+
+/// `slb burst` — MAP-modulated bounds (2-phase MMPP).
+pub fn burst(args: &[String]) -> CmdResult {
+    let n: usize = arg_parse(args, "--n", 3);
+    let d: usize = arg_parse(args, "--d", 2);
+    let rho: f64 = arg_parse(args, "--rho", 0.7);
+    let t: u32 = arg_parse(args, "--t", 3);
+    let r01: f64 = arg_parse(args, "--r01", 0.5);
+    let r10: f64 = arg_parse(args, "--r10", 0.5);
+    let l0: f64 = arg_parse(args, "--l0", 0.5);
+    let l1: f64 = arg_parse(args, "--l1", 1.5);
+
+    let map = Map::mmpp2(r01, r10, l0, l1).map_err(|e| e.to_string())?;
+    let scv = map.interarrival_scv().map_err(|e| e.to_string())?;
+    let model = MapSqd::with_utilization(n, d, &map, rho).map_err(|e| e.to_string())?;
+    let lb = model.lower_bound(t).map_err(|e| e.to_string())?;
+    let ub = model.upper_bound(t);
+    let poisson = Sqd::new(n, d, rho)
+        .and_then(|s| s.lower_bound(t))
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "SQ({d}) under MMPP({r01}, {r10}, {l0}, {l1}) at rho = {rho}, N = {n}, T = {t}\n"
+    );
+    let mut table = Table::new(["metric", "value"]);
+    table.push(["interarrival SCV", &f4(scv)]);
+    table.push(["lower bound", &f4(lb.delay)]);
+    table.push([
+        "upper bound",
+        &ub.map_or("unstable (raise --t)".into(), |r| f4(r.delay)),
+    ]);
+    table.push(["tail decay sp(R)", &f4(lb.tail_decay)]);
+    table.push(["Poisson lower bound (reference)", &f4(poisson.delay)]);
+    finish(&table, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn all_commands_run_on_defaults() {
+        assert_eq!(bounds(&argv("--n 3 --d 2 --rho 0.6 --t 2")), Ok(()));
+        assert_eq!(sweep(&argv("--points 3 --t 2")), Ok(()));
+        assert_eq!(dist(&argv("--rho 0.6 --t 2")), Ok(()));
+        assert_eq!(
+            simulate(&argv("--jobs 20000 --warmup 2000 --rho 0.6")),
+            Ok(())
+        );
+        assert_eq!(sigma(&argv("--law erlang --k 2 --rho 0.7")), Ok(()));
+        assert_eq!(meanfield(&argv("--d 2 --rho 0.7 --kmax 4")), Ok(()));
+        assert_eq!(burst(&argv("--rho 0.5 --t 2")), Ok(()));
+    }
+
+    #[test]
+    fn bad_inputs_reported_not_panicked() {
+        assert!(bounds(&argv("--rho 1.5")).is_err());
+        assert!(sweep(&argv("--points 1")).is_err());
+        assert!(sigma(&argv("--law weird")).is_err());
+        assert!(sigma(&argv("--rho 1.2")).is_err());
+        assert!(simulate(&argv("--policy nope")).is_err());
+        assert!(meanfield(&argv("--rho 0.0")).is_err());
+    }
+
+    #[test]
+    fn percentile_parsing() {
+        let args = argv("--percentiles 0.1,0.5,0.999");
+        assert_eq!(parse_percentiles(&args).unwrap(), vec![0.1, 0.5, 0.999]);
+        let bad = argv("--percentiles a,b");
+        assert!(parse_percentiles(&bad).is_err());
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(parse_policy(&argv("--policy jsq"), 2).unwrap(), Policy::Jsq);
+        assert_eq!(
+            parse_policy(&argv("--policy sqd-mem"), 3).unwrap(),
+            Policy::SqDMemory { d: 3 }
+        );
+        assert_eq!(parse_policy(&argv(""), 2).unwrap(), Policy::SqD { d: 2 });
+        assert!(parse_policy(&argv("--policy x"), 2).is_err());
+    }
+
+    #[test]
+    fn sigma_laws_ordering() {
+        // Smoother arrivals (Erlang, deterministic) ⇒ smaller σ than
+        // Poisson; burstier (hyperexp) ⇒ larger.
+        let rho = 0.7;
+        let sig = |inter: &Interarrival| solve_sigma(inter, 1.0).unwrap();
+        let poisson = sig(&Interarrival::Exponential { rate: rho });
+        assert!((poisson - rho).abs() < 1e-10); // Theorem 3
+        let erlang = sig(&Interarrival::Erlang { k: 4, rate: 4.0 * rho });
+        let det = sig(&Interarrival::Deterministic { gap: 1.0 / rho });
+        assert!(det < erlang && erlang < poisson);
+    }
+}

@@ -1,0 +1,207 @@
+//! The exact-but-asymptotic mean-delay formula (Eq. 16 of the paper).
+//!
+//! In the `N → ∞` mean-field limit (Mitzenmacher; Vvedenskaya et al.),
+//! the fraction of queues holding at least `i` jobs is
+//! `s_i = λ^{(dⁱ−1)/(d−1)}` and the mean sojourn time of a job is
+//!
+//! ```text
+//! E[Delay] = Σ_{i≥1} λ^{(dⁱ − d)/(d − 1)} ,
+//! ```
+//!
+//! independent of `N`. The paper's Figure 9 quantifies how misleading this
+//! `N`-independence is at small `N` and high utilization; the functions
+//! here regenerate the formula side of that comparison.
+
+/// Terms of Eq. 16 are added until they drop below this threshold; the
+/// doubly-exponential exponent makes the tail vanish almost immediately.
+const TERM_EPS: f64 = 1e-15;
+
+/// Mean sojourn time (delay including service) of SQ(d) in the asymptotic
+/// regime, Eq. 16: `Σ_{i≥1} λ^{(dⁱ−d)/(d−1)}`, which is `1/(1−λ)` when
+/// `d = 1`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ lambda < 1` and `d ≥ 1`.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::asymptotic::mean_delay;
+///
+/// // Power of two: at λ = 0.99 the improvement over random is enormous.
+/// let d1 = mean_delay(0.99, 1);
+/// let d2 = mean_delay(0.99, 2);
+/// assert!(d1 > 90.0 && d2 < 7.0);
+/// ```
+pub fn mean_delay(lambda: f64, d: usize) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&lambda),
+        "need 0 <= lambda < 1, got {lambda}"
+    );
+    assert!(d >= 1, "need d >= 1");
+    if lambda == 0.0 {
+        return 1.0;
+    }
+    if d == 1 {
+        return 1.0 / (1.0 - lambda);
+    }
+    let mut sum = 0.0;
+    // exponent(i) = (d^i − d)/(d−1) = d·(d^{i−1} − 1)/(d−1); computed
+    // iteratively to avoid overflowing d^i for large i (the loop exits
+    // long before).
+    let mut exponent = 0.0_f64; // i = 1 term: λ⁰ = 1
+    let mut d_pow = 1.0_f64; // d^{i−1}
+    loop {
+        let term = lambda.powf(exponent);
+        sum += term;
+        if term < TERM_EPS {
+            break;
+        }
+        // exponent_{i+1} − exponent_i = d^i  (telescoping of the
+        // geometric numerator).
+        d_pow *= d as f64;
+        exponent += d_pow;
+        if !exponent.is_finite() {
+            break;
+        }
+    }
+    sum
+}
+
+/// Asymptotic fraction of queues with at least `i` jobs:
+/// `s_i = λ^{(dⁱ−1)/(d−1)}` (the fixed point of the mean-field ODE).
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ lambda < 1` and `d ≥ 1`.
+pub fn tail_fraction(lambda: f64, d: usize, i: u32) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&lambda),
+        "need 0 <= lambda < 1, got {lambda}"
+    );
+    assert!(d >= 1, "need d >= 1");
+    if i == 0 {
+        return 1.0;
+    }
+    if lambda == 0.0 {
+        return 0.0;
+    }
+    let exponent = if d == 1 {
+        i as f64
+    } else {
+        // (d^i − 1)/(d − 1), computed in logs-free iterative form.
+        let mut e = 0.0;
+        let mut p = 1.0;
+        for _ in 0..i {
+            e += p;
+            p *= d as f64;
+            if e > 1e6 {
+                break; // λ^{huge} underflows to 0 anyway
+            }
+        }
+        e
+    };
+    lambda.powf(exponent)
+}
+
+/// Asymptotic mean number of jobs per queue: `Σ_{i≥1} s_i`. By Little's
+/// law, `mean_delay = mean_jobs_per_queue / λ`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ lambda < 1` and `d ≥ 1`.
+pub fn mean_jobs_per_queue(lambda: f64, d: usize) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&lambda),
+        "need 0 <= lambda < 1, got {lambda}"
+    );
+    let mut sum = 0.0;
+    for i in 1..10_000u32 {
+        let s = tail_fraction(lambda, d, i);
+        sum += s;
+        if s < TERM_EPS {
+            break;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_is_mm1() {
+        for &l in &[0.1, 0.5, 0.9, 0.99] {
+            assert!((mean_delay(l, 1) - 1.0 / (1.0 - l)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_load_is_pure_service() {
+        assert_eq!(mean_delay(0.0, 2), 1.0);
+        assert_eq!(mean_delay(0.0, 1), 1.0);
+    }
+
+    #[test]
+    fn d2_hand_series() {
+        // d = 2: exponents (2^i − 2)/1 = 0, 2, 6, 14, 30, …
+        let l = 0.8_f64;
+        let expect = 1.0
+            + l.powi(2)
+            + l.powi(6)
+            + l.powi(14)
+            + l.powi(30)
+            + l.powi(62)
+            + l.powi(126);
+        assert!((mean_delay(l, 2) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_of_two_improvement_is_doubly_exponential() {
+        // Known closed-form comparison at high load: delay(d=2) ≪ delay(d=1).
+        let l = 0.99;
+        assert!(mean_delay(l, 1) / mean_delay(l, 2) > 10.0);
+        // And d is monotone: more choices, less delay.
+        assert!(mean_delay(l, 2) > mean_delay(l, 5));
+        assert!(mean_delay(l, 5) > mean_delay(l, 10));
+    }
+
+    #[test]
+    fn tail_fractions_consistent_with_delay() {
+        // E[Delay] = Σ_{i≥0} s_i (per-queue jobs / λ = sojourn by Little):
+        // mean_jobs_per_queue = Σ_{i≥1} s_i and s_i = λ^{(dⁱ−1)/(d−1)},
+        // so Σ_{i≥1} λ^{(dⁱ−d)/(d−1)} = Σ_{i≥1} s_i / λ.
+        for &(l, d) in &[(0.7, 2usize), (0.9, 3), (0.95, 5)] {
+            let delay = mean_delay(l, d);
+            let jobs = mean_jobs_per_queue(l, d);
+            assert!(
+                (delay - jobs / l).abs() < 1e-9,
+                "λ={l}, d={d}: {delay} vs {}",
+                jobs / l
+            );
+        }
+    }
+
+    #[test]
+    fn tail_fraction_boundary_cases() {
+        assert_eq!(tail_fraction(0.5, 2, 0), 1.0);
+        assert_eq!(tail_fraction(0.0, 2, 3), 0.0);
+        assert!((tail_fraction(0.5, 2, 1) - 0.5).abs() < 1e-15);
+        // s_2 = λ^{(4−1)/1} = λ³ for d = 2.
+        assert!((tail_fraction(0.5, 2, 2) - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn delay_increases_with_load() {
+        for d in [1usize, 2, 5] {
+            let mut prev = 0.0;
+            for l in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+                let v = mean_delay(l, d);
+                assert!(v > prev, "not monotone at λ={l}, d={d}");
+                prev = v;
+            }
+        }
+    }
+}

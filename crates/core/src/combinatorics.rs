@@ -1,0 +1,245 @@
+//! Binomial coefficients for the SQ(d) polling probabilities.
+//!
+//! The arrival rate into a tie group of servers is
+//! `λN · [C(e, d) − C(s−1, d)] / C(N, d)` (Section II-A of the paper), so
+//! the only combinatorial quantity needed is `C(n, k)`. Values are
+//! computed by the multiplicative formula in `f64`; they are exact as long
+//! as the result stays below 2⁵³, which covers every QBD-sized
+//! configuration (`N ≤ 64`), and carry ~1 ulp of relative error beyond
+//! that — irrelevant since the rates are normalized by `C(N, d)`.
+
+/// Binomial coefficient `C(n, k)` with the convention `C(n, k) = 0` for
+/// `k > n`.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::combinatorics::binomial;
+///
+/// assert_eq!(binomial(6, 2), 15.0);
+/// assert_eq!(binomial(3, 5), 0.0);
+/// assert_eq!(binomial(5, 0), 1.0);
+/// ```
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0_f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Probability that an SQ(d) arrival is routed to the tie group occupying
+/// (1-based) sorted positions `s..=e`, out of `n` servers:
+/// `[C(e, d) − C(s−1, d)] / C(n, d)`.
+///
+/// The numerator counts the polling outcomes whose minimum polled position
+/// lies inside the group: all `d` polled servers must come from positions
+/// `1..=e`, minus the outcomes avoiding the group entirely.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ s ≤ e ≤ n` and `1 ≤ d ≤ n`.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::combinatorics::group_arrival_probability;
+///
+/// // SQ(2) with N = 3, distinct queue lengths: positions 2 and 3 can
+/// // receive the job; position 3 (the shortest) with probability
+/// // C(3,2)−C(2,2) = 2 of 3 outcomes.
+/// assert!((group_arrival_probability(3, 2, 3, 3) - 2.0 / 3.0).abs() < 1e-15);
+/// assert!((group_arrival_probability(3, 2, 2, 2) - 1.0 / 3.0).abs() < 1e-15);
+/// assert_eq!(group_arrival_probability(3, 2, 1, 1), 0.0);
+/// ```
+pub fn group_arrival_probability(n: usize, d: usize, s: usize, e: usize) -> f64 {
+    assert!(
+        (1..=n).contains(&d),
+        "need 1 <= d <= n, got d = {d}, n = {n}"
+    );
+    assert!(
+        1 <= s && s <= e && e <= n,
+        "need 1 <= s <= e <= n, got s = {s}, e = {e}, n = {n}"
+    );
+    (binomial(e, d) - binomial(s - 1, d)) / binomial(n, d)
+}
+
+/// Probability that an SQ(d) arrival is routed to the tie group occupying
+/// (1-based) sorted positions `s..=e` when the `d` polls are drawn **with
+/// replacement** (Mitzenmacher's original model):
+/// `(e/n)^d − ((s−1)/n)^d`.
+///
+/// All polls must land in positions `1..=e`, minus the outcomes that miss
+/// the group entirely. With replacement, a poll may repeat a server, so
+/// `d` may exceed `n`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ s ≤ e ≤ n` and `d ≥ 1`.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::combinatorics::group_arrival_probability_with_replacement;
+///
+/// // N = 3, d = 2: the shortest queue wins unless both polls miss it:
+/// // (3/3)² − (2/3)² = 5/9.
+/// let p = group_arrival_probability_with_replacement(3, 2, 3, 3);
+/// assert!((p - 5.0 / 9.0).abs() < 1e-15);
+/// ```
+pub fn group_arrival_probability_with_replacement(
+    n: usize,
+    d: usize,
+    s: usize,
+    e: usize,
+) -> f64 {
+    assert!(d >= 1, "need d >= 1, got {d}");
+    assert!(
+        1 <= s && s <= e && e <= n,
+        "need 1 <= s <= e <= n, got s = {s}, e = {e}, n = {n}"
+    );
+    let frac = |k: usize| (k as f64 / n as f64).powi(d as i32);
+    frac(e) - frac(s - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_exact() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(4, 2), 6.0);
+        assert_eq!(binomial(10, 3), 120.0);
+        assert_eq!(binomial(10, 10), 1.0);
+        assert_eq!(binomial(10, 0), 1.0);
+        assert_eq!(binomial(2, 3), 0.0);
+    }
+
+    #[test]
+    fn pascal_recurrence() {
+        for n in 1..30 {
+            for k in 1..n {
+                let lhs = binomial(n, k);
+                let rhs = binomial(n - 1, k - 1) + binomial(n - 1, k);
+                assert!(
+                    (lhs - rhs).abs() <= 1e-9 * lhs.max(1.0),
+                    "Pascal fails at C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for n in 0..25 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_identity_sum_of_binomials() {
+        // Σ_{i=d}^{N} C(i−1, d−1) = C(N, d)  (Section II-A).
+        for n in 1..=20 {
+            for d in 1..=n {
+                let sum: f64 = (d..=n).map(|i| binomial(i - 1, d - 1)).sum();
+                assert!(
+                    (sum - binomial(n, d)).abs() < 1e-9 * binomial(n, d).max(1.0),
+                    "identity fails at N={n}, d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_probabilities_sum_to_one() {
+        // Partitioning positions 1..=n into arbitrary consecutive groups,
+        // the group arrival probabilities must sum to 1.
+        let n = 7;
+        for d in 1..=n {
+            // Groups: [1,2], [3,3], [4,6], [7,7].
+            let groups = [(1, 2), (3, 3), (4, 6), (7, 7)];
+            let total: f64 = groups
+                .iter()
+                .map(|&(s, e)| group_arrival_probability(n, d, s, e))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "d = {d}: total {total}");
+        }
+    }
+
+    #[test]
+    fn distinct_lengths_match_paper_rates() {
+        // All-singleton groups: probability of position i is
+        // C(i−1, d−1)/C(N, d), zero for i < d.
+        let (n, d) = (6, 3);
+        for i in 1..=n {
+            let p = group_arrival_probability(n, d, i, i);
+            let expect = binomial(i - 1, d - 1) / binomial(n, d);
+            assert!((p - expect).abs() < 1e-15);
+            if i < d {
+                assert_eq!(p, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn jsq_routes_to_bottom_group_only() {
+        let n = 5;
+        let d = n;
+        assert_eq!(group_arrival_probability(n, d, 1, n - 1), 0.0);
+        assert!((group_arrival_probability(n, d, n, n) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn with_replacement_probabilities_sum_to_one() {
+        let n = 6;
+        for d in [1usize, 2, 3, 8] {
+            let groups = [(1, 1), (2, 4), (5, 6)];
+            let total: f64 = groups
+                .iter()
+                .map(|&(s, e)| group_arrival_probability_with_replacement(n, d, s, e))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "d = {d}: total {total}");
+        }
+    }
+
+    #[test]
+    fn replacement_modes_agree_at_d1() {
+        // A single poll cannot repeat, so the two modes coincide at d = 1.
+        let n = 5;
+        for (s, e) in [(1usize, 2usize), (3, 3), (4, 5)] {
+            let a = group_arrival_probability(n, 1, s, e);
+            let b = group_arrival_probability_with_replacement(n, 1, s, e);
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn replacement_weakens_the_shortest_queue() {
+        // With replacement, some polls are wasted duplicates, so the
+        // shortest position receives the job less often (d > 1).
+        let n = 4;
+        for d in 2..=4 {
+            let without = group_arrival_probability(n, d, n, n);
+            let with = group_arrival_probability_with_replacement(n, d, n, n);
+            assert!(
+                with < without,
+                "d = {d}: with {with} !< without {without}"
+            );
+        }
+    }
+
+    #[test]
+    fn moderate_sizes_finite() {
+        // Sanity for the larger sweeps (simulation side never calls this,
+        // but the asymptotic-error harness might for bookkeeping).
+        let v = binomial(250, 50);
+        assert!(v.is_finite() && v > 1e40);
+    }
+}

@@ -1,0 +1,387 @@
+//! Full sojourn-time (delay) distributions, not just means.
+//!
+//! The paper reports mean delays; its machinery supports more. With
+//! Poisson arrivals, PASTA lets a *tagged* arriving job see the
+//! stationary state `m`, and the SQ(d) poll assigns it a server holding
+//! `k` jobs with a probability determined by `m`'s tie groups (including,
+//! in the bound models, the redirect rules). With exponential unit-rate
+//! service and FIFO, a job landing behind `k` jobs has sojourn
+//! `Erlang(k+1, 1)` — memorylessness makes the in-service remainder
+//! whole. The delay law is therefore a **mixture of Erlangs**
+//!
+//! ```text
+//! P(Delay > t) = Σ_k w_k · P(Erlang(k+1) > t),
+//! w_k = Σ_m π(m) · P(tagged job assigned a server with k jobs | m)
+//! ```
+//!
+//! For the **base** (untransformed) chain this mixture is the *exact*
+//! delay law, computed here from the brute-force stationary distribution.
+//! For the **bound models** the same polling kernel is integrated against
+//! each model's stationary law, producing distributional companions to
+//! the paper's mean bounds. One caveat matters and is worth recording:
+//! unlike the waiting-job cost behind the paper's mean bounds, the
+//! polling kernel is **not precedence-monotone** — e.g.
+//! `(1,1,0) ⪯ (2,0,0)` yet SQ(2) assigns the tagged job a *shorter* queue
+//! in the imbalanced state, because polling steers arrivals away from
+//! long queues. Consequently the ⪯-ordering of the chains does not
+//! transfer to these curves as a theorem. Numerically (see the tests and
+//! EXPERIMENTS.md): the upper curve was a pointwise upper bound of the
+//! exact survival in *every* configuration probed, while the lower curve
+//! tracks the exact survival to within a few `1e-3` (occasionally
+//! crossing it by that much). Treat the lower curve as a sharp estimate
+//! with that error bar, not a certified bound.
+
+use crate::combinatorics::{
+    group_arrival_probability, group_arrival_probability_with_replacement,
+};
+use crate::{CoreError, ModelVariant, PollMode, Result, State};
+
+/// P(Erlang(n, 1) > t) = e^{−t} Σ_{i<n} tⁱ/i!, computed by the stable
+/// forward recurrence.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `t` is negative/NaN.
+pub fn erlang_survival(n: usize, t: f64) -> f64 {
+    assert!(n > 0, "Erlang needs at least one stage");
+    assert!(t >= 0.0, "time must be nonnegative, got {t}");
+    let mut term = (-t).exp();
+    let mut sum = term;
+    for i in 1..n {
+        term *= t / i as f64;
+        sum += term;
+    }
+    sum.min(1.0)
+}
+
+/// Probability that the tagged arrival in `state` is assigned a server
+/// currently holding `level` jobs, for each reachable `level` — the
+/// per-state mixture kernel. With [`ModelVariant::Base`] this is the pure
+/// SQ(d) polling law; with a bound variant the threshold redirects are
+/// applied (used by diagnostics; the distribution bounds themselves use
+/// the base kernel, see the module docs).
+pub fn arrival_level_weights(
+    state: &State,
+    d: usize,
+    variant: ModelVariant,
+    mode: PollMode,
+) -> Vec<(u32, f64)> {
+    let n = state.n();
+    let groups = state.groups();
+    let ng = groups.len();
+    let at_threshold = match variant {
+        ModelVariant::Base => false,
+        ModelVariant::Lower { threshold } | ModelVariant::Upper { threshold } => {
+            state.diff() == threshold
+        }
+    };
+    let mut out = Vec::with_capacity(ng);
+    for (gi, g) in groups.iter().enumerate() {
+        let p = match mode {
+            PollMode::WithoutReplacement => {
+                group_arrival_probability(n, d, g.start + 1, g.end + 1)
+            }
+            PollMode::WithReplacement => {
+                group_arrival_probability_with_replacement(n, d, g.start + 1, g.end + 1)
+            }
+        };
+        if p <= 0.0 {
+            continue;
+        }
+        let level = if at_threshold && gi == 0 {
+            match variant {
+                ModelVariant::Base => unreachable!("Base has no threshold"),
+                // Lower model: the job jockeys to the second-highest level.
+                ModelVariant::Lower { .. } => groups[1].level,
+                // Upper model: the job really does join the top server;
+                // the phantom jobs land on *other* servers.
+                ModelVariant::Upper { .. } => groups[0].level,
+            }
+        } else {
+            g.level
+        };
+        out.push((level, p));
+    }
+    out
+}
+
+/// A sojourn-time distribution as a mixture of Erlangs: `weights[k]` is
+/// the probability that the tagged job is assigned a server already
+/// holding `k` jobs, so its delay is `Erlang(k+1, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::{BoundKind, Sqd};
+///
+/// # fn main() -> Result<(), slb_core::CoreError> {
+/// let sqd = Sqd::new(3, 2, 0.7)?;
+/// let lo = sqd.delay_distribution(BoundKind::Lower, 3)?;
+/// let hi = sqd.delay_distribution(BoundKind::Upper, 3)?;
+/// // Median and 99th-percentile delay bounds.
+/// assert!(lo.quantile(0.5)? <= hi.quantile(0.5)?);
+/// assert!(lo.quantile(0.99)? <= hi.quantile(0.99)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayDistribution {
+    weights: Vec<f64>,
+}
+
+impl DelayDistribution {
+    /// Builds the distribution from raw mixture weights, which must be
+    /// nonnegative and sum to 1 within `1e-6` (small deficits from
+    /// geometric-tail truncation are renormalized away).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] on negative weights or a sum far
+    /// from 1.
+    pub fn from_weights(mut weights: Vec<f64>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(CoreError::InvalidParameters {
+                reason: "mixture needs at least one weight".into(),
+            });
+        }
+        if let Some(w) = weights.iter().find(|w| **w < -1e-12 || !w.is_finite()) {
+            return Err(CoreError::InvalidParameters {
+                reason: format!("invalid mixture weight {w}"),
+            });
+        }
+        let sum: f64 = weights.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(CoreError::InvalidParameters {
+                reason: format!("mixture weights sum to {sum}, expected 1"),
+            });
+        }
+        for w in &mut weights {
+            *w = (*w / sum).max(0.0);
+        }
+        while weights.len() > 1 && weights.last() == Some(&0.0) {
+            weights.pop();
+        }
+        Ok(DelayDistribution { weights })
+    }
+
+    /// The mixture weights; `weights()[k]` is the probability of finding
+    /// `k` jobs at the assigned server.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Mean delay `Σ_k w_k (k+1)` (each Erlang stage has unit mean).
+    pub fn mean(&self) -> f64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(k, w)| w * (k as f64 + 1.0))
+            .sum()
+    }
+
+    /// Variance of the delay: `E[D²] − E[D]²` with
+    /// `E[D²] = Σ_k w_k (k+1)(k+2)` for unit-rate Erlangs.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        let m2: f64 = self
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(k, w)| w * (k as f64 + 1.0) * (k as f64 + 2.0))
+            .sum();
+        (m2 - m * m).max(0.0)
+    }
+
+    /// Survival function `P(Delay > t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for negative `t`.
+    pub fn survival(&self, t: f64) -> f64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(k, w)| w * erlang_survival(k + 1, t))
+            .sum()
+    }
+
+    /// Cumulative distribution function `P(Delay ≤ t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for negative `t`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        (1.0 - self.survival(t)).clamp(0.0, 1.0)
+    }
+
+    /// Probability density `Σ_k w_k tᵏ e^{−t}/k!`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for negative `t`.
+    pub fn pdf(&self, t: f64) -> f64 {
+        assert!(t >= 0.0, "time must be nonnegative, got {t}");
+        let mut term = (-t).exp();
+        let mut density = self.weights[0] * term;
+        for (k, &w) in self.weights.iter().enumerate().skip(1) {
+            term *= t / k as f64;
+            density += w * term;
+        }
+        density
+    }
+
+    /// The `p`-quantile of the delay (e.g. `p = 0.99` for the tail
+    /// percentile), located by bracketed bisection to absolute `1e-10`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(CoreError::InvalidParameters {
+                reason: format!("quantile level must be in (0, 1), got {p}"),
+            });
+        }
+        let mut hi = 1.0;
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if hi > 1e9 {
+                return Err(CoreError::InvalidParameters {
+                    reason: "quantile bracket failed to close".into(),
+                });
+            }
+        }
+        let mut lo = 0.0;
+        while hi - lo > 1e-10 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_survival_one_stage_is_exponential() {
+        for &t in &[0.0, 0.3, 1.0, 4.2] {
+            assert!((erlang_survival(1, t) - (-t).exp()).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn erlang_survival_monotone_in_stages_and_time() {
+        for n in 1..8 {
+            assert!(erlang_survival(n, 1.3) < erlang_survival(n + 1, 1.3));
+        }
+        for &t in &[0.1, 0.5, 2.0] {
+            assert!(erlang_survival(3, t) > erlang_survival(3, t + 0.5));
+        }
+        assert!((erlang_survival(5, 0.0) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mixture_basics() {
+        let d = DelayDistribution::from_weights(vec![0.5, 0.3, 0.2]).unwrap();
+        assert!((d.mean() - (0.5 + 0.3 * 2.0 + 0.2 * 3.0)).abs() < 1e-14);
+        assert!((d.cdf(0.0)).abs() < 1e-14);
+        assert!(d.cdf(50.0) > 1.0 - 1e-12);
+        // CDF is monotone.
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let c = d.cdf(i as f64 * 0.2);
+            assert!(c >= prev - 1e-14);
+            prev = c;
+        }
+        // Quantile inverts the CDF.
+        for &p in &[0.1, 0.5, 0.9, 0.99] {
+            let q = d.quantile(p).unwrap();
+            assert!((d.cdf(q) - p).abs() < 1e-8, "p={p}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let d = DelayDistribution::from_weights(vec![0.2, 0.5, 0.3]).unwrap();
+        // Simpson's rule on [0, 60].
+        let (a, b, steps) = (0.0, 60.0, 6000);
+        let h = (b - a) / steps as f64;
+        let mut integral = d.pdf(a) + d.pdf(b);
+        for i in 1..steps {
+            let x = a + i as f64 * h;
+            integral += if i % 2 == 1 { 4.0 } else { 2.0 } * d.pdf(x);
+        }
+        integral *= h / 3.0;
+        assert!((integral - 1.0).abs() < 1e-8, "integral {integral}");
+    }
+
+    #[test]
+    fn variance_of_pure_erlang() {
+        // w concentrated at k: delay = Erlang(k+1), variance k+1.
+        let mut w = vec![0.0; 4];
+        w[3] = 1.0;
+        let d = DelayDistribution::from_weights(w).unwrap();
+        assert!((d.mean() - 4.0).abs() < 1e-14);
+        assert!((d.variance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        assert!(DelayDistribution::from_weights(vec![]).is_err());
+        assert!(DelayDistribution::from_weights(vec![0.5, -0.5, 1.0]).is_err());
+        assert!(DelayDistribution::from_weights(vec![0.5, 0.2]).is_err());
+        let d = DelayDistribution::from_weights(vec![1.0]).unwrap();
+        assert!(d.quantile(0.0).is_err());
+        assert!(d.quantile(1.0).is_err());
+    }
+
+    #[test]
+    fn arrival_levels_base_model() {
+        // (2, 1, 0), d = 2: tagged job joins level 1 w.p. C(2,2)−C(1,2)
+        // = 1/3... and level 0 w.p. 2/3 (positions ordered).
+        let s = State::new(vec![2, 1, 0]).unwrap();
+        let w = arrival_level_weights(
+            &s,
+            2,
+            ModelVariant::Base,
+            PollMode::WithoutReplacement,
+        );
+        let total: f64 = w.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let p_level0: f64 = w.iter().filter(|&&(l, _)| l == 0).map(|&(_, p)| p).sum();
+        assert!((p_level0 - 2.0 / 3.0).abs() < 1e-12);
+        // Top level (2 jobs) is unreachable with d = 2 polls.
+        assert!(w.iter().all(|&(l, _)| l != 2));
+    }
+
+    #[test]
+    fn arrival_levels_respect_redirects() {
+        // (2, 2, 0) at T = 2: top-group arrival (prob 1/3) redirects.
+        let s = State::new(vec![2, 2, 0]).unwrap();
+        let low = arrival_level_weights(
+            &s,
+            2,
+            ModelVariant::Lower { threshold: 2 },
+            PollMode::WithoutReplacement,
+        );
+        // Lower: the redirected job joins level 0 (second/bottom group).
+        let p0: f64 = low.iter().filter(|&&(l, _)| l == 0).map(|&(_, p)| p).sum();
+        assert!((p0 - 1.0).abs() < 1e-12, "{low:?}");
+
+        let up = arrival_level_weights(
+            &s,
+            2,
+            ModelVariant::Upper { threshold: 2 },
+            PollMode::WithoutReplacement,
+        );
+        // Upper: the job really joins the level-2 server.
+        let p2: f64 = up.iter().filter(|&&(l, _)| l == 2).map(|&(_, p)| p).sum();
+        assert!((p2 - 1.0 / 3.0).abs() < 1e-12, "{up:?}");
+    }
+}

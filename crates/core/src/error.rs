@@ -1,0 +1,108 @@
+use std::error::Error;
+use std::fmt;
+
+use slb_markov::MarkovError;
+use slb_qbd::QbdError;
+
+/// Error type for SQ(d) model construction and bound evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Model parameters violate a precondition (e.g. `d > N`, `λ ≥ 1`).
+    InvalidParameters {
+        /// Description of the violated precondition.
+        reason: String,
+    },
+    /// The upper-bound model is unstable at this `(λ, T)`: blocking
+    /// bottom-level departures reduces capacity, so the upper-bound chain
+    /// saturates strictly before `λ = 1`. Increase `T` or lower `λ`.
+    UpperBoundUnstable {
+        /// Mean upward drift of the level process.
+        up_drift: f64,
+        /// Mean downward drift of the level process.
+        down_drift: f64,
+    },
+    /// The underlying QBD machinery failed.
+    Qbd(QbdError),
+    /// The underlying Markov-chain machinery failed (brute-force solver).
+    Markov(MarkovError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameters { reason } => {
+                write!(f, "invalid parameters: {reason}")
+            }
+            CoreError::UpperBoundUnstable {
+                up_drift,
+                down_drift,
+            } => write!(
+                f,
+                "upper-bound model unstable at this utilization/threshold \
+                 (drift up {up_drift:.6} >= down {down_drift:.6}); increase T or lower λ"
+            ),
+            CoreError::Qbd(e) => write!(f, "QBD solver failure: {e}"),
+            CoreError::Markov(e) => write!(f, "Markov solver failure: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Qbd(e) => Some(e),
+            CoreError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QbdError> for CoreError {
+    fn from(e: QbdError) -> Self {
+        match e {
+            QbdError::Unstable {
+                up_drift,
+                down_drift,
+            } => CoreError::UpperBoundUnstable {
+                up_drift,
+                down_drift,
+            },
+            other => CoreError::Qbd(other),
+        }
+    }
+}
+
+impl From<MarkovError> for CoreError {
+    fn from(e: MarkovError) -> Self {
+        CoreError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = CoreError::InvalidParameters {
+            reason: "d > N".into(),
+        };
+        assert!(e.to_string().contains("d > N"));
+    }
+
+    #[test]
+    fn unstable_conversion() {
+        let e = CoreError::from(QbdError::Unstable {
+            up_drift: 1.0,
+            down_drift: 0.9,
+        });
+        assert!(matches!(e, CoreError::UpperBoundUnstable { .. }));
+    }
+
+    #[test]
+    fn send_sync_error() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<CoreError>();
+    }
+}

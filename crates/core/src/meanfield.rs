@@ -1,0 +1,377 @@
+//! The mean-field (fluid-limit) ODE behind the paper's asymptotic
+//! baseline.
+//!
+//! Eq. 16 is the *fixed point* of Mitzenmacher's supermarket-model ODE.
+//! With `s_i(t)` the fraction of queues holding at least `i` jobs
+//! (`s_0 ≡ 1`, `s_i ↓ 0`), the `N → ∞` dynamics of SQ(d) with
+//! with-replacement polling are
+//!
+//! ```text
+//! ds_i/dt = λ·(s_{i−1}^d − s_i^d) − (s_i − s_{i+1}),   i ≥ 1,
+//! ```
+//!
+//! whose unique stable equilibrium is `s_i = λ^{(dⁱ−1)/(d−1)}`
+//! ([`crate::asymptotic::tail_fraction`]). This module integrates the
+//! ODE with classic RK4, which adds to the repertoire:
+//!
+//! * an independent derivation of the asymptotic curve in Figures 9–10
+//!   (the fixed point is *computed*, not assumed);
+//! * transient analysis — how fast an empty or overloaded system relaxes
+//!   to equilibrium, and how that relaxation slows as `λ → 1`;
+//! * a numerically observable contrast between the `N = ∞` fluid path
+//!   and the finite-`N` chains the paper actually bounds.
+//!
+//! Without-replacement polling (the paper's model) has the same limit:
+//! the two sampling modes differ by `O(d²/N)`, which vanishes in the
+//! fluid scale.
+
+use crate::{CoreError, Result};
+
+/// Truncation: `s_i` below this is treated as zero (and the state vector
+/// is extended adaptively whenever its last entry rises above it).
+const TAIL_EPS: f64 = 1e-14;
+
+/// The supermarket-model mean-field ODE for SQ(d), integrated with RK4.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::meanfield::MeanField;
+///
+/// # fn main() -> Result<(), slb_core::CoreError> {
+/// let mut mf = MeanField::new(0.9, 2)?; // starts empty
+/// mf.run(200.0, 0.01);                  // relax to equilibrium
+/// let delay = mf.mean_delay();
+/// let eq16 = slb_core::asymptotic::mean_delay(0.9, 2);
+/// assert!((delay - eq16).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanField {
+    lambda: f64,
+    d: usize,
+    /// `s[i]` is `s_{i+1}` (the redundant `s_0 = 1` is implicit).
+    s: Vec<f64>,
+    time: f64,
+}
+
+impl MeanField {
+    /// Starts from an empty system (`s_i = 0` for all `i ≥ 1`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] unless `0 < λ < 1` and `d ≥ 1`.
+    pub fn new(lambda: f64, d: usize) -> Result<Self> {
+        MeanField::with_state(lambda, d, vec![0.0])
+    }
+
+    /// Starts from an explicit tail-fraction profile `s = (s_1, s_2, …)`,
+    /// which must be nonincreasing with values in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] on invalid `λ`, `d` or profile.
+    pub fn with_state(lambda: f64, d: usize, s: Vec<f64>) -> Result<Self> {
+        if !(lambda > 0.0 && lambda < 1.0) {
+            return Err(CoreError::InvalidParameters {
+                reason: format!("need 0 < lambda < 1, got {lambda}"),
+            });
+        }
+        if d < 1 {
+            return Err(CoreError::InvalidParameters {
+                reason: "need d >= 1".into(),
+            });
+        }
+        if s.is_empty() {
+            return Err(CoreError::InvalidParameters {
+                reason: "state must have at least one entry".into(),
+            });
+        }
+        let mut prev = 1.0_f64;
+        for (i, &v) in s.iter().enumerate() {
+            if !(0.0..=1.0).contains(&v) || v > prev + 1e-12 {
+                return Err(CoreError::InvalidParameters {
+                    reason: format!("tail fractions must be nonincreasing in [0, 1]; s_{} = {v}", i + 1),
+                });
+            }
+            prev = v;
+        }
+        Ok(MeanField {
+            lambda,
+            d,
+            s,
+            time: 0.0,
+        })
+    }
+
+    /// Starts from the equilibrium profile (useful to verify it *is* an
+    /// equilibrium, or as a base for perturbation studies).
+    ///
+    /// # Errors
+    ///
+    /// As [`MeanField::new`].
+    pub fn at_fixed_point(lambda: f64, d: usize) -> Result<Self> {
+        let mut s = Vec::new();
+        let mut i = 1u32;
+        loop {
+            let v = crate::asymptotic::tail_fraction(lambda, d, i);
+            if v < TAIL_EPS {
+                break;
+            }
+            s.push(v);
+            i += 1;
+            if i > 100_000 {
+                break;
+            }
+        }
+        if s.is_empty() {
+            s.push(0.0);
+        }
+        MeanField::with_state(lambda, d, s)
+    }
+
+    /// Current integration time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current tail fractions `(s_1, s_2, …)`.
+    pub fn tail_fractions(&self) -> &[f64] {
+        &self.s
+    }
+
+    /// Mean number of jobs per queue, `Σ_{i≥1} s_i`.
+    pub fn mean_jobs_per_queue(&self) -> f64 {
+        self.s.iter().sum()
+    }
+
+    /// Mean delay via Little's law at the per-queue arrival rate `λ`
+    /// (exact at equilibrium; a fluid estimate in transients).
+    pub fn mean_delay(&self) -> f64 {
+        self.mean_jobs_per_queue() / self.lambda
+    }
+
+    /// `max_i |ds_i/dt|` — zero exactly at the fixed point.
+    pub fn equilibrium_residual(&self) -> f64 {
+        let ds = self.derivative(&self.s);
+        ds.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Advances one RK4 step of size `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dt > 0`.
+    pub fn step(&mut self, dt: f64) {
+        assert!(dt > 0.0 && dt.is_finite(), "need positive dt, got {dt}");
+        // Adaptive truncation: extend when mass reaches the current edge.
+        if *self.s.last().expect("state nonempty") > TAIL_EPS {
+            self.s.push(0.0);
+        }
+        let k1 = self.derivative(&self.s);
+        let k2 = self.derivative(&add_scaled(&self.s, &k1, dt / 2.0));
+        let k3 = self.derivative(&add_scaled(&self.s, &k2, dt / 2.0));
+        let k4 = self.derivative(&add_scaled(&self.s, &k3, dt));
+        for i in 0..self.s.len() {
+            self.s[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+            // Clamp round-off; the exact flow preserves [0, 1].
+            self.s[i] = self.s[i].clamp(0.0, 1.0);
+        }
+        // Restore monotonicity lost to round-off at the tail.
+        for i in 1..self.s.len() {
+            if self.s[i] > self.s[i - 1] {
+                self.s[i] = self.s[i - 1];
+            }
+        }
+        self.time += dt;
+    }
+
+    /// Integrates for `horizon` time units with fixed step `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `horizon ≥ 0` and `dt > 0`.
+    pub fn run(&mut self, horizon: f64, dt: f64) {
+        assert!(horizon >= 0.0, "need nonnegative horizon");
+        let steps = (horizon / dt).ceil() as u64;
+        for _ in 0..steps {
+            self.step(dt);
+        }
+    }
+
+    /// Integrates until the equilibrium residual drops below `tol`,
+    /// returning the time taken — the *relaxation time*, which diverges
+    /// as `λ → 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] if `max_time` elapses first.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tol > 0` and `dt > 0`.
+    pub fn run_to_equilibrium(&mut self, tol: f64, dt: f64, max_time: f64) -> Result<f64> {
+        assert!(tol > 0.0, "need positive tolerance");
+        let start = self.time;
+        while self.equilibrium_residual() > tol {
+            if self.time - start > max_time {
+                return Err(CoreError::InvalidParameters {
+                    reason: format!(
+                        "no equilibrium within {max_time} time units (residual {})",
+                        self.equilibrium_residual()
+                    ),
+                });
+            }
+            self.step(dt);
+        }
+        Ok(self.time - start)
+    }
+
+    /// `ds/dt` at profile `s` (indices shifted: `s[i]` is `s_{i+1}`).
+    fn derivative(&self, s: &[f64]) -> Vec<f64> {
+        let k = s.len();
+        let d = self.d as i32;
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            let s_prev = if i == 0 { 1.0 } else { s[i - 1] };
+            let s_next = if i + 1 < k { s[i + 1] } else { 0.0 };
+            out.push(self.lambda * (s_prev.powi(d) - s[i].powi(d)) - (s[i] - s_next));
+        }
+        out
+    }
+}
+
+fn add_scaled(s: &[f64], ds: &[f64], h: f64) -> Vec<f64> {
+    s.iter().zip(ds).map(|(a, b)| a + h * b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asymptotic;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(MeanField::new(0.0, 2).is_err());
+        assert!(MeanField::new(1.0, 2).is_err());
+        assert!(MeanField::new(0.5, 0).is_err());
+        assert!(MeanField::with_state(0.5, 2, vec![]).is_err());
+        assert!(MeanField::with_state(0.5, 2, vec![0.2, 0.5]).is_err()); // increasing
+        assert!(MeanField::with_state(0.5, 2, vec![1.5]).is_err());
+        assert!(MeanField::with_state(0.5, 2, vec![0.9, 0.4, 0.1]).is_ok());
+    }
+
+    #[test]
+    fn converges_to_eq16_fixed_point() {
+        for &(lam, d) in &[(0.5f64, 2usize), (0.9, 2), (0.7, 3), (0.8, 1)] {
+            let mut mf = MeanField::new(lam, d).unwrap();
+            // The slowest case (d = 1 at λ = 0.8) has fluid spectral gap
+            // (1 − √λ)² ≈ 0.011, hence the long horizon.
+            mf.run(2_500.0, 0.02);
+            for i in 1..=6 {
+                let want = asymptotic::tail_fraction(lam, d, i);
+                let got = mf
+                    .tail_fractions()
+                    .get(i as usize - 1)
+                    .copied()
+                    .unwrap_or(0.0); // truncated ⇒ equilibrium value ≈ 0
+                assert!(
+                    (got - want).abs() < 1e-7,
+                    "λ={lam} d={d} s_{i}: {got} vs {want}"
+                );
+            }
+            assert!(
+                (mf.mean_delay() - asymptotic::mean_delay(lam, d)).abs() < 1e-6,
+                "λ={lam} d={d}: delay {} vs Eq.16 {}",
+                mf.mean_delay(),
+                asymptotic::mean_delay(lam, d)
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_point_is_stationary() {
+        let mf = MeanField::at_fixed_point(0.85, 2).unwrap();
+        assert!(
+            mf.equilibrium_residual() < 1e-10,
+            "residual {}",
+            mf.equilibrium_residual()
+        );
+        // And stays put under integration.
+        let mut mf2 = mf.clone();
+        mf2.run(10.0, 0.01);
+        for (a, b) in mf.tail_fractions().iter().zip(mf2.tail_fractions()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn d1_relaxes_to_geometric() {
+        // d = 1 is the M/M/1 fluid: s_i = λⁱ at equilibrium.
+        let lam = 0.6;
+        let mut mf = MeanField::new(lam, 1).unwrap();
+        mf.run(500.0, 0.01);
+        for i in 1..=8usize {
+            let got = mf.tail_fractions()[i - 1];
+            assert!((got - lam.powi(i as i32)).abs() < 1e-8, "s_{i} = {got}");
+        }
+    }
+
+    #[test]
+    fn trajectory_stays_valid() {
+        let mut mf = MeanField::new(0.95, 2).unwrap();
+        for _ in 0..5_000 {
+            mf.step(0.02);
+            let s = mf.tail_fractions();
+            let mut prev = 1.0;
+            for &v in s {
+                assert!((0.0..=1.0).contains(&v), "s out of range: {v}");
+                assert!(v <= prev + 1e-12, "monotonicity violated");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn overloaded_start_drains_to_equilibrium() {
+        // Start with every queue holding ≥ 3 jobs; the drift must shrink
+        // total mass toward the equilibrium value.
+        let lam = 0.7;
+        let mut mf = MeanField::with_state(lam, 2, vec![1.0, 1.0, 1.0]).unwrap();
+        let start_mass = mf.mean_jobs_per_queue();
+        mf.run(300.0, 0.01);
+        let want = asymptotic::mean_delay(lam, 2) * lam;
+        assert!(mf.mean_jobs_per_queue() < start_mass);
+        assert!((mf.mean_jobs_per_queue() - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relaxation_slows_near_saturation() {
+        let relax = |lam: f64| {
+            let mut mf = MeanField::new(lam, 2).unwrap();
+            mf.run_to_equilibrium(1e-9, 0.02, 100_000.0).unwrap()
+        };
+        let fast = relax(0.5);
+        let slow = relax(0.95);
+        assert!(
+            slow > 3.0 * fast,
+            "relaxation at 0.95 ({slow}) should dwarf 0.5 ({fast})"
+        );
+    }
+
+    #[test]
+    fn higher_d_relaxes_to_lighter_tails() {
+        let lam = 0.9;
+        let mut d2 = MeanField::new(lam, 2).unwrap();
+        let mut d5 = MeanField::new(lam, 5).unwrap();
+        d2.run(300.0, 0.01);
+        d5.run(300.0, 0.01);
+        // Same s_1 = λ (work conservation), lighter deeper tails.
+        assert!((d2.tail_fractions()[0] - lam).abs() < 1e-7);
+        assert!((d5.tail_fractions()[0] - lam).abs() < 1e-7);
+        for i in 1..5 {
+            assert!(d5.tail_fractions()[i] < d2.tail_fractions()[i]);
+        }
+    }
+}

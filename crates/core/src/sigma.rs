@@ -1,0 +1,394 @@
+//! The Theorem-2 geometric decay root `σ` for renewal arrival processes.
+//!
+//! Theorem 2 of the paper shows the lower-bound model's stationary tail is
+//! `π_{q+1} = σᴺ π_q`, where `σ` is the unique root in `(0, 1)` of
+//!
+//! ```text
+//! x = Σ_{k≥0} βk x^k ,   βk = ∫ (µt)^k/k! · e^{−µt} dA(t) ,
+//! ```
+//!
+//! and `A` is the interarrival distribution *of the aggregate arrival
+//! process* (total rate `λN`, i.e. mean interarrival `1/(λN)`). The right-
+//! hand side is the probability generating function of the number of
+//! service completions during one interarrival, which equals the
+//! Laplace–Stieltjes transform of `A` evaluated at `µ(1 − x)`:
+//! `Σ_k βk x^k = A*(µ(1−x))`.
+//!
+//! For Poisson arrivals Theorem 3 reduces this to `σ = ρ` — reproduced
+//! here both in closed form and by the generic solver (a unit test pins
+//! the identity). Erlang, deterministic and hyperexponential interarrival
+//! laws are provided as the natural MAP/PH-flavoured extensions the
+//! paper's conclusion points to.
+
+use crate::{CoreError, Result};
+
+/// Interarrival-time distribution of the *aggregate* arrival process.
+///
+/// All variants are parameterized to have a well-defined mean; the
+/// corresponding arrival rate is `1/mean`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Interarrival {
+    /// Exponential with the given rate (Poisson process).
+    Exponential {
+        /// Arrival rate (events per unit time).
+        rate: f64,
+    },
+    /// Deterministic (constant) interarrival time.
+    Deterministic {
+        /// The constant gap between arrivals.
+        gap: f64,
+    },
+    /// Erlang with `k` phases, each of the given rate (mean `k/rate`).
+    Erlang {
+        /// Number of phases (≥ 1).
+        k: u32,
+        /// Per-phase rate.
+        rate: f64,
+    },
+    /// Two-branch hyperexponential: with probability `p` the gap is
+    /// exp(`rate1`), otherwise exp(`rate2`). Models bursty arrivals
+    /// (squared coefficient of variation > 1).
+    HyperExp {
+        /// Probability of the first branch.
+        p: f64,
+        /// Rate of the first branch.
+        rate1: f64,
+        /// Rate of the second branch.
+        rate2: f64,
+    },
+}
+
+impl Interarrival {
+    /// Mean interarrival time.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use slb_core::sigma::Interarrival;
+    ///
+    /// let a = Interarrival::Erlang { k: 4, rate: 8.0 };
+    /// assert!((a.mean() - 0.5).abs() < 1e-15);
+    /// ```
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Interarrival::Exponential { rate } => 1.0 / rate,
+            Interarrival::Deterministic { gap } => gap,
+            Interarrival::Erlang { k, rate } => k as f64 / rate,
+            Interarrival::HyperExp { p, rate1, rate2 } => p / rate1 + (1.0 - p) / rate2,
+        }
+    }
+
+    /// Laplace–Stieltjes transform `A*(s) = E[e^{−sT}]` for `s ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s < 0`.
+    pub fn lst(&self, s: f64) -> f64 {
+        assert!(s >= 0.0, "LST argument must be nonnegative, got {s}");
+        match *self {
+            Interarrival::Exponential { rate } => rate / (rate + s),
+            Interarrival::Deterministic { gap } => (-s * gap).exp(),
+            Interarrival::Erlang { k, rate } => (rate / (rate + s)).powi(k as i32),
+            Interarrival::HyperExp { p, rate1, rate2 } => {
+                p * rate1 / (rate1 + s) + (1.0 - p) * rate2 / (rate2 + s)
+            }
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] when a rate/gap is non-positive,
+    /// `k = 0`, or `p ∉ [0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        let ok = match *self {
+            Interarrival::Exponential { rate } => rate > 0.0 && rate.is_finite(),
+            Interarrival::Deterministic { gap } => gap > 0.0 && gap.is_finite(),
+            Interarrival::Erlang { k, rate } => k >= 1 && rate > 0.0 && rate.is_finite(),
+            Interarrival::HyperExp { p, rate1, rate2 } => {
+                (0.0..=1.0).contains(&p) && rate1 > 0.0 && rate2 > 0.0
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CoreError::InvalidParameters {
+                reason: format!("invalid interarrival parameters: {self:?}"),
+            })
+        }
+    }
+
+    /// `βk`: the probability that exactly `k` service completions (rate
+    /// `mu` each, all servers busy) fall within one interarrival time
+    /// (Eq. 15/19 of the paper). Computed by numerically accumulating the
+    /// defining integral through the LST derivative-free identity
+    /// `βk = (−µ)^k/k! · d^k A*(s)/ds^k |_{s=µ}`; for the distributions
+    /// here closed forms are used instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu <= 0`.
+    pub fn beta(&self, k: u32, mu: f64) -> f64 {
+        assert!(mu > 0.0, "service rate must be positive");
+        match *self {
+            // Paper, Eq. 21: βk = (λ/µ)·µ^{k+1}/(λ+µ)^{k+1}.
+            Interarrival::Exponential { rate } => {
+                (rate / mu) * (mu / (rate + mu)).powi(k as i32 + 1)
+            }
+            // Poisson(µ·gap) pmf.
+            Interarrival::Deterministic { gap } => {
+                let a = mu * gap;
+                let mut log_p = -a;
+                for i in 1..=k {
+                    log_p += (a / i as f64).ln();
+                }
+                log_p.exp()
+            }
+            // Number of Poisson(µ) events in an Erlang(k0, r) window is
+            // negative binomial: C(k+k0−1, k)·(r/(r+µ))^{k0}·(µ/(r+µ))^k.
+            Interarrival::Erlang { k: k0, rate } => {
+                let p = rate / (rate + mu);
+                let q = mu / (rate + mu);
+                let mut coeff = 1.0;
+                for i in 0..k {
+                    coeff *= (k0 as f64 + i as f64) / (i as f64 + 1.0);
+                }
+                coeff * p.powi(k0 as i32) * q.powi(k as i32)
+            }
+            Interarrival::HyperExp { p, rate1, rate2 } => {
+                let b = |rate: f64| (rate / mu) * (mu / (rate + mu)).powi(k as i32 + 1);
+                p * b(rate1) + (1.0 - p) * b(rate2)
+            }
+        }
+    }
+}
+
+/// Solves Eq. 15 of the paper: the unique fixed point in `(0, 1)` of
+/// `x = A*(µ(1 − x))`, by monotone fixed-point iteration from `x = 0`.
+///
+/// The iteration is monotone increasing and bounded by the root, so it
+/// converges whenever the system is stable (`mean interarrival > 1/µ`
+/// would be *unstable*; stability here is `λ_aggregate < µ`, i.e.
+/// `1/mean > µ` fails — see the error condition).
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidParameters`] if the distribution is invalid or
+///   the implied utilization `1/(mean·µ) ≥ 1` (no root inside the unit
+///   interval).
+///
+/// # Example
+///
+/// ```
+/// use slb_core::sigma::{solve_sigma, Interarrival};
+///
+/// # fn main() -> Result<(), slb_core::CoreError> {
+/// // Theorem 3: for Poisson arrivals σ = ρ.
+/// let a = Interarrival::Exponential { rate: 0.8 };
+/// let sigma = solve_sigma(&a, 1.0)?;
+/// assert!((sigma - 0.8).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_sigma(arrival: &Interarrival, mu: f64) -> Result<f64> {
+    arrival.validate()?;
+    solve_sigma_lst(|s| arrival.lst(s), arrival.mean(), mu)
+}
+
+/// As [`solve_sigma`], but driven by an arbitrary Laplace–Stieltjes
+/// transform `A*(s)` with the given mean — the hook for phase-type
+/// interarrival laws (`slb_markov::PhaseType::lst`) and, more generally,
+/// any renewal process whose transform is computable.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameters`] if `mu ≤ 0`, `mean ≤ 0`, or the
+/// implied utilization `1/(mean·µ) ≥ 1`.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::sigma::solve_sigma_lst;
+/// use slb_markov::PhaseType;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Erlang-2 interarrivals with mean 1/0.8 as a PH law.
+/// let ph = PhaseType::erlang(2, 1.6)?;
+/// let sigma = solve_sigma_lst(|s| ph.lst(s).unwrap(), ph.mean()?, 1.0)?;
+/// assert!(sigma > 0.0 && sigma < 0.8); // smoother than Poisson: σ < ρ
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_sigma_lst<F: Fn(f64) -> f64>(lst: F, mean: f64, mu: f64) -> Result<f64> {
+    if mu <= 0.0 || !mu.is_finite() {
+        return Err(CoreError::InvalidParameters {
+            reason: format!("service rate must be positive and finite, got {mu}"),
+        });
+    }
+    if mean <= 0.0 || !mean.is_finite() {
+        return Err(CoreError::InvalidParameters {
+            reason: format!("mean interarrival must be positive, got {mean}"),
+        });
+    }
+    let rho = 1.0 / (mean * mu);
+    if rho >= 1.0 {
+        return Err(CoreError::InvalidParameters {
+            reason: format!("unstable: implied utilization {rho} >= 1"),
+        });
+    }
+    let g = |x: f64| lst(mu * (1.0 - x));
+    let mut x = 0.0_f64;
+    for _ in 0..100_000 {
+        let next = g(x);
+        if (next - x).abs() < 1e-15 {
+            return Ok(next);
+        }
+        x = next;
+    }
+    // Monotone iterations always converge here; reaching this means the
+    // tolerance is tighter than f64 allows for this distribution.
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_sigma_is_rho_theorem3() {
+        for &rho in &[0.1, 0.5, 0.75, 0.9, 0.99] {
+            let a = Interarrival::Exponential { rate: rho };
+            let s = solve_sigma(&a, 1.0).unwrap();
+            assert!((s - rho).abs() < 1e-10, "rho {rho}: sigma {s}");
+        }
+    }
+
+    #[test]
+    fn beta_poisson_closed_form_matches_paper() {
+        // Eq. 21: βk = ρ/(1+ρ)^{k+1} for µ = 1.
+        let rho = 0.6;
+        let a = Interarrival::Exponential { rate: rho };
+        for k in 0..10 {
+            let expect = rho / (1.0 + rho).powi(k as i32 + 1);
+            assert!((a.beta(k, 1.0) - expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn betas_form_distribution() {
+        let cases = [
+            Interarrival::Exponential { rate: 0.7 },
+            Interarrival::Deterministic { gap: 1.3 },
+            Interarrival::Erlang { k: 3, rate: 2.4 },
+            Interarrival::HyperExp {
+                p: 0.3,
+                rate1: 0.5,
+                rate2: 3.0,
+            },
+        ];
+        for a in cases {
+            let total: f64 = (0..400).map(|k| a.beta(k, 1.0)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{a:?}: total {total}");
+        }
+    }
+
+    #[test]
+    fn beta_generating_function_equals_lst() {
+        // Σ βk x^k = A*(µ(1−x)) — the identity the solver relies on.
+        let a = Interarrival::Erlang { k: 2, rate: 1.5 };
+        for &x in &[0.0f64, 0.3, 0.7, 0.95] {
+            let series: f64 = (0..600).map(|k| a.beta(k, 1.0) * x.powi(k as i32)).sum();
+            let lst = a.lst(1.0 - x);
+            assert!((series - lst).abs() < 1e-10, "x={x}: {series} vs {lst}");
+        }
+    }
+
+    #[test]
+    fn sigma_is_root_of_equation() {
+        let cases = [
+            Interarrival::Deterministic { gap: 1.6 },
+            Interarrival::Erlang { k: 4, rate: 3.0 },
+            Interarrival::HyperExp {
+                p: 0.4,
+                rate1: 0.4,
+                rate2: 4.0,
+            },
+        ];
+        for a in cases {
+            let s = solve_sigma(&a, 1.0).unwrap();
+            assert!((0.0..1.0).contains(&s), "{a:?}: sigma {s}");
+            let g = a.lst(1.0 - s);
+            assert!((g - s).abs() < 1e-10, "{a:?}: g(σ)={g}, σ={s}");
+        }
+    }
+
+    #[test]
+    fn smoother_arrivals_give_smaller_sigma() {
+        // At equal rate, deterministic (CV 0) < Erlang (CV < 1) <
+        // Poisson (CV 1) < hyperexponential (CV > 1) in tail decay.
+        let rate = 0.8;
+        let det = solve_sigma(&Interarrival::Deterministic { gap: 1.0 / rate }, 1.0).unwrap();
+        let erl = solve_sigma(&Interarrival::Erlang { k: 4, rate: 4.0 * rate }, 1.0).unwrap();
+        let poi = solve_sigma(&Interarrival::Exponential { rate }, 1.0).unwrap();
+        // Hyperexp with the same mean but CV² > 1.
+        let hyp = solve_sigma(
+            &Interarrival::HyperExp {
+                p: 0.9,
+                rate1: 0.9 * rate / 0.5,
+                rate2: 0.1 * rate / 0.5,
+            },
+            1.0,
+        )
+        .unwrap();
+        assert!(det < erl && erl < poi && poi < hyp, "{det} {erl} {poi} {hyp}");
+    }
+
+    #[test]
+    fn unstable_rejected() {
+        let a = Interarrival::Exponential { rate: 1.0 };
+        assert!(solve_sigma(&a, 1.0).is_err());
+        let a = Interarrival::Deterministic { gap: 0.5 };
+        assert!(solve_sigma(&a, 1.0).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Interarrival::Exponential { rate: 0.0 }.validate().is_err());
+        assert!(Interarrival::Erlang { k: 0, rate: 1.0 }.validate().is_err());
+        assert!(Interarrival::HyperExp {
+            p: 1.5,
+            rate1: 1.0,
+            rate2: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn phase_type_bridge_matches_closed_forms() {
+        use slb_markov::PhaseType;
+        // Exponential PH must reproduce Theorem 3's σ = ρ.
+        let rho = 0.7;
+        let ph = PhaseType::exponential(rho).unwrap();
+        let s = solve_sigma_lst(|x| ph.lst(x).unwrap(), ph.mean().unwrap(), 1.0).unwrap();
+        assert!((s - rho).abs() < 1e-10, "sigma {s}");
+        // Erlang PH matches the enum's Erlang.
+        let ph = PhaseType::erlang(3, 2.4).unwrap();
+        let via_ph =
+            solve_sigma_lst(|x| ph.lst(x).unwrap(), ph.mean().unwrap(), 1.0).unwrap();
+        let via_enum =
+            solve_sigma(&Interarrival::Erlang { k: 3, rate: 2.4 }, 1.0).unwrap();
+        assert!((via_ph - via_enum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hyperexp_mean() {
+        let a = Interarrival::HyperExp {
+            p: 0.25,
+            rate1: 1.0,
+            rate2: 2.0,
+        };
+        assert!((a.mean() - (0.25 + 0.75 / 2.0)).abs() < 1e-15);
+    }
+}

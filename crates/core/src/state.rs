@@ -1,0 +1,319 @@
+//! The ordered SQ(d) state vector and its tie-group decomposition.
+
+use std::fmt;
+
+/// A maximal run of equal components ("tie group") in a sorted state.
+///
+/// Positions are 0-based here (the paper uses 1-based); `start..=end`
+/// all hold `level` jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Group {
+    /// First position of the group.
+    pub start: usize,
+    /// Last position of the group (inclusive).
+    pub end: usize,
+    /// Number of jobs at each server of the group.
+    pub level: u32,
+}
+
+impl Group {
+    /// Number of servers in the group.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Whether the group is empty (never true for groups produced by
+    /// [`State::groups`]; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// An SQ(d) system state: server occupancies sorted in non-increasing
+/// order, `m1 ≥ m2 ≥ … ≥ mN` (Section II of the paper, Eq. 1).
+///
+/// `m[0]` is the *longest* queue and `m[N−1]` the shortest. All model
+/// transitions preserve this ordering via the paper's tie conventions
+/// (arrivals recorded at the first index of a tie group, departures at
+/// the last).
+///
+/// # Example
+///
+/// ```
+/// use slb_core::State;
+///
+/// let m = State::new(vec![3, 1, 1, 0]).unwrap();
+/// assert_eq!(m.total(), 5);
+/// assert_eq!(m.diff(), 3);
+/// assert_eq!(m.waiting(), 2); // max(3−1,0) + max(1−1,0)·2 + 0
+/// assert_eq!(m.groups().len(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct State(Vec<u32>);
+
+impl State {
+    /// Creates a state from an already sorted (non-increasing) vector.
+    ///
+    /// Returns `None` if `m` is empty or not sorted non-increasingly.
+    pub fn new(m: Vec<u32>) -> Option<Self> {
+        if m.is_empty() || m.windows(2).any(|w| w[0] < w[1]) {
+            return None;
+        }
+        Some(State(m))
+    }
+
+    /// Creates a state from occupancies in any order (sorts descending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is empty.
+    pub fn from_unsorted(mut m: Vec<u32>) -> Self {
+        assert!(!m.is_empty(), "state must have at least one server");
+        m.sort_unstable_by(|a, b| b.cmp(a));
+        State(m)
+    }
+
+    /// The all-idle state on `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn empty(n: usize) -> Self {
+        assert!(n > 0, "state must have at least one server");
+        State(vec![0; n])
+    }
+
+    /// Number of servers.
+    pub fn n(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Occupancy of the server at sorted position `i` (0-based; position 0
+    /// is the longest queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn level(&self, i: usize) -> u32 {
+        self.0[i]
+    }
+
+    /// The sorted occupancy vector.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Total number of jobs in the system, `#m`.
+    pub fn total(&self) -> u32 {
+        self.0.iter().sum()
+    }
+
+    /// Imbalance `m1 − mN` between the longest and shortest queue.
+    pub fn diff(&self) -> u32 {
+        self.0[0] - self.0[self.n() - 1]
+    }
+
+    /// Number of *waiting* jobs, `Σ_i max(m_i − 1, 0)` — the cost whose
+    /// stationary mean yields the delay bound.
+    pub fn waiting(&self) -> u32 {
+        self.0.iter().map(|&x| x.saturating_sub(1)).sum()
+    }
+
+    /// Number of busy servers (`m_i ≥ 1`).
+    pub fn busy(&self) -> usize {
+        self.0.iter().filter(|&&x| x > 0).count()
+    }
+
+    /// The tie-group decomposition, ordered from the longest-queue group
+    /// to the shortest-queue group.
+    pub fn groups(&self) -> Vec<Group> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        for i in 1..=self.n() {
+            if i == self.n() || self.0[i] != self.0[start] {
+                out.push(Group {
+                    start,
+                    end: i - 1,
+                    level: self.0[start],
+                });
+                start = i;
+            }
+        }
+        out
+    }
+
+    /// State after an arrival joins the group starting at position
+    /// `start`: increments position `start` (the paper's first-index
+    /// convention, which preserves sortedness).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if incrementing `start` would break the ordering,
+    /// i.e. if `start` is not the first index of its tie group.
+    pub fn with_arrival_at(&self, start: usize) -> State {
+        debug_assert!(
+            start == 0 || self.0[start - 1] > self.0[start],
+            "arrival must target the first index of a tie group"
+        );
+        let mut v = self.0.clone();
+        v[start] += 1;
+        State(v)
+    }
+
+    /// State after a departure from the group ending at position `end`:
+    /// decrements position `end` (the paper's last-index convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is idle; debug-panics if `end` is not the
+    /// last index of its tie group.
+    pub fn with_departure_at(&self, end: usize) -> State {
+        assert!(self.0[end] > 0, "departure from an idle server");
+        debug_assert!(
+            end + 1 == self.n() || self.0[end] > self.0[end + 1],
+            "departure must target the last index of a tie group"
+        );
+        let mut v = self.0.clone();
+        v[end] -= 1;
+        State(v)
+    }
+
+    /// State with every occupancy incremented (`m + 1`), the level-shift
+    /// bijection between consecutive QBD blocks (Lemma 1 of the paper).
+    pub fn plus_one(&self) -> State {
+        State(self.0.iter().map(|&x| x + 1).collect())
+    }
+
+    /// State with every occupancy decremented (`m − 1`), inverse of
+    /// [`State::plus_one`]. Returns `None` if some server is idle.
+    pub fn minus_one(&self) -> Option<State> {
+        if self.0[self.n() - 1] == 0 {
+            return None;
+        }
+        Some(State(self.0.iter().map(|&x| x - 1).collect()))
+    }
+
+    /// The shape of the state: `m − mN·1`, i.e. occupancies relative to
+    /// the shortest queue. Two states in corresponding positions of
+    /// consecutive QBD blocks share their shape.
+    pub fn shape(&self) -> State {
+        let base = self.0[self.n() - 1];
+        State(self.0.iter().map(|&x| x - base).collect())
+    }
+}
+
+impl fmt::Debug for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "State{:?}", self.0)
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_order() {
+        assert!(State::new(vec![3, 2, 2, 0]).is_some());
+        assert!(State::new(vec![1, 2]).is_none());
+        assert!(State::new(vec![]).is_none());
+        let s = State::from_unsorted(vec![0, 5, 2]);
+        assert_eq!(s.as_slice(), &[5, 2, 0]);
+    }
+
+    #[test]
+    fn totals_and_diffs() {
+        let s = State::new(vec![4, 2, 2, 1]).unwrap();
+        assert_eq!(s.total(), 9);
+        assert_eq!(s.diff(), 3);
+        assert_eq!(s.waiting(), 5);
+        assert_eq!(s.busy(), 4);
+        let e = State::empty(3);
+        assert_eq!(e.total(), 0);
+        assert_eq!(e.diff(), 0);
+        assert_eq!(e.busy(), 0);
+    }
+
+    #[test]
+    fn groups_decomposition() {
+        let s = State::new(vec![4, 2, 2, 1, 1, 1]).unwrap();
+        let g = s.groups();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0], Group { start: 0, end: 0, level: 4 });
+        assert_eq!(g[1], Group { start: 1, end: 2, level: 2 });
+        assert_eq!(g[2], Group { start: 3, end: 5, level: 1 });
+        assert_eq!(g[1].len(), 2);
+    }
+
+    #[test]
+    fn uniform_state_single_group() {
+        let s = State::new(vec![2, 2, 2]).unwrap();
+        let g = s.groups();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].len(), 3);
+    }
+
+    #[test]
+    fn arrival_departure_preserve_order() {
+        let s = State::new(vec![2, 2, 1, 0]).unwrap();
+        // Arrival to the level-2 group: first index 0 → (3,2,1,0).
+        let a = s.with_arrival_at(0);
+        assert_eq!(a.as_slice(), &[3, 2, 1, 0]);
+        // Arrival to the level-1 group: position 2 → (2,2,2,0).
+        let a = s.with_arrival_at(2);
+        assert_eq!(a.as_slice(), &[2, 2, 2, 0]);
+        // Departure from the level-2 group: last index 1 → (2,1,1,0).
+        let d = s.with_departure_at(1);
+        assert_eq!(d.as_slice(), &[2, 1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle server")]
+    fn departure_from_idle_panics() {
+        let s = State::new(vec![1, 0]).unwrap();
+        let _ = s.with_departure_at(1);
+    }
+
+    #[test]
+    fn plus_minus_one_roundtrip() {
+        let s = State::new(vec![3, 2, 1]).unwrap();
+        let up = s.plus_one();
+        assert_eq!(up.as_slice(), &[4, 3, 2]);
+        assert_eq!(up.minus_one().unwrap(), s);
+        assert!(State::new(vec![1, 0]).unwrap().minus_one().is_none());
+    }
+
+    #[test]
+    fn shape_is_base_invariant() {
+        let s = State::new(vec![5, 4, 2]).unwrap();
+        assert_eq!(s.shape().as_slice(), &[3, 2, 0]);
+        assert_eq!(s.plus_one().shape(), s.shape());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = State::new(vec![2, 1]).unwrap();
+        assert_eq!(format!("{s}"), "(2,1)");
+        assert_eq!(format!("{s:?}"), "State[2, 1]");
+    }
+
+    #[test]
+    fn ord_is_lexicographic() {
+        let a = State::new(vec![2, 1, 1]).unwrap();
+        let b = State::new(vec![2, 2, 0]).unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,404 @@
+//! Enumeration and indexing of the threshold-truncated state space.
+//!
+//! The bound models live on
+//! `S_T = { m : m1 ≥ … ≥ mN ≥ 0, m1 − mN ≤ T }`, partitioned (Eq. 8 of the
+//! paper) into the boundary block
+//! `B_≤(N−1)T = { m ∈ S_T : #m ≤ (N−1)T }` — which contains every state
+//! with an idle server — and repeating blocks
+//! `B_q = { m : (N−1)T + qN < #m ≤ (N−1)T + (q+1)N }`, each containing
+//! exactly `C(N+T−1, T)` states, one per *shape* `m − mN·1`.
+//!
+//! The level-shift bijection `m ↔ m + 1` maps `B_q` onto `B_{q+1}`
+//! index-for-index because states are ordered by `(total, lex)` within
+//! each block.
+
+use std::collections::HashMap;
+
+use crate::combinatorics::binomial;
+use crate::{CoreError, Result, State};
+
+/// An ordered, indexed set of states with O(1) lookup.
+#[derive(Debug, Clone)]
+pub struct StateIndex {
+    states: Vec<State>,
+    map: HashMap<State, usize>,
+}
+
+impl StateIndex {
+    /// Builds an index from a list of states, sorting them canonically by
+    /// `(total jobs, lexicographic)` — the paper's intra-block order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input contains duplicate states.
+    pub fn new(mut states: Vec<State>) -> Self {
+        states.sort_by(|a, b| a.total().cmp(&b.total()).then(a.cmp(b)));
+        let mut map = HashMap::with_capacity(states.len());
+        for (i, s) in states.iter().enumerate() {
+            let prev = map.insert(s.clone(), i);
+            assert!(prev.is_none(), "duplicate state {s} in index");
+        }
+        StateIndex { states, map }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Index of `state`, if present.
+    pub fn get(&self, state: &State) -> Option<usize> {
+        self.map.get(state).copied()
+    }
+
+    /// State at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn state(&self, i: usize) -> &State {
+        &self.states[i]
+    }
+
+    /// Iterates over `(index, state)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &State)> {
+        self.states.iter().enumerate()
+    }
+}
+
+/// Location of a state within the block partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockLocation {
+    /// In the boundary block, at this index.
+    Boundary(usize),
+    /// In repeating block `q`, at this within-block index.
+    Level {
+        /// Repeating-block number (0-based).
+        q: usize,
+        /// Index within the block.
+        index: usize,
+    },
+}
+
+/// The block-partitioned, threshold-truncated state space for given
+/// `(N, T)`.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::BlockSpace;
+///
+/// # fn main() -> Result<(), slb_core::CoreError> {
+/// let space = BlockSpace::new(3, 2)?;
+/// // Paper: each repeating block holds C(N+T−1, T) = C(4, 2) = 6 states.
+/// assert_eq!(space.block_len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockSpace {
+    n: usize,
+    t: u32,
+    boundary: StateIndex,
+    block0: StateIndex,
+}
+
+impl BlockSpace {
+    /// Enumerates the boundary block and the template repeating block for
+    /// `n` servers and threshold `t`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] if `n < 2` or `t < 1`.
+    pub fn new(n: usize, t: u32) -> Result<Self> {
+        if n < 2 {
+            return Err(CoreError::InvalidParameters {
+                reason: format!("need at least 2 servers for the bound models, got {n}"),
+            });
+        }
+        if t < 1 {
+            return Err(CoreError::InvalidParameters {
+                reason: "threshold T must be at least 1".into(),
+            });
+        }
+        let boundary_cap = (n as u32 - 1) * t;
+
+        let shapes = enumerate_shapes(n, t);
+
+        let mut boundary = Vec::new();
+        let mut block0 = Vec::new();
+        for shape in &shapes {
+            let sigma = shape.total();
+            // Boundary: bases 0..=⌊(cap − σ)/N⌋.
+            let mut base = 0u32;
+            while sigma + base * n as u32 <= boundary_cap {
+                boundary.push(add_base(shape, base));
+                base += 1;
+            }
+            // Block 0: the unique total in (cap, cap + N] congruent to σ.
+            // total = σ + b·N with b minimal such that total > cap.
+            let b = (boundary_cap - sigma) / n as u32 + 1;
+            let total = sigma + b * n as u32;
+            debug_assert!(total > boundary_cap && total <= boundary_cap + n as u32);
+            block0.push(add_base(shape, b));
+        }
+
+        let space = BlockSpace {
+            n,
+            t,
+            boundary: StateIndex::new(boundary),
+            block0: StateIndex::new(block0),
+        };
+        debug_assert_eq!(space.block_len() as f64, binomial(n - 1 + t as usize, t as usize));
+        Ok(space)
+    }
+
+    /// Number of servers `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Threshold `T`.
+    pub fn threshold(&self) -> u32 {
+        self.t
+    }
+
+    /// Highest total-job count of the boundary block, `(N−1)·T`.
+    pub fn boundary_cap(&self) -> u32 {
+        (self.n as u32 - 1) * self.t
+    }
+
+    /// The boundary block.
+    pub fn boundary(&self) -> &StateIndex {
+        &self.boundary
+    }
+
+    /// The template repeating block `B_0`.
+    pub fn block0(&self) -> &StateIndex {
+        &self.block0
+    }
+
+    /// Number of states per repeating block, `C(N+T−1, T)`.
+    pub fn block_len(&self) -> usize {
+        self.block0.len()
+    }
+
+    /// Locates a state of `S_T` within the partition.
+    ///
+    /// Returns `None` if the state lies outside `S_T` (wrong imbalance) or
+    /// has the wrong dimension.
+    pub fn locate(&self, state: &State) -> Option<BlockLocation> {
+        if state.n() != self.n || state.diff() > self.t {
+            return None;
+        }
+        let total = state.total();
+        if total <= self.boundary_cap() {
+            return self.boundary.get(state).map(BlockLocation::Boundary);
+        }
+        let q = ((total - self.boundary_cap() - 1) / self.n as u32) as usize;
+        // Reduce by q levels to land in block 0.
+        let mut reduced = state.clone();
+        for _ in 0..q {
+            reduced = reduced.minus_one()?;
+        }
+        self.block0
+            .get(&reduced)
+            .map(|index| BlockLocation::Level { q, index })
+    }
+
+    /// The state at `(block q, index)`: the template state shifted up `q`
+    /// levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn level_state(&self, q: usize, index: usize) -> State {
+        let mut s = self.block0.state(index).clone();
+        for _ in 0..q {
+            s = s.plus_one();
+        }
+        s
+    }
+}
+
+/// All shapes for `(n, t)`: non-increasing vectors of length `n` with
+/// minimum exactly 0 and maximum at most `t`.
+fn enumerate_shapes(n: usize, t: u32) -> Vec<State> {
+    let mut out = Vec::new();
+    let mut current = vec![0u32; n];
+    // Recursive descent over non-increasing sequences bounded by t; the
+    // last component is pinned to 0 (shape minimum is 0 by definition).
+    fn rec(current: &mut Vec<u32>, pos: usize, max: u32, out: &mut Vec<State>) {
+        let n = current.len();
+        if pos == n - 1 {
+            current[pos] = 0;
+            out.push(State::new(current.clone()).expect("shape is sorted"));
+            return;
+        }
+        for v in (0..=max).rev() {
+            current[pos] = v;
+            rec(current, pos + 1, v, out);
+        }
+    }
+    rec(&mut current, 0, t, &mut out);
+    out
+}
+
+/// `shape + base·1`.
+fn add_base(shape: &State, base: u32) -> State {
+    State::new(shape.as_slice().iter().map(|&x| x + base).collect())
+        .expect("adding a constant preserves sortedness")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_size_matches_paper_formula() {
+        // Paper: block size C(N+T−1, T).
+        for &(n, t) in &[(3usize, 2u32), (3, 3), (6, 3), (4, 2), (5, 1), (12, 3)] {
+            let space = BlockSpace::new(n, t).unwrap();
+            let expect = binomial(n - 1 + t as usize, t as usize) as usize;
+            assert_eq!(space.block_len(), expect, "N={n}, T={t}");
+        }
+    }
+
+    #[test]
+    fn boundary_contains_every_idle_state() {
+        let space = BlockSpace::new(3, 2).unwrap();
+        for (_, s) in space.boundary().iter() {
+            assert!(s.total() <= space.boundary_cap());
+            assert!(s.diff() <= 2);
+        }
+        // Every state with an idle server has total ≤ (N−1)T.
+        let full = State::new(vec![2, 2, 0]).unwrap();
+        assert!(matches!(
+            space.locate(&full),
+            Some(BlockLocation::Boundary(_))
+        ));
+        // The extreme boundary state (T, …, T, 0).
+        let extreme = State::new(vec![2, 2, 0]).unwrap();
+        assert_eq!(extreme.total(), space.boundary_cap());
+    }
+
+    #[test]
+    fn block0_states_have_all_servers_busy() {
+        for &(n, t) in &[(3usize, 2u32), (4, 3), (6, 2)] {
+            let space = BlockSpace::new(n, t).unwrap();
+            for (_, s) in space.block0().iter() {
+                assert!(s.level(n - 1) >= 1, "block-0 state {s} has idle server");
+                assert!(s.total() > space.boundary_cap());
+                assert!(s.total() <= space.boundary_cap() + n as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_are_unique_per_block() {
+        let space = BlockSpace::new(4, 2).unwrap();
+        let mut shapes: Vec<State> =
+            space.block0().iter().map(|(_, s)| s.shape()).collect();
+        shapes.sort();
+        shapes.dedup();
+        assert_eq!(shapes.len(), space.block_len());
+    }
+
+    #[test]
+    fn locate_roundtrips() {
+        let space = BlockSpace::new(3, 2).unwrap();
+        // Every boundary state locates to itself.
+        for (i, s) in space.boundary().iter() {
+            assert_eq!(space.locate(s), Some(BlockLocation::Boundary(i)));
+        }
+        // Every block-q state locates to (q, index of template).
+        for q in 0..4 {
+            for (i, _) in space.block0().iter() {
+                let s = space.level_state(q, i);
+                assert_eq!(
+                    space.locate(&s),
+                    Some(BlockLocation::Level { q, index: i }),
+                    "state {s} at level {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn locate_rejects_outside_threshold() {
+        let space = BlockSpace::new(3, 2).unwrap();
+        let bad = State::new(vec![5, 1, 1]).unwrap(); // diff 4 > 2
+        assert_eq!(space.locate(&bad), None);
+        let wrong_n = State::new(vec![1, 1]).unwrap();
+        assert_eq!(space.locate(&wrong_n), None);
+    }
+
+    #[test]
+    fn level_shift_preserves_index_order() {
+        // The m ↔ m+1 bijection must be index-preserving between blocks.
+        let space = BlockSpace::new(4, 3).unwrap();
+        let shifted: Vec<State> = space
+            .block0()
+            .iter()
+            .map(|(_, s)| s.plus_one())
+            .collect();
+        let reindexed = StateIndex::new(shifted.clone());
+        for (i, s) in space.block0().iter() {
+            assert_eq!(reindexed.get(&s.plus_one()), Some(i));
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(BlockSpace::new(1, 2).is_err());
+        assert!(BlockSpace::new(3, 0).is_err());
+    }
+
+    #[test]
+    fn n3_t2_explicit_block_contents() {
+        // Hand-enumerated B0 for N=3, T=2: totals in (4, 7].
+        let space = BlockSpace::new(3, 2).unwrap();
+        let expect = [
+            // total 5
+            vec![3, 1, 1],
+            vec![2, 2, 1],
+            // total 6
+            vec![2, 2, 2],
+            vec![3, 2, 1],
+            // total 7
+            vec![3, 2, 2],
+            vec![3, 3, 1],
+        ];
+        assert_eq!(space.block_len(), 6);
+        for e in &expect {
+            let s = State::new(e.clone()).unwrap();
+            assert!(
+                space.block0().get(&s).is_some(),
+                "expected {s} in block 0"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_count_small_case() {
+        // N=2, T=1: boundary = states with total ≤ 1, diff ≤ 1:
+        // (0,0), (1,0). Block0: totals in (1, 3]: shapes (0,0)->(1,1)? and
+        // (1,0)->(2,1): both diff ≤ 1 with min ≥ 1.
+        let space = BlockSpace::new(2, 1).unwrap();
+        assert_eq!(space.boundary().len(), 2);
+        assert_eq!(space.block_len(), 2);
+        assert!(space
+            .block0()
+            .get(&State::new(vec![1, 1]).unwrap())
+            .is_some());
+        assert!(space
+            .block0()
+            .get(&State::new(vec![2, 1]).unwrap())
+            .is_some());
+    }
+}

@@ -1,0 +1,488 @@
+//! Transition rates of the SQ(d) model and its threshold-truncated bound
+//! variants.
+//!
+//! For a state with tie groups `g = 1..G` (longest first), Section II-A of
+//! the paper gives:
+//!
+//! * **Arrivals** — the dispatcher polls `d` of `N` servers uniformly
+//!   without replacement; the job joins tie group `g` with probability
+//!   `[C(e_g, d) − C(s_g − 1, d)] / C(N, d)` and is recorded at the
+//!   group's *first* index.
+//! * **Departures** — each busy server completes at rate µ = 1; a
+//!   departure from group `g` (rate `c_g µ`) is recorded at the group's
+//!   *last* index.
+//!
+//! The bound models ([`ModelVariant::Lower`], [`ModelVariant::Upper`])
+//! live on `S_T` (`m1 − mN ≤ T`). Exactly two transition families can
+//! exit `S_T`, both only when `m1 − mN = T`; they are redirected as
+//! derived in DESIGN.md §3 (the extremal redirects under the paper's
+//! precedence order, Eq. 5):
+//!
+//! | violating transition | Lower model | Upper model |
+//! |---|---|---|
+//! | arrival to the top group | join the *second-highest* level | join the top **and** add one job to every bottom-level server |
+//! | departure from the bottom group | depart from the *second-lowest* level instead | blocked |
+//!
+//! Lower-model redirects target ⪯-smaller (more balanced) states, upper-
+//! model redirects ⪰-larger ones; `precedence::verify_redirects` checks
+//! this for every enumerated state.
+
+use crate::combinatorics::{
+    group_arrival_probability, group_arrival_probability_with_replacement,
+};
+use crate::State;
+
+/// Service rate of each server (the paper's unit-mean convention).
+pub const MU: f64 = 1.0;
+
+/// How the dispatcher samples the `d` polled servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollMode {
+    /// `d` distinct servers, uniformly (the paper's model; requires
+    /// `d ≤ N`).
+    #[default]
+    WithoutReplacement,
+    /// `d` independent uniform draws, duplicates allowed (Mitzenmacher's
+    /// original supermarket model; any `d ≥ 1`). Slightly weaker load
+    /// balancing at small `N`; identical as `N → ∞`.
+    WithReplacement,
+}
+
+/// Which transition structure to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelVariant {
+    /// The exact SQ(d) chain on the full (untruncated) state space.
+    Base,
+    /// Lower-bound model on `S_T`: threshold-violating transitions are
+    /// redirected to more preferable states (jockeying flavour).
+    Lower {
+        /// Imbalance threshold `T ≥ 1`.
+        threshold: u32,
+    },
+    /// Upper-bound model on `S_T`: violating departures are blocked and
+    /// violating arrivals amplified, reducing effective capacity.
+    Upper {
+        /// Imbalance threshold `T ≥ 1`.
+        threshold: u32,
+    },
+}
+
+impl ModelVariant {
+    fn threshold(&self) -> Option<u32> {
+        match self {
+            ModelVariant::Base => None,
+            ModelVariant::Lower { threshold } | ModelVariant::Upper { threshold } => {
+                Some(*threshold)
+            }
+        }
+    }
+}
+
+/// A single outgoing transition: target state and rate.
+///
+/// The list returned by [`transitions`] may contain several entries with
+/// the same target (a redirect can coincide with a natural transition);
+/// consumers accumulate rates additively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Destination state (sorted).
+    pub target: State,
+    /// Transition rate (> 0).
+    pub rate: f64,
+}
+
+/// Generates all outgoing transitions of `state` under SQ(d) with `d`
+/// choices, arrival rate `λN` (`lambda` per server), unit service rate,
+/// and the given model variant.
+///
+/// # Panics
+///
+/// Panics if `d` is not in `1..=state.n()`, if `lambda` is not positive
+/// and finite, or (for bound variants) if the state violates `S_T`.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::{transitions, ModelVariant, State};
+///
+/// let m = State::new(vec![2, 1, 0]).unwrap();
+/// let ts = transitions(&m, 2, 0.5, ModelVariant::Base);
+/// // Total arrival rate λN = 1.5 plus two busy servers departing.
+/// let total: f64 = ts.iter().map(|t| t.rate).sum();
+/// assert!((total - (1.5 + 2.0)).abs() < 1e-12);
+/// ```
+pub fn transitions(state: &State, d: usize, lambda: f64, variant: ModelVariant) -> Vec<Transition> {
+    transitions_with_mode(state, d, lambda, variant, PollMode::WithoutReplacement)
+}
+
+/// [`transitions`] generalized over the polling mode.
+///
+/// # Panics
+///
+/// As [`transitions`]; additionally, `d > N` is allowed only with
+/// [`PollMode::WithReplacement`].
+pub fn transitions_with_mode(
+    state: &State,
+    d: usize,
+    lambda: f64,
+    variant: ModelVariant,
+    mode: PollMode,
+) -> Vec<Transition> {
+    let n = state.n();
+    match mode {
+        PollMode::WithoutReplacement => assert!(
+            (1..=n).contains(&d),
+            "need 1 <= d <= N without replacement, got d = {d}, N = {n}"
+        ),
+        PollMode::WithReplacement => assert!(d >= 1, "need d >= 1, got {d}"),
+    }
+    assert!(
+        lambda > 0.0 && lambda.is_finite(),
+        "arrival rate must be positive and finite, got {lambda}"
+    );
+    if let Some(t) = variant.threshold() {
+        assert!(t >= 1, "threshold must be at least 1");
+        assert!(
+            state.diff() <= t,
+            "state {state} violates the threshold T = {t}"
+        );
+    }
+
+    let groups = state.groups();
+    let ng = groups.len();
+    let diff = state.diff();
+    let at_threshold = variant.threshold().is_some_and(|t| diff == t);
+    let mut out = Vec::with_capacity(2 * ng + 1);
+
+    // --- Arrivals -------------------------------------------------------
+    let total_arrival = lambda * n as f64;
+    for (gi, g) in groups.iter().enumerate() {
+        let p = match mode {
+            PollMode::WithoutReplacement => {
+                group_arrival_probability(n, d, g.start + 1, g.end + 1)
+            }
+            PollMode::WithReplacement => {
+                group_arrival_probability_with_replacement(n, d, g.start + 1, g.end + 1)
+            }
+        };
+        if p <= 0.0 {
+            continue;
+        }
+        let rate = total_arrival * p;
+        // Only an arrival into the top group can push m1 − mN past T.
+        let violates = at_threshold && gi == 0;
+        let target = if !violates {
+            state.with_arrival_at(g.start)
+        } else {
+            match variant {
+                ModelVariant::Base => unreachable!("Base has no threshold"),
+                ModelVariant::Lower { .. } => {
+                    // Join the second-highest level instead (the largest
+                    // admissible state preceding m + e1).
+                    state.with_arrival_at(groups[1].start)
+                }
+                ModelVariant::Upper { .. } => {
+                    // Join the top and raise every bottom-level server:
+                    // the least admissible state dominating m + e1.
+                    let bottom = groups[ng - 1];
+                    let mut v = state.as_slice().to_vec();
+                    v[0] += 1;
+                    for x in &mut v[bottom.start..=bottom.end] {
+                        *x += 1;
+                    }
+                    State::new(v).expect("upper redirect stays sorted")
+                }
+            }
+        };
+        out.push(Transition { target, rate });
+    }
+
+    // --- Departures ------------------------------------------------------
+    for (gi, g) in groups.iter().enumerate() {
+        if g.level == 0 {
+            continue; // idle servers (only possibly the bottom group)
+        }
+        let rate = g.len() as f64 * MU;
+        // Only a departure from the bottom group can push m1 − mN past T.
+        let is_bottom = gi == ng - 1;
+        let violates = at_threshold && is_bottom;
+        let target = if !violates {
+            state.with_departure_at(g.end)
+        } else {
+            match variant {
+                ModelVariant::Base => unreachable!("Base has no threshold"),
+                ModelVariant::Lower { .. } => {
+                    // Serve the second-lowest level instead (threshold
+                    // jockeying): the largest admissible state preceding
+                    // m − eN.
+                    state.with_departure_at(groups[ng - 2].end)
+                }
+                ModelVariant::Upper { .. } => continue, // blocked
+            }
+        };
+        out.push(Transition { target, rate });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[u32]) -> State {
+        State::new(v.to_vec()).unwrap()
+    }
+
+    fn rate_to(ts: &[Transition], target: &State) -> f64 {
+        ts.iter()
+            .filter(|t| &t.target == target)
+            .map(|t| t.rate)
+            .sum()
+    }
+
+    #[test]
+    fn base_rates_distinct_lengths() {
+        // Paper Section II-A, distinct case: λ(m, m+e_i) =
+        // C(i−1, d−1)/C(N, d) · λN for i ≥ d.
+        let m = s(&[3, 2, 1, 0]);
+        let (n, d, lam) = (4, 2, 0.5);
+        let ts = transitions(&m, d, lam, ModelVariant::Base);
+        let lam_n = lam * n as f64;
+        // i = 1 (position 0): C(0,1)/C(4,2) = 0.
+        assert_eq!(rate_to(&ts, &s(&[4, 2, 1, 0])), 0.0);
+        // i = 2: C(1,1)/6 = 1/6.
+        assert!((rate_to(&ts, &s(&[3, 3, 1, 0])) - lam_n / 6.0).abs() < 1e-12);
+        // i = 3: C(2,1)/6 = 2/6.
+        assert!((rate_to(&ts, &s(&[3, 2, 2, 0])) - lam_n * 2.0 / 6.0).abs() < 1e-12);
+        // i = 4: C(3,1)/6 = 3/6.
+        assert!((rate_to(&ts, &s(&[3, 2, 1, 1])) - lam_n * 3.0 / 6.0).abs() < 1e-12);
+        // Departures: each busy server at rate 1, recorded per group.
+        assert!((rate_to(&ts, &s(&[2, 2, 1, 0])) - 1.0).abs() < 1e-12);
+        assert!((rate_to(&ts, &s(&[3, 1, 1, 0])) - 1.0).abs() < 1e-12);
+        assert!((rate_to(&ts, &s(&[3, 2, 0, 0])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn base_rates_tied_lengths() {
+        // Paper's tied case: group rate [C(i+j, d) − C(i−1, d)]/C(N, d)·λN,
+        // recorded at the group's first index; departures at the last.
+        let m = s(&[2, 1, 1]);
+        let (n, d, lam) = (3, 2, 0.6);
+        let lam_n = lam * n as f64;
+        let ts = transitions(&m, d, lam, ModelVariant::Base);
+        // Arrival to the level-1 group (positions 2..3, 1-based):
+        // [C(3,2) − C(1,2)]/C(3,2) = 3/3 = 1 → target (2,2,1).
+        assert!((rate_to(&ts, &s(&[2, 2, 1])) - lam_n).abs() < 1e-12);
+        // Arrival to the top group: zero (needs both polls on one server).
+        assert_eq!(rate_to(&ts, &s(&[3, 1, 1])), 0.0);
+        // Departures: group conventions — from level-1 group at its last
+        // index → (2,1,0); from top group → (1,1,1).
+        assert!((rate_to(&ts, &s(&[2, 1, 0])) - 2.0).abs() < 1e-12);
+        assert!((rate_to(&ts, &s(&[1, 1, 1])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_outflow_conservation() {
+        // Arrival probabilities sum to 1, so total arrival outflow is λN;
+        // departures contribute one per busy server.
+        for v in [&[3u32, 2, 1, 0][..], &[2, 2, 2, 2], &[5, 5, 0, 0]] {
+            let m = s(v);
+            let ts = transitions(&m, 2, 0.7, ModelVariant::Base);
+            let total: f64 = ts.iter().map(|t| t.rate).sum();
+            let expect = 0.7 * 4.0 + m.busy() as f64;
+            assert!((total - expect).abs() < 1e-12, "state {m}");
+        }
+    }
+
+    #[test]
+    fn lower_redirect_arrival_to_second_level() {
+        // (2,2,0), T=2: arrival to the top group would reach diff 3.
+        let m = s(&[2, 2, 0]);
+        let ts = transitions(&m, 2, 0.5, ModelVariant::Lower { threshold: 2 });
+        // Natural target (3,2,0) must not appear.
+        assert_eq!(rate_to(&ts, &s(&[3, 2, 0])), 0.0);
+        // Redirect: join second level (level 0) → (2,2,1); this is also the
+        // natural target of the bottom-group arrival, so rates accumulate:
+        // top-group poll prob 1/3 + bottom prob 2/3 = 1 → rate λN.
+        assert!((rate_to(&ts, &s(&[2, 2, 1])) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_redirect_departure_jockeys() {
+        // (3,1,1), T=2: departure from the bottom group would reach diff 3;
+        // lower model serves the second-lowest level (the 3) instead.
+        let m = s(&[3, 1, 1]);
+        let ts = transitions(&m, 2, 0.5, ModelVariant::Lower { threshold: 2 });
+        assert_eq!(rate_to(&ts, &s(&[3, 1, 0])), 0.0);
+        // Natural top departure rate 1 + redirected bottom rate 2.
+        assert!((rate_to(&ts, &s(&[2, 1, 1])) - 3.0).abs() < 1e-12);
+        // Lower model never loses capacity.
+        let total: f64 = ts.iter().map(|t| t.rate).sum();
+        assert!((total - (0.5 * 3.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_redirect_arrival_amplifies() {
+        // (2,2,0), T=2: upper model sends the top arrival to
+        // (3,2,1) — top + every bottom-level server.
+        let m = s(&[2, 2, 0]);
+        let ts = transitions(&m, 2, 0.5, ModelVariant::Upper { threshold: 2 });
+        assert_eq!(rate_to(&ts, &s(&[3, 2, 0])), 0.0);
+        assert!((rate_to(&ts, &s(&[3, 2, 1])) - 0.5).abs() < 1e-12);
+        // The non-violating bottom arrival is untouched.
+        assert!((rate_to(&ts, &s(&[2, 2, 1])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_blocks_bottom_departure() {
+        // (3,1,1), T=2: bottom-group departures (rate 2) are blocked.
+        let m = s(&[3, 1, 1]);
+        let ts = transitions(&m, 2, 0.5, ModelVariant::Upper { threshold: 2 });
+        assert_eq!(rate_to(&ts, &s(&[3, 1, 0])), 0.0);
+        // Only the top departure remains.
+        let dep_total: f64 = ts
+            .iter()
+            .filter(|t| t.target.total() < m.total())
+            .map(|t| t.rate)
+            .sum();
+        assert!((dep_total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_transitions_stay_in_threshold_set() {
+        // Exhaustive closure check over a slice of S_T.
+        let t = 2u32;
+        for variant in [
+            ModelVariant::Lower { threshold: t },
+            ModelVariant::Upper { threshold: t },
+        ] {
+            for v in [
+                &[0u32, 0, 0][..],
+                &[1, 0, 0],
+                &[2, 0, 0],
+                &[2, 2, 0],
+                &[2, 1, 1],
+                &[3, 1, 1],
+                &[3, 3, 1],
+                &[4, 2, 2],
+                &[2, 2, 2],
+            ] {
+                let m = s(v);
+                for tr in transitions(&m, 2, 0.9, variant) {
+                    assert!(
+                        tr.target.diff() <= t,
+                        "{variant:?}: {m} -> {} leaves S_T",
+                        tr.target
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_violation_below_threshold() {
+        // At diff < T the bound models coincide with the base model.
+        let m = s(&[2, 1, 1]);
+        let base = transitions(&m, 2, 0.5, ModelVariant::Base);
+        let low = transitions(&m, 2, 0.5, ModelVariant::Lower { threshold: 2 });
+        let up = transitions(&m, 2, 0.5, ModelVariant::Upper { threshold: 2 });
+        assert_eq!(base, low);
+        assert_eq!(base, up);
+    }
+
+    #[test]
+    fn jsq_special_case_routes_to_shortest() {
+        // d = N: every arrival goes to the bottom group.
+        let m = s(&[3, 2, 1]);
+        let ts = transitions(&m, 3, 0.5, ModelVariant::Base);
+        assert!((rate_to(&ts, &s(&[3, 2, 2])) - 1.5).abs() < 1e-12);
+        assert_eq!(rate_to(&ts, &s(&[4, 2, 1])), 0.0);
+        assert_eq!(rate_to(&ts, &s(&[3, 3, 1])), 0.0);
+    }
+
+    #[test]
+    fn d1_uniform_routing() {
+        // d = 1: each group receives λN · (group size / N).
+        let m = s(&[3, 2, 1]);
+        let ts = transitions(&m, 1, 0.9, ModelVariant::Base);
+        for (target, frac) in [
+            (s(&[4, 2, 1]), 1.0 / 3.0),
+            (s(&[3, 3, 1]), 1.0 / 3.0),
+            (s(&[3, 2, 2]), 1.0 / 3.0),
+        ] {
+            assert!((rate_to(&ts, &target) - 0.9 * 3.0 * frac).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "violates the threshold")]
+    fn bound_variant_rejects_out_of_set_state() {
+        let m = s(&[5, 0, 0]);
+        let _ = transitions(&m, 2, 0.5, ModelVariant::Lower { threshold: 2 });
+    }
+
+    #[test]
+    fn with_replacement_outflow_conserved() {
+        let m = s(&[3, 2, 1, 0]);
+        let ts = transitions_with_mode(
+            &m,
+            2,
+            0.7,
+            ModelVariant::Base,
+            PollMode::WithReplacement,
+        );
+        let total: f64 = ts.iter().map(|t| t.rate).sum();
+        assert!((total - (0.7 * 4.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_replacement_rates_hand_computed() {
+        // N = 2, d = 2 with replacement on (1, 0): position 2 receives
+        // the job unless both polls hit position 1: 1 − (1/2)² = 3/4.
+        let m = s(&[1, 0]);
+        let ts = transitions_with_mode(
+            &m,
+            2,
+            0.5,
+            ModelVariant::Base,
+            PollMode::WithReplacement,
+        );
+        let lam_n = 0.5 * 2.0;
+        assert!((rate_to(&ts, &s(&[1, 1])) - lam_n * 0.75).abs() < 1e-12);
+        assert!((rate_to(&ts, &s(&[2, 0])) - lam_n * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_replacement_allows_d_beyond_n() {
+        let m = s(&[2, 1]);
+        let ts = transitions_with_mode(
+            &m,
+            5,
+            0.5,
+            ModelVariant::Base,
+            PollMode::WithReplacement,
+        );
+        // d = 5 polls on 2 servers: shortest wins with prob 1 − (1/2)⁵.
+        let lam_n = 0.5 * 2.0;
+        let p_short = 1.0 - 0.5f64.powi(5);
+        assert!((rate_to(&ts, &s(&[2, 2])) - lam_n * p_short).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_replacement_bound_models_closed() {
+        for variant in [
+            ModelVariant::Lower { threshold: 2 },
+            ModelVariant::Upper { threshold: 2 },
+        ] {
+            for v in [&[2u32, 2, 0][..], &[3, 1, 1], &[2, 1, 1], &[4, 2, 2]] {
+                let m = s(v);
+                for tr in
+                    transitions_with_mode(&m, 3, 0.9, variant, PollMode::WithReplacement)
+                {
+                    assert!(tr.target.diff() <= 2, "{m} -> {}", tr.target);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Property-based tests for the SQ(d) model layer.
+
+use proptest::prelude::*;
+use slb_core::precedence::{precedes, verify_redirects};
+use slb_core::{transitions, BlockSpace, ModelVariant, State};
+
+/// Random sorted state with bounded entries.
+fn arb_state(n: usize, max: u32) -> impl Strategy<Value = State> {
+    prop::collection::vec(0..=max, n).prop_map(State::from_unsorted)
+}
+
+/// Random state inside the threshold set `S_T`.
+fn arb_state_in_st(n: usize, t: u32, max_base: u32) -> impl Strategy<Value = State> {
+    (prop::collection::vec(0..=t, n - 1), 0..=max_base).prop_map(move |(shape, base)| {
+        let mut v: Vec<u32> = shape.into_iter().map(|x| x + base).collect();
+        v.push(base);
+        State::from_unsorted(v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn base_outflow_is_lambda_n_plus_busy(
+        s in (2usize..7).prop_flat_map(|n| arb_state(n, 6)),
+        d_seed in 0usize..100,
+        lambda in 0.05f64..0.99,
+    ) {
+        let n = s.n();
+        let d = d_seed % n + 1;
+        let ts = transitions(&s, d, lambda, ModelVariant::Base);
+        let total: f64 = ts.iter().map(|t| t.rate).sum();
+        let expect = lambda * n as f64 + s.busy() as f64;
+        prop_assert!((total - expect).abs() < 1e-10, "{s}: {total} vs {expect}");
+    }
+
+    #[test]
+    fn base_transitions_change_total_by_one(
+        s in (2usize..7).prop_flat_map(|n| arb_state(n, 6)),
+        lambda in 0.05f64..0.99,
+    ) {
+        for tr in transitions(&s, 2.min(s.n()), lambda, ModelVariant::Base) {
+            let dt = i64::from(tr.target.total()) - i64::from(s.total());
+            prop_assert!(dt == 1 || dt == -1);
+        }
+    }
+
+    #[test]
+    fn bound_models_closed_on_threshold_set(
+        s in (2usize..6).prop_flat_map(|n| arb_state_in_st(n, 3, 5)),
+        d_seed in 0usize..100,
+        lambda in 0.05f64..0.99,
+    ) {
+        let n = s.n();
+        let d = d_seed % n + 1;
+        for variant in [
+            ModelVariant::Lower { threshold: 3 },
+            ModelVariant::Upper { threshold: 3 },
+        ] {
+            for tr in transitions(&s, d, lambda, variant) {
+                prop_assert!(tr.target.diff() <= 3, "{variant:?}: {s} -> {}", tr.target);
+            }
+        }
+    }
+
+    #[test]
+    fn lower_model_preserves_capacity(
+        s in (2usize..6).prop_flat_map(|n| arb_state_in_st(n, 2, 4)),
+        lambda in 0.05f64..0.99,
+    ) {
+        // The lower model only redirects — total departure rate equals the
+        // number of busy servers, as in the base model.
+        let base = transitions(&s, 2.min(s.n()), lambda, ModelVariant::Base);
+        let low = transitions(&s, 2.min(s.n()), lambda, ModelVariant::Lower { threshold: 2 });
+        let dep = |ts: &[slb_core::Transition]| -> f64 {
+            ts.iter()
+                .filter(|t| t.target.total() < s.total())
+                .map(|t| t.rate)
+                .sum()
+        };
+        prop_assert!((dep(&base) - dep(&low)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn upper_model_never_gains_capacity(
+        s in (2usize..6).prop_flat_map(|n| arb_state_in_st(n, 2, 4)),
+        lambda in 0.05f64..0.99,
+    ) {
+        let base = transitions(&s, 2.min(s.n()), lambda, ModelVariant::Base);
+        let up = transitions(&s, 2.min(s.n()), lambda, ModelVariant::Upper { threshold: 2 });
+        let dep = |ts: &[slb_core::Transition]| -> f64 {
+            ts.iter()
+                .filter(|t| t.target.total() < s.total())
+                .map(|t| t.rate)
+                .sum()
+        };
+        prop_assert!(dep(&up) <= dep(&base) + 1e-10);
+    }
+
+    #[test]
+    fn redirects_precedence_sound(
+        s in (2usize..6).prop_flat_map(|n| arb_state_in_st(n, 2, 4)),
+        d_seed in 0usize..100,
+    ) {
+        let n = s.n();
+        let d = d_seed % n + 1;
+        let states = [s];
+        for variant in [
+            ModelVariant::Lower { threshold: 2 },
+            ModelVariant::Upper { threshold: 2 },
+        ] {
+            let v = verify_redirects(states.iter(), d, 0.8, variant);
+            prop_assert!(v.is_empty(), "{variant:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn precedence_is_a_partial_order(
+        a in (3usize..6).prop_flat_map(|n| (arb_state(n, 5), arb_state(n, 5), arb_state(n, 5))),
+    ) {
+        let (x, y, z) = a;
+        // Reflexivity.
+        prop_assert!(precedes(&x, &x));
+        // Antisymmetry on totals: x ⪯ y and y ⪯ x forces x == y.
+        if precedes(&x, &y) && precedes(&y, &x) {
+            prop_assert_eq!(x.clone(), y.clone());
+        }
+        // Transitivity.
+        if precedes(&x, &y) && precedes(&y, &z) {
+            prop_assert!(precedes(&x, &z));
+        }
+    }
+
+    #[test]
+    fn plus_one_preserves_precedence(
+        a in (3usize..6).prop_flat_map(|n| (arb_state(n, 5), arb_state(n, 5))),
+    ) {
+        let (x, y) = a;
+        prop_assert_eq!(precedes(&x, &y), precedes(&x.plus_one(), &y.plus_one()));
+    }
+
+    #[test]
+    fn block_space_partition_is_exact(
+        nt in (3usize..6).prop_flat_map(|n| (Just(n), 1u32..4)),
+    ) {
+        let (n, t) = nt;
+        let space = BlockSpace::new(n, t).unwrap();
+        // Every state of S_T with total ≤ cap + 3N is located exactly once
+        // and consistently with its total.
+        for (_, s) in space.boundary().iter() {
+            prop_assert!(s.total() <= space.boundary_cap());
+        }
+        for q in 0..3 {
+            for i in 0..space.block_len() {
+                let s = space.level_state(q, i);
+                let within =
+                    s.total() > space.boundary_cap() + q as u32 * n as u32
+                    && s.total() <= space.boundary_cap() + (q as u32 + 1) * n as u32;
+                prop_assert!(within, "state {s} mislocated in block {q}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn delay_distribution_is_a_distribution(
+        raw in prop::collection::vec(0.0f64..1.0, 1..12),
+    ) {
+        use slb_core::DelayDistribution;
+        let sum: f64 = raw.iter().sum();
+        prop_assume!(sum > 1e-6);
+        let weights: Vec<f64> = raw.iter().map(|w| w / sum).collect();
+        let dist = DelayDistribution::from_weights(weights).unwrap();
+        // CDF is monotone from 0 toward 1; survival complements it.
+        let mut prev = 0.0;
+        for i in 0..=40 {
+            let t = i as f64 * 0.5;
+            let c = dist.cdf(t);
+            prop_assert!(c >= prev - 1e-12);
+            prop_assert!((c + dist.survival(t) - 1.0).abs() < 1e-12);
+            prev = c;
+        }
+        // Mean lies within the stage range and matches quantile mass.
+        let k = dist.weights().len() as f64;
+        prop_assert!(dist.mean() >= 1.0 - 1e-12 && dist.mean() <= k + 1e-12);
+        for &p in &[0.25, 0.5, 0.9] {
+            let q = dist.quantile(p).unwrap();
+            prop_assert!((dist.cdf(q) - p).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn erlang_survival_is_valid(
+        n in 1usize..40,
+        t in 0.0f64..30.0,
+    ) {
+        use slb_core::delay_dist::erlang_survival;
+        let s = erlang_survival(n, t);
+        prop_assert!((0.0..=1.0).contains(&s));
+        // More stages survive longer; later times survive less.
+        prop_assert!(erlang_survival(n + 1, t) >= s - 1e-14);
+        prop_assert!(erlang_survival(n, t + 0.5) <= s + 1e-14);
+    }
+
+    #[test]
+    fn meanfield_flow_preserves_validity(
+        lambda in 0.05f64..0.97,
+        d in 1usize..5,
+        steps in 1usize..60,
+    ) {
+        use slb_core::meanfield::MeanField;
+        let mut mf = MeanField::new(lambda, d).unwrap();
+        for _ in 0..steps {
+            mf.step(0.1);
+        }
+        let s = mf.tail_fractions();
+        let mut prev = 1.0f64;
+        for &v in s {
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v <= prev + 1e-9);
+            prev = v;
+        }
+        // From an empty start the mass stays below equilibrium.
+        let eq = slb_core::asymptotic::mean_delay(lambda, d) * lambda;
+        prop_assert!(mf.mean_jobs_per_queue() <= eq + 1e-6);
+    }
+
+    #[test]
+    fn brute_delay_distribution_mean_consistent(
+        lambda in 0.2f64..0.75,
+        d in 1usize..4,
+    ) {
+        use slb_core::brute::BruteForce;
+        // Both estimators are exact on the untruncated chain; with a
+        // finite cap they weight the dropped tail differently, so the
+        // comparison runs at a cap where the residual mass (<= lambda^40)
+        // is negligible relative to the tolerance.
+        let bf = BruteForce::solve(3, d.min(3), lambda, 40).unwrap();
+        let dist = bf.delay_distribution().unwrap();
+        prop_assert!(
+            (dist.mean() - bf.mean_delay()).abs() / bf.mean_delay() < 1e-3,
+            "mixture {} vs Little {}", dist.mean(), bf.mean_delay()
+        );
+    }
+}

@@ -1,0 +1,113 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+///
+/// The variants describe the precondition that failed; they carry enough
+/// context (dimensions, pivot magnitude) to diagnose a failing solve in the
+/// QBD pipeline without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation, e.g. `"mat_mul"`.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A square matrix was required but a rectangular one was supplied.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular to working precision: elimination produced a
+    /// pivot whose magnitude is below the tolerance.
+    Singular {
+        /// Column at which elimination broke down.
+        column: usize,
+        /// Magnitude of the offending pivot.
+        pivot: f64,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the iterative method.
+        method: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual (method-specific) at the last iteration.
+        residual: f64,
+    },
+    /// Construction input was malformed (e.g. ragged rows, empty matrix).
+    InvalidInput {
+        /// Description of the violated precondition.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { column, pivot } => write!(
+                f,
+                "matrix is singular to working precision (pivot {pivot:.3e} at column {column})"
+            ),
+            LinalgError::NoConvergence {
+                method,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{method} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinalgError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::Singular {
+            column: 3,
+            pivot: 1e-17,
+        };
+        let s = e.to_string();
+        assert!(s.contains("singular"));
+        assert!(s.contains("column 3"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<LinalgError>();
+    }
+
+    #[test]
+    fn dimension_mismatch_display() {
+        let e = LinalgError::DimensionMismatch {
+            op: "mat_mul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in mat_mul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # slb-linalg
+//!
+//! Self-contained dense linear algebra for matrix-geometric queueing
+//! analysis.
+//!
+//! This crate provides exactly the numeric substrate needed by the
+//! quasi-birth-death (QBD) machinery in `slb-qbd` and the bound models in
+//! `slb-core`: a dense row-major [`Matrix`] of `f64`, LU decomposition
+//! with partial pivoting ([`Lu`]), linear solves, inverses, determinants,
+//! norms and a few spectral utilities. It has no dependencies.
+//!
+//! The matrix-geometric method of Neuts repeatedly forms expressions such
+//! as `(−A1)⁻¹ A0`, `R = −A0 (A1 + A0 G)⁻¹` and `(I − R)⁻¹ e`; all of them
+//! reduce to the LU solve implemented here.
+//!
+//! ## Example
+//!
+//! ```
+//! use slb_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), slb_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]])?;
+//! let b = vec![1.0, 2.0];
+//! let x = a.solve_vec(&b)?;
+//! let r = a.mat_vec(&x);
+//! assert!((r[0] - 1.0).abs() < 1e-12 && (r[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod lu;
+mod matrix;
+mod ops;
+mod spectral;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use spectral::{power_iteration, spectral_radius_upper_bound, PowerIteration};
+
+/// Convenience result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,384 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the textbook algorithm
+
+//! LU decomposition with partial pivoting, and the solve/inverse/determinant
+//! operations built on it.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Pivot magnitudes below this are treated as exact zeros (singularity).
+///
+/// The QBD blocks are diagonally dominant generators with entries of order
+/// one, so a pivot this small only ever arises from genuinely singular
+/// systems (e.g. an unstable upper-bound model).
+const PIVOT_TOL: f64 = 1e-300;
+
+/// An LU factorization `P·A = L·U` with partial (row) pivoting.
+///
+/// Computed once via [`Lu::new`] and reused for repeated solves against the
+/// same matrix — exactly the pattern of the logarithmic-reduction iteration,
+/// which solves with the same `(I − U)` against two right-hand sides.
+///
+/// # Example
+///
+/// ```
+/// use slb_linalg::{Lu, Matrix};
+///
+/// # fn main() -> Result<(), slb_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = Lu::new(&a)?;
+/// let x = lu.solve_vec(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed L (unit lower, below diagonal) and U (upper, incl. diagonal).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for the determinant).
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::Singular`] if elimination hits a (near-)zero pivot.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: bring the largest |entry| of column k into
+            // the pivot position.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = r;
+                }
+            }
+            if pmax < PIVOT_TOL || !pmax.is_finite() {
+                return Err(LinalgError::Singular {
+                    column: k,
+                    pivot: pmax,
+                });
+            }
+            if p != k {
+                perm.swap(p, k);
+                perm_sign = -perm_sign;
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(p, c)];
+                    lu[(p, c)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let ukc = lu[(k, c)];
+                    lu[(r, c)] -= factor * ukc;
+                }
+            }
+        }
+
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn n(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve_vec",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution with the permuted right-hand side.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `B.rows() != n`.
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.n();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve_mat",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col = b.col(c);
+            let x = self.solve_vec(&col)?;
+            for (r, v) in x.into_iter().enumerate() {
+                out[(r, c)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves the transposed system `xᵀ·A = bᵀ` (i.e. `Aᵀ·x = b`), the
+    /// natural orientation for stationary-vector equations `π·Q = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve_transposed_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve_transposed",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // PA = LU  =>  Aᵀ Pᵀ = Uᵀ Lᵀ  =>  Aᵀ x = b is solved via
+        // Uᵀ y = b (forward), Lᵀ z = y (backward), x = Pᵀ z.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = s / self.lu[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = s;
+        }
+        let mut x = vec![0.0; n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            x[p] = y[i];
+        }
+        Ok(x)
+    }
+
+    /// The determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.n() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// The inverse of the factorized matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve failures (cannot occur once factorization
+    /// succeeded, but the signature stays fallible for uniformity).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_mat(&Matrix::identity(self.n()))
+    }
+}
+
+impl Matrix {
+    /// Solves `self · x = b`.
+    ///
+    /// Convenience wrapper that factorizes on the fly; use [`Lu`] directly
+    /// to amortize the factorization over several right-hand sides.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lu::new`] and [`Lu::solve_vec`].
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        Lu::new(self)?.solve_vec(b)
+    }
+
+    /// Solves `self · X = B`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lu::new`] and [`Lu::solve_mat`].
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix> {
+        Lu::new(self)?.solve_mat(b)
+    }
+
+    /// Matrix inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] for singular matrices and
+    /// [`LinalgError::NotSquare`] for rectangular ones.
+    pub fn inverse(&self) -> Result<Matrix> {
+        Lu::new(self)?.inverse()
+    }
+
+    /// Determinant via LU.
+    ///
+    /// Returns `0.0` for matrices that are singular to working precision
+    /// (rather than erroring, since a zero determinant is a legitimate
+    /// query result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn det(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        match Lu::new(self) {
+            Ok(lu) => Ok(lu.det()),
+            Err(LinalgError::Singular { .. }) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn solve_2x2() {
+        let a = mat(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve_vec(&[3.0, 5.0]).unwrap();
+        let r = a.mat_vec(&x);
+        assert!((r[0] - 3.0).abs() < 1e-12);
+        assert!((r[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position: naive elimination would fail.
+        let a = mat(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve_vec(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = mat(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match a.solve_vec(&[1.0, 1.0]) {
+            Err(LinalgError::Singular { .. }) => {}
+            other => panic!("expected Singular, got {other:?}"),
+        }
+        assert_eq!(a.det().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn inverse_matches_identity() {
+        let a = mat(&[&[4.0, 7.0, 2.0], &[3.0, 5.0, 1.0], &[8.0, 1.0, 6.0]]);
+        let inv = a.inverse().unwrap();
+        let prod = a.mat_mul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn det_known_values() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((a.det().unwrap() + 2.0).abs() < 1e-12);
+        assert!((Matrix::identity(5).det().unwrap() - 1.0).abs() < 1e-15);
+        // Permutation matrix with negative sign.
+        let p = mat(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((p.det().unwrap() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn transposed_solve() {
+        let a = mat(&[&[3.0, 1.0, 0.5], &[0.2, 2.0, 0.1], &[0.3, 0.4, 4.0]]);
+        let lu = Lu::new(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = lu.solve_transposed_vec(&b).unwrap();
+        // Check x·A = b (row-vector form).
+        let r = a.vec_mat(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12, "residual {r:?}");
+        }
+    }
+
+    #[test]
+    fn solve_mat_multiple_rhs() {
+        let a = mat(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let b = mat(&[&[2.0, 4.0], &[8.0, 12.0]]);
+        let x = a.solve_mat(&b).unwrap();
+        assert!(x.approx_eq(&mat(&[&[1.0, 2.0], &[2.0, 3.0]]), 1e-12));
+    }
+
+    #[test]
+    fn not_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::new(&a),
+            Err(LinalgError::NotSquare { shape: (2, 3) })
+        ));
+        assert!(a.det().is_err());
+    }
+
+    #[test]
+    fn det_dimension_error_reported() {
+        // Determinant reports NotSquare rather than silently returning 0.
+        let a = Matrix::zeros(1, 2);
+        assert!(matches!(a.det(), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn hilbert_4_accuracy() {
+        // Hilbert matrices are classically ill-conditioned; n=4 is still
+        // comfortably solvable with partial pivoting.
+        let h = Matrix::from_fn(4, 4, |r, c| 1.0 / ((r + c + 1) as f64));
+        let ones = vec![1.0; 4];
+        let b = h.mat_vec(&ones);
+        let x = h.solve_vec(&b).unwrap();
+        for xi in &x {
+            assert!((xi - 1.0).abs() < 1e-9, "x = {x:?}");
+        }
+    }
+}

@@ -1,0 +1,451 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// This is the workhorse type of the crate. It is deliberately simple —
+/// owned storage, no views, no generics — because every matrix in the QBD
+/// pipeline is a small-to-medium dense block (at most a few thousand rows)
+/// of transition rates.
+///
+/// # Example
+///
+/// ```
+/// use slb_linalg::Matrix;
+///
+/// let i = Matrix::identity(3);
+/// let a = Matrix::from_fn(3, 3, |r, c| (r + c) as f64);
+/// let b = i.mat_mul(&a).unwrap();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`; zero-sized matrices are never
+    /// meaningful in this crate and allowing them would push degenerate-case
+    /// handling into every algorithm.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `rows` is empty, any row is
+    /// empty, or the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::InvalidInput {
+                reason: "from_rows requires at least one non-empty row".into(),
+            });
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(LinalgError::InvalidInput {
+                reason: "from_rows requires rows of equal length".into(),
+            });
+        }
+        let mut m = Matrix::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            m.data[r * cols..(r + 1) * cols].copy_from_slice(row);
+        }
+        Ok(m)
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `data.len() != rows * cols`
+    /// or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::InvalidInput {
+                reason: "matrix dimensions must be positive".into(),
+            });
+        }
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidInput {
+                reason: format!(
+                    "from_vec: expected {} elements for a {rows}x{cols} matrix, got {}",
+                    rows * cols,
+                    data.len()
+                ),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a diagonal matrix with `diag` on the main diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag` is empty.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// A borrowed view of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major storage (crate-internal;
+    /// arithmetic helpers in `ops` use it to stream over all entries).
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Extracts the sub-matrix with rows `r0..r0+nr` and columns
+    /// `c0..c0+nc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested block exceeds the matrix bounds.
+    pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Matrix {
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "block ({r0}..{}, {c0}..{}) out of bounds for {}x{}",
+            r0 + nr,
+            c0 + nc,
+            self.rows,
+            self.cols
+        );
+        Matrix::from_fn(nr, nc, |r, c| self[(r0 + r, c0 + c)])
+    }
+
+    /// Overwrites the block with top-left corner `(r0, c0)` with `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` does not fit.
+    pub fn set_block(&mut self, r0: usize, c0: usize, src: &Matrix) {
+        assert!(
+            r0 + src.rows <= self.rows && c0 + src.cols <= self.cols,
+            "set_block out of bounds"
+        );
+        for r in 0..src.rows {
+            for c in 0..src.cols {
+                self[(r0 + r, c0 + c)] = src[(r, c)];
+            }
+        }
+    }
+
+    /// Maximum absolute entry (the max norm).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// Infinity norm: maximum absolute row sum.
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|r| self.row(r).iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// One norm: maximum absolute column sum.
+    pub fn norm_one(&self) -> f64 {
+        (0..self.cols)
+            .map(|c| (0..self.rows).map(|r| self[(r, c)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Sum of each row, as a vector (i.e. `A·e` with `e` all ones).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| self.row(r).iter().sum::<f64>())
+            .collect()
+    }
+
+    /// `true` if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// `true` if the two matrices have the same shape and all entries agree
+    /// within absolute tolerance `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        // Cap the printout so debugging a 400x400 QBD block stays readable.
+        let max_show = 8;
+        for r in 0..self.rows.min(max_show) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(max_show) {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>10.4e}", self[(r, c)])?;
+            }
+            if self.cols > max_show {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.6}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let i = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zeros_rejects_empty() {
+        let _ = Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn from_vec_round_trip() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(0, 2, vec![]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(4, 2)], a[(2, 4)]);
+    }
+
+    #[test]
+    fn block_and_set_block() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let b = a.block(1, 2, 2, 2);
+        assert_eq!(b[(0, 0)], a[(1, 2)]);
+        assert_eq!(b[(1, 1)], a[(2, 3)]);
+
+        let mut z = Matrix::zeros(4, 4);
+        z.set_block(2, 2, &b);
+        assert_eq!(z[(2, 2)], a[(1, 2)]);
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.norm_inf(), 7.0);
+        assert_eq!(a.norm_one(), 6.0);
+        assert_eq!(a.max_abs(), 4.0);
+        assert!((a.norm_frobenius() - 30.0_f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn row_sums_and_col() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.row_sums(), vec![3.0, 7.0]);
+        assert_eq!(a.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Matrix::identity(2);
+        let mut b = Matrix::identity(2);
+        b[(0, 0)] = 1.0 + 1e-12;
+        assert!(a.approx_eq(&b, 1e-10));
+        assert!(!a.approx_eq(&b, 1e-14));
+    }
+
+    #[test]
+    fn from_diag() {
+        let d = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let a = Matrix::identity(2);
+        assert!(!format!("{a:?}").is_empty());
+        // Large matrices truncate instead of flooding the log.
+        let big = Matrix::zeros(100, 100);
+        assert!(format!("{big:?}").len() < 2000);
+    }
+}

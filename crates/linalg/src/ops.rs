@@ -1,0 +1,316 @@
+//! Arithmetic on [`Matrix`]: checked methods plus operator overloads.
+//!
+//! The checked methods (`mat_mul`, `add`, …) return a [`Result`] and are the
+//! primary API; the `std::ops` overloads are thin panicking wrappers that
+//! make numerical code readable in contexts where the shapes are known by
+//! construction (inside the QBD solver every block is `m × m`).
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::{LinalgError, Matrix, Result};
+
+impl Matrix {
+    /// Matrix product `self · rhs`.
+    ///
+    /// Uses the ikj loop order so the inner loop streams over contiguous
+    /// rows, which is enough for the block sizes in this project (≤ a few
+    /// thousand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs.rows()`.
+    pub fn mat_mul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.rows() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "mat_mul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (n, k, m) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            for p in 0..k {
+                let a = self[(i, p)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(p);
+                let orow = out.row_mut(i);
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            x.len(),
+            self.cols(),
+            "mat_vec: vector length {} does not match {} columns",
+            x.len(),
+            self.cols()
+        );
+        (0..self.rows())
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Row-vector–matrix product `x · self` (the natural operation on
+    /// stationary probability vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn vec_mat(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            x.len(),
+            self.rows(),
+            "vec_mat: vector length {} does not match {} rows",
+            x.len(),
+            self.rows()
+        );
+        let mut out = vec![0.0; self.cols()];
+        for (r, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(r)) {
+                *o += xv * a;
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Multiplies every entry by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        let mut out = self.clone();
+        for v in out.as_mut_slice() {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    ///
+    /// The result has shape `(r_a·r_b) × (c_a·c_b)` with block `(i, j)`
+    /// equal to `self[(i, j)]·rhs`. This is the workhorse of
+    /// Markov-modulated block assembly: the generator of two independent
+    /// phase processes is `A ⊗ I + I ⊗ B`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use slb_linalg::Matrix;
+    ///
+    /// # fn main() -> Result<(), slb_linalg::LinalgError> {
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0]])?;
+    /// let b = Matrix::from_rows(&[&[3.0], &[4.0]])?;
+    /// let k = a.kron(&b);
+    /// assert_eq!(k.shape(), (2, 2));
+    /// assert_eq!(k[(1, 1)], 2.0 * 4.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let (ra, ca) = self.shape();
+        let (rb, cb) = rhs.shape();
+        let mut out = Matrix::zeros(ra * rb, ca * cb);
+        for i in 0..ra {
+            for j in 0..ca {
+                let v = self[(i, j)];
+                if v == 0.0 {
+                    continue;
+                }
+                for k in 0..rb {
+                    for l in 0..cb {
+                        out[(i * rb + k, j * cb + l)] = v * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `self + s·I`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn add_scaled_identity(&self, s: f64) -> Result<Matrix> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        let mut out = self.clone();
+        for i in 0..out.rows() {
+            out[(i, i)] += s;
+        }
+        Ok(out)
+    }
+
+    fn zip_with<F: Fn(f64, f64) -> f64>(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: F,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for (o, &b) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *o = f(*o, b);
+        }
+        Ok(out)
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Matrix::add`] for a checked version.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        Matrix::add(self, rhs).expect("matrix addition shape mismatch")
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Matrix::sub`] for a checked version.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        Matrix::sub(self, rhs).expect("matrix subtraction shape mismatch")
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Matrix::mat_mul`] for a checked
+    /// version.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.mat_mul(rhs).expect("matrix product shape mismatch")
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scale(s)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn kron_shapes_and_entries() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = m(&[&[0.0, 5.0], &[6.0, 7.0]]);
+        let k = a.kron(&b);
+        assert_eq!(k.shape(), (4, 4));
+        // Block (0,1) = 2·B.
+        assert_eq!(k[(0, 2)], 0.0);
+        assert_eq!(k[(0, 3)], 10.0);
+        assert_eq!(k[(1, 2)], 12.0);
+        assert_eq!(k[(1, 3)], 14.0);
+        // Block (1,0) = 3·B.
+        assert_eq!(k[(2, 1)], 15.0);
+        assert_eq!(k[(3, 0)], 18.0);
+    }
+
+    #[test]
+    fn kron_with_identity_is_block_diagonal() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let eye = Matrix::identity(3);
+        let left = eye.kron(&a); // diag(A, A, A)
+        assert_eq!(left.shape(), (6, 6));
+        for blk in 0..3 {
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert_eq!(left[(blk * 2 + i, blk * 2 + j)], a[(i, j)]);
+                }
+            }
+        }
+        // Off-diagonal blocks vanish.
+        assert_eq!(left[(0, 2)], 0.0);
+        assert_eq!(left[(4, 1)], 0.0);
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD).
+        let a = m(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let b = m(&[&[2.0, 0.0], &[1.0, 1.0]]);
+        let c = m(&[&[1.0, 1.0], &[1.0, 0.0]]);
+        let d = m(&[&[0.0, 1.0], &[2.0, 1.0]]);
+        let lhs = a.kron(&b).mat_mul(&c.kron(&d)).unwrap();
+        let rhs = a.mat_mul(&c).unwrap().kron(&b.mat_mul(&d).unwrap());
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn kron_vector_shapes() {
+        // Row ⊗ row and column ⊗ column keep vector-ness.
+        let row = m(&[&[1.0, 2.0, 3.0]]);
+        let col = m(&[&[1.0], &[4.0]]);
+        assert_eq!(row.kron(&row).shape(), (1, 9));
+        assert_eq!(col.kron(&col).shape(), (4, 1));
+    }
+}

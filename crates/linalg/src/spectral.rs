@@ -1,0 +1,135 @@
+//! Spectral utilities: power iteration for the dominant eigenpair and a
+//! cheap spectral-radius upper bound.
+//!
+//! The QBD stability analysis needs `sp(R) < 1`; the rate matrix `R` is
+//! nonnegative, so power iteration converges to its Perron root from a
+//! positive start vector, and `min(‖R‖₁, ‖R‖_∞)` is a certified upper
+//! bound.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Result of a converged power iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerIteration {
+    /// Estimated dominant eigenvalue (in modulus).
+    pub eigenvalue: f64,
+    /// Corresponding right eigenvector, normalized to unit 1-norm.
+    pub eigenvector: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Estimates the dominant eigenvalue of a square matrix by power iteration.
+///
+/// Starts from the uniform positive vector, which is adequate for the
+/// nonnegative matrices this project applies it to (rate matrices `R`,
+/// stochastic matrices `G`).
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for rectangular input.
+/// * [`LinalgError::NoConvergence`] if the eigenvalue estimate has not
+///   stabilized to within `tol` after `max_iter` iterations.
+///
+/// # Example
+///
+/// ```
+/// use slb_linalg::{power_iteration, Matrix};
+///
+/// # fn main() -> Result<(), slb_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 0.5]])?;
+/// let p = power_iteration(&a, 1e-12, 10_000)?;
+/// assert!((p.eigenvalue - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn power_iteration(a: &Matrix, tol: f64, max_iter: usize) -> Result<PowerIteration> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    let mut v = vec![1.0 / n as f64; n];
+    let mut lambda = 0.0_f64;
+    for it in 1..=max_iter {
+        let mut w = a.mat_vec(&v);
+        let norm = crate::vector::norm_one(&w);
+        if norm == 0.0 {
+            // a annihilates the positive cone only if it is nilpotent on
+            // it; the dominant eigenvalue is 0.
+            return Ok(PowerIteration {
+                eigenvalue: 0.0,
+                eigenvector: v,
+                iterations: it,
+            });
+        }
+        for x in &mut w {
+            *x /= norm;
+        }
+        let new_lambda = crate::vector::dot(&a.mat_vec(&w), &w)
+            / crate::vector::dot(&w, &w);
+        let done = (new_lambda - lambda).abs() <= tol * (1.0 + new_lambda.abs());
+        lambda = new_lambda;
+        v = w;
+        if done && it > 1 {
+            return Ok(PowerIteration {
+                eigenvalue: lambda,
+                eigenvector: v,
+                iterations: it,
+            });
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        method: "power_iteration",
+        iterations: max_iter,
+        residual: f64::NAN,
+    })
+}
+
+/// A certified upper bound on the spectral radius:
+/// `sp(A) ≤ min(‖A‖₁, ‖A‖_∞)`.
+pub fn spectral_radius_upper_bound(a: &Matrix) -> f64 {
+    a.norm_one().min(a.norm_inf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_dominant_eigenvalue() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 0.5]);
+        let p = power_iteration(&a, 1e-13, 10_000).unwrap();
+        assert!((p.eigenvalue - 3.0).abs() < 1e-8, "{p:?}");
+    }
+
+    #[test]
+    fn stochastic_matrix_has_unit_radius() {
+        let a = Matrix::from_rows(&[&[0.5, 0.5], &[0.25, 0.75]]).unwrap();
+        let p = power_iteration(&a, 1e-13, 10_000).unwrap();
+        assert!((p.eigenvalue - 1.0).abs() < 1e-9);
+        assert!(spectral_radius_upper_bound(&a) >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        let p = power_iteration(&a, 1e-12, 100).unwrap();
+        assert_eq!(p.eigenvalue, 0.0);
+    }
+
+    #[test]
+    fn norm_bound_dominates() {
+        let a = Matrix::from_rows(&[&[0.1, 0.7], &[0.2, 0.05]]).unwrap();
+        let p = power_iteration(&a, 1e-13, 10_000).unwrap();
+        assert!(p.eigenvalue <= spectral_radius_upper_bound(&a) + 1e-12);
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            power_iteration(&a, 1e-12, 10),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

@@ -1,0 +1,159 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! Stationary distributions in the QBD pipeline are plain `Vec<f64>` row
+//! vectors; these helpers cover the handful of operations performed on
+//! them (dot products, norms, normalization, elementwise combination).
+
+/// Dot product `x · y`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Sum of all entries (`x · e`).
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// `x + y` elementwise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "add: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// `x − y` elementwise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// `s · x`.
+pub fn scale(x: &[f64], s: f64) -> Vec<f64> {
+    x.iter().map(|a| a * s).collect()
+}
+
+/// Maximum absolute entry.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, &v| m.max(v.abs()))
+}
+
+/// Sum of absolute entries.
+pub fn norm_one(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Euclidean norm.
+pub fn norm_two(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Rescales `x` so its entries sum to one, returning the original sum.
+///
+/// Used to normalize stationary distributions after a homogeneous solve.
+///
+/// # Panics
+///
+/// Panics if the entries sum to (numerically) zero, since the result would
+/// not be a distribution.
+pub fn normalize_sum(x: &mut [f64]) -> f64 {
+    let s = sum(x);
+    assert!(
+        s.abs() > f64::MIN_POSITIVE,
+        "normalize_sum: vector sums to zero"
+    );
+    for v in x.iter_mut() {
+        *v /= s;
+    }
+    s
+}
+
+/// `true` when all entries of a probability vector are nonnegative within
+/// tolerance `tol` (tiny negative round-off is clamped by callers).
+pub fn is_nonnegative(x: &[f64], tol: f64) -> bool {
+    x.iter().all(|&v| v >= -tol)
+}
+
+/// Clamps tiny negative round-off in a probability vector to zero.
+///
+/// # Panics
+///
+/// Panics if an entry is more negative than `-tol`, which signals a real
+/// numerical failure rather than round-off.
+pub fn clamp_nonnegative(x: &mut [f64], tol: f64) {
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            assert!(
+                *v >= -tol,
+                "clamp_nonnegative: entry {v} below tolerance -{tol}"
+            );
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_sums() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn elementwise() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 2.0]), vec![2.0, 2.0]);
+        assert_eq!(scale(&[1.0, -2.0], 2.0), vec![2.0, -4.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_inf(&[1.0, -3.0, 2.0]), 3.0);
+        assert_eq!(norm_one(&[1.0, -3.0, 2.0]), 6.0);
+        assert!((norm_two(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize() {
+        let mut x = vec![1.0, 3.0];
+        let s = normalize_sum(&mut x);
+        assert_eq!(s, 4.0);
+        assert_eq!(x, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to zero")]
+    fn normalize_zero_panics() {
+        let mut x = vec![0.0, 0.0];
+        normalize_sum(&mut x);
+    }
+
+    #[test]
+    fn clamp() {
+        let mut x = vec![0.5, -1e-15, 0.5];
+        clamp_nonnegative(&mut x, 1e-12);
+        assert_eq!(x[1], 0.0);
+        assert!(is_nonnegative(&x, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "below tolerance")]
+    fn clamp_rejects_large_negative() {
+        let mut x = vec![-0.5];
+        clamp_nonnegative(&mut x, 1e-12);
+    }
+}

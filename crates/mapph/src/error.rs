@@ -1,0 +1,142 @@
+use std::error::Error;
+use std::fmt;
+
+use slb_linalg::LinalgError;
+use slb_markov::MarkovError;
+use slb_qbd::QbdError;
+
+/// Error type for MAP-modulated SQ(d) bound models and MAP/PH/1 queues.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MapphError {
+    /// Model parameters violate a precondition (`d > N`, utilization ≥ 1,
+    /// degenerate MAP, …).
+    InvalidParameters {
+        /// Description of the violated precondition.
+        reason: String,
+    },
+    /// The upper-bound model is unstable at this utilization/threshold:
+    /// blocking removes capacity, so the chain saturates before ρ = 1.
+    /// Increase `T` or lower the utilization.
+    UpperBoundUnstable {
+        /// Mean upward drift of the level process.
+        up_drift: f64,
+        /// Mean downward drift of the level process.
+        down_drift: f64,
+    },
+    /// The QBD machinery failed.
+    Qbd(QbdError),
+    /// The Markov-chain machinery failed (MAP validation, brute force).
+    Markov(MarkovError),
+    /// Dense linear algebra failed (spectral analysis).
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MapphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapphError::InvalidParameters { reason } => {
+                write!(f, "invalid parameters: {reason}")
+            }
+            MapphError::UpperBoundUnstable {
+                up_drift,
+                down_drift,
+            } => write!(
+                f,
+                "upper-bound model unstable (drift up {up_drift:.6} >= down \
+                 {down_drift:.6}); increase T or lower the utilization"
+            ),
+            MapphError::Qbd(e) => write!(f, "QBD solver failure: {e}"),
+            MapphError::Markov(e) => write!(f, "Markov machinery failure: {e}"),
+            MapphError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for MapphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapphError::Qbd(e) => Some(e),
+            MapphError::Markov(e) => Some(e),
+            MapphError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QbdError> for MapphError {
+    fn from(e: QbdError) -> Self {
+        match e {
+            QbdError::Unstable {
+                up_drift,
+                down_drift,
+            } => MapphError::UpperBoundUnstable {
+                up_drift,
+                down_drift,
+            },
+            other => MapphError::Qbd(other),
+        }
+    }
+}
+
+impl From<MarkovError> for MapphError {
+    fn from(e: MarkovError) -> Self {
+        MapphError::Markov(e)
+    }
+}
+
+impl From<LinalgError> for MapphError {
+    fn from(e: LinalgError) -> Self {
+        MapphError::Linalg(e)
+    }
+}
+
+impl From<slb_core::CoreError> for MapphError {
+    fn from(e: slb_core::CoreError) -> Self {
+        match e {
+            slb_core::CoreError::InvalidParameters { reason } => {
+                MapphError::InvalidParameters { reason }
+            }
+            slb_core::CoreError::UpperBoundUnstable {
+                up_drift,
+                down_drift,
+            } => MapphError::UpperBoundUnstable {
+                up_drift,
+                down_drift,
+            },
+            slb_core::CoreError::Qbd(e) => MapphError::Qbd(e),
+            slb_core::CoreError::Markov(e) => MapphError::Markov(e),
+            _ => MapphError::InvalidParameters {
+                reason: e.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = MapphError::InvalidParameters {
+            reason: "utilization must be below 1".into(),
+        };
+        assert!(e.to_string().contains("utilization"));
+    }
+
+    #[test]
+    fn unstable_conversion() {
+        let e = MapphError::from(QbdError::Unstable {
+            up_drift: 1.0,
+            down_drift: 0.5,
+        });
+        assert!(matches!(e, MapphError::UpperBoundUnstable { .. }));
+    }
+
+    #[test]
+    fn send_sync_error() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<MapphError>();
+    }
+}

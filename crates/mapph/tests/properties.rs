@@ -1,0 +1,85 @@
+//! Property-based tests for the MAP-modulated layer: the structural
+//! invariants must hold for *random* modulations, not just hand-picked
+//! ones.
+
+use proptest::prelude::*;
+use slb_markov::{Map, PhaseType};
+use slb_mapph::{MapPh1, MapSqd};
+
+/// Random 2-phase MMPP with bounded switch and arrival rates.
+fn arb_mmpp() -> impl Strategy<Value = Map> {
+    (0.05f64..2.0, 0.05f64..2.0, 0.0f64..2.0, 0.05f64..3.0)
+        .prop_map(|(r01, r10, l0, l1)| Map::mmpp2(r01, r10, l0, l1).expect("valid MMPP"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bounds_ordered_under_random_modulation(
+        map in arb_mmpp(),
+        rho in 0.2f64..0.75,
+    ) {
+        let model = MapSqd::with_utilization(3, 2, &map, rho).unwrap();
+        let lb = model.lower_bound(2).unwrap();
+        prop_assert!(lb.delay >= 1.0 - 1e-12);
+        prop_assert!(lb.residual < 1e-7);
+        prop_assert!(lb.tail_decay > 0.0 && lb.tail_decay < 1.0);
+        if let Ok(ub) = model.upper_bound(2) {
+            prop_assert!(
+                lb.delay <= ub.delay + 1e-8,
+                "LB {} > UB {}", lb.delay, ub.delay
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_equivalence_is_universal(
+        n in 3usize..5,
+        lam in 0.2f64..0.85,
+    ) {
+        // A one-phase MAP must reproduce the scalar model for any (N, λ).
+        let map = Map::poisson(lam * n as f64).unwrap();
+        let d = 2;
+        let model = MapSqd::new(n, d, &map).unwrap();
+        let core = slb_core::Sqd::new(n, d, lam).unwrap();
+        let got = model.lower_bound(2).unwrap().delay;
+        let want = core.lower_bound_full_r(2).unwrap().delay;
+        prop_assert!((got - want).abs() < 1e-7, "{got} vs {want}");
+    }
+
+    #[test]
+    fn map_ph1_sandwiched_by_utilization(
+        map in arb_mmpp(),
+        rho in 0.1f64..0.8,
+        k in 1usize..4,
+    ) {
+        // For any MAP/E_k/1: E[T] ≥ E[S] = 1 and utilization matches.
+        let scaled = map.with_rate(rho).unwrap();
+        let service = PhaseType::erlang(k, k as f64).unwrap(); // mean 1
+        let q = MapPh1::new(scaled, service).unwrap();
+        prop_assert!((q.utilization().unwrap() - rho).abs() < 1e-9);
+        let t = q.mean_sojourn().unwrap();
+        prop_assert!(t >= 1.0 - 1e-9, "sojourn {t} below service mean");
+        // Idle probability complements utilization (single server).
+        let idle: f64 = q.idle_distribution().unwrap().iter().sum();
+        prop_assert!((idle - (1.0 - rho)).abs() < 1e-8, "idle {idle}");
+    }
+
+    #[test]
+    fn smoother_arrivals_never_hurt(
+        rho in 0.3f64..0.8,
+        k in 2usize..6,
+    ) {
+        // Erlang-k renewal input (SCV 1/k < 1) must not increase the LB
+        // relative to Poisson at equal utilization.
+        let ph = PhaseType::erlang(k, k as f64).unwrap();
+        let smooth = Map::renewal(&ph).unwrap();
+        let m_smooth = MapSqd::with_utilization(3, 2, &smooth, rho).unwrap();
+        let m_poisson =
+            MapSqd::new(3, 2, &Map::poisson(rho * 3.0).unwrap()).unwrap();
+        let s = m_smooth.lower_bound(2).unwrap().delay;
+        let p = m_poisson.lower_bound(2).unwrap().delay;
+        prop_assert!(s <= p + 1e-9, "smooth {s} vs poisson {p}");
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end validation of the MAP-modulated bound models: the sandwich
+//! `LB ≤ exact ≤ UB` must survive bursty (non-Poisson) arrivals, both
+//! against the truncated product-chain ground truth and against the
+//! discrete-event simulator.
+
+use slb_markov::{Map, PhaseType};
+use slb_mapph::{MapBrute, MapPh1, MapSqd};
+use slb_sim::{Policy, SimConfig};
+
+#[test]
+fn sandwich_vs_brute_force_mmpp() {
+    // Moderately bursty MMPP-2 at three utilizations.
+    for &rho in &[0.5f64, 0.65, 0.75] {
+        let (n, d, t, cap) = (3usize, 2usize, 3u32, 24u32);
+        let map = Map::mmpp2(0.3, 0.3, 0.4, 1.6).unwrap();
+        let model = MapSqd::with_utilization(n, d, &map, rho).unwrap();
+        let exact_map = map.with_rate(rho * n as f64).unwrap();
+        let exact = MapBrute::solve(n, d, &exact_map, cap).unwrap();
+        // Bursty tails decay slowly; a residual mass of ~1e-5 biases the
+        // truncated mean *down* by a comparable relative amount, which the
+        // sandwich tolerances below absorb.
+        assert!(
+            exact.truncation_mass() < 1e-5,
+            "cap too small at rho = {rho}: mass {}",
+            exact.truncation_mass()
+        );
+
+        let lb = model.lower_bound(t).unwrap().delay;
+        let ub = model.upper_bound(t).unwrap().delay;
+        let ex = exact.mean_delay();
+        assert!(
+            lb <= ex + 1e-3 && ex <= ub + 1e-3,
+            "rho={rho}: LB {lb} ≤ exact {ex} ≤ UB {ub} violated"
+        );
+        // The paper's headline tightness survives modulation.
+        assert!(
+            (ex - lb) / ex < 0.06,
+            "rho={rho}: lower bound unexpectedly loose ({lb} vs {ex})"
+        );
+    }
+}
+
+#[test]
+fn sandwich_vs_brute_force_erlang_renewal() {
+    // Smoother-than-Poisson renewal input (SCV = 1/2).
+    let (n, d, rho, t, cap) = (3usize, 2usize, 0.7f64, 3u32, 16u32);
+    let ph = PhaseType::erlang(2, 2.0).unwrap();
+    let map = Map::renewal(&ph).unwrap().with_rate(rho * n as f64).unwrap();
+    let model = MapSqd::new(n, d, &map).unwrap();
+    let exact = MapBrute::solve(n, d, &map, cap).unwrap();
+    assert!(exact.truncation_mass() < 1e-8);
+
+    let lb = model.lower_bound(t).unwrap().delay;
+    let ub = model.upper_bound(t).unwrap().delay;
+    let ex = exact.mean_delay();
+    assert!(
+        lb <= ex + 1e-6 && ex <= ub + 1e-6,
+        "LB {lb} ≤ exact {ex} ≤ UB {ub} violated"
+    );
+}
+
+#[test]
+fn sandwich_vs_simulator_mmpp() {
+    // Independent evidence: the event-driven simulator with MAP arrivals
+    // must land between the bounds (within its confidence interval).
+    let (n, d, rho, t) = (3usize, 2usize, 0.7f64, 3u32);
+    let map = Map::mmpp2(0.3, 0.3, 0.4, 1.6).unwrap();
+    let model = MapSqd::with_utilization(n, d, &map, rho).unwrap();
+    let lb = model.lower_bound(t).unwrap().delay;
+    let ub = model.upper_bound(t).unwrap().delay;
+
+    let sim = SimConfig::new(n, rho)
+        .unwrap()
+        .policy(Policy::SqD { d })
+        .arrival_map(map)
+        .jobs(600_000)
+        .warmup(60_000)
+        .seed(42)
+        .run()
+        .unwrap();
+    let slack = 3.0 * sim.ci_halfwidth.max(0.02);
+    assert!(
+        lb <= sim.mean_delay + slack,
+        "LB {lb} above simulation {} ± {slack}",
+        sim.mean_delay
+    );
+    assert!(
+        sim.mean_delay <= ub + slack,
+        "simulation {} above UB {ub}",
+        sim.mean_delay
+    );
+}
+
+#[test]
+fn map_ph1_vs_simulator() {
+    // MAP/PH/1 analytic solution vs the simulator on one server with
+    // hyperexponential service and MMPP arrivals.
+    let lam = 0.6;
+    let map = Map::mmpp2(0.5, 0.5, 0.4, 1.6)
+        .unwrap()
+        .with_rate(lam)
+        .unwrap();
+    let ph = PhaseType::hyperexponential(&[0.4, 0.6], &[0.5, 2.0]).unwrap();
+    let queue = MapPh1::new(map.clone(), ph.clone()).unwrap();
+    let want = queue.mean_sojourn().unwrap();
+
+    let sim = SimConfig::new(1, lam)
+        .unwrap()
+        .policy(Policy::Random)
+        .arrival_map(map)
+        .service(slb_sim::ServiceDistribution::HyperExp {
+            p: 0.4,
+            rate1: 0.5,
+            rate2: 2.0,
+        })
+        .jobs(800_000)
+        .warmup(80_000)
+        .seed(7)
+        .run()
+        .unwrap();
+    let slack = 4.0 * sim.ci_halfwidth.max(0.05);
+    assert!(
+        (sim.mean_delay - want).abs() < slack,
+        "sim {} vs analytic {want} (slack {slack})",
+        sim.mean_delay
+    );
+}
+
+#[test]
+fn modulated_decay_rate_is_coherent() {
+    // sp(R) from the bound models brackets the observed level decay of
+    // the exact chain... at least in the lower model the tail is lighter,
+    // in the upper heavier.
+    let (n, d, rho, t) = (3usize, 2usize, 0.7f64, 3u32);
+    let map = Map::mmpp2(0.2, 0.2, 0.3, 1.7).unwrap();
+    let model = MapSqd::with_utilization(n, d, &map, rho).unwrap();
+    let lb = model.lower_bound(t).unwrap();
+    let ub = model.upper_bound(t).unwrap();
+    assert!(lb.tail_decay < ub.tail_decay, "{} < {}", lb.tail_decay, ub.tail_decay);
+    // Poisson reference: LB decay of the scalar model is ρᴺ; burstiness
+    // slows the decay (heavier tail).
+    assert!(lb.tail_decay > rho.powi(n as i32));
+}

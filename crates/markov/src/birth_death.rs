@@ -1,0 +1,249 @@
+//! Birth–death chains and classical M/M/· closed forms.
+//!
+//! These are the exact baselines the SQ(d) analysis is validated against:
+//! `SQ(1)` decomposes into independent M/M/1 queues, and the complete-
+//! pooling M/M/c system brackets what any dispatching policy can achieve.
+//! All formulas use a unit service rate unless stated otherwise, matching
+//! the paper's convention `µ = 1`.
+
+use crate::{MarkovError, Result};
+
+/// Stationary distribution of a finite birth–death chain with birth rates
+/// `lambda[i]` (from state `i` to `i+1`) and death rates `mu[i]` (from
+/// `i+1` to `i`).
+///
+/// # Errors
+///
+/// * [`MarkovError::InvalidChain`] if the slices have different lengths,
+///   contain a negative rate, or some `mu[i] = 0` (chain would be
+///   reducible upward).
+///
+/// # Example
+///
+/// ```
+/// use slb_markov::birth_death::stationary;
+///
+/// # fn main() -> Result<(), slb_markov::MarkovError> {
+/// // Two-state chain: birth 1, death 2 — π = (2/3, 1/3).
+/// let pi = stationary(&[1.0], &[2.0])?;
+/// assert!((pi[0] - 2.0 / 3.0).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+pub fn stationary(lambda: &[f64], mu: &[f64]) -> Result<Vec<f64>> {
+    if lambda.len() != mu.len() {
+        return Err(MarkovError::InvalidChain {
+            reason: format!(
+                "birth/death rate slices differ in length: {} vs {}",
+                lambda.len(),
+                mu.len()
+            ),
+        });
+    }
+    if lambda.iter().chain(mu.iter()).any(|&r| r < 0.0) {
+        return Err(MarkovError::InvalidChain {
+            reason: "negative rate in birth-death chain".into(),
+        });
+    }
+    if mu.contains(&0.0) {
+        return Err(MarkovError::InvalidChain {
+            reason: "zero death rate makes the chain reducible".into(),
+        });
+    }
+    // Detailed balance: π_{i+1} = π_i λ_i / µ_i; accumulate in a numerically
+    // benign multiplicative form and normalize at the end.
+    let n = lambda.len() + 1;
+    let mut pi = Vec::with_capacity(n);
+    pi.push(1.0);
+    for i in 0..lambda.len() {
+        let next = pi[i] * lambda[i] / mu[i];
+        pi.push(next);
+    }
+    let total: f64 = pi.iter().sum();
+    for v in &mut pi {
+        *v /= total;
+    }
+    Ok(pi)
+}
+
+/// Queue-length pmf `P(L = k)` for `k = 0..=k_max` in a stable M/M/1 queue
+/// with arrival rate `rho` and unit service rate: geometric
+/// `(1 − ρ) ρ^k`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ rho < 1`.
+pub fn mm1_queue_length_pmf(rho: f64, k_max: usize) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&rho), "need 0 <= rho < 1, got {rho}");
+    (0..=k_max).map(|k| (1.0 - rho) * rho.powi(k as i32)).collect()
+}
+
+/// Mean number in system for M/M/1: `ρ/(1−ρ)`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ rho < 1`.
+pub fn mm1_mean_jobs(rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "need 0 <= rho < 1, got {rho}");
+    rho / (1.0 - rho)
+}
+
+/// Mean sojourn (response) time for M/M/1 with unit service rate:
+/// `1/(1−ρ)`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ rho < 1`.
+pub fn mm1_mean_sojourn(rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "need 0 <= rho < 1, got {rho}");
+    1.0 / (1.0 - rho)
+}
+
+/// Erlang-C: the probability an arriving job waits in an M/M/c queue with
+/// offered load `a = λ/µ` and `c` servers (requires `a < c`).
+///
+/// Computed via the numerically stable recurrence on the Erlang-B blocking
+/// probability.
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `a < 0` or `a >= c` (unstable).
+pub fn erlang_c(c: usize, a: f64) -> f64 {
+    assert!(c > 0, "need at least one server");
+    assert!(a >= 0.0, "offered load must be nonnegative");
+    assert!(a < c as f64, "unstable M/M/c: a = {a} >= c = {c}");
+    if a == 0.0 {
+        return 0.0;
+    }
+    // Erlang-B recurrence: B(0) = 1, B(k) = a·B(k−1) / (k + a·B(k−1)).
+    let mut b = 1.0;
+    for k in 1..=c {
+        b = a * b / (k as f64 + a * b);
+    }
+    let rho = a / c as f64;
+    b / (1.0 - rho + rho * b)
+}
+
+/// Mean waiting time (excluding service) in M/M/c with arrival rate
+/// `lambda`, unit service rate and `c` servers.
+///
+/// # Panics
+///
+/// Panics if the system is unstable (`lambda >= c`).
+pub fn mmc_mean_wait(c: usize, lambda: f64) -> f64 {
+    let a = lambda;
+    let pc = erlang_c(c, a);
+    pc / (c as f64 - a)
+}
+
+/// Mean sojourn time in M/M/c with unit service rate.
+///
+/// # Panics
+///
+/// Panics if the system is unstable.
+pub fn mmc_mean_sojourn(c: usize, lambda: f64) -> f64 {
+    mmc_mean_wait(c, lambda) + 1.0
+}
+
+/// Queue-length pmf of the M/M/1/K loss queue (`K` = capacity including
+/// the job in service) with load `rho`.
+///
+/// # Panics
+///
+/// Panics if `rho < 0`.
+pub fn mm1k_queue_length_pmf(rho: f64, k: usize) -> Vec<f64> {
+    assert!(rho >= 0.0, "load must be nonnegative");
+    if (rho - 1.0).abs() < 1e-12 {
+        return vec![1.0 / (k as f64 + 1.0); k + 1];
+    }
+    let denom = 1.0 - rho.powi(k as i32 + 1);
+    (0..=k)
+        .map(|i| (1.0 - rho) * rho.powi(i as i32) / denom)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_matches_mm1_truncation() {
+        let rho = 0.6;
+        let n = 200;
+        let lambda = vec![rho; n];
+        let mu = vec![1.0; n];
+        let pi = stationary(&lambda, &mu).unwrap();
+        let exact = mm1_queue_length_pmf(rho, 10);
+        for k in 0..=10 {
+            assert!((pi[k] - exact[k]).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn stationary_rejects_bad_input() {
+        assert!(stationary(&[1.0], &[2.0, 3.0]).is_err());
+        assert!(stationary(&[-1.0], &[2.0]).is_err());
+        assert!(stationary(&[1.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn mm1_formulas_consistent() {
+        let rho = 0.75;
+        // E[L] from the pmf (truncated far out) vs closed form.
+        let pmf = mm1_queue_length_pmf(rho, 2000);
+        let el: f64 = pmf.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        assert!((el - mm1_mean_jobs(rho)).abs() < 1e-9);
+        // Little's law: E[T] = E[L]/λ.
+        assert!((mm1_mean_sojourn(rho) - mm1_mean_jobs(rho) / rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_c_single_server_is_rho() {
+        // For c = 1, P(wait) = ρ.
+        for &rho in &[0.1, 0.5, 0.9] {
+            assert!((erlang_c(1, rho) - rho).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_c_known_value() {
+        // Classic table value: c = 5, a = 4 → C ≈ 0.5541.
+        let c = erlang_c(5, 4.0);
+        assert!((c - 0.5541).abs() < 5e-4, "got {c}");
+    }
+
+    #[test]
+    fn mmc_reduces_to_mm1() {
+        let rho = 0.8;
+        assert!((mmc_mean_wait(1, rho) - rho / (1.0 - rho)).abs() < 1e-12);
+        assert!((mmc_mean_sojourn(1, rho) - mm1_mean_sojourn(rho)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmc_beats_parallel_mm1() {
+        // Complete pooling dominates independent queues at equal per-server
+        // load: W(M/M/c) < W(M/M/1) for c > 1.
+        let per_server = 0.8;
+        let c = 4;
+        let pooled = mmc_mean_wait(c, per_server * c as f64);
+        let split = per_server / (1.0 - per_server);
+        assert!(pooled < split);
+    }
+
+    #[test]
+    fn mm1k_sums_to_one_and_limits() {
+        let pmf = mm1k_queue_length_pmf(0.5, 10);
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // ρ = 1 special case is uniform.
+        let u = mm1k_queue_length_pmf(1.0, 4);
+        for p in u {
+            assert!((p - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn erlang_c_rejects_overload() {
+        let _ = erlang_c(2, 2.0);
+    }
+}

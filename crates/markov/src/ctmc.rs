@@ -1,0 +1,331 @@
+//! Dense continuous-time Markov chains.
+
+use slb_linalg::Matrix;
+
+use crate::{gth_stationary, Dtmc, MarkovError, Result};
+
+/// How far a generator row sum may deviate from zero before construction
+/// rejects it. Rates in this project are exact small rationals, so any
+/// larger deviation is a modelling bug, not round-off.
+const ROW_SUM_TOL: f64 = 1e-9;
+
+/// A finite continuous-time Markov chain, stored as its dense generator.
+///
+/// Invariants (validated at construction): square, nonnegative
+/// off-diagonals, every row sums to zero.
+///
+/// # Example
+///
+/// ```
+/// use slb_markov::Ctmc;
+///
+/// # fn main() -> Result<(), slb_markov::MarkovError> {
+/// let ctmc = Ctmc::from_rates(&[
+///     vec![0.0, 2.0],
+///     vec![1.0, 0.0],
+/// ])?;
+/// let pi = ctmc.stationary()?;
+/// assert!((pi[0] - 1.0 / 3.0).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctmc {
+    generator: Matrix,
+}
+
+impl Ctmc {
+    /// Builds a chain from a full generator matrix (diagonal included).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] if the matrix is not square, has a
+    /// negative off-diagonal entry, or a row sum exceeding `1e-9` in
+    /// magnitude.
+    pub fn from_generator(q: Matrix) -> Result<Self> {
+        if !q.is_square() {
+            return Err(MarkovError::InvalidChain {
+                reason: format!("generator must be square, got {:?}", q.shape()),
+            });
+        }
+        for r in 0..q.rows() {
+            let mut sum = 0.0;
+            for c in 0..q.cols() {
+                if r != c && q[(r, c)] < 0.0 {
+                    return Err(MarkovError::InvalidChain {
+                        reason: format!("negative rate {} at ({r}, {c})", q[(r, c)]),
+                    });
+                }
+                sum += q[(r, c)];
+            }
+            if sum.abs() > ROW_SUM_TOL {
+                return Err(MarkovError::InvalidChain {
+                    reason: format!("row {r} sums to {sum}, expected 0"),
+                });
+            }
+        }
+        Ok(Ctmc { generator: q })
+    }
+
+    /// Builds a chain from off-diagonal rates only; diagonals are filled in
+    /// as negative row sums. `rates[i][j]` is the rate from `i` to `j`;
+    /// diagonal entries of the input are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] if the rows are ragged, empty, or
+    /// contain a negative off-diagonal rate.
+    pub fn from_rates<R: AsRef<[f64]>>(rates: &[R]) -> Result<Self> {
+        let n = rates.len();
+        if n == 0 || rates.iter().any(|r| r.as_ref().len() != n) {
+            return Err(MarkovError::InvalidChain {
+                reason: "rates must form a non-empty square matrix".into(),
+            });
+        }
+        let mut q = Matrix::zeros(n, n);
+        for (i, row) in rates.iter().enumerate() {
+            let mut out = 0.0;
+            for (j, &v) in row.as_ref().iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if v < 0.0 {
+                    return Err(MarkovError::InvalidChain {
+                        reason: format!("negative rate {v} at ({i}, {j})"),
+                    });
+                }
+                q[(i, j)] = v;
+                out += v;
+            }
+            q[(i, i)] = -out;
+        }
+        Ok(Ctmc { generator: q })
+    }
+
+    /// Number of states.
+    pub fn n(&self) -> usize {
+        self.generator.rows()
+    }
+
+    /// The generator matrix.
+    pub fn generator(&self) -> &Matrix {
+        &self.generator
+    }
+
+    /// Transition rate from `i` to `j` (`i ≠ j`), or the negative total
+    /// outflow when `i == j`.
+    pub fn rate(&self, i: usize, j: usize) -> f64 {
+        self.generator[(i, j)]
+    }
+
+    /// The stationary distribution, via GTH elimination.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::NotErgodic`] if the chain is reducible.
+    pub fn stationary(&self) -> Result<Vec<f64>> {
+        gth_stationary(&self.generator)
+    }
+
+    /// The uniformization constant: the largest total outflow rate.
+    pub fn uniformization_rate(&self) -> f64 {
+        (0..self.n())
+            .map(|i| -self.generator[(i, i)])
+            .fold(0.0, f64::max)
+    }
+
+    /// The uniformized DTMC `P = I + Q/Λ` for `Λ ≥ max outflow` (a strict
+    /// inflation `Λ = 1.02 × max` is used so every state keeps a self-loop,
+    /// making the DTMC aperiodic).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] if the chain has no transitions at all
+    /// (uniformization rate zero).
+    pub fn uniformized_dtmc(&self) -> Result<Dtmc> {
+        let lam = self.uniformization_rate();
+        if lam <= 0.0 {
+            return Err(MarkovError::InvalidChain {
+                reason: "cannot uniformize a chain with no transitions".into(),
+            });
+        }
+        let lam = lam * 1.02;
+        let n = self.n();
+        let p = Matrix::from_fn(n, n, |r, c| {
+            let base = if r == c { 1.0 } else { 0.0 };
+            base + self.generator[(r, c)] / lam
+        });
+        Dtmc::from_matrix(p)
+    }
+
+    /// Transient distribution after time `t` starting from `initial`, via
+    /// uniformization with a truncated Poisson sum.
+    ///
+    /// The truncation point is chosen so the neglected Poisson tail is below
+    /// `1e-12`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::InvalidChain`] if `initial` has the wrong length or
+    ///   is not a distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative.
+    pub fn transient(&self, initial: &[f64], t: f64) -> Result<Vec<f64>> {
+        assert!(t >= 0.0, "time must be nonnegative");
+        if initial.len() != self.n() {
+            return Err(MarkovError::InvalidChain {
+                reason: format!(
+                    "initial distribution has length {}, chain has {} states",
+                    initial.len(),
+                    self.n()
+                ),
+            });
+        }
+        let total: f64 = initial.iter().sum();
+        if (total - 1.0).abs() > 1e-9 || initial.iter().any(|&p| p < 0.0) {
+            return Err(MarkovError::InvalidChain {
+                reason: "initial vector is not a probability distribution".into(),
+            });
+        }
+        if t == 0.0 {
+            return Ok(initial.to_vec());
+        }
+        let lam = self.uniformization_rate().max(1e-12) * 1.02;
+        let p = {
+            let n = self.n();
+            Matrix::from_fn(n, n, |r, c| {
+                let base = if r == c { 1.0 } else { 0.0 };
+                base + self.generator[(r, c)] / lam
+            })
+        };
+        let a = lam * t;
+        // Truncation K: P(Poisson(a) > K) < 1e-12. Use mean + 10 sqrt + 30.
+        let k_max = (a + 10.0 * a.sqrt() + 30.0).ceil() as usize;
+
+        let mut result = vec![0.0; self.n()];
+        let mut v = initial.to_vec();
+        // Poisson weights computed iteratively to avoid overflow.
+        let mut log_w = -a; // log of e^{-a} a^0 / 0!
+        for k in 0..=k_max {
+            let w = log_w.exp();
+            for (ri, vi) in result.iter_mut().zip(&v) {
+                *ri += w * vi;
+            }
+            v = p.vec_mat(&v);
+            log_w += (a / (k as f64 + 1.0)).ln();
+        }
+        // Renormalize the tiny truncation loss.
+        let s: f64 = result.iter().sum();
+        for r in &mut result {
+            *r /= s;
+        }
+        Ok(result)
+    }
+
+    /// Expected value of `f` under the stationary distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Ctmc::stationary`] failures.
+    pub fn stationary_mean<F: Fn(usize) -> f64>(&self, f: F) -> Result<f64> {
+        let pi = self.stationary()?;
+        Ok(pi.iter().enumerate().map(|(i, &p)| p * f(i)).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Ctmc {
+        Ctmc::from_rates(&[vec![0.0, 2.0], vec![1.0, 0.0]]).unwrap()
+    }
+
+    #[test]
+    fn from_rates_fills_diagonal() {
+        let c = two_state();
+        assert_eq!(c.rate(0, 0), -2.0);
+        assert_eq!(c.rate(1, 1), -1.0);
+    }
+
+    #[test]
+    fn from_generator_validates_row_sums() {
+        let q = Matrix::from_rows(&[&[-1.0, 2.0], &[1.0, -1.0]]).unwrap();
+        assert!(matches!(
+            Ctmc::from_generator(q),
+            Err(MarkovError::InvalidChain { .. })
+        ));
+    }
+
+    #[test]
+    fn stationary_two_state() {
+        let pi = two_state().stationary().unwrap();
+        assert!((pi[0] - 1.0 / 3.0).abs() < 1e-14);
+        assert!((pi[1] - 2.0 / 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn uniformized_dtmc_preserves_stationary() {
+        let c = two_state();
+        let d = c.uniformized_dtmc().unwrap();
+        let pi_c = c.stationary().unwrap();
+        let pi_d = d.stationary().unwrap();
+        for (a, b) in pi_c.iter().zip(&pi_d) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transient_converges_to_stationary() {
+        let c = two_state();
+        let p_t = c.transient(&[1.0, 0.0], 50.0).unwrap();
+        let pi = c.stationary().unwrap();
+        for (a, b) in p_t.iter().zip(&pi) {
+            assert!((a - b).abs() < 1e-9, "{p_t:?} vs {pi:?}");
+        }
+    }
+
+    #[test]
+    fn transient_zero_time_is_identity() {
+        let c = two_state();
+        let p0 = c.transient(&[0.25, 0.75], 0.0).unwrap();
+        assert_eq!(p0, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn transient_exact_two_state() {
+        // For a two-state chain the transient solution is known in closed
+        // form: p₀(t) = π₀ + (1 − π₀) e^{−(a+b)t} starting from state 0,
+        // with a = rate(0→1), b = rate(1→0).
+        let (a, b) = (2.0, 1.0);
+        let c = Ctmc::from_rates(&[vec![0.0, a], vec![b, 0.0]]).unwrap();
+        let t = 0.7;
+        let p = c.transient(&[1.0, 0.0], t).unwrap();
+        let pi0 = b / (a + b);
+        let exact = pi0 + (1.0 - pi0) * (-(a + b) * t).exp();
+        assert!((p[0] - exact).abs() < 1e-10, "{} vs {exact}", p[0]);
+    }
+
+    #[test]
+    fn stationary_mean_queue_length() {
+        // Truncated M/M/1, λ=0.5: E[L] should be near ρ/(1−ρ) = 1.
+        let n = 80;
+        let mut rates = vec![vec![0.0; n]; n];
+        for i in 0..n - 1 {
+            rates[i][i + 1] = 0.5;
+            rates[i + 1][i] = 1.0;
+        }
+        let c = Ctmc::from_rates(&rates).unwrap();
+        let el = c.stationary_mean(|i| i as f64).unwrap();
+        assert!((el - 1.0).abs() < 1e-9, "E[L] = {el}");
+    }
+
+    #[test]
+    fn invalid_initial_rejected() {
+        let c = two_state();
+        assert!(c.transient(&[0.5, 0.2], 1.0).is_err());
+        assert!(c.transient(&[1.0], 1.0).is_err());
+    }
+}

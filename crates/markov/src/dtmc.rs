@@ -1,0 +1,231 @@
+//! Dense discrete-time Markov chains.
+
+use slb_linalg::Matrix;
+
+use crate::{gth_stationary, MarkovError, Result};
+
+/// How far a stochastic row sum may deviate from one at construction.
+const ROW_SUM_TOL: f64 = 1e-9;
+
+/// A finite discrete-time Markov chain, stored as its dense transition
+/// matrix.
+///
+/// Invariants (validated at construction): square, entries in `[0, 1]`
+/// within round-off, rows summing to one.
+///
+/// # Example
+///
+/// ```
+/// use slb_linalg::Matrix;
+/// use slb_markov::Dtmc;
+///
+/// # fn main() -> Result<(), slb_markov::MarkovError> {
+/// let p = Matrix::from_rows(&[&[0.5, 0.5], &[0.25, 0.75]]).unwrap();
+/// let chain = Dtmc::from_matrix(p)?;
+/// let pi = chain.stationary()?;
+/// assert!((pi[0] - 1.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dtmc {
+    p: Matrix,
+}
+
+impl Dtmc {
+    /// Builds a chain from a stochastic matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] if the matrix is not square, has an
+    /// entry outside `[0, 1]` (beyond round-off), or a row not summing to
+    /// one.
+    pub fn from_matrix(p: Matrix) -> Result<Self> {
+        if !p.is_square() {
+            return Err(MarkovError::InvalidChain {
+                reason: format!("transition matrix must be square, got {:?}", p.shape()),
+            });
+        }
+        for r in 0..p.rows() {
+            let mut sum = 0.0;
+            for c in 0..p.cols() {
+                let v = p[(r, c)];
+                if !(-ROW_SUM_TOL..=1.0 + ROW_SUM_TOL).contains(&v) {
+                    return Err(MarkovError::InvalidChain {
+                        reason: format!("probability {v} at ({r}, {c}) outside [0, 1]"),
+                    });
+                }
+                sum += v;
+            }
+            if (sum - 1.0).abs() > ROW_SUM_TOL {
+                return Err(MarkovError::InvalidChain {
+                    reason: format!("row {r} sums to {sum}, expected 1"),
+                });
+            }
+        }
+        Ok(Dtmc { p })
+    }
+
+    /// Number of states.
+    pub fn n(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// The transition matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// One-step transition probability from `i` to `j`.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.p[(i, j)]
+    }
+
+    /// The stationary distribution, via GTH on `P − I`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::NotErgodic`] if the chain is reducible.
+    pub fn stationary(&self) -> Result<Vec<f64>> {
+        let n = self.n();
+        let q = Matrix::from_fn(n, n, |r, c| {
+            self.p[(r, c)] - if r == c { 1.0 } else { 0.0 }
+        });
+        gth_stationary(&q)
+    }
+
+    /// Distribution after `k` steps from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] if `initial` is not a distribution of
+    /// the right length.
+    pub fn step_n(&self, initial: &[f64], k: usize) -> Result<Vec<f64>> {
+        if initial.len() != self.n() {
+            return Err(MarkovError::InvalidChain {
+                reason: format!(
+                    "initial distribution has length {}, chain has {} states",
+                    initial.len(),
+                    self.n()
+                ),
+            });
+        }
+        let sum: f64 = initial.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 || initial.iter().any(|&v| v < 0.0) {
+            return Err(MarkovError::InvalidChain {
+                reason: "initial vector is not a probability distribution".into(),
+            });
+        }
+        let mut v = initial.to_vec();
+        for _ in 0..k {
+            v = self.p.vec_mat(&v);
+        }
+        Ok(v)
+    }
+
+    /// Expected hitting times of `target` from every state (the target
+    /// itself gets 0), by solving the first-step equations
+    /// `h_i = 1 + Σ_j p_ij h_j` over non-target states.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::InvalidChain`] if `target ≥ n`.
+    /// * [`MarkovError::NotErgodic`] if some state cannot reach the target
+    ///   (singular first-step system).
+    pub fn hitting_times(&self, target: usize) -> Result<Vec<f64>> {
+        let n = self.n();
+        if target >= n {
+            return Err(MarkovError::InvalidChain {
+                reason: format!("target {target} out of range (n = {n})"),
+            });
+        }
+        if n == 1 {
+            return Ok(vec![0.0]);
+        }
+        // Index map skipping the target.
+        let others: Vec<usize> = (0..n).filter(|&i| i != target).collect();
+        let m = others.len();
+        let a = Matrix::from_fn(m, m, |r, c| {
+            let (i, j) = (others[r], others[c]);
+            (if i == j { 1.0 } else { 0.0 }) - self.p[(i, j)]
+        });
+        let b = vec![1.0; m];
+        let h = a.solve_vec(&b).map_err(|_| MarkovError::NotErgodic {
+            reason: format!("some state cannot reach target {target}"),
+        })?;
+        let mut out = vec![0.0; n];
+        for (r, &i) in others.iter().enumerate() {
+            out[i] = h[r];
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain2() -> Dtmc {
+        let p = Matrix::from_rows(&[&[0.5, 0.5], &[0.25, 0.75]]).unwrap();
+        Dtmc::from_matrix(p).unwrap()
+    }
+
+    #[test]
+    fn stationary_matches_hand_computation() {
+        let pi = chain2().stationary().unwrap();
+        assert!((pi[0] - 1.0 / 3.0).abs() < 1e-13);
+        assert!((pi[1] - 2.0 / 3.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn step_n_converges() {
+        let c = chain2();
+        let v = c.step_n(&[1.0, 0.0], 200).unwrap();
+        let pi = c.stationary().unwrap();
+        for (a, b) in v.iter().zip(&pi) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_matrix_rejected() {
+        let p = Matrix::from_rows(&[&[0.5, 0.6], &[0.25, 0.75]]).unwrap();
+        assert!(Dtmc::from_matrix(p).is_err());
+        let p = Matrix::from_rows(&[&[1.5, -0.5], &[0.25, 0.75]]).unwrap();
+        assert!(Dtmc::from_matrix(p).is_err());
+    }
+
+    #[test]
+    fn hitting_times_gambler() {
+        // Symmetric random walk on {0,1,2} with reflecting 2, absorbing
+        // checks via first-step analysis: from 1, E[hit 0] with p=1/2 each
+        // way and state 2 reflecting back to 1.
+        let p = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.5, 0.0, 0.5],
+            &[0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let c = Dtmc::from_matrix(p).unwrap();
+        let h = c.hitting_times(0).unwrap();
+        // h1 = 1 + 0.5 h2, h2 = 1 + h1  =>  h1 = 3, h2 = 4.
+        assert!((h[1] - 3.0).abs() < 1e-12);
+        assert!((h[2] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hitting_time_unreachable_errors() {
+        let p = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let c = Dtmc::from_matrix(p).unwrap();
+        assert!(c.hitting_times(0).is_err());
+    }
+
+    #[test]
+    fn period_two_chain_stationary_still_defined() {
+        // GTH solves the balance equations regardless of periodicity.
+        let p = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let c = Dtmc::from_matrix(p).unwrap();
+        let pi = c.stationary().unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-14);
+    }
+}

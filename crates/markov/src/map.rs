@@ -1,0 +1,360 @@
+//! Markovian Arrival Processes (MAPs).
+//!
+//! A MAP is a point process modulated by a CTMC: `(D0, D1)` with
+//! `D0 + D1` an irreducible generator, `D1 ≥ 0` holding the rates of
+//! transitions *with* an arrival and `D0` those without (off-diagonal
+//! ≥ 0). MAPs close the matrix-geometric framework under arrivals and are
+//! the extension the paper's conclusion proposes for fitting real traces;
+//! Poisson (`D0 = −λ, D1 = λ`) and MMPPs are special cases.
+
+use slb_linalg::{vector, Lu, Matrix};
+
+use crate::{gth_stationary, MarkovError, Result};
+
+/// A Markovian Arrival Process `MAP(D0, D1)`.
+///
+/// # Example
+///
+/// ```
+/// use slb_markov::Map;
+///
+/// # fn main() -> Result<(), slb_markov::MarkovError> {
+/// // A 2-state MMPP: slow phase (rate 0.2), fast phase (rate 2.0).
+/// let map = Map::mmpp2(0.5, 0.25, 0.2, 2.0)?;
+/// let lam = map.rate()?;
+/// assert!(lam > 0.2 && lam < 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Map {
+    d0: Matrix,
+    d1: Matrix,
+}
+
+impl Map {
+    /// Builds and validates a MAP.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] unless `D0`/`D1` are square of equal
+    /// size, `D1 ≥ 0`, `D0` has nonnegative off-diagonals, and
+    /// `(D0 + D1)·e = 0`.
+    pub fn new(d0: Matrix, d1: Matrix) -> Result<Self> {
+        if !d0.is_square() || d0.shape() != d1.shape() {
+            return Err(MarkovError::InvalidChain {
+                reason: format!(
+                    "D0 {:?} and D1 {:?} must be square and equal-shaped",
+                    d0.shape(),
+                    d1.shape()
+                ),
+            });
+        }
+        let p = d0.rows();
+        for r in 0..p {
+            let mut row = 0.0;
+            for c in 0..p {
+                if d1[(r, c)] < 0.0 {
+                    return Err(MarkovError::InvalidChain {
+                        reason: format!("negative D1 entry at ({r}, {c})"),
+                    });
+                }
+                if r != c && d0[(r, c)] < 0.0 {
+                    return Err(MarkovError::InvalidChain {
+                        reason: format!("negative D0 off-diagonal at ({r}, {c})"),
+                    });
+                }
+                row += d0[(r, c)] + d1[(r, c)];
+            }
+            if row.abs() > 1e-9 {
+                return Err(MarkovError::InvalidChain {
+                    reason: format!("row {r} of D0 + D1 sums to {row}, expected 0"),
+                });
+            }
+        }
+        Ok(Map { d0, d1 })
+    }
+
+    /// A Poisson process of the given rate, as the one-phase MAP.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] if `rate <= 0`.
+    pub fn poisson(rate: f64) -> Result<Self> {
+        if rate <= 0.0 || !rate.is_finite() {
+            return Err(MarkovError::InvalidChain {
+                reason: format!("rate must be positive, got {rate}"),
+            });
+        }
+        Map::new(
+            Matrix::from_vec(1, 1, vec![-rate]).expect("1x1"),
+            Matrix::from_vec(1, 1, vec![rate]).expect("1x1"),
+        )
+    }
+
+    /// A two-phase Markov-modulated Poisson process: phase switch rates
+    /// `r01` (slow → fast) and `r10` (fast → slow), Poisson arrival rates
+    /// `lam0`/`lam1` per phase.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] on non-positive switch rates or
+    /// negative arrival rates.
+    pub fn mmpp2(r01: f64, r10: f64, lam0: f64, lam1: f64) -> Result<Self> {
+        if r01 <= 0.0 || r10 <= 0.0 || lam0 < 0.0 || lam1 < 0.0 {
+            return Err(MarkovError::InvalidChain {
+                reason: "MMPP needs positive switch rates and nonnegative arrival rates".into(),
+            });
+        }
+        let d0 = Matrix::from_rows(&[&[-(r01 + lam0), r01], &[r10, -(r10 + lam1)]])
+            .expect("2x2");
+        let d1 = Matrix::from_rows(&[&[lam0, 0.0], &[0.0, lam1]]).expect("2x2");
+        Map::new(d0, d1)
+    }
+
+    /// Number of phases.
+    pub fn phases(&self) -> usize {
+        self.d0.rows()
+    }
+
+    /// The no-arrival block `D0`.
+    pub fn d0(&self) -> &Matrix {
+        &self.d0
+    }
+
+    /// The arrival block `D1`.
+    pub fn d1(&self) -> &Matrix {
+        &self.d1
+    }
+
+    /// Stationary distribution of the modulating chain `D0 + D1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a GTH failure for reducible modulation.
+    pub fn phase_stationary(&self) -> Result<Vec<f64>> {
+        gth_stationary(&self.d0.add(&self.d1)?)
+    }
+
+    /// Fundamental arrival rate `λ = π D1 e`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Map::phase_stationary`].
+    pub fn rate(&self) -> Result<f64> {
+        let pi = self.phase_stationary()?;
+        Ok(vector::sum(&self.d1.vec_mat(&pi)))
+    }
+
+    /// Stationary phase distribution *embedded at arrival epochs*:
+    /// the stationary vector of `P = (−D0)⁻¹ D1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn embedded_phase_stationary(&self) -> Result<Vec<f64>> {
+        let neg_d0 = -&self.d0;
+        let lu = Lu::new(&neg_d0)?;
+        let p = lu.solve_mat(&self.d1)?;
+        // Stationary of the stochastic matrix P via GTH on P − I.
+        let n = self.phases();
+        let q = Matrix::from_fn(n, n, |r, c| p[(r, c)] - if r == c { 1.0 } else { 0.0 });
+        gth_stationary(&q)
+    }
+
+    /// `k`-th raw moment of the stationary interarrival time:
+    /// `E[Aᵏ] = k!·φ(−D0)⁻ᵏ e` with `φ` the embedded phase distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn interarrival_moment(&self, k: u32) -> Result<f64> {
+        let phi = self.embedded_phase_stationary()?;
+        let neg_d0 = -&self.d0;
+        let lu = Lu::new(&neg_d0)?;
+        let mut v = vec![1.0; self.phases()];
+        let mut factorial = 1.0;
+        for i in 1..=k {
+            v = lu.solve_vec(&v)?;
+            factorial *= f64::from(i);
+        }
+        Ok(factorial * vector::dot(&phi, &v))
+    }
+
+    /// Squared coefficient of variation of the stationary interarrival
+    /// time (1 for Poisson, > 1 for bursty MMPPs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn interarrival_scv(&self) -> Result<f64> {
+        let m1 = self.interarrival_moment(1)?;
+        let m2 = self.interarrival_moment(2)?;
+        Ok((m2 - m1 * m1) / (m1 * m1))
+    }
+
+    /// The renewal process with phase-type interarrival law `ph`, as a MAP:
+    /// `D0 = S` (the sub-generator) and `D1 = s·α` (absorption restarts the
+    /// phase from the initial distribution).
+    ///
+    /// This embeds every Erlang / hyperexponential / Coxian renewal stream
+    /// into the MAP machinery, so the SQ(d) bound models extend beyond
+    /// Poisson exactly as the paper's conclusion anticipates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-shape failures (cannot occur for a validated
+    /// [`PhaseType`](crate::PhaseType)).
+    pub fn renewal(ph: &crate::PhaseType) -> Result<Self> {
+        let p = ph.phases();
+        let exit = ph.exit_rates();
+        let alpha = ph.alpha();
+        let d1 = Matrix::from_fn(p, p, |r, c| exit[r] * alpha[c]);
+        Map::new(ph.sub_generator().clone(), d1)
+    }
+
+    /// The same MAP with time rescaled by `c > 0`: `(c·D0, c·D1)`. The
+    /// fundamental rate scales by `c` while the interarrival SCV and the
+    /// phase process's correlation *structure* are preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] if `c` is not positive and finite.
+    pub fn scaled(&self, c: f64) -> Result<Self> {
+        if !(c > 0.0 && c.is_finite()) {
+            return Err(MarkovError::InvalidChain {
+                reason: format!("scale factor must be positive and finite, got {c}"),
+            });
+        }
+        Map::new(self.d0.scale(c), self.d1.scale(c))
+    }
+
+    /// Rescales time so the fundamental rate becomes exactly `rate`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] if `rate` is not positive and finite;
+    /// propagates [`Map::rate`] failures.
+    pub fn with_rate(&self, rate: f64) -> Result<Self> {
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(MarkovError::InvalidChain {
+                reason: format!("target rate must be positive and finite, got {rate}"),
+            });
+        }
+        self.scaled(rate / self.rate()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_special_case() {
+        let map = Map::poisson(1.5).unwrap();
+        assert_eq!(map.phases(), 1);
+        assert!((map.rate().unwrap() - 1.5).abs() < 1e-14);
+        assert!((map.interarrival_moment(1).unwrap() - 1.0 / 1.5).abs() < 1e-14);
+        assert!((map.interarrival_scv().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmpp_rate_is_phase_weighted() {
+        // Symmetric switching: half time in each phase.
+        let map = Map::mmpp2(1.0, 1.0, 0.5, 1.5).unwrap();
+        assert!((map.rate().unwrap() - 1.0).abs() < 1e-12);
+        let pi = map.phase_stationary().unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmpp_is_bursty() {
+        // Strong modulation ⇒ SCV > 1.
+        let map = Map::mmpp2(0.1, 0.1, 0.1, 3.0).unwrap();
+        assert!(map.interarrival_scv().unwrap() > 1.5);
+        // Fast switching ⇒ nearly Poisson.
+        let fast = Map::mmpp2(100.0, 100.0, 0.9, 1.1).unwrap();
+        assert!((fast.interarrival_scv().unwrap() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn embedded_vs_time_stationary_differ() {
+        // Arrivals oversample the fast phase.
+        let map = Map::mmpp2(0.5, 0.5, 0.2, 2.0).unwrap();
+        let time_pi = map.phase_stationary().unwrap();
+        let emb = map.embedded_phase_stationary().unwrap();
+        assert!(emb[1] > time_pi[1], "{emb:?} vs {time_pi:?}");
+    }
+
+    #[test]
+    fn mean_interarrival_is_reciprocal_rate() {
+        // Fundamental identity for any MAP: E[A] = 1/λ.
+        let map = Map::mmpp2(0.3, 0.7, 0.4, 1.8).unwrap();
+        let lam = map.rate().unwrap();
+        let m1 = map.interarrival_moment(1).unwrap();
+        assert!((m1 - 1.0 / lam).abs() < 1e-12, "{m1} vs {}", 1.0 / lam);
+    }
+
+    #[test]
+    fn renewal_map_from_erlang() {
+        // Erlang(2, 2) renewal: mean 1, SCV 1/2; the MAP must agree.
+        let ph = crate::PhaseType::erlang(2, 2.0).unwrap();
+        let map = Map::renewal(&ph).unwrap();
+        assert_eq!(map.phases(), 2);
+        assert!((map.rate().unwrap() - 1.0).abs() < 1e-12);
+        assert!((map.interarrival_moment(1).unwrap() - 1.0).abs() < 1e-12);
+        assert!((map.interarrival_scv().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renewal_map_from_hyperexponential() {
+        let ph =
+            crate::PhaseType::hyperexponential(&[0.4, 0.6], &[0.5, 2.0]).unwrap();
+        let map = Map::renewal(&ph).unwrap();
+        let want_mean = ph.mean().unwrap();
+        assert!((map.interarrival_moment(1).unwrap() - want_mean).abs() < 1e-12);
+        assert!(map.interarrival_scv().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn scaling_changes_rate_not_scv() {
+        let map = Map::mmpp2(0.3, 0.7, 0.4, 1.8).unwrap();
+        let scaled = map.scaled(2.5).unwrap();
+        assert!(
+            (scaled.rate().unwrap() - 2.5 * map.rate().unwrap()).abs() < 1e-12
+        );
+        assert!(
+            (scaled.interarrival_scv().unwrap() - map.interarrival_scv().unwrap())
+                .abs()
+                < 1e-12
+        );
+        assert!(map.scaled(0.0).is_err());
+        assert!(map.scaled(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn with_rate_hits_target() {
+        let map = Map::mmpp2(1.0, 2.0, 0.5, 3.0).unwrap();
+        let adjusted = map.with_rate(1.7).unwrap();
+        assert!((adjusted.rate().unwrap() - 1.7).abs() < 1e-12);
+        assert!(map.with_rate(-1.0).is_err());
+    }
+
+    #[test]
+    fn invalid_maps_rejected() {
+        // Negative D1.
+        let d0 = Matrix::from_rows(&[&[-1.0]]).unwrap();
+        let d1 = Matrix::from_rows(&[&[-1.0]]).unwrap();
+        assert!(Map::new(d0, d1).is_err());
+        // Row sums not zero.
+        let d0 = Matrix::from_rows(&[&[-1.0]]).unwrap();
+        let d1 = Matrix::from_rows(&[&[2.0]]).unwrap();
+        assert!(Map::new(d0, d1).is_err());
+        // Shape mismatch.
+        let d0 = Matrix::zeros(2, 2);
+        let d1 = Matrix::zeros(1, 1);
+        assert!(Map::new(d0, d1).is_err());
+        assert!(Map::poisson(0.0).is_err());
+        assert!(Map::mmpp2(0.0, 1.0, 1.0, 1.0).is_err());
+    }
+}

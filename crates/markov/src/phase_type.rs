@@ -1,0 +1,410 @@
+//! Phase-type (PH) distributions.
+//!
+//! A PH distribution is the law of the absorption time of a CTMC with
+//! transient phases `1..=p` and one absorbing state: parameters
+//! `(α, S)` where `α` is the initial phase distribution and `S` the
+//! transient-to-transient sub-generator; the exit-rate vector is
+//! `s⁰ = −S·e`.
+//!
+//! PH laws are dense in the positive distributions and close the
+//! matrix-geometric machinery under both arrivals (MAP) and services —
+//! the extension the paper's conclusion singles out. This module provides
+//! the standard constructions (exponential, Erlang, hyperexponential,
+//! Coxian), moments, the Laplace–Stieltjes transform (which is all the
+//! Theorem-2 σ computation needs), and CDF evaluation.
+
+use slb_linalg::{Lu, Matrix};
+
+use crate::{MarkovError, Result};
+
+/// A phase-type distribution `PH(α, S)`.
+///
+/// # Example
+///
+/// ```
+/// use slb_markov::PhaseType;
+///
+/// # fn main() -> Result<(), slb_markov::MarkovError> {
+/// // Erlang-3 with rate 3 per stage: mean 1, CV² = 1/3.
+/// let ph = PhaseType::erlang(3, 3.0)?;
+/// assert!((ph.mean()? - 1.0).abs() < 1e-12);
+/// assert!((ph.scv()? - 1.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseType {
+    alpha: Vec<f64>,
+    s: Matrix,
+}
+
+impl PhaseType {
+    /// Builds a PH distribution from an initial distribution `alpha` and
+    /// sub-generator `s`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] unless `alpha` is a probability
+    /// vector of matching dimension and `s` is a valid sub-generator
+    /// (nonnegative off-diagonals, strictly nonpositive diagonal, row
+    /// sums ≤ 0 with at least one strict exit path).
+    pub fn new(alpha: Vec<f64>, s: Matrix) -> Result<Self> {
+        if !s.is_square() || s.rows() != alpha.len() || alpha.is_empty() {
+            return Err(MarkovError::InvalidChain {
+                reason: format!(
+                    "PH dimensions inconsistent: alpha has {} entries, S is {:?}",
+                    alpha.len(),
+                    s.shape()
+                ),
+            });
+        }
+        let total: f64 = alpha.iter().sum();
+        if alpha.iter().any(|&a| a < 0.0) || (total - 1.0).abs() > 1e-9 {
+            return Err(MarkovError::InvalidChain {
+                reason: "alpha is not a probability distribution".into(),
+            });
+        }
+        let p = s.rows();
+        let mut any_exit = false;
+        for r in 0..p {
+            let mut row_sum = 0.0;
+            for c in 0..p {
+                let v = s[(r, c)];
+                if r != c && v < 0.0 {
+                    return Err(MarkovError::InvalidChain {
+                        reason: format!("negative off-diagonal {v} in S at ({r}, {c})"),
+                    });
+                }
+                row_sum += v;
+            }
+            if row_sum > 1e-9 {
+                return Err(MarkovError::InvalidChain {
+                    reason: format!("row {r} of S has positive sum {row_sum}"),
+                });
+            }
+            if row_sum < -1e-12 {
+                any_exit = true;
+            }
+        }
+        if !any_exit {
+            return Err(MarkovError::InvalidChain {
+                reason: "S has no exit rate; absorption would never happen".into(),
+            });
+        }
+        Ok(PhaseType { alpha, s })
+    }
+
+    /// Exponential with the given `rate` (one phase).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] if `rate <= 0`.
+    pub fn exponential(rate: f64) -> Result<Self> {
+        if rate <= 0.0 || !rate.is_finite() {
+            return Err(MarkovError::InvalidChain {
+                reason: format!("rate must be positive, got {rate}"),
+            });
+        }
+        PhaseType::new(vec![1.0], Matrix::from_vec(1, 1, vec![-rate]).expect("1x1"))
+    }
+
+    /// Erlang with `k` sequential phases of the given per-phase `rate`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] if `k == 0` or `rate <= 0`.
+    pub fn erlang(k: usize, rate: f64) -> Result<Self> {
+        if k == 0 || rate <= 0.0 {
+            return Err(MarkovError::InvalidChain {
+                reason: format!("need k >= 1 and rate > 0, got k = {k}, rate = {rate}"),
+            });
+        }
+        let mut s = Matrix::zeros(k, k);
+        for i in 0..k {
+            s[(i, i)] = -rate;
+            if i + 1 < k {
+                s[(i, i + 1)] = rate;
+            }
+        }
+        let mut alpha = vec![0.0; k];
+        alpha[0] = 1.0;
+        PhaseType::new(alpha, s)
+    }
+
+    /// Hyperexponential: branch `i` taken with probability `probs[i]`,
+    /// exponential with `rates[i]`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] on mismatched/invalid parameters.
+    pub fn hyperexponential(probs: &[f64], rates: &[f64]) -> Result<Self> {
+        if probs.len() != rates.len() || probs.is_empty() {
+            return Err(MarkovError::InvalidChain {
+                reason: "probs and rates must be non-empty and equal length".into(),
+            });
+        }
+        if rates.iter().any(|&r| r <= 0.0) {
+            return Err(MarkovError::InvalidChain {
+                reason: "rates must be positive".into(),
+            });
+        }
+        let p = probs.len();
+        let mut s = Matrix::zeros(p, p);
+        for i in 0..p {
+            s[(i, i)] = -rates[i];
+        }
+        PhaseType::new(probs.to_vec(), s)
+    }
+
+    /// Coxian distribution: phase `i` completes at `rates[i]`, continuing
+    /// to phase `i+1` with probability `conts[i]` (and exiting
+    /// otherwise); `conts.len() == rates.len() − 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidChain`] on invalid parameters.
+    pub fn coxian(rates: &[f64], conts: &[f64]) -> Result<Self> {
+        if rates.is_empty() || conts.len() + 1 != rates.len() {
+            return Err(MarkovError::InvalidChain {
+                reason: "need rates.len() = conts.len() + 1 >= 1".into(),
+            });
+        }
+        if rates.iter().any(|&r| r <= 0.0)
+            || conts.iter().any(|&c| !(0.0..=1.0).contains(&c))
+        {
+            return Err(MarkovError::InvalidChain {
+                reason: "invalid Coxian rates/continuation probabilities".into(),
+            });
+        }
+        let p = rates.len();
+        let mut s = Matrix::zeros(p, p);
+        for i in 0..p {
+            s[(i, i)] = -rates[i];
+            if i + 1 < p {
+                s[(i, i + 1)] = rates[i] * conts[i];
+            }
+        }
+        let mut alpha = vec![0.0; p];
+        alpha[0] = 1.0;
+        PhaseType::new(alpha, s)
+    }
+
+    /// Number of phases.
+    pub fn phases(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// The initial phase distribution `α`.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The sub-generator `S`.
+    pub fn sub_generator(&self) -> &Matrix {
+        &self.s
+    }
+
+    /// The exit-rate vector `s⁰ = −S·e`.
+    pub fn exit_rates(&self) -> Vec<f64> {
+        self.s.row_sums().iter().map(|&x| -x).collect()
+    }
+
+    /// `k`-th raw moment: `E[Xᵏ] = k!·α(−S)⁻ᵏ e`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a solve failure for defective representations.
+    pub fn moment(&self, k: u32) -> Result<f64> {
+        let p = self.phases();
+        let neg_s = -&self.s;
+        let lu = Lu::new(&neg_s)?;
+        // v ← (−S)⁻¹ e, iterated k times; moment = k! α·v.
+        let mut v = vec![1.0; p];
+        let mut factorial = 1.0;
+        for i in 1..=k {
+            v = lu.solve_vec(&v)?;
+            factorial *= f64::from(i);
+        }
+        Ok(factorial * slb_linalg::vector::dot(&self.alpha, &v))
+    }
+
+    /// Mean `E[X]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PhaseType::moment`].
+    pub fn mean(&self) -> Result<f64> {
+        self.moment(1)
+    }
+
+    /// Squared coefficient of variation `Var[X]/E[X]²`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PhaseType::moment`].
+    pub fn scv(&self) -> Result<f64> {
+        let m1 = self.moment(1)?;
+        let m2 = self.moment(2)?;
+        Ok((m2 - m1 * m1) / (m1 * m1))
+    }
+
+    /// Laplace–Stieltjes transform `E[e^{−sX}] = α(sI − S)⁻¹ s⁰`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a solve failure (cannot occur for `s ≥ 0` on a valid
+    /// representation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s < 0`.
+    pub fn lst(&self, s: f64) -> Result<f64> {
+        assert!(s >= 0.0, "LST argument must be nonnegative");
+        let p = self.phases();
+        let m = Matrix::from_fn(p, p, |r, c| {
+            (if r == c { s } else { 0.0 }) - self.s[(r, c)]
+        });
+        let x = m.solve_vec(&self.exit_rates())?;
+        Ok(slb_linalg::vector::dot(&self.alpha, &x))
+    }
+
+    /// CDF `P(X ≤ t) = 1 − α·exp(S t)·e`, via uniformization of the
+    /// defective chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < 0`.
+    pub fn cdf(&self, t: f64) -> Result<f64> {
+        assert!(t >= 0.0, "time must be nonnegative");
+        if t == 0.0 {
+            return Ok(0.0);
+        }
+        let p = self.phases();
+        let lam = (0..p).map(|i| -self.s[(i, i)]).fold(0.0_f64, f64::max) * 1.02 + 1e-12;
+        // Defective DTMC P = I + S/Λ (row sums < 1 encode absorption).
+        let pm = Matrix::from_fn(p, p, |r, c| {
+            (if r == c { 1.0 } else { 0.0 }) + self.s[(r, c)] / lam
+        });
+        let a = lam * t;
+        let k_max = (a + 10.0 * a.sqrt() + 30.0).ceil() as usize;
+        let mut v = self.alpha.clone();
+        let mut survive = 0.0;
+        let mut log_w = -a;
+        for k in 0..=k_max {
+            let w = log_w.exp();
+            let mass: f64 = v.iter().sum();
+            survive += w * mass;
+            v = pm.vec_mat(&v);
+            log_w += (a / (k as f64 + 1.0)).ln();
+        }
+        Ok((1.0 - survive).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_moments_and_lst() {
+        let ph = PhaseType::exponential(2.0).unwrap();
+        assert!((ph.mean().unwrap() - 0.5).abs() < 1e-14);
+        assert!((ph.scv().unwrap() - 1.0).abs() < 1e-12);
+        // LST of exp(µ): µ/(µ+s).
+        for s in [0.0, 0.5, 3.0] {
+            assert!((ph.lst(s).unwrap() - 2.0 / (2.0 + s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_properties() {
+        let ph = PhaseType::erlang(4, 4.0).unwrap();
+        assert!((ph.mean().unwrap() - 1.0).abs() < 1e-12);
+        assert!((ph.scv().unwrap() - 0.25).abs() < 1e-12);
+        // LST: (r/(r+s))^k.
+        let s = 1.3;
+        assert!((ph.lst(s).unwrap() - (4.0f64 / 5.3).powi(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hyperexp_properties() {
+        let ph = PhaseType::hyperexponential(&[0.4, 0.6], &[1.0, 3.0]).unwrap();
+        let mean = 0.4 + 0.6 / 3.0;
+        assert!((ph.mean().unwrap() - mean).abs() < 1e-12);
+        assert!(ph.scv().unwrap() > 1.0);
+        let s = 0.7;
+        let expect = 0.4 * 1.0 / 1.7 + 0.6 * 3.0 / 3.7;
+        assert!((ph.lst(s).unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coxian_reduces_to_erlang() {
+        // Coxian with continuation probability 1 everywhere = Erlang.
+        let cox = PhaseType::coxian(&[2.0, 2.0, 2.0], &[1.0, 1.0]).unwrap();
+        let erl = PhaseType::erlang(3, 2.0).unwrap();
+        assert!((cox.mean().unwrap() - erl.mean().unwrap()).abs() < 1e-12);
+        assert!((cox.lst(0.9).unwrap() - erl.lst(0.9).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_matches_exponential() {
+        let ph = PhaseType::exponential(1.5).unwrap();
+        for t in [0.0, 0.3, 1.0, 2.5] {
+            let exact = 1.0 - (-1.5f64 * t).exp();
+            assert!(
+                (ph.cdf(t).unwrap() - exact).abs() < 1e-9,
+                "t={t}: {} vs {exact}",
+                ph.cdf(t).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_distribution() {
+        let ph = PhaseType::erlang(3, 2.0).unwrap();
+        let mut prev = 0.0;
+        for i in 0..30 {
+            let t = i as f64 * 0.25;
+            let c = ph.cdf(t).unwrap();
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!(prev > 0.99);
+    }
+
+    #[test]
+    fn invalid_representations_rejected() {
+        assert!(PhaseType::exponential(0.0).is_err());
+        assert!(PhaseType::erlang(0, 1.0).is_err());
+        assert!(PhaseType::hyperexponential(&[0.5], &[1.0, 2.0]).is_err());
+        // alpha not a distribution.
+        assert!(PhaseType::new(
+            vec![0.5, 0.2],
+            Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]).unwrap()
+        )
+        .is_err());
+        // No exit.
+        assert!(PhaseType::new(
+            vec![1.0, 0.0],
+            Matrix::from_rows(&[&[-1.0, 1.0], &[1.0, -1.0]]).unwrap()
+        )
+        .is_err());
+        // Positive row sum.
+        assert!(PhaseType::new(
+            vec![1.0],
+            Matrix::from_vec(1, 1, vec![0.5]).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn moment_zero_is_one() {
+        let ph = PhaseType::erlang(2, 1.0).unwrap();
+        assert!((ph.moment(0).unwrap() - 1.0).abs() < 1e-14);
+    }
+}

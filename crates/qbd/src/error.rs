@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+use slb_linalg::LinalgError;
+use slb_markov::MarkovError;
+
+/// Error type for QBD construction and solution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QbdError {
+    /// The supplied blocks do not form a valid QBD generator.
+    InvalidBlocks {
+        /// Which structural condition failed.
+        reason: String,
+    },
+    /// The QBD is not positive recurrent: Neuts' drift condition
+    /// `π A0 e < π A2 e` fails, so no stationary distribution exists.
+    Unstable {
+        /// Mean upward drift `π A0 e`.
+        up_drift: f64,
+        /// Mean downward drift `π A2 e`.
+        down_drift: f64,
+    },
+    /// An iterative stage (logarithmic reduction, functional iteration)
+    /// exhausted its budget.
+    NoConvergence {
+        /// Name of the stage.
+        method: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the last iterate.
+        residual: f64,
+    },
+    /// An underlying dense linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// An underlying Markov-chain computation failed (e.g. the drift
+    /// chain `A = A0+A1+A2` is reducible).
+    Markov(MarkovError),
+}
+
+impl fmt::Display for QbdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QbdError::InvalidBlocks { reason } => write!(f, "invalid QBD blocks: {reason}"),
+            QbdError::Unstable {
+                up_drift,
+                down_drift,
+            } => write!(
+                f,
+                "QBD is not positive recurrent: up drift {up_drift:.6} >= down drift {down_drift:.6}"
+            ),
+            QbdError::NoConvergence {
+                method,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{method} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            QbdError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            QbdError::Markov(e) => write!(f, "markov failure: {e}"),
+        }
+    }
+}
+
+impl Error for QbdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QbdError::Linalg(e) => Some(e),
+            QbdError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for QbdError {
+    fn from(e: LinalgError) -> Self {
+        QbdError::Linalg(e)
+    }
+}
+
+impl From<MarkovError> for QbdError {
+    fn from(e: MarkovError) -> Self {
+        QbdError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = QbdError::Unstable {
+            up_drift: 1.2,
+            down_drift: 1.0,
+        };
+        assert!(e.to_string().contains("not positive recurrent"));
+        let e = QbdError::InvalidBlocks {
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn conversion_chain() {
+        let le = LinalgError::NotSquare { shape: (1, 2) };
+        let qe = QbdError::from(le.clone());
+        assert_eq!(qe, QbdError::Linalg(le));
+        assert!(Error::source(&qe).is_some());
+    }
+}

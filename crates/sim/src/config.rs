@@ -1,0 +1,545 @@
+//! Simulation configuration (builder) and results.
+
+use slb_markov::Map;
+
+use crate::distributions::{ArrivalProcess, ServiceDistribution};
+use crate::engine::Simulation;
+use crate::policy::Policy;
+use crate::{Result, SimError};
+
+/// Configuration of one simulation run; a non-consuming builder.
+///
+/// Defaults: SQ(2) (capped at `N`), Poisson arrivals, exponential unit
+/// services, 1,000,000 jobs with 100,000 discarded as warm-up, seed 0.
+///
+/// # Example
+///
+/// ```
+/// use slb_sim::{Policy, SimConfig};
+///
+/// # fn main() -> Result<(), slb_sim::SimError> {
+/// let res = SimConfig::new(6, 0.8)?
+///     .policy(Policy::SqD { d: 2 })
+///     .jobs(300_000)
+///     .warmup(30_000)
+///     .seed(42)
+///     .run()?;
+/// assert!(res.mean_delay >= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    pub(crate) n: usize,
+    pub(crate) lambda: f64,
+    pub(crate) policy: Policy,
+    pub(crate) arrival: ArrivalProcess,
+    /// When set, overrides `arrival` with a Markovian arrival process
+    /// whose fundamental rate is rescaled to `λN`.
+    pub(crate) map: Option<Map>,
+    pub(crate) service: ServiceDistribution,
+    /// Per-server speed multipliers (service times are divided by the
+    /// server's speed); `None` = homogeneous unit speeds.
+    pub(crate) speeds: Option<Vec<f64>>,
+    pub(crate) jobs: u64,
+    pub(crate) warmup: u64,
+    pub(crate) seed: u64,
+}
+
+impl SimConfig {
+    /// Creates a configuration for `n` servers at per-server load
+    /// `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] unless `n ≥ 1` and `0 < λ < 1`.
+    pub fn new(n: usize, lambda: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "need at least one server".into(),
+            });
+        }
+        if lambda.is_nan() || lambda <= 0.0 || lambda >= 1.0 {
+            return Err(SimError::InvalidConfig {
+                reason: format!("need 0 < lambda < 1, got {lambda}"),
+            });
+        }
+        Ok(SimConfig {
+            n,
+            lambda,
+            policy: Policy::SqD { d: 2.min(n) },
+            arrival: ArrivalProcess::Poisson,
+            map: None,
+            service: ServiceDistribution::exp_unit(),
+            speeds: None,
+            jobs: 1_000_000,
+            warmup: 100_000,
+            seed: 0,
+        })
+    }
+
+    /// Sets the dispatch policy.
+    pub fn policy(&mut self, policy: Policy) -> &mut Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the arrival process (default Poisson).
+    pub fn arrival(&mut self, arrival: ArrivalProcess) -> &mut Self {
+        self.arrival = arrival;
+        self.map = None;
+        self
+    }
+
+    /// Uses a Markovian arrival process instead of a renewal law. The
+    /// MAP is rescaled in time so its fundamental rate equals the
+    /// configured `λN`, preserving its correlation structure — the
+    /// MAP extension the paper's conclusion proposes.
+    pub fn arrival_map(&mut self, map: Map) -> &mut Self {
+        self.map = Some(map);
+        self
+    }
+
+    /// Sets the service distribution (default exponential, unit mean).
+    pub fn service(&mut self, service: ServiceDistribution) -> &mut Self {
+        self.service = service;
+        self
+    }
+
+    /// Sets per-server speed multipliers (heterogeneous servers, as in
+    /// the related work of Izagirre & Makowski and Mukhopadhyay et al.):
+    /// server `i` completes work `speeds[i]` times faster than the base
+    /// service distribution. Utilization is `λN / Σ speeds`.
+    pub fn server_speeds(&mut self, speeds: Vec<f64>) -> &mut Self {
+        self.speeds = Some(speeds);
+        self
+    }
+
+    /// Sets the total number of completed jobs to simulate.
+    pub fn jobs(&mut self, jobs: u64) -> &mut Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the number of initial completions discarded as warm-up.
+    pub fn warmup(&mut self, warmup: u64) -> &mut Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the RNG seed (runs are reproducible given the seed).
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the policy does not fit the server
+    /// count, the service law is invalid, or `warmup ≥ jobs`.
+    pub fn run(&self) -> Result<SimResult> {
+        if !self.policy.is_valid(self.n) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("policy {:?} invalid for N = {}", self.policy, self.n),
+            });
+        }
+        if !self.service.is_valid() {
+            return Err(SimError::InvalidConfig {
+                reason: format!("invalid service distribution {:?}", self.service),
+            });
+        }
+        if self.warmup >= self.jobs {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "warmup ({}) must be smaller than total jobs ({})",
+                    self.warmup, self.jobs
+                ),
+            });
+        }
+        if let Some(speeds) = &self.speeds {
+            if speeds.len() != self.n {
+                return Err(SimError::InvalidConfig {
+                    reason: format!(
+                        "{} speeds supplied for {} servers",
+                        speeds.len(),
+                        self.n
+                    ),
+                });
+            }
+            if speeds.iter().any(|&s| s <= 0.0 || !s.is_finite()) {
+                return Err(SimError::InvalidConfig {
+                    reason: "server speeds must be positive and finite".into(),
+                });
+            }
+        }
+        let mut cfg = self.clone();
+        if let Some(map) = &self.map {
+            // Rescale the MAP so its fundamental rate is λN.
+            let r0 = map.rate().map_err(|e| SimError::InvalidConfig {
+                reason: format!("invalid MAP: {e}"),
+            })?;
+            if r0 <= 0.0 {
+                return Err(SimError::InvalidConfig {
+                    reason: "MAP has zero arrival rate".into(),
+                });
+            }
+            let c = self.lambda * self.n as f64 / r0;
+            let scaled = Map::new(map.d0().scale(c), map.d1().scale(c)).map_err(|e| {
+                SimError::InvalidConfig {
+                    reason: format!("invalid MAP after rescaling: {e}"),
+                }
+            })?;
+            cfg.map = Some(scaled);
+        }
+        Ok(Simulation::new(cfg).run_to_end())
+    }
+}
+
+/// Statistics from a completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Mean sojourn time (waiting + service) over measured jobs.
+    pub mean_delay: f64,
+    /// Half-width of the ~95% batch-means confidence interval on
+    /// [`SimResult::mean_delay`].
+    pub ci_halfwidth: f64,
+    /// Mean waiting time of jobs that had to queue behind others (time
+    /// from arrival to entering service, measured over queued jobs).
+    pub mean_wait: f64,
+    /// Jobs measured after warm-up.
+    pub jobs_measured: u64,
+    /// Time-averaged number of jobs in the whole system.
+    pub mean_jobs_in_system: f64,
+    /// Largest queue length (jobs at one server) ever observed.
+    pub max_queue_len: u32,
+    /// Time-averaged fraction of servers holding at least `k` jobs,
+    /// indexed by `k` (`queue_tail[0] = 1`); the finite-`N` analogue of
+    /// the asymptotic fractions `s_k = λ^{(dᵏ−1)/(d−1)}`.
+    pub queue_tail: Vec<f64>,
+    /// Histogram of measured sojourn times (bin width 0.02 service
+    /// units), for percentile and tail-probability readouts.
+    pub delay_hist: crate::DelayHistogram,
+}
+
+impl SimResult {
+    /// Empirical `p`-quantile of the sojourn time (`None` when no jobs
+    /// were measured or `p ∉ (0, 1)`).
+    pub fn delay_quantile(&self, p: f64) -> Option<f64> {
+        self.delay_hist.quantile(p)
+    }
+
+    /// Empirical `P(Delay > t)`.
+    pub fn delay_survival(&self, t: f64) -> f64 {
+        self.delay_hist.survival(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validation() {
+        assert!(SimConfig::new(0, 0.5).is_err());
+        assert!(SimConfig::new(3, 0.0).is_err());
+        assert!(SimConfig::new(3, 1.0).is_err());
+        let mut cfg = SimConfig::new(3, 0.5).unwrap();
+        assert!(cfg.policy(Policy::SqD { d: 5 }).run().is_err());
+        let mut cfg = SimConfig::new(3, 0.5).unwrap();
+        assert!(cfg.jobs(10).warmup(10).run().is_err());
+    }
+
+    #[test]
+    fn mm1_mean_delay() {
+        // M/M/1 at ρ = 0.6: E[T] = 1/(1−ρ) = 2.5.
+        let res = SimConfig::new(1, 0.6)
+            .unwrap()
+            .policy(Policy::Random)
+            .jobs(400_000)
+            .warmup(40_000)
+            .seed(3)
+            .run()
+            .unwrap();
+        assert!(
+            (res.mean_delay - 2.5).abs() < 3.0 * res.ci_halfwidth.max(0.03),
+            "delay {} ± {}",
+            res.mean_delay,
+            res.ci_halfwidth
+        );
+        // Little's law: E[L] = λ E[T].
+        assert!(
+            (res.mean_jobs_in_system - 0.6 * res.mean_delay).abs() < 0.05,
+            "L = {}, λT = {}",
+            res.mean_jobs_in_system,
+            0.6 * res.mean_delay
+        );
+    }
+
+    #[test]
+    fn random_on_n_servers_is_mm1_per_server() {
+        // SQ(1): N independent M/M/1 queues at load λ each.
+        let res = SimConfig::new(4, 0.7)
+            .unwrap()
+            .policy(Policy::Random)
+            .jobs(400_000)
+            .warmup(40_000)
+            .seed(9)
+            .run()
+            .unwrap();
+        let exact = 1.0 / (1.0 - 0.7);
+        assert!(
+            (res.mean_delay - exact).abs() < 0.1,
+            "delay {} vs {exact}",
+            res.mean_delay
+        );
+    }
+
+    #[test]
+    fn policy_hierarchy_at_equal_load() {
+        // JSQ ≤ SQ(2) ≤ Random in mean delay.
+        let run = |policy| {
+            SimConfig::new(5, 0.85)
+                .unwrap()
+                .policy(policy)
+                .jobs(300_000)
+                .warmup(30_000)
+                .seed(21)
+                .run()
+                .unwrap()
+                .mean_delay
+        };
+        let random = run(Policy::Random);
+        let sq2 = run(Policy::SqD { d: 2 });
+        let jsq = run(Policy::Jsq);
+        assert!(jsq < sq2 && sq2 < random, "jsq {jsq}, sq2 {sq2}, random {random}");
+    }
+
+    #[test]
+    fn sqd_n_equals_jsq_statistically() {
+        let run = |policy, seed| {
+            SimConfig::new(4, 0.8)
+                .unwrap()
+                .policy(policy)
+                .jobs(200_000)
+                .warmup(20_000)
+                .seed(seed)
+                .run()
+                .unwrap()
+                .mean_delay
+        };
+        let sqn = run(Policy::SqD { d: 4 }, 2);
+        let jsq = run(Policy::Jsq, 3);
+        assert!((sqn - jsq).abs() < 0.05, "SQ(N) {sqn} vs JSQ {jsq}");
+    }
+
+    #[test]
+    fn round_robin_beats_random() {
+        // Deterministic spreading reduces arrival-burst variance.
+        let run = |policy| {
+            SimConfig::new(4, 0.8)
+                .unwrap()
+                .policy(policy)
+                .jobs(200_000)
+                .warmup(20_000)
+                .seed(31)
+                .run()
+                .unwrap()
+                .mean_delay
+        };
+        assert!(run(Policy::RoundRobin) < run(Policy::Random));
+    }
+
+    #[test]
+    fn md1_deterministic_service() {
+        // M/D/1: E[W] = ρ/(2(1−ρ))·E[S]; with ρ=0.5, E[T] = 1.5.
+        let res = SimConfig::new(1, 0.5)
+            .unwrap()
+            .policy(Policy::Random)
+            .service(ServiceDistribution::Deterministic { value: 1.0 })
+            .jobs(400_000)
+            .warmup(40_000)
+            .seed(13)
+            .run()
+            .unwrap();
+        assert!(
+            (res.mean_delay - 1.5).abs() < 0.05,
+            "M/D/1 delay {}",
+            res.mean_delay
+        );
+    }
+
+    #[test]
+    fn queue_tail_matches_mm1_geometric() {
+        // Single M/M/1 queue: P(L >= k) = ρᵏ.
+        let rho = 0.7;
+        let res = SimConfig::new(1, rho)
+            .unwrap()
+            .policy(Policy::Random)
+            .jobs(500_000)
+            .warmup(50_000)
+            .seed(23)
+            .run()
+            .unwrap();
+        assert!((res.queue_tail[0] - 1.0).abs() < 1e-12);
+        for k in 1..6 {
+            let exact = rho.powi(k as i32);
+            assert!(
+                (res.queue_tail[k] - exact).abs() < 0.02,
+                "k={k}: {} vs {exact}",
+                res.queue_tail[k]
+            );
+        }
+    }
+
+    #[test]
+    fn queue_tail_utilization_identity() {
+        // Fraction of busy servers = λ for any work-conserving policy.
+        for policy in [Policy::SqD { d: 2 }, Policy::Jsq, Policy::SqDReplace { d: 3 }] {
+            let res = SimConfig::new(5, 0.65)
+                .unwrap()
+                .policy(policy)
+                .jobs(300_000)
+                .warmup(30_000)
+                .seed(3)
+                .run()
+                .unwrap();
+            assert!(
+                (res.queue_tail[1] - 0.65).abs() < 0.01,
+                "{policy:?}: busy fraction {}",
+                res.queue_tail[1]
+            );
+        }
+    }
+
+    #[test]
+    fn replacement_between_random_and_without() {
+        // SQ(2) with replacement is worse than without but far better
+        // than random, at small N.
+        let run = |policy| {
+            SimConfig::new(3, 0.85)
+                .unwrap()
+                .policy(policy)
+                .jobs(400_000)
+                .warmup(40_000)
+                .seed(77)
+                .run()
+                .unwrap()
+                .mean_delay
+        };
+        let without = run(Policy::SqD { d: 2 });
+        let with = run(Policy::SqDReplace { d: 2 });
+        let random = run(Policy::Random);
+        assert!(without < with, "{without} !< {with}");
+        assert!(with < random, "{with} !< {random}");
+    }
+
+    #[test]
+    fn heterogeneous_random_matches_mm1_mixture() {
+        // Random routing to heterogeneous servers: queue i is M/M/1 with
+        // arrival λ and service speed r_i, so the job-averaged sojourn is
+        // the mean of 1/(r_i − λ).
+        let (lam, speeds) = (0.5, vec![1.0, 2.0]);
+        let exact: f64 = speeds
+            .iter()
+            .map(|r| 1.0 / (r - lam))
+            .sum::<f64>()
+            / speeds.len() as f64;
+        let res = SimConfig::new(2, lam)
+            .unwrap()
+            .policy(Policy::Random)
+            .server_speeds(speeds)
+            .jobs(600_000)
+            .warmup(60_000)
+            .seed(0x4E7)
+            .run()
+            .unwrap();
+        assert!(
+            (res.mean_delay - exact).abs() < 0.05,
+            "delay {} vs {exact}",
+            res.mean_delay
+        );
+    }
+
+    #[test]
+    fn heterogeneity_validation() {
+        let mut cfg = SimConfig::new(3, 0.5).unwrap();
+        assert!(cfg.server_speeds(vec![1.0, 2.0]).run().is_err()); // wrong len
+        let mut cfg = SimConfig::new(2, 0.5).unwrap();
+        assert!(cfg.server_speeds(vec![1.0, 0.0]).run().is_err()); // zero speed
+    }
+
+    #[test]
+    fn jsq_exploits_fast_servers() {
+        // Feedback policies route more work to faster servers; the mean
+        // delay under JSQ beats random routing by a wide margin when the
+        // speeds are skewed.
+        let speeds = vec![3.0, 0.5, 0.5];
+        let run = |policy| {
+            SimConfig::new(3, 0.8)
+                .unwrap()
+                .policy(policy)
+                .server_speeds(speeds.clone())
+                .jobs(400_000)
+                .warmup(40_000)
+                .seed(0xBE)
+                .run()
+                .unwrap()
+                .mean_delay
+        };
+        let jsq = run(Policy::Jsq);
+        let random = run(Policy::Random);
+        assert!(jsq < 0.7 * random, "jsq {jsq} vs random {random}");
+    }
+
+    #[test]
+    fn mmpp_arrivals_raise_delay() {
+        use slb_markov::Map;
+        // Same rate, bursty modulation ⇒ strictly worse delay.
+        let bursty = Map::mmpp2(0.05, 0.05, 0.2, 1.8).unwrap();
+        let poisson = SimConfig::new(4, 0.7)
+            .unwrap()
+            .jobs(400_000)
+            .warmup(40_000)
+            .seed(0xA)
+            .run()
+            .unwrap()
+            .mean_delay;
+        let modulated = SimConfig::new(4, 0.7)
+            .unwrap()
+            .arrival_map(bursty)
+            .jobs(400_000)
+            .warmup(40_000)
+            .seed(0xA)
+            .run()
+            .unwrap()
+            .mean_delay;
+        assert!(
+            modulated > 1.3 * poisson,
+            "MMPP {modulated} vs Poisson {poisson}"
+        );
+    }
+
+    #[test]
+    fn warmup_discards_exactly_the_prefix() {
+        let res = SimConfig::new(2, 0.7)
+            .unwrap()
+            .jobs(50_000)
+            .warmup(12_345)
+            .seed(4)
+            .run()
+            .unwrap();
+        assert_eq!(res.jobs_measured, 50_000 - 12_345);
+        // Same path, different warmup ⇒ different measured subset.
+        let res0 = SimConfig::new(2, 0.7)
+            .unwrap()
+            .jobs(50_000)
+            .warmup(0)
+            .seed(4)
+            .run()
+            .unwrap();
+        assert_eq!(res0.jobs_measured, 50_000);
+        assert_ne!(res.mean_delay, res0.mean_delay);
+    }
+}

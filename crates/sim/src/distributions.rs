@@ -1,0 +1,257 @@
+//! Interarrival and service-time distributions.
+//!
+//! The paper's base model is Poisson arrivals / exponential services; the
+//! other laws implement the MAP/PH-flavoured extension its conclusion
+//! points to and let the examples explore sensitivity to variability.
+
+use rand::Rng;
+
+/// Service-time distribution of a single job.
+///
+/// All constructors fix the *mean*, so policies are compared at equal
+/// offered load; the paper's convention is unit mean
+/// ([`ServiceDistribution::exp_unit`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceDistribution {
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean service time.
+        mean: f64,
+    },
+    /// Deterministic service time.
+    Deterministic {
+        /// The constant service time.
+        value: f64,
+    },
+    /// Erlang with `k` stages and the given total mean (CV² = 1/k).
+    Erlang {
+        /// Number of stages (≥ 1).
+        k: u32,
+        /// Mean of the whole service time.
+        mean: f64,
+    },
+    /// Two-branch hyperexponential with mean
+    /// `p/rate1 + (1−p)/rate2` (CV² > 1); models heavy-ish job-size
+    /// variability.
+    HyperExp {
+        /// Probability of branch 1.
+        p: f64,
+        /// Rate of branch 1.
+        rate1: f64,
+        /// Rate of branch 2.
+        rate2: f64,
+    },
+}
+
+impl ServiceDistribution {
+    /// The paper's unit-mean exponential service.
+    pub fn exp_unit() -> Self {
+        ServiceDistribution::Exponential { mean: 1.0 }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceDistribution::Exponential { mean } => mean,
+            ServiceDistribution::Deterministic { value } => value,
+            ServiceDistribution::Erlang { mean, .. } => mean,
+            ServiceDistribution::HyperExp { p, rate1, rate2 } => {
+                p / rate1 + (1.0 - p) / rate2
+            }
+        }
+    }
+
+    /// Draws one service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if parameters are invalid; validation happens at
+    /// configuration time.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ServiceDistribution::Exponential { mean } => sample_exp(rng, 1.0 / mean),
+            ServiceDistribution::Deterministic { value } => value,
+            ServiceDistribution::Erlang { k, mean } => {
+                let rate = k as f64 / mean;
+                (0..k).map(|_| sample_exp(rng, rate)).sum()
+            }
+            ServiceDistribution::HyperExp { p, rate1, rate2 } => {
+                if rng.gen::<f64>() < p {
+                    sample_exp(rng, rate1)
+                } else {
+                    sample_exp(rng, rate2)
+                }
+            }
+        }
+    }
+
+    /// Whether the parameters are valid (positive rates/means, `k ≥ 1`,
+    /// `p ∈ [0, 1]`).
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            ServiceDistribution::Exponential { mean } => mean > 0.0 && mean.is_finite(),
+            ServiceDistribution::Deterministic { value } => value > 0.0 && value.is_finite(),
+            ServiceDistribution::Erlang { k, mean } => k >= 1 && mean > 0.0 && mean.is_finite(),
+            ServiceDistribution::HyperExp { p, rate1, rate2 } => {
+                (0.0..=1.0).contains(&p) && rate1 > 0.0 && rate2 > 0.0
+            }
+        }
+    }
+}
+
+/// Aggregate arrival process (interarrival-time law). The rate is set by
+/// the engine so that the total arrival rate is `λN`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals (the paper's model).
+    Poisson,
+    /// Deterministic (evenly spaced) arrivals.
+    Deterministic,
+    /// Erlang-`k` interarrival times (smoother than Poisson).
+    Erlang {
+        /// Number of stages (≥ 1).
+        k: u32,
+    },
+    /// Two-branch hyperexponential interarrivals with branch-1 probability
+    /// `p_percent/100` and rate ratio `ratio` between branches (burstier
+    /// than Poisson). Means are renormalized to the configured rate.
+    HyperExp {
+        /// Branch-1 probability in percent (integer so the enum stays `Eq`).
+        p_percent: u8,
+        /// Ratio between branch rates (≥ 1).
+        ratio: u8,
+    },
+}
+
+impl ArrivalProcess {
+    /// Draws one interarrival time for a process of the given `rate`.
+    pub fn sample<R: Rng>(&self, rng: &mut R, rate: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson => sample_exp(rng, rate),
+            ArrivalProcess::Deterministic => 1.0 / rate,
+            ArrivalProcess::Erlang { k } => {
+                let stage_rate = rate * k as f64;
+                (0..k).map(|_| sample_exp(rng, stage_rate)).sum()
+            }
+            ArrivalProcess::HyperExp { p_percent, ratio } => {
+                let p = f64::from(p_percent) / 100.0;
+                let r = f64::from(ratio.max(1));
+                // Branch rates r1 = c·r, r2 = c, with c chosen so that the
+                // mean is 1/rate: p/(c·r) + (1−p)/c = 1/rate.
+                let c = rate * (p / r + (1.0 - p));
+                if rng.gen::<f64>() < p {
+                    sample_exp(rng, c * r)
+                } else {
+                    sample_exp(rng, c)
+                }
+            }
+        }
+    }
+}
+
+/// Inverse-CDF exponential sampling; avoids `ln(0)` by flipping the
+/// uniform draw.
+fn sample_exp<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mean_of<F: FnMut(&mut SmallRng) -> f64>(mut f: F, n: usize) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(42);
+        (0..n).map(|_| f(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn service_means_match() {
+        let n = 200_000;
+        let cases = [
+            ServiceDistribution::exp_unit(),
+            ServiceDistribution::Deterministic { value: 1.0 },
+            ServiceDistribution::Erlang { k: 4, mean: 1.0 },
+            ServiceDistribution::HyperExp {
+                p: 0.3,
+                rate1: 0.5,
+                rate2: 3.0,
+            },
+        ];
+        for dist in cases {
+            let m = mean_of(|r| dist.sample(r), n);
+            assert!(
+                (m - dist.mean()).abs() < 0.02 * dist.mean().max(1.0),
+                "{dist:?}: sample mean {m} vs {}",
+                dist.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn arrival_means_match_rate() {
+        let n = 200_000;
+        let rate = 2.5;
+        let cases = [
+            ArrivalProcess::Poisson,
+            ArrivalProcess::Deterministic,
+            ArrivalProcess::Erlang { k: 3 },
+            ArrivalProcess::HyperExp {
+                p_percent: 30,
+                ratio: 8,
+            },
+        ];
+        for proc in cases {
+            let m = mean_of(|r| proc.sample(r, rate), n);
+            assert!(
+                (m - 1.0 / rate).abs() < 0.01,
+                "{proc:?}: sample mean {m} vs {}",
+                1.0 / rate
+            );
+        }
+    }
+
+    #[test]
+    fn erlang_less_variable_than_exponential() {
+        let n = 100_000;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let var = |samples: &[f64]| {
+            let m = samples.iter().sum::<f64>() / samples.len() as f64;
+            samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / samples.len() as f64
+        };
+        let exp: Vec<f64> = (0..n)
+            .map(|_| ServiceDistribution::exp_unit().sample(&mut rng))
+            .collect();
+        let erl: Vec<f64> = (0..n)
+            .map(|_| ServiceDistribution::Erlang { k: 4, mean: 1.0 }.sample(&mut rng))
+            .collect();
+        assert!(var(&erl) < var(&exp));
+        // Erlang-4 CV² = 1/4.
+        assert!((var(&erl) - 0.25).abs() < 0.02, "var {}", var(&erl));
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(ServiceDistribution::exp_unit().is_valid());
+        assert!(!ServiceDistribution::Exponential { mean: 0.0 }.is_valid());
+        assert!(!ServiceDistribution::Erlang { k: 0, mean: 1.0 }.is_valid());
+        assert!(!ServiceDistribution::HyperExp {
+            p: 2.0,
+            rate1: 1.0,
+            rate2: 1.0
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn samples_are_positive_and_finite() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let s = ServiceDistribution::exp_unit().sample(&mut rng);
+            assert!(s.is_finite() && s >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The discrete-event simulation engine.
+//!
+//! Classic event-list design: a binary heap of timestamped events
+//! (arrivals and departures), per-server FIFO job queues storing arrival
+//! timestamps, and streaming statistics. Because service is FIFO within a
+//! server, only the head-of-line job of each server needs a scheduled
+//! departure event; queued jobs are scheduled when they reach the head.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::config::{SimConfig, SimResult};
+use crate::map_arrivals::MapSampler;
+use crate::policy::Dispatcher;
+use crate::stats::{BatchMeans, DelayHistogram, Welford};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Arrival,
+    Departure { server: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on time via reversed comparison; ties broken so
+        // departures precede arrivals (matters only for zero-probability
+        // simultaneous events, but keeps the order deterministic).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| match (self.kind, other.kind) {
+                (EventKind::Departure { .. }, EventKind::Arrival) => Ordering::Greater,
+                (EventKind::Arrival, EventKind::Departure { .. }) => Ordering::Less,
+                _ => Ordering::Equal,
+            })
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A running simulation; usually driven to completion via
+/// [`SimConfig::run`], but exposed for step-wise inspection in tests and
+/// examples.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    rng: SmallRng,
+    dispatcher: Dispatcher,
+    /// Stateful MAP sampler when the configuration carries one.
+    map_sampler: Option<MapSampler>,
+    events: BinaryHeap<Event>,
+    /// Arrival timestamps of the jobs in each server's FIFO queue
+    /// (head = in service).
+    queues: Vec<VecDeque<f64>>,
+    clock: f64,
+    arrivals_seen: u64,
+    completed: u64,
+    delay_stats: BatchMeans,
+    delay_hist: DelayHistogram,
+    wait_stats: Welford,
+    /// Total jobs in the system, maintained incrementally.
+    total_jobs: usize,
+    /// `len_counts[l]` = number of servers currently holding exactly `l`
+    /// jobs, maintained incrementally.
+    len_counts: Vec<u32>,
+    /// `area_hist[l]` = time-integral of `len_counts[l]`.
+    area_hist: Vec<f64>,
+    /// Time-averaged total queue length accumulator.
+    area_jobs: f64,
+    last_event_time: f64,
+    max_queue: u32,
+}
+
+impl Simulation {
+    /// Initializes the simulation (first arrival scheduled).
+    pub(crate) fn new(config: SimConfig) -> Self {
+        let n = config.n;
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut map_sampler = config
+            .map
+            .as_ref()
+            .map(|m| MapSampler::new(m, &mut rng));
+        let mut events = BinaryHeap::with_capacity(n + 2);
+        let rate = config.lambda * n as f64;
+        let first = match map_sampler.as_mut() {
+            Some(s) => s.next_interarrival(&mut rng),
+            None => config.arrival.sample(&mut rng, rate),
+        };
+        events.push(Event {
+            time: first,
+            kind: EventKind::Arrival,
+        });
+        let batch = (config.jobs.saturating_sub(config.warmup) / 64).max(1);
+        let mut len_counts = vec![0u32; 8];
+        len_counts[0] = n as u32;
+        Simulation {
+            dispatcher: Dispatcher::new(config.policy, n),
+            map_sampler,
+            rng,
+            events,
+            queues: vec![VecDeque::new(); n],
+            clock: 0.0,
+            arrivals_seen: 0,
+            completed: 0,
+            delay_stats: BatchMeans::new(batch),
+            delay_hist: DelayHistogram::new(0.02),
+            wait_stats: Welford::new(),
+            total_jobs: 0,
+            len_counts,
+            area_hist: vec![0.0; 8],
+            area_jobs: 0.0,
+            last_event_time: 0.0,
+            max_queue: 0,
+            config,
+        }
+    }
+
+    /// Total jobs currently in the system.
+    pub fn jobs_in_system(&self) -> usize {
+        self.total_jobs
+    }
+
+    /// Moves one server from occupancy `from` to `from ± 1` in the
+    /// incremental histogram.
+    fn reclassify(&mut self, from: usize, to: usize) {
+        let need = from.max(to) + 1;
+        if self.len_counts.len() < need {
+            self.len_counts.resize(need, 0);
+            self.area_hist.resize(need, 0.0);
+        }
+        self.len_counts[from] -= 1;
+        self.len_counts[to] += 1;
+    }
+
+    /// Runs to completion and returns the collected statistics.
+    pub(crate) fn run_to_end(mut self) -> SimResult {
+        while self.completed < self.config.jobs {
+            self.step();
+        }
+        let measured = self.delay_stats.count();
+        // Time-averaged tail fractions P(queue length >= k) from the
+        // occupancy histogram.
+        let n = self.config.n as f64;
+        let queue_tail: Vec<f64> = if self.clock > 0.0 {
+            let mut suffix = 0.0;
+            let mut tail: Vec<f64> = self
+                .area_hist
+                .iter()
+                .rev()
+                .map(|a| {
+                    suffix += a;
+                    suffix / (self.clock * n)
+                })
+                .collect();
+            tail.reverse();
+            // Trim trailing zero-probability levels.
+            while tail.len() > 1 && *tail.last().expect("nonempty") == 0.0 {
+                tail.pop();
+            }
+            tail
+        } else {
+            vec![1.0]
+        };
+        SimResult {
+            mean_delay: self.delay_stats.mean(),
+            ci_halfwidth: self.delay_stats.ci_halfwidth(),
+            mean_wait: self.wait_stats.mean(),
+            jobs_measured: measured,
+            mean_jobs_in_system: if self.clock > 0.0 {
+                self.area_jobs / self.clock
+            } else {
+                0.0
+            },
+            max_queue_len: self.max_queue,
+            queue_tail,
+            delay_hist: self.delay_hist,
+        }
+    }
+
+    fn step(&mut self) {
+        let ev = self.events.pop().expect("event list never empties");
+        // Accumulate the time-averaged job count and occupancy histogram.
+        let dt = ev.time - self.last_event_time;
+        self.area_jobs += self.total_jobs as f64 * dt;
+        if dt > 0.0 {
+            for (a, &c) in self.area_hist.iter_mut().zip(&self.len_counts) {
+                if c > 0 {
+                    *a += f64::from(c) * dt;
+                }
+            }
+        }
+        self.last_event_time = ev.time;
+        self.clock = ev.time;
+
+        match ev.kind {
+            EventKind::Arrival => {
+                self.arrivals_seen += 1;
+                // Dispatch.
+                let lens: Vec<u32> = self.queues.iter().map(|q| q.len() as u32).collect();
+                let server = self.dispatcher.dispatch(&mut self.rng, &lens);
+                let was_idle = self.queues[server].is_empty();
+                self.queues[server].push_back(self.clock);
+                let qlen = self.queues[server].len();
+                self.reclassify(qlen - 1, qlen);
+                self.total_jobs += 1;
+                self.max_queue = self.max_queue.max(qlen as u32);
+                if was_idle {
+                    self.schedule_departure(server);
+                }
+                // Next arrival.
+                let rate = self.config.lambda * self.config.n as f64;
+                let gap = match self.map_sampler.as_mut() {
+                    Some(s) => s.next_interarrival(&mut self.rng),
+                    None => self.config.arrival.sample(&mut self.rng, rate),
+                };
+                self.events.push(Event {
+                    time: self.clock + gap,
+                    kind: EventKind::Arrival,
+                });
+            }
+            EventKind::Departure { server } => {
+                let arrived_at = self.queues[server]
+                    .pop_front()
+                    .expect("departure from nonempty queue");
+                let qlen = self.queues[server].len();
+                self.reclassify(qlen + 1, qlen);
+                self.total_jobs -= 1;
+                self.completed += 1;
+                if self.completed > self.config.warmup {
+                    let sojourn = self.clock - arrived_at;
+                    self.delay_stats.push(sojourn);
+                    self.delay_hist.push(sojourn);
+                }
+                if !self.queues[server].is_empty() {
+                    // Waiting time of the job now entering service.
+                    let head_arrival = self.queues[server][0];
+                    if self.completed > self.config.warmup {
+                        self.wait_stats.push(self.clock - head_arrival);
+                    }
+                    self.schedule_departure(server);
+                }
+            }
+        }
+    }
+
+    fn schedule_departure(&mut self, server: usize) {
+        let mut service = self.config.service.sample(&mut self.rng);
+        if let Some(speeds) = &self.config.speeds {
+            service /= speeds[server];
+        }
+        self.events.push(Event {
+            time: self.clock + service,
+            kind: EventKind::Departure { server },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Policy;
+
+    #[test]
+    fn event_ordering_is_time_then_kind() {
+        let a = Event {
+            time: 1.0,
+            kind: EventKind::Arrival,
+        };
+        let d = Event {
+            time: 1.0,
+            kind: EventKind::Departure { server: 0 },
+        };
+        let later = Event {
+            time: 2.0,
+            kind: EventKind::Arrival,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(later);
+        heap.push(a);
+        heap.push(d);
+        assert_eq!(heap.pop().unwrap(), d); // departure first at equal time
+        assert_eq!(heap.pop().unwrap(), a);
+        assert_eq!(heap.pop().unwrap(), later);
+    }
+
+    #[test]
+    fn conservation_no_lost_jobs() {
+        let cfg = SimConfig::new(4, 0.8)
+            .unwrap()
+            .policy(Policy::SqD { d: 2 })
+            .jobs(20_000)
+            .warmup(1_000)
+            .seed(11)
+            .clone();
+        let mut sim = Simulation::new(cfg);
+        while sim.completed < 20_000 {
+            sim.step();
+        }
+        assert_eq!(
+            sim.arrivals_seen as usize,
+            20_000 + sim.jobs_in_system(),
+            "arrivals must equal departures plus in-flight jobs"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            SimConfig::new(3, 0.7)
+                .unwrap()
+                .policy(Policy::SqD { d: 2 })
+                .jobs(30_000)
+                .warmup(3_000)
+                .seed(seed)
+                .run()
+                .unwrap()
+                .mean_delay
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,36 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for simulator configuration and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value violates its precondition.
+    InvalidConfig {
+        /// Description of the violated precondition.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = SimError::InvalidConfig {
+            reason: "jobs must exceed warmup".into(),
+        };
+        assert!(e.to_string().contains("jobs must exceed warmup"));
+    }
+}

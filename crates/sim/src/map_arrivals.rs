@@ -1,0 +1,151 @@
+//! Stateful sampling of Markovian Arrival Processes for the simulator.
+//!
+//! Unlike the renewal laws in [`crate::ArrivalProcess`], a MAP carries a
+//! modulating phase between arrivals, so its sampler owns state. The
+//! engine instantiates one [`MapSampler`] per run when the configuration
+//! carries a [`slb_markov::Map`].
+
+use rand::Rng;
+use slb_markov::Map;
+
+/// A running MAP sampler: the modulating phase plus the (D0, D1) rates in
+/// a flattened, allocation-free form.
+#[derive(Debug, Clone)]
+pub(crate) struct MapSampler {
+    /// Per-phase total outflow rates.
+    outflow: Vec<f64>,
+    /// Per-phase event table: `(cum_prob, next_phase, is_arrival)`.
+    events: Vec<Vec<(f64, usize, bool)>>,
+    phase: usize,
+}
+
+impl MapSampler {
+    /// Builds the sampler, starting from the time-stationary phase with
+    /// the given uniform draw deciding the initial phase.
+    pub(crate) fn new<R: Rng>(map: &Map, rng: &mut R) -> Self {
+        let p = map.phases();
+        let mut outflow = vec![0.0; p];
+        let mut events = vec![Vec::new(); p];
+        for i in 0..p {
+            let mut total = 0.0;
+            for j in 0..p {
+                if i != j {
+                    total += map.d0()[(i, j)];
+                }
+                total += map.d1()[(i, j)];
+            }
+            outflow[i] = total;
+            let mut cum = 0.0;
+            for j in 0..p {
+                if i != j && map.d0()[(i, j)] > 0.0 {
+                    cum += map.d0()[(i, j)] / total;
+                    events[i].push((cum, j, false));
+                }
+            }
+            for j in 0..p {
+                if map.d1()[(i, j)] > 0.0 {
+                    cum += map.d1()[(i, j)] / total;
+                    events[i].push((cum, j, true));
+                }
+            }
+            // Guard against round-off at the end of the table.
+            if let Some(last) = events[i].last_mut() {
+                last.0 = 1.0;
+            }
+        }
+        // Start in the time-stationary phase when computable, else phase 0.
+        let phase = match map.phase_stationary() {
+            Ok(pi) => {
+                let u: f64 = rng.gen();
+                let mut acc = 0.0;
+                let mut chosen = 0;
+                for (i, &w) in pi.iter().enumerate() {
+                    acc += w;
+                    if u <= acc {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            }
+            Err(_) => 0,
+        };
+        MapSampler {
+            outflow,
+            events,
+            phase,
+        }
+    }
+
+    /// Draws the time until the next arrival, advancing the phase.
+    pub(crate) fn next_interarrival<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        let mut elapsed = 0.0;
+        loop {
+            let rate = self.outflow[self.phase];
+            debug_assert!(rate > 0.0, "absorbing MAP phase");
+            let u: f64 = rng.gen();
+            elapsed += -(1.0 - u).ln() / rate;
+            let v: f64 = rng.gen();
+            let table = &self.events[self.phase];
+            let idx = table
+                .iter()
+                .position(|&(c, _, _)| v <= c)
+                .unwrap_or(table.len() - 1);
+            let (_, next, is_arrival) = table[idx];
+            self.phase = next;
+            if is_arrival {
+                return elapsed;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_map_sampler_matches_rate() {
+        let map = Map::poisson(2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sampler = MapSampler::new(&map, &mut rng);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| sampler.next_interarrival(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn mmpp_sampler_matches_fundamental_rate() {
+        let map = Map::mmpp2(0.5, 0.25, 0.2, 2.0).unwrap();
+        let lam = map.rate().unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut sampler = MapSampler::new(&map, &mut rng);
+        let n = 400_000;
+        let total: f64 = (0..n).map(|_| sampler.next_interarrival(&mut rng)).sum();
+        let rate = n as f64 / total;
+        assert!(
+            (rate - lam).abs() / lam < 0.02,
+            "sampled rate {rate} vs fundamental {lam}"
+        );
+    }
+
+    #[test]
+    fn mmpp_sampler_is_bursty() {
+        // Sample SCV should exceed 1 for a strongly modulated MMPP and
+        // match the analytic interarrival SCV roughly.
+        let map = Map::mmpp2(0.1, 0.1, 0.1, 3.0).unwrap();
+        let analytic = map.interarrival_scv().unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sampler = MapSampler::new(&map, &mut rng);
+        let n = 400_000;
+        let xs: Vec<f64> = (0..n).map(|_| sampler.next_interarrival(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let scv = var / (m * m);
+        assert!(scv > 1.5, "sampled SCV {scv}");
+        assert!((scv - analytic).abs() / analytic < 0.15, "{scv} vs {analytic}");
+    }
+}

@@ -1,0 +1,411 @@
+//! Dispatch policies: how the central dispatcher picks a server.
+
+use rand::Rng;
+
+/// A dispatch policy for the central dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Uniform random server — SQ(1); no feedback from the servers.
+    Random,
+    /// The paper's SQ(d): poll `d` distinct servers uniformly at random,
+    /// join the one with the fewest jobs; ties broken uniformly among the
+    /// polled minima.
+    SqD {
+        /// Number of polled servers (`1 ≤ d ≤ N`).
+        d: usize,
+    },
+    /// Mitzenmacher's original variant: `d` independent uniform polls,
+    /// duplicates allowed (`d ≥ 1`, may exceed `N`).
+    SqDReplace {
+        /// Number of polls.
+        d: usize,
+    },
+    /// Join the shortest queue among all servers (SQ(N)); maximal feedback.
+    Jsq,
+    /// Cyclic assignment; no feedback, but deterministic balance.
+    RoundRobin,
+    /// Join-Idle-Queue (Lu et al.): join a uniformly random *idle* server
+    /// if one exists, otherwise a uniformly random server. Near-JSQ delay
+    /// at low/moderate load with O(1) dispatch-time feedback (idleness
+    /// can be reported asynchronously by the servers).
+    Jiq,
+    /// SQ(d) with one unit of memory (Mitzenmacher–Prabhakar–Shah): the
+    /// best *unused* sample from the previous poll joins the next
+    /// comparison, strictly improving on plain SQ(d) at equal poll cost.
+    SqDMemory {
+        /// Number of fresh polls per arrival (`1 ≤ d ≤ N`).
+        d: usize,
+    },
+}
+
+impl Policy {
+    /// Feedback cost of one dispatch decision: how many servers must
+    /// report their queue length (the overhead axis of the paper's
+    /// trade-off).
+    pub fn poll_cost(&self, n: usize) -> usize {
+        match *self {
+            Policy::Random | Policy::RoundRobin | Policy::Jiq => 0,
+            Policy::SqD { d } | Policy::SqDReplace { d } | Policy::SqDMemory { d } => d,
+            Policy::Jsq => n,
+        }
+    }
+
+    /// Validates the policy against the number of servers.
+    pub fn is_valid(&self, n: usize) -> bool {
+        match *self {
+            Policy::SqD { d } | Policy::SqDMemory { d } => (1..=n).contains(&d),
+            Policy::SqDReplace { d } => d >= 1,
+            _ => n >= 1,
+        }
+    }
+}
+
+/// Runtime dispatcher state (round-robin needs a cursor; SQ(d) needs a
+/// scratch permutation buffer to sample without replacement in O(d)).
+#[derive(Debug, Clone)]
+pub(crate) struct Dispatcher {
+    policy: Policy,
+    rr_next: usize,
+    scratch: Vec<usize>,
+    /// SQ(d)-with-memory: the retained server from the previous poll.
+    memory: Option<usize>,
+    /// Reusable candidate buffer for SQ(d)-with-memory dispatches.
+    cand_buf: Vec<usize>,
+}
+
+impl Dispatcher {
+    pub(crate) fn new(policy: Policy, n: usize) -> Self {
+        Dispatcher {
+            policy,
+            rr_next: 0,
+            scratch: (0..n).collect(),
+            memory: None,
+            cand_buf: Vec::with_capacity(n + 1),
+        }
+    }
+
+    /// Picks the server for the next arrival given current queue lengths.
+    pub(crate) fn dispatch<R: Rng>(&mut self, rng: &mut R, queues: &[u32]) -> usize {
+        let n = queues.len();
+        match self.policy {
+            Policy::Random => rng.gen_range(0..n),
+            Policy::RoundRobin => {
+                let s = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % n;
+                s
+            }
+            Policy::Jsq => {
+                // Uniform tie breaking via reservoir over minima.
+                let mut best = 0usize;
+                let mut best_q = u32::MAX;
+                let mut ties = 0u32;
+                for (i, &q) in queues.iter().enumerate() {
+                    if q < best_q {
+                        best_q = q;
+                        best = i;
+                        ties = 1;
+                    } else if q == best_q {
+                        ties += 1;
+                        if rng.gen_range(0..ties) == 0 {
+                            best = i;
+                        }
+                    }
+                }
+                best
+            }
+            Policy::SqD { d } => {
+                // Partial Fisher–Yates: the first d entries of `scratch`
+                // become a uniform d-subset without replacement.
+                for i in 0..d {
+                    let j = rng.gen_range(i..n);
+                    self.scratch.swap(i, j);
+                }
+                let mut best = self.scratch[0];
+                let mut best_q = queues[best];
+                let mut ties = 1u32;
+                for &s in &self.scratch[1..d] {
+                    let q = queues[s];
+                    if q < best_q {
+                        best_q = q;
+                        best = s;
+                        ties = 1;
+                    } else if q == best_q {
+                        ties += 1;
+                        if rng.gen_range(0..ties) == 0 {
+                            best = s;
+                        }
+                    }
+                }
+                best
+            }
+            Policy::SqDReplace { d } => {
+                let mut best = rng.gen_range(0..n);
+                let mut best_q = queues[best];
+                let mut ties = 1u32;
+                for _ in 1..d {
+                    let s = rng.gen_range(0..n);
+                    let q = queues[s];
+                    if q < best_q {
+                        best_q = q;
+                        best = s;
+                        ties = 1;
+                    } else if q == best_q && s != best {
+                        ties += 1;
+                        if rng.gen_range(0..ties) == 0 {
+                            best = s;
+                        }
+                    }
+                }
+                best
+            }
+            Policy::Jiq => {
+                // Reservoir-sample a uniform idle server in one pass.
+                let mut pick = None;
+                let mut idle = 0u32;
+                for (i, &q) in queues.iter().enumerate() {
+                    if q == 0 {
+                        idle += 1;
+                        if rng.gen_range(0..idle) == 0 {
+                            pick = Some(i);
+                        }
+                    }
+                }
+                pick.unwrap_or_else(|| rng.gen_range(0..n))
+            }
+            Policy::SqDMemory { d } => {
+                // Fresh d-subset without replacement, plus the remembered
+                // server (if distinct) as an extra candidate.
+                for i in 0..d {
+                    let j = rng.gen_range(i..n);
+                    self.scratch.swap(i, j);
+                }
+                self.cand_buf.clear();
+                self.cand_buf.extend_from_slice(&self.scratch[..d]);
+                if let Some(m) = self.memory {
+                    if !self.cand_buf.contains(&m) {
+                        self.cand_buf.push(m);
+                    }
+                }
+                let mut best = self.cand_buf[0];
+                let mut best_q = queues[best];
+                let mut ties = 1u32;
+                for &s in &self.cand_buf[1..] {
+                    let q = queues[s];
+                    if q < best_q {
+                        best_q = q;
+                        best = s;
+                        ties = 1;
+                    } else if q == best_q {
+                        ties += 1;
+                        if rng.gen_range(0..ties) == 0 {
+                            best = s;
+                        }
+                    }
+                }
+                // MPS rule: remember the candidate with the smallest
+                // *post-dispatch* length (the chosen one counts as q + 1),
+                // bootstrapping the memory even at d = 1.
+                let mut mem = best;
+                let mut mem_q = best_q + 1;
+                for &s in &self.cand_buf {
+                    let q = if s == best { queues[s] + 1 } else { queues[s] };
+                    if q < mem_q {
+                        mem_q = q;
+                        mem = s;
+                    }
+                }
+                self.memory = Some(mem);
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poll_costs() {
+        assert_eq!(Policy::Random.poll_cost(10), 0);
+        assert_eq!(Policy::SqD { d: 3 }.poll_cost(10), 3);
+        assert_eq!(Policy::Jsq.poll_cost(10), 10);
+        assert_eq!(Policy::RoundRobin.poll_cost(10), 0);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Policy::SqD { d: 2 }.is_valid(3));
+        assert!(!Policy::SqD { d: 4 }.is_valid(3));
+        assert!(!Policy::SqD { d: 0 }.is_valid(3));
+        assert!(Policy::Jsq.is_valid(1));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut d = Dispatcher::new(Policy::RoundRobin, 3);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let qs = [0u32, 0, 0];
+        let picks: Vec<usize> = (0..6).map(|_| d.dispatch(&mut rng, &qs)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn jsq_picks_minimum() {
+        let mut d = Dispatcher::new(Policy::Jsq, 4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(d.dispatch(&mut rng, &[3, 1, 2, 5]), 1);
+    }
+
+    #[test]
+    fn jsq_breaks_ties_uniformly() {
+        let mut d = Dispatcher::new(Policy::Jsq, 3);
+        let mut rng = SmallRng::seed_from_u64(123);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[d.dispatch(&mut rng, &[2, 2, 2])] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.05, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn sqd_picks_min_of_sample() {
+        // With d = N, SQ(d) must behave exactly like JSQ.
+        let mut d = Dispatcher::new(Policy::SqD { d: 4 }, 4);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let qs = [4u32, 0, 3, 2];
+            assert_eq!(d.dispatch(&mut rng, &qs), 1);
+        }
+    }
+
+    #[test]
+    fn sqd_samples_without_replacement() {
+        // d = 2 on 2 servers: both are always polled, so the shorter queue
+        // always wins — distinguishable from with-replacement sampling,
+        // which would sometimes poll the longer twice.
+        let mut d = Dispatcher::new(Policy::SqD { d: 2 }, 2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..200 {
+            assert_eq!(d.dispatch(&mut rng, &[7, 2]), 1);
+        }
+    }
+
+    #[test]
+    fn sqd_replace_picks_min_of_polls() {
+        // d large relative to N: with replacement, the minimum is found
+        // with overwhelming probability.
+        let mut d = Dispatcher::new(Policy::SqDReplace { d: 64 }, 3);
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..100 {
+            assert_eq!(d.dispatch(&mut rng, &[5, 3, 1]), 2);
+        }
+    }
+
+    #[test]
+    fn sqd_replace_duplicates_hurt() {
+        // With d = 2 on N = 2, sampling WITH replacement sometimes polls
+        // the same (longer) server twice and misses the shorter queue —
+        // distinguishing it from without-replacement, which never does.
+        let mut d = Dispatcher::new(Policy::SqDReplace { d: 2 }, 2);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut wrong = 0;
+        let trials = 40_000;
+        for _ in 0..trials {
+            if d.dispatch(&mut rng, &[7, 2]) == 0 {
+                wrong += 1;
+            }
+        }
+        // P(both polls hit server 0) = 1/4.
+        let frac = wrong as f64 / trials as f64;
+        assert!((frac - 0.25).abs() < 0.02, "wrong-pick fraction {frac}");
+    }
+
+    #[test]
+    fn jiq_prefers_idle_servers() {
+        let mut d = Dispatcher::new(Policy::Jiq, 4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Exactly one idle server: always chosen.
+        for _ in 0..100 {
+            assert_eq!(d.dispatch(&mut rng, &[2, 3, 0, 1]), 2);
+        }
+        // Several idle: uniform among them, never the busy ones.
+        let mut counts = [0usize; 4];
+        for _ in 0..30_000 {
+            counts[d.dispatch(&mut rng, &[0, 5, 0, 0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        for &i in &[0usize, 2, 3] {
+            assert!((counts[i] as f64 / 10_000.0 - 1.0).abs() < 0.05, "{counts:?}");
+        }
+        // No idle server: uniform over all.
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[d.dispatch(&mut rng, &[1, 2, 3, 4])] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.06, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn memory_includes_remembered_server() {
+        // d = 1 with memory: after polling server A (loaded) the memory
+        // holds nothing; but after a poll that sees two candidates the
+        // unused one is remembered and compared next time. With d = 1 on
+        // 2 servers the memory effectively upgrades it toward d = 2.
+        let mut with_mem = Dispatcher::new(Policy::SqDMemory { d: 1 }, 2);
+        let mut plain = Dispatcher::new(Policy::SqD { d: 1 }, 2);
+        let mut rng1 = SmallRng::seed_from_u64(9);
+        let mut rng2 = SmallRng::seed_from_u64(9);
+        let qs = [6u32, 0];
+        let (mut mem_right, mut plain_right) = (0, 0);
+        for _ in 0..20_000 {
+            if with_mem.dispatch(&mut rng1, &qs) == 1 {
+                mem_right += 1;
+            }
+            if plain.dispatch(&mut rng2, &qs) == 1 {
+                plain_right += 1;
+            }
+        }
+        // Plain d = 1 is 50/50; memory should route to the short queue
+        // substantially more often.
+        assert!((plain_right as f64 / 20_000.0 - 0.5).abs() < 0.02);
+        assert!(
+            mem_right as f64 / 20_000.0 > 0.65,
+            "memory hit rate {}",
+            mem_right as f64 / 20_000.0
+        );
+    }
+
+    #[test]
+    fn new_policy_validity_and_cost() {
+        assert!(Policy::Jiq.is_valid(1));
+        assert_eq!(Policy::Jiq.poll_cost(10), 0);
+        assert!(Policy::SqDMemory { d: 2 }.is_valid(3));
+        assert!(!Policy::SqDMemory { d: 4 }.is_valid(3));
+        assert_eq!(Policy::SqDMemory { d: 2 }.poll_cost(10), 2);
+    }
+
+    #[test]
+    fn sqd_polls_uniformly() {
+        // With equal queues, SQ(2) must choose each server with equal
+        // probability.
+        let n = 5;
+        let mut d = Dispatcher::new(Policy::SqD { d: 2 }, n);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut counts = vec![0usize; n];
+        let trials = 50_000;
+        for _ in 0..trials {
+            counts[d.dispatch(&mut rng, &[1, 1, 1, 1, 1])] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 / expect - 1.0).abs() < 0.06, "{counts:?}");
+        }
+    }
+}

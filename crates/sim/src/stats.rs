@@ -1,0 +1,352 @@
+//! Streaming statistics: Welford accumulation and batch-means confidence
+//! intervals.
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use slb_sim::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 2.5);
+/// assert!((w.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Batch-means estimator for steady-state simulation output.
+///
+/// Sojourn times of consecutive jobs are heavily autocorrelated, so a
+/// naive CI over raw observations is far too tight. Batch means groups
+/// `batch_size` consecutive observations, treats batch averages as
+/// (approximately) independent, and builds the 95% CI from those.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batches: Welford,
+    overall: Welford,
+}
+
+impl BatchMeans {
+    /// Creates an estimator with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batches: Welford::new(),
+            overall: Welford::new(),
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.overall.push(x);
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batches.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Overall mean of all observations (including any partial batch).
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Number of completed batches.
+    pub fn batch_count(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Half-width of the ~95% confidence interval from the batch means
+    /// (`1.96 · s_batch / √k`); 0 with fewer than two batches.
+    pub fn ci_halfwidth(&self) -> f64 {
+        let k = self.batches.count();
+        if k < 2 {
+            return 0.0;
+        }
+        1.96 * self.batches.std_dev() / (k as f64).sqrt()
+    }
+}
+
+/// Fixed-bin-width streaming histogram of nonnegative observations, used
+/// for delay percentiles. Bins grow on demand; quantiles and survival
+/// probabilities are read off with linear interpolation inside a bin, so
+/// the absolute resolution is the bin width.
+///
+/// # Example
+///
+/// ```
+/// use slb_sim::DelayHistogram;
+///
+/// let mut h = DelayHistogram::new(0.5);
+/// for x in [0.1, 0.4, 1.2, 2.6] {
+///     h.push(x);
+/// }
+/// assert_eq!(h.total(), 4);
+/// assert!(h.survival(1.0) >= 0.5 - 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayHistogram {
+    width: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl DelayHistogram {
+    /// Creates a histogram with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width > 0` and finite.
+    pub fn new(width: f64) -> Self {
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "bin width must be positive and finite, got {width}"
+        );
+        DelayHistogram {
+            width,
+            counts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// The bin width (quantile resolution).
+    pub fn bin_width(&self) -> f64 {
+        self.width
+    }
+
+    /// Records an observation; negative values clamp to bin 0.
+    pub fn push(&mut self, x: f64) {
+        let bin = if x <= 0.0 {
+            0
+        } else {
+            (x / self.width) as usize
+        };
+        if self.counts.len() <= bin {
+            self.counts.resize(bin + 1, 0);
+        }
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical `P(X > t)` with linear interpolation inside the bin
+    /// containing `t`.
+    pub fn survival(&self, t: f64) -> f64 {
+        if self.total == 0 || t < 0.0 {
+            return if self.total == 0 { 0.0 } else { 1.0 };
+        }
+        let bin = (t / self.width) as usize;
+        if bin >= self.counts.len() {
+            return 0.0;
+        }
+        let above: u64 = self.counts[bin + 1..].iter().sum();
+        let frac_in_bin = (t / self.width) - bin as f64;
+        let partial = self.counts[bin] as f64 * (1.0 - frac_in_bin);
+        (above as f64 + partial) / self.total as f64
+    }
+
+    /// Empirical `p`-quantile (`None` when empty or `p ∉ (0, 1)`), with
+    /// linear interpolation inside the quantile bin.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.total == 0 || !(p > 0.0 && p < 1.0) {
+            return None;
+        }
+        let target = p * self.total as f64;
+        let mut cum = 0.0;
+        for (bin, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c as f64;
+            if next >= target {
+                let frac = (target - cum) / c as f64;
+                return Some(self.width * (bin as f64 + frac));
+            }
+            cum = next;
+        }
+        Some(self.width * self.counts.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn batch_means_counts() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..95 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.count(), 95);
+        assert_eq!(bm.batch_count(), 9); // last 5 observations unpooled
+        assert!((bm.mean() - 47.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_data() {
+        let gen = |n: usize| {
+            let mut bm = BatchMeans::new(100);
+            let mut x = 0.5_f64;
+            for _ in 0..n {
+                // Deterministic chaotic sequence as a noise stand-in.
+                x = 3.9 * x * (1.0 - x);
+                bm.push(x);
+            }
+            bm.ci_halfwidth()
+        };
+        let small = gen(2_000);
+        let large = gen(200_000);
+        assert!(large < small, "{large} !< {small}");
+        assert!(large > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _ = BatchMeans::new(0);
+    }
+
+    #[test]
+    fn histogram_quantiles_of_uniform_grid() {
+        // 1000 evenly spaced points on (0, 10]: quantiles are linear.
+        let mut h = DelayHistogram::new(0.01);
+        for i in 1..=1000 {
+            h.push(i as f64 * 0.01);
+        }
+        for &p in &[0.1, 0.25, 0.5, 0.9] {
+            let q = h.quantile(p).unwrap();
+            assert!((q - 10.0 * p).abs() < 0.03, "p={p}: {q}");
+        }
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn histogram_survival_consistency() {
+        let mut h = DelayHistogram::new(0.1);
+        for i in 0..100 {
+            h.push(i as f64 * 0.1);
+        }
+        // Survival is monotone decreasing from 1 to 0.
+        let mut prev = 1.0 + 1e-12;
+        for i in 0..=110 {
+            let s = h.survival(i as f64 * 0.1);
+            assert!(s <= prev + 1e-12, "survival not monotone at {i}");
+            prev = s;
+        }
+        assert_eq!(h.survival(100.0), 0.0);
+        // Quantile and survival are consistent: P(X > q_p) ≈ 1 − p.
+        let q = h.quantile(0.7).unwrap();
+        assert!((h.survival(q) - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn histogram_empty_and_negative() {
+        let mut h = DelayHistogram::new(1.0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.survival(3.0), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        h.push(-2.0); // clamps to bin 0
+        assert_eq!(h.total(), 1);
+        assert!(h.survival(2.0) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_width_rejected() {
+        let _ = DelayHistogram::new(0.0);
+    }
+}

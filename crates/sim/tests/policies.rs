@@ -1,0 +1,93 @@
+//! Behavioral validation of the extended policy set and the delay
+//! histogram, against closed forms and known policy orderings.
+
+use slb_sim::{Policy, SimConfig};
+
+fn run(n: usize, lam: f64, policy: Policy, jobs: u64, seed: u64) -> slb_sim::SimResult {
+    SimConfig::new(n, lam)
+        .unwrap()
+        .policy(policy)
+        .jobs(jobs)
+        .warmup(jobs / 10)
+        .seed(seed)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn mm1_delay_quantiles_match_exponential() {
+    // M/M/1 sojourn is exp(1 − ρ): q_p = −ln(1 − p)/(1 − ρ).
+    let rho = 0.6;
+    let res = run(1, rho, Policy::Random, 400_000, 11);
+    for &p in &[0.5, 0.9, 0.99] {
+        let want = -(1.0_f64 - p).ln() / (1.0 - rho);
+        let got = res.delay_quantile(p).unwrap();
+        assert!(
+            (got - want).abs() / want < 0.06,
+            "p={p}: {got} vs {want}"
+        );
+    }
+    // Survival at the analytic median is 1/2.
+    let median = -(0.5f64).ln() / (1.0 - rho);
+    assert!((res.delay_survival(median) - 0.5).abs() < 0.02);
+}
+
+#[test]
+fn jiq_between_random_and_jsq() {
+    let (n, lam, jobs) = (8usize, 0.8f64, 300_000u64);
+    let random = run(n, lam, Policy::Random, jobs, 1).mean_delay;
+    let jiq = run(n, lam, Policy::Jiq, jobs, 1).mean_delay;
+    let jsq = run(n, lam, Policy::Jsq, jobs, 1).mean_delay;
+    assert!(jiq < random * 0.8, "JIQ {jiq} should beat Random {random}");
+    assert!(jsq <= jiq + 0.05, "JSQ {jsq} should not lose to JIQ {jiq}");
+}
+
+#[test]
+fn memory_improves_on_plain_sqd() {
+    // At equal poll cost d, one unit of memory strictly helps (MPS 2002).
+    let (n, lam, jobs) = (8usize, 0.9f64, 400_000u64);
+    let plain = run(n, lam, Policy::SqD { d: 2 }, jobs, 3).mean_delay;
+    let with_mem = run(n, lam, Policy::SqDMemory { d: 2 }, jobs, 3).mean_delay;
+    assert!(
+        with_mem < plain,
+        "memory {with_mem} should beat plain {plain}"
+    );
+    // And memory d=1 beats random routing by a wide margin.
+    let random = run(n, lam, Policy::Random, jobs, 3).mean_delay;
+    let mem1 = run(n, lam, Policy::SqDMemory { d: 1 }, jobs, 3).mean_delay;
+    assert!(mem1 < random * 0.75, "mem-1 {mem1} vs random {random}");
+}
+
+#[test]
+fn sqd_delay_tail_matches_analytic_mixture() {
+    // The simulator's delay histogram must agree with the exact
+    // mixture-of-Erlangs law from the brute-force chain.
+    let (n, d, lam) = (3usize, 2usize, 0.7f64);
+    let exact = slb_core::brute::BruteForce::solve(n, d, lam, 30)
+        .unwrap()
+        .delay_distribution()
+        .unwrap();
+    let res = run(n, lam, Policy::SqD { d }, 600_000, 21);
+    for i in 1..=20 {
+        let t = i as f64 * 0.5;
+        let (sim_s, exact_s) = (res.delay_survival(t), exact.survival(t));
+        assert!(
+            (sim_s - exact_s).abs() < 0.01,
+            "t={t}: sim {sim_s} vs exact {exact_s}"
+        );
+    }
+    for &p in &[0.5, 0.9, 0.99] {
+        let got = res.delay_quantile(p).unwrap();
+        let want = exact.quantile(p).unwrap();
+        assert!(
+            (got - want).abs() / want < 0.05,
+            "p={p}: {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn histogram_total_matches_measured_jobs() {
+    let res = run(4, 0.7, Policy::SqD { d: 2 }, 50_000, 2);
+    assert_eq!(res.delay_hist.total(), res.jobs_measured);
+}

@@ -1,0 +1,53 @@
+//! When is the mean-field ("power of two") formula safe?
+//!
+//! ```text
+//! cargo run --release --example asymptotic_pitfalls
+//! ```
+//!
+//! The paper's motivating observation (its Figure 9): Eq. 16 is exact as
+//! `N → ∞` and *independent of N*, so its error at finite `N` is invisible
+//! from within the asymptotic theory. This example sweeps `N` at two
+//! utilizations and prints the relative error of the formula against
+//! simulation, next to the finite-regime lower bound — which tracks the
+//! truth at every `N`.
+
+use slb::{Policy, SimConfig, Sqd};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = 2;
+    let jobs = 1_000_000;
+
+    for rho in [0.75f64, 0.95] {
+        let asym = Sqd::new(64, d, rho)?.asymptotic_delay();
+        println!("\nrho = {rho}: asymptotic delay = {asym:.4} (same for every N)");
+        println!("  N    simulated     lower-bound   asym-error");
+        for n in [2usize, 3, 4, 6, 8, 12, 16, 32, 64] {
+            let sim = SimConfig::new(n, rho)?
+                .policy(Policy::SqD { d })
+                .jobs(jobs)
+                .warmup(jobs / 10)
+                .seed(100 + n as u64)
+                .run()?;
+            // Threshold chosen so the lower-bound chain stays small while
+            // remaining tight; T = 3 suffices for d = 2 (see Fig. 10).
+            let lb = if n <= 16 {
+                format!("{:.4}", Sqd::new(n, d, rho)?.lower_bound(3)?.delay)
+            } else {
+                "   (skipped)".into()
+            };
+            let err = 100.0 * (sim.mean_delay - asym).abs() / sim.mean_delay;
+            println!(
+                "{n:>3}   {:>9.4}   {lb:>11}   {err:>7.2}%",
+                sim.mean_delay
+            );
+        }
+    }
+
+    println!(
+        "\nReading: at rho = 0.75 the formula is usable beyond a few dozen \
+         servers; at rho = 0.95 even N = 64 carries percent-level error and \
+         small pools are off by tens of percent — exactly the regime where \
+         the finite bounds matter."
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Sizing under bursty traffic: the paper's MAP future work, in action.
+//!
+//! ```text
+//! cargo run --release --example bursty_traffic
+//! ```
+//!
+//! Real traces are rarely Poisson. This example models a diurnal-ish
+//! on/off load as a two-phase MMPP, computes finite-regime delay bounds
+//! with the MAP-modulated models of `slb-mapph`, and answers a capacity
+//! question the asymptotic (and Poisson) analysis gets wrong: how many
+//! servers does a target mean delay need when arrivals are bursty?
+
+use slb::markov::Map;
+use slb::MapSqd;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // On/off load: quiet phase at 0.2 jobs/unit, busy bursts at 4x the
+    // rate, switching every ~10 service times on average.
+    let map = Map::mmpp2(0.1, 0.1, 0.2, 0.8)?;
+    let scv = map.interarrival_scv()?;
+    let (d, t, rho) = (2, 3, 0.7);
+    let target_delay = 3.0;
+
+    println!(
+        "Bursty arrivals (MMPP-2, interarrival SCV = {scv:.2}) at utilization {rho}\n"
+    );
+    println!("  N    Poisson LB   bursty LB   bursty UB   meets target (UB <= {target_delay})?");
+
+    for n in [2usize, 3, 4, 6, 8] {
+        let poisson = slb::Sqd::new(n, d.min(n), rho)?.lower_bound(t)?.delay;
+        let model = MapSqd::with_utilization(n, d.min(n), &map, rho)?;
+        let lb = model.lower_bound(t)?.delay;
+        let ub = model.upper_bound(t).map(|r| r.delay);
+        let (ub_txt, ok) = match ub {
+            Ok(v) => (format!("{v:9.4}"), v <= target_delay),
+            Err(_) => ("unstable".to_string(), false),
+        };
+        println!(
+            "  {n:<3}  {poisson:10.4}  {lb:10.4}  {ub_txt:>9}   {}",
+            if ok { "yes" } else { "no" }
+        );
+    }
+
+    println!();
+    println!(
+        "Burstiness (SCV {scv:.2} > 1) inflates delay well beyond the Poisson \
+         prediction at equal utilization — a Poisson-based capacity plan \
+         under-provisions. The MAP bound models quantify exactly how much \
+         head-room the bursts require, at any finite N. (The upper bound \
+         is not monotone in N at fixed T: a larger pool holds more jobs \
+         inside the same imbalance threshold, so the truncation bites \
+         harder — raise T to tighten it.)"
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Policy showdown: delay vs feedback cost across seven dispatchers.
+//!
+//! ```text
+//! cargo run --release --example policy_showdown
+//! ```
+//!
+//! The paper's motivation is the delay/overhead trade-off: JSQ is
+//! delay-optimal but polls every server, random polling costs nothing
+//! but queues explode. This example simulates the whole policy spectrum
+//! — including the JIQ and power-of-d-with-memory extensions — at equal
+//! load and prints mean delay, p99 delay and the per-job feedback cost,
+//! making the "power of two choices" (and of one extra bit of memory)
+//! directly visible.
+
+use slb::{Policy, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, rho, jobs) = (10usize, 0.9f64, 1_500_000u64);
+    let policies: &[(&str, Policy)] = &[
+        ("random (SQ(1))", Policy::Random),
+        ("round-robin", Policy::RoundRobin),
+        ("JIQ", Policy::Jiq),
+        ("SQ(2)", Policy::SqD { d: 2 }),
+        ("SQ(2) + memory", Policy::SqDMemory { d: 2 }),
+        ("SQ(3)", Policy::SqD { d: 3 }),
+        ("JSQ (SQ(N))", Policy::Jsq),
+    ];
+
+    println!("N = {n} servers at utilization {rho}, {jobs} jobs per run\n");
+    println!("  policy            mean delay    p99 delay   polls/job");
+
+    for (name, policy) in policies {
+        let res = SimConfig::new(n, rho)?
+            .policy(*policy)
+            .jobs(jobs)
+            .warmup(jobs / 10)
+            .seed(77)
+            .run()?;
+        let p99 = res.delay_quantile(0.99).expect("jobs were measured");
+        println!(
+            "  {name:<16} {:>10.4}   {p99:>10.4}   {:>9}",
+            res.mean_delay,
+            policy.poll_cost(n)
+        );
+    }
+
+    println!();
+    println!(
+        "Two random polls capture most of JSQ's gain (the power-of-two \
+         effect); one remembered sample closes half the remaining gap for \
+         free, and JIQ rivals SQ(2) with zero polls at dispatch time."
+    );
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! The delay/feedback trade-off: how many servers is it worth polling?
+//!
+//! ```text
+//! cargo run --release --example polling_tradeoff
+//! ```
+//!
+//! SQ(d) interpolates between zero-feedback random routing (d = 1) and
+//! full-feedback JSQ (d = N). The introduction of the paper frames the
+//! policy as buying delay with polling messages; this example measures
+//! that trade-off curve for a 16-server pool — including how it shifts
+//! under burstier-than-Poisson arrivals and high-variance service times,
+//! the MAP/PH-flavoured extension the paper's conclusion points to.
+
+use slb::sim::{ArrivalProcess, ServiceDistribution};
+use slb::{Policy, SimConfig};
+
+fn run(
+    n: usize,
+    rho: f64,
+    policy: Policy,
+    arrival: ArrivalProcess,
+    service: ServiceDistribution,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    Ok(SimConfig::new(n, rho)?
+        .policy(policy)
+        .arrival(arrival)
+        .service(service)
+        .jobs(1_000_000)
+        .warmup(100_000)
+        .seed(0xD)
+        .run()?
+        .mean_delay)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, rho) = (16usize, 0.9);
+    println!("N = {n}, rho = {rho}: mean delay vs polling budget d\n");
+
+    let scenarios: [(&str, ArrivalProcess, ServiceDistribution); 3] = [
+        (
+            "Poisson / exp (paper)",
+            ArrivalProcess::Poisson,
+            ServiceDistribution::exp_unit(),
+        ),
+        (
+            "bursty arrivals (H2)",
+            ArrivalProcess::HyperExp {
+                p_percent: 90,
+                ratio: 16,
+            },
+            ServiceDistribution::exp_unit(),
+        ),
+        (
+            "heavy service (H2)",
+            ArrivalProcess::Poisson,
+            ServiceDistribution::HyperExp {
+                p: 0.95,
+                rate1: 1.9,
+                rate2: 0.1,
+            },
+        ),
+    ];
+
+    print!("{:>4}  {:>6}", "d", "msgs");
+    for (name, _, _) in &scenarios {
+        print!("  {name:>22}");
+    }
+    println!();
+
+    let mut baseline = [0.0f64; 3];
+    for d in [1usize, 2, 3, 4, 8, 16] {
+        let policy = Policy::SqD { d };
+        print!("{d:>4}  {:>6}", policy.poll_cost(n));
+        for (i, (_, arrival, service)) in scenarios.iter().enumerate() {
+            let delay = run(n, rho, policy, *arrival, *service)?;
+            if d == 1 {
+                baseline[i] = delay;
+            }
+            print!(
+                "  {delay:>12.3} ({:>5.1}%)",
+                100.0 * delay / baseline[i]
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading: the step from d = 1 to d = 2 captures most of the possible \
+         improvement (the power-of-two effect) at a cost of 2 messages/job; \
+         returns diminish sharply beyond d = 3-4. Burstiness and service \
+         variability raise delays across the board but do not change the \
+         shape of the trade-off."
+    );
+    Ok(())
+}

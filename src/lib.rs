@@ -1,0 +1,64 @@
+//! # slb — randomized load balancing in finite regimes
+//!
+//! A Rust implementation of *Godtschalk & Ciucu, "Randomized Load
+//! Balancing in Finite Regimes", ICDCS 2016*: non-asymptotic stochastic
+//! lower and upper bounds on the mean delay of the SQ(d) ("power of d
+//! choices") policy, together with the classical asymptotic formula, a
+//! discrete-event simulator, and the full numerical stack (dense linear
+//! algebra, Markov-chain solvers, QBD matrix-geometric methods) they rest
+//! on.
+//!
+//! This crate is a facade: it re-exports the workspace members and the
+//! most common entry points. Depend on the sub-crates directly if you
+//! only need one layer.
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] (`slb-core`) | SQ(d) model, bound models, asymptotics, mean-field ODE, delay distributions, brute force |
+//! | [`sim`] (`slb-sim`) | discrete-event simulator (SQ(d)/JSQ/random/round-robin/JIQ/memory) |
+//! | [`qbd`] (`slb-qbd`) | quasi-birth-death solver (logarithmic/cyclic reduction, rate matrix) |
+//! | [`markov`] (`slb-markov`) | CTMC/DTMC, GTH, MAPs, phase-type laws, birth–death analytics |
+//! | [`mapph`] (`slb-mapph`) | SQ(d) bounds under MAP arrivals; exact MAP/PH/1 (the paper's future work) |
+//! | [`linalg`] (`slb-linalg`) | dense matrices, LU, Kronecker products, power iteration |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use slb::{Sqd, SimConfig, Policy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 6 servers, 2 choices, 80% utilization.
+//! let sqd = Sqd::new(6, 2, 0.8)?;
+//!
+//! // Finite-regime bounds (threshold T = 3) and the asymptotic formula.
+//! let lower = sqd.lower_bound(3)?.delay;
+//! let upper = sqd.upper_bound(3)?.delay;
+//! let asymptotic = sqd.asymptotic_delay();
+//!
+//! // An independent simulation of the same system.
+//! let sim = SimConfig::new(6, 0.8)?
+//!     .policy(Policy::SqD { d: 2 })
+//!     .jobs(200_000)
+//!     .warmup(20_000)
+//!     .run()?;
+//!
+//! assert!(lower <= sim.mean_delay + 0.05);
+//! assert!(sim.mean_delay <= upper + 0.05);
+//! assert!(asymptotic < upper); // the N→∞ formula underestimates at N = 6
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use slb_core as core;
+pub use slb_linalg as linalg;
+pub use slb_mapph as mapph;
+pub use slb_markov as markov;
+pub use slb_qbd as qbd;
+pub use slb_sim as sim;
+
+pub use slb_core::{BoundKind, BoundModel, BoundResult, CoreError, DelayDistribution, Sqd};
+pub use slb_mapph::{MapPh1, MapSqd};
+pub use slb_sim::{Policy, SimConfig, SimResult};

@@ -1,0 +1,135 @@
+//! Cross-crate integration of the extension layers: delay distributions,
+//! mean-field ODE, MAP-modulated bounds and the extended policy set must
+//! be mutually consistent when accessed through the `slb` facade.
+
+use slb::core::meanfield::MeanField;
+use slb::markov::{Map, PhaseType};
+use slb::{BoundKind, MapPh1, MapSqd, Policy, SimConfig, Sqd};
+
+#[test]
+fn percentile_bounds_bracket_simulation() {
+    // The distributional bounds must bracket *simulated* percentiles
+    // (independent of the brute-force oracle used inside slb-core).
+    let (n, d, rho, t) = (3usize, 2usize, 0.8f64, 3u32);
+    let sqd = Sqd::new(n, d, rho).unwrap();
+    let lo = sqd.delay_distribution(BoundKind::Lower, t).unwrap();
+    let hi = sqd.delay_distribution(BoundKind::Upper, t).unwrap();
+    let sim = SimConfig::new(n, rho)
+        .unwrap()
+        .policy(Policy::SqD { d })
+        .jobs(800_000)
+        .warmup(80_000)
+        .seed(99)
+        .run()
+        .unwrap();
+    for &p in &[0.5, 0.9, 0.99] {
+        let (ql, qh) = (lo.quantile(p).unwrap(), hi.quantile(p).unwrap());
+        let qs = sim.delay_quantile(p).unwrap();
+        // Generous slack: percentile estimates carry simulation noise and
+        // 0.02-wide histogram bins.
+        assert!(
+            ql <= qs + 0.15 && qs <= qh + 0.15,
+            "p={p}: {ql} ≤ {qs} ≤ {qh} violated"
+        );
+    }
+}
+
+#[test]
+fn meanfield_fixed_point_matches_asymptotic_and_large_n_simulation() {
+    let (d, rho) = (2usize, 0.8f64);
+    let mut mf = MeanField::new(rho, d).unwrap();
+    mf.run(300.0, 0.02);
+    let ode = mf.mean_delay();
+    let eq16 = slb::core::asymptotic::mean_delay(rho, d);
+    assert!((ode - eq16).abs() < 1e-6, "{ode} vs {eq16}");
+
+    // A large-N simulation approaches the fluid value from above.
+    let sim = SimConfig::new(100, rho)
+        .unwrap()
+        .policy(Policy::SqD { d })
+        .jobs(2_000_000)
+        .warmup(200_000)
+        .seed(5)
+        .run()
+        .unwrap();
+    assert!(
+        (sim.mean_delay - ode).abs() < 0.05,
+        "N=100 sim {} vs fluid {ode}",
+        sim.mean_delay
+    );
+    assert!(sim.mean_delay > ode - 0.01, "finite N lies above the fluid");
+}
+
+#[test]
+fn map_bounds_agree_with_poisson_limit_of_mmpp() {
+    // An MMPP with (nearly) equal phase rates degenerates to Poisson; the
+    // modulated bounds must approach the scalar ones continuously.
+    let (n, d, rho, t) = (3usize, 2usize, 0.7f64, 3u32);
+    let nearly_poisson = Map::mmpp2(1.0, 1.0, 0.999, 1.001).unwrap();
+    let modulated = MapSqd::with_utilization(n, d, &nearly_poisson, rho).unwrap();
+    let scalar = Sqd::new(n, d, rho).unwrap();
+    let m_lb = modulated.lower_bound(t).unwrap().delay;
+    let s_lb = scalar.lower_bound(t).unwrap().delay;
+    assert!((m_lb - s_lb).abs() < 1e-4, "{m_lb} vs {s_lb}");
+}
+
+#[test]
+fn gi_m_1_three_ways() {
+    // Erlang-2/M/1 solved as (a) Theorem-2 σ root, (b) MAP/PH/1 QBD,
+    // (c) discrete-event simulation — all three must agree.
+    let (rho, mu) = (0.7f64, 1.0f64);
+    let inter = slb::core::sigma::Interarrival::Erlang {
+        k: 2,
+        rate: 2.0 * rho,
+    };
+    let sigma = slb::core::sigma::solve_sigma(&inter, mu).unwrap();
+    let via_sigma = 1.0 / (mu * (1.0 - sigma));
+
+    let ph = PhaseType::erlang(2, 2.0 * rho).unwrap();
+    let queue = MapPh1::new(
+        Map::renewal(&ph).unwrap(),
+        PhaseType::exponential(mu).unwrap(),
+    )
+    .unwrap();
+    let via_qbd = queue.mean_sojourn().unwrap();
+    assert!((via_sigma - via_qbd).abs() < 1e-8, "{via_sigma} vs {via_qbd}");
+
+    let sim = SimConfig::new(1, rho)
+        .unwrap()
+        .policy(Policy::Random)
+        .arrival(slb::sim::ArrivalProcess::Erlang { k: 2 })
+        .jobs(600_000)
+        .warmup(60_000)
+        .seed(13)
+        .run()
+        .unwrap();
+    assert!(
+        (sim.mean_delay - via_qbd).abs() < 4.0 * sim.ci_halfwidth.max(0.03),
+        "sim {} vs analytic {via_qbd}",
+        sim.mean_delay
+    );
+}
+
+#[test]
+fn policy_hierarchy_full_spectrum() {
+    // Mean delays must respect the known ordering at moderate-high load:
+    // random ≥ SQ(2) ≥ SQ(2)+memory ≥ SQ(3) region ≥ JSQ.
+    let (n, rho, jobs) = (8usize, 0.85f64, 400_000u64);
+    let run = |p: Policy| {
+        SimConfig::new(n, rho)
+            .unwrap()
+            .policy(p)
+            .jobs(jobs)
+            .warmup(jobs / 10)
+            .seed(7)
+            .run()
+            .unwrap()
+            .mean_delay
+    };
+    let random = run(Policy::Random);
+    let sq2 = run(Policy::SqD { d: 2 });
+    let sq2m = run(Policy::SqDMemory { d: 2 });
+    let jsq = run(Policy::Jsq);
+    assert!(random > sq2 && sq2 > sq2m && sq2m > jsq,
+        "{random} > {sq2} > {sq2m} > {jsq} violated");
+}
