@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slb_core::{BoundKind, BoundModel, Sqd};
-use slb_qbd::{
-    cyclic_reduction, functional_iteration, logarithmic_reduction, u_based_iteration,
-};
+use slb_qbd::{cyclic_reduction, functional_iteration, logarithmic_reduction, u_based_iteration};
 
 fn bench_g_computation(c: &mut Criterion) {
     let mut group = c.benchmark_group("g_matrix");

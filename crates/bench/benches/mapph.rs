@@ -5,17 +5,18 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slb_core::{BoundKind, BoundModel, ModelVariant, Sqd};
-use slb_markov::Map;
 use slb_mapph::MapSqd;
+use slb_markov::Map;
 
 fn bench_map_bounds(c: &mut Criterion) {
     let (n, d, rho, t) = (3usize, 2usize, 0.8f64, 3u32);
     let mut group = c.benchmark_group("map_extension");
 
     let scalar = Sqd::new(n, d, rho).unwrap();
-    group.bench_function(BenchmarkId::new("poisson_lower_scalar_tail", "N3_T3"), |b| {
-        b.iter(|| scalar.lower_bound(t).unwrap())
-    });
+    group.bench_function(
+        BenchmarkId::new("poisson_lower_scalar_tail", "N3_T3"),
+        |b| b.iter(|| scalar.lower_bound(t).unwrap()),
+    );
     group.bench_function(BenchmarkId::new("poisson_upper_full", "N3_T3"), |b| {
         b.iter(|| scalar.upper_bound(t).unwrap())
     });
@@ -31,15 +32,12 @@ fn bench_map_bounds(c: &mut Criterion) {
         };
         let model = MapSqd::new(n, d, &map).unwrap();
         let label = format!("N3_T3_p{phases}");
-        group.bench_with_input(
-            BenchmarkId::new("map_assemble", &label),
-            &model,
-            |b, m| {
-                b.iter(|| {
-                    m.qbd_blocks(ModelVariant::Lower { threshold: t }, t).unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("map_assemble", &label), &model, |b, m| {
+            b.iter(|| {
+                m.qbd_blocks(ModelVariant::Lower { threshold: t }, t)
+                    .unwrap()
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("map_lower_full", &label),
             &model,

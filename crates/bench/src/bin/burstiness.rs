@@ -14,8 +14,8 @@
 //! ```
 
 use slb_bench::{arg_parse, arg_value, f4, Table};
-use slb_markov::{Map, PhaseType};
 use slb_mapph::MapSqd;
+use slb_markov::{Map, PhaseType};
 use slb_sim::{Policy, SimConfig};
 
 struct ArrivalCase {
@@ -27,8 +27,7 @@ fn cases() -> Vec<ArrivalCase> {
     vec![
         ArrivalCase {
             name: "erlang2",
-            map: Map::renewal(&PhaseType::erlang(2, 2.0).expect("valid PH"))
-                .expect("valid MAP"),
+            map: Map::renewal(&PhaseType::erlang(2, 2.0).expect("valid PH")).expect("valid MAP"),
         },
         ArrivalCase {
             name: "poisson",
@@ -54,15 +53,12 @@ fn main() {
     let out = arg_value(&args, "--out").unwrap_or_else(|| "burstiness.csv".into());
 
     println!("SQ({d}) under non-Poisson arrivals: N = {n}, T = {t}\n");
-    let mut table = Table::new([
-        "rho", "arrivals", "scv", "lower", "sim", "upper", "sp(R)",
-    ]);
+    let mut table = Table::new(["rho", "arrivals", "scv", "lower", "sim", "upper", "sp(R)"]);
 
     for &rho in &[0.5, 0.7, 0.85] {
         for case in cases() {
             let scv = case.map.interarrival_scv().expect("valid MAP");
-            let model =
-                MapSqd::with_utilization(n, d, &case.map, rho).expect("valid parameters");
+            let model = MapSqd::with_utilization(n, d, &case.map, rho).expect("valid parameters");
             let lb = model.lower_bound(t).expect("lower bound");
             let ub = model.upper_bound(t).ok();
             let sim = SimConfig::new(n, rho)
@@ -74,9 +70,7 @@ fn main() {
                 .seed(0xB0B0)
                 .run()
                 .expect("validated config");
-            let ub_cell = ub
-                .as_ref()
-                .map_or("unstable".to_string(), |u| f4(u.delay));
+            let ub_cell = ub.as_ref().map_or("unstable".to_string(), |u| f4(u.delay));
             println!(
                 "rho={rho} {:<12} scv={:.2}: lower={} sim={} upper={} sp(R)={}",
                 case.name,

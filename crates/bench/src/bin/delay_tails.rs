@@ -27,9 +27,7 @@ fn main() {
     let percentiles = [0.5, 0.9, 0.99];
 
     println!("Sojourn-time percentiles: SQ({d}), N = {n}, T = {t}\n");
-    let mut table = Table::new([
-        "rho", "p", "lower", "exact", "sim", "upper",
-    ]);
+    let mut table = Table::new(["rho", "p", "lower", "exact", "sim", "upper"]);
 
     for &rho in &[0.5, 0.7, 0.85, 0.95] {
         let sqd = Sqd::new(n, d, rho).expect("valid parameters");
@@ -52,11 +50,9 @@ fn main() {
             .expect("validated config");
 
         for &p in &percentiles {
-            let hi_cell = hi
-                .as_ref()
-                .map_or("unstable".to_string(), |h| {
-                    f4(h.quantile(p).expect("quantile"))
-                });
+            let hi_cell = hi.as_ref().map_or("unstable".to_string(), |h| {
+                f4(h.quantile(p).expect("quantile"))
+            });
             let row = [
                 f4(rho),
                 format!("{p}"),

@@ -25,10 +25,26 @@ struct Panel {
 }
 
 const PANELS: &[Panel] = &[
-    Panel { name: "a", n: 3, t: 2 },
-    Panel { name: "b", n: 3, t: 3 },
-    Panel { name: "c", n: 6, t: 3 },
-    Panel { name: "d", n: 12, t: 3 },
+    Panel {
+        name: "a",
+        n: 3,
+        t: 2,
+    },
+    Panel {
+        name: "b",
+        n: 3,
+        t: 3,
+    },
+    Panel {
+        name: "c",
+        n: 6,
+        t: 3,
+    },
+    Panel {
+        name: "d",
+        n: 12,
+        t: 3,
+    },
 ];
 
 fn main() {
@@ -58,7 +74,15 @@ fn run_panel(panel: &Panel, utils: &[f64], jobs: u64, args: &[String]) {
         panel.name, panel.n, panel.t
     );
     let mut table = Table::new([
-        "panel", "N", "T", "rho", "lower", "sim", "sim_ci", "upper", "asymptotic",
+        "panel",
+        "N",
+        "T",
+        "rho",
+        "lower",
+        "sim",
+        "sim_ci",
+        "upper",
+        "asymptotic",
     ]);
 
     for &rho in utils {
@@ -99,8 +123,7 @@ fn run_panel(panel: &Panel, utils: &[f64], jobs: u64, args: &[String]) {
         ]);
     }
 
-    let out = arg_value(args, "--out")
-        .unwrap_or_else(|| format!("fig10_{}.csv", panel.name));
+    let out = arg_value(args, "--out").unwrap_or_else(|| format!("fig10_{}.csv", panel.name));
     table.write_csv(&out).expect("write CSV");
     println!(
         "wrote {out}; expected shape: lower <= sim <= upper, lower tight, \

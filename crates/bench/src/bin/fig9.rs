@@ -23,10 +23,8 @@ fn main() {
     let rho: f64 = arg_parse(&args, "--rho", 0.75);
     let jobs: u64 = arg_parse(&args, "--jobs", 2_000_000);
     let quick = args.iter().any(|a| a == "--quick");
-    let out = arg_value(&args, "--out").unwrap_or(format!(
-        "fig9_rho{}.csv",
-        (rho * 100.0).round() as u32
-    ));
+    let out = arg_value(&args, "--out")
+        .unwrap_or(format!("fig9_rho{}.csv", (rho * 100.0).round() as u32));
 
     let d_values: &[usize] = if quick { &[2, 5] } else { &[2, 5, 10, 25, 50] };
     let n_values: Vec<usize> = if quick {
@@ -35,12 +33,18 @@ fn main() {
         vec![5, 10, 15, 25, 50, 75, 100, 150, 200, 250]
     };
 
-    println!(
-        "Figure 9 (rho = {rho}): relative error of the asymptotic formula vs simulation"
-    );
+    println!("Figure 9 (rho = {rho}): relative error of the asymptotic formula vs simulation");
     println!("jobs per point: {jobs} (warmup: {})\n", jobs / 10);
 
-    let mut table = Table::new(["rho", "d", "N", "sim_delay", "sim_ci", "asymptotic", "rel_error_pct"]);
+    let mut table = Table::new([
+        "rho",
+        "d",
+        "N",
+        "sim_delay",
+        "sim_ci",
+        "asymptotic",
+        "rel_error_pct",
+    ]);
     for &d in d_values {
         let approx = asymptotic::mean_delay(rho, d);
         for &n in &n_values {

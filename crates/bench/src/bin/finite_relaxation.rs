@@ -26,12 +26,7 @@ fn main() {
     println!(
         "Warm-up horizon (TV < 1e-3 from empty), exact N = {n} chain vs N = ∞ fluid, SQ({d})\n"
     );
-    let mut table = Table::new([
-        "rho",
-        "t_relax_finite",
-        "t_relax_fluid",
-        "stationary_delay",
-    ]);
+    let mut table = Table::new(["rho", "t_relax_finite", "t_relax_fluid", "stationary_delay"]);
 
     for &rho in &[0.5, 0.7, 0.85, 0.95] {
         let tr = TransientSqd::new(n, d, rho, cap).expect("valid parameters");

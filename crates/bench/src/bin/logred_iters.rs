@@ -17,16 +17,18 @@ fn main() {
     let out = arg_value(&args, "--out").unwrap_or_else(|| "logred_iters.csv".into());
 
     let mut table = Table::new([
-        "N", "T", "d", "rho", "kind", "logred_iters", "logred_residual", "functional_iters",
+        "N",
+        "T",
+        "d",
+        "rho",
+        "kind",
+        "logred_iters",
+        "logred_residual",
+        "functional_iters",
     ]);
 
     println!("Logarithmic reduction vs functional iteration (G computation)\n");
-    let configs = [
-        (3usize, 2u32),
-        (3, 3),
-        (6, 3),
-        (12, 3),
-    ];
+    let configs = [(3usize, 2u32), (3, 3), (6, 3), (12, 3)];
     for (n, t) in configs {
         for rho in [0.5, 0.75, 0.9, 0.95] {
             for kind in [BoundKind::Lower, BoundKind::Upper] {

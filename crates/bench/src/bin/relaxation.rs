@@ -13,8 +13,8 @@
 //! ```
 
 use slb_bench::{arg_value, f4, Table};
-use slb_core::meanfield::MeanField;
 use slb_core::asymptotic;
+use slb_core::meanfield::MeanField;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

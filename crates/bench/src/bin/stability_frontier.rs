@@ -19,9 +19,7 @@ fn main() {
     let t_max: u32 = arg_parse(&args, "--tmax", 6);
     let out = arg_value(&args, "--out").unwrap_or_else(|| "frontier.csv".into());
 
-    println!(
-        "Upper-bound saturation utilization vs threshold T (N = {n}, d = {d})\n"
-    );
+    println!("Upper-bound saturation utilization vs threshold T (N = {n}, d = {d})\n");
     let sqd = Sqd::new(n, d, 0.5).expect("valid parameters");
     let mut table = Table::new(["N", "d", "T", "block_states", "max_stable_rho"]);
     for t in 1..=t_max {
@@ -29,7 +27,10 @@ fn main() {
             .upper_bound_saturation(t, 1e-4)
             .expect("frontier bisection");
         let block = binomial(n - 1 + t as usize, t as usize);
-        println!("T={t}: block states = {block:<8} max stable rho = {:.4}", sat);
+        println!(
+            "T={t}: block states = {block:<8} max stable rho = {:.4}",
+            sat
+        );
         table.push([
             n.to_string(),
             d.to_string(),

@@ -25,9 +25,7 @@ fn main() {
     let out = arg_value(&args, "--out").unwrap_or_else(|| "tails.csv".into());
     let d = 2usize;
 
-    println!(
-        "Fraction of servers with >= k jobs: SQ({d}), N = {n}, rho = {rho}, T = {t}\n"
-    );
+    println!("Fraction of servers with >= k jobs: SQ({d}), N = {n}, rho = {rho}, T = {t}\n");
 
     let sqd = Sqd::new(n, d, rho).expect("valid parameters");
     let lower = sqd

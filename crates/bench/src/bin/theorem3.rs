@@ -20,7 +20,7 @@
 
 use slb_bench::{arg_value, Table};
 use slb_core::{BoundKind, BoundModel, Sqd};
-use slb_linalg::power_iteration;
+use slb_linalg::{power_iteration_sparse, CsrMatrix};
 use slb_qbd::{SolveOptions, Tail};
 
 fn main() {
@@ -29,7 +29,14 @@ fn main() {
 
     println!("Theorem 3 diagnostics for the lower-bound model\n");
     let mut table = Table::new([
-        "N", "d", "rho", "T", "sp(R)", "rho^N", "vec_residual", "delay_rel_diff",
+        "N",
+        "d",
+        "rho",
+        "T",
+        "sp(R)",
+        "rho^N",
+        "vec_residual",
+        "delay_rel_diff",
     ]);
 
     for &(n, d, rho, t) in &[
@@ -48,9 +55,11 @@ fn main() {
 
         let rho_n = rho.powi(n as i32);
         let sp_r = match sol.tail() {
-            Tail::Matrix(r) => power_iteration(r, 1e-13, 100_000)
-                .expect("R is nonnegative")
-                .eigenvalue,
+            Tail::Matrix(r) => {
+                power_iteration_sparse(&CsrMatrix::from_dense(r, 0.0), 1e-13, 100_000)
+                    .expect("R is nonnegative")
+                    .eigenvalue
+            }
             Tail::Scalar(b) => *b,
         };
 

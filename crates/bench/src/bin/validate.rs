@@ -31,8 +31,14 @@ fn main() {
     };
 
     // 1. Sandwich vs brute force.
-    for (n, d, lam, t) in [(3usize, 2usize, 0.7f64, 3u32), (4, 2, 0.6, 2), (3, 3, 0.8, 3)] {
-        let exact = BruteForce::solve(n, d, lam, 32).expect("brute force").mean_delay();
+    for (n, d, lam, t) in [
+        (3usize, 2usize, 0.7f64, 3u32),
+        (4, 2, 0.6, 2),
+        (3, 3, 0.8, 3),
+    ] {
+        let exact = BruteForce::solve(n, d, lam, 32)
+            .expect("brute force")
+            .mean_delay();
         let sqd = Sqd::new(n, d, lam).expect("params");
         let lb = sqd.lower_bound(t).expect("lb").delay;
         let ub = sqd.upper_bound(t).expect("ub").delay;
@@ -130,14 +136,10 @@ fn main() {
         let model = slb_mapph::MapSqd::with_utilization(n, d, &mmpp, lam).expect("model");
         let lb = model.lower_bound(t).expect("lb").delay;
         let ub = model.upper_bound(t).expect("ub").delay;
-        let exact = slb_mapph::MapBrute::solve(
-            n,
-            d,
-            &mmpp.with_rate(lam * n as f64).expect("scale"),
-            20,
-        )
-        .expect("brute")
-        .mean_delay();
+        let exact =
+            slb_mapph::MapBrute::solve(n, d, &mmpp.with_rate(lam * n as f64).expect("scale"), 20)
+                .expect("brute")
+                .mean_delay();
         report.check(
             "map-sandwich",
             lb <= exact + 1e-3 && exact <= ub + 1e-3,
@@ -204,10 +206,7 @@ fn main() {
         );
     }
 
-    println!(
-        "\n{} passed, {} failed",
-        report.passed, report.failed
-    );
+    println!("\n{} passed, {} failed", report.passed, report.failed);
     if report.failed > 0 {
         std::process::exit(1);
     }

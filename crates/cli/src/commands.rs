@@ -6,8 +6,8 @@ use slb_core::brute::BruteForce;
 use slb_core::meanfield::MeanField;
 use slb_core::sigma::{solve_sigma, Interarrival};
 use slb_core::{asymptotic, BoundKind, Sqd};
-use slb_markov::Map;
 use slb_mapph::MapSqd;
+use slb_markov::Map;
 use slb_sim::{Policy, SimConfig};
 
 type CmdResult = Result<(), String>;
@@ -87,12 +87,7 @@ pub fn sweep(args: &[String]) -> CmdResult {
         let ub = sqd
             .upper_bound(t)
             .map_or("unstable".to_string(), |r| f4(r.delay));
-        table.push([
-            f4(rho),
-            f4(lb.delay),
-            ub,
-            f4(sqd.asymptotic_delay()),
-        ]);
+        table.push([f4(rho), f4(lb.delay), ub, f4(sqd.asymptotic_delay())]);
     }
     finish(&table, args)
 }
@@ -278,9 +273,7 @@ pub fn burst(args: &[String]) -> CmdResult {
         .and_then(|s| s.lower_bound(t))
         .map_err(|e| e.to_string())?;
 
-    println!(
-        "SQ({d}) under MMPP({r01}, {r10}, {l0}, {l1}) at rho = {rho}, N = {n}, T = {t}\n"
-    );
+    println!("SQ({d}) under MMPP({r01}, {r10}, {l0}, {l1}) at rho = {rho}, N = {n}, T = {t}\n");
     let mut table = Table::new(["metric", "value"]);
     table.push(["interarrival SCV", &f4(scv)]);
     table.push(["lower bound", &f4(lb.delay)]);
@@ -352,7 +345,10 @@ mod tests {
         let sig = |inter: &Interarrival| solve_sigma(inter, 1.0).unwrap();
         let poisson = sig(&Interarrival::Exponential { rate: rho });
         assert!((poisson - rho).abs() < 1e-10); // Theorem 3
-        let erlang = sig(&Interarrival::Erlang { k: 4, rate: 4.0 * rho });
+        let erlang = sig(&Interarrival::Erlang {
+            k: 4,
+            rate: 4.0 * rho,
+        });
         let det = sig(&Interarrival::Deterministic { gap: 1.0 / rho });
         assert!(det < erlang && erlang < poisson);
     }

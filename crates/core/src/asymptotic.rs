@@ -148,13 +148,8 @@ mod tests {
     fn d2_hand_series() {
         // d = 2: exponents (2^i − 2)/1 = 0, 2, 6, 14, 30, …
         let l = 0.8_f64;
-        let expect = 1.0
-            + l.powi(2)
-            + l.powi(6)
-            + l.powi(14)
-            + l.powi(30)
-            + l.powi(62)
-            + l.powi(126);
+        let expect =
+            1.0 + l.powi(2) + l.powi(6) + l.powi(14) + l.powi(30) + l.powi(62) + l.powi(126);
         assert!((mean_delay(l, 2) - expect).abs() < 1e-9);
     }
 

@@ -153,12 +153,7 @@ impl Sqd {
     /// # Errors
     ///
     /// As the corresponding bound solve.
-    pub fn queue_tail_fractions(
-        &self,
-        kind: BoundKind,
-        t: u32,
-        k_max: u32,
-    ) -> Result<Vec<f64>> {
+    pub fn queue_tail_fractions(&self, kind: BoundKind, t: u32, k_max: u32) -> Result<Vec<f64>> {
         BoundModel::new(*self, kind, t)?.queue_tail_fractions(k_max)
     }
 
@@ -169,11 +164,7 @@ impl Sqd {
     /// # Errors
     ///
     /// As the corresponding bound solve.
-    pub fn delay_distribution(
-        &self,
-        kind: BoundKind,
-        t: u32,
-    ) -> Result<crate::DelayDistribution> {
+    pub fn delay_distribution(&self, kind: BoundKind, t: u32) -> Result<crate::DelayDistribution> {
         BoundModel::new(*self, kind, t)?.delay_distribution(1e-12)
     }
 
@@ -195,10 +186,7 @@ impl Sqd {
     pub fn upper_bound_saturation(&self, t: u32, tol: f64) -> Result<f64> {
         assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0, 1)");
         let stable_at = |lambda: f64| -> Result<bool> {
-            let probe = Sqd {
-                lambda,
-                ..*self
-            };
+            let probe = Sqd { lambda, ..*self };
             let blocks = BoundModel::new(probe, BoundKind::Upper, t)?.qbd_blocks()?;
             blocks.is_stable().map_err(CoreError::from)
         };
@@ -264,7 +252,12 @@ impl BoundModel {
     /// [`CoreError::InvalidParameters`] for invalid `(N, T)`.
     pub fn new(sqd: Sqd, kind: BoundKind, t: u32) -> Result<Self> {
         let space = BlockSpace::new(sqd.n, t)?;
-        Ok(BoundModel { sqd, kind, t, space })
+        Ok(BoundModel {
+            sqd,
+            kind,
+            t,
+            space,
+        })
     }
 
     /// The model variant seen by the transition generator.
@@ -334,10 +327,9 @@ impl BoundModel {
                     Some(BlockLocation::Boundary(j)) => r10[(i, j)] += tr.rate,
                     Some(BlockLocation::Level { q: 0, index: j }) => a1[(i, j)] += tr.rate,
                     Some(BlockLocation::Level { q: 1, index: j }) => a0[(i, j)] += tr.rate,
-                    other => unreachable!(
-                        "level-0 transition {s} -> {} lands at {other:?}",
-                        tr.target
-                    ),
+                    other => {
+                        unreachable!("level-0 transition {s} -> {} lands at {other:?}", tr.target)
+                    }
                 }
             }
             a1[(i, i)] -= outflow;
@@ -372,10 +364,9 @@ impl BoundModel {
                             a0_check[(i, _j)] += tr.rate;
                         }
                     }
-                    other => unreachable!(
-                        "level-1 transition {s} -> {} lands at {other:?}",
-                        tr.target
-                    ),
+                    other => {
+                        unreachable!("level-1 transition {s} -> {} lands at {other:?}", tr.target)
+                    }
                 }
             }
             #[cfg(debug_assertions)]
@@ -448,20 +439,14 @@ impl BoundModel {
                 .space
                 .boundary()
                 .iter()
-                .map(|(_, s)| {
-                    s.as_slice().iter().filter(|&&x| x >= k).count() as f64 / n
-                })
+                .map(|(_, s)| s.as_slice().iter().filter(|&&x| x >= k).count() as f64 / n)
                 .collect();
             let frac = sol.mean_cost_per_level(
                 &cb,
                 |q, j| {
                     let s = self.space.block0().state(j);
                     // Level q state = template + q on every server.
-                    s.as_slice()
-                        .iter()
-                        .filter(|&&x| x + q as u32 >= k)
-                        .count() as f64
-                        / n
+                    s.as_slice().iter().filter(|&&x| x + q as u32 >= k).count() as f64 / n
                 },
                 1e-12,
             );
@@ -660,7 +645,12 @@ mod tests {
         let ub2 = sqd.upper_bound(2).unwrap();
         let ub3 = sqd.upper_bound(3).unwrap();
         let ub4 = sqd.upper_bound(4).unwrap();
-        assert!(ub3.delay <= ub2.delay + 1e-9, "{} vs {}", ub3.delay, ub2.delay);
+        assert!(
+            ub3.delay <= ub2.delay + 1e-9,
+            "{} vs {}",
+            ub3.delay,
+            ub2.delay
+        );
         assert!(ub4.delay <= ub3.delay + 1e-9);
     }
 
@@ -692,7 +682,12 @@ mod tests {
         let sqd = Sqd::new(3, 1, lam).unwrap();
         let lb = sqd.lower_bound(4).unwrap();
         let mm1 = 1.0 / (1.0 - lam);
-        assert!(lb.delay <= mm1 + 1e-9, "LB {} above M/M/1 {}", lb.delay, mm1);
+        assert!(
+            lb.delay <= mm1 + 1e-9,
+            "LB {} above M/M/1 {}",
+            lb.delay,
+            mm1
+        );
     }
 
     #[test]
@@ -748,15 +743,10 @@ mod tests {
     fn with_replacement_bounds_bracket_its_brute_force() {
         let (n, d, lam, t) = (3usize, 2usize, 0.7f64, 3u32);
         let sqd = Sqd::new_with_mode(n, d, lam, PollMode::WithReplacement).unwrap();
-        let exact = crate::brute::BruteForce::solve_with_mode(
-            n,
-            d,
-            lam,
-            30,
-            PollMode::WithReplacement,
-        )
-        .unwrap()
-        .mean_delay();
+        let exact =
+            crate::brute::BruteForce::solve_with_mode(n, d, lam, 30, PollMode::WithReplacement)
+                .unwrap()
+                .mean_delay();
         let lb = sqd.lower_bound(t).unwrap().delay;
         let ub = sqd.upper_bound(t).unwrap().delay;
         assert!(
@@ -774,8 +764,11 @@ mod tests {
         // upper curve dominates; the lower curve is a sharp estimate
         // (the polling kernel is not precedence-monotone, so it may
         // cross by a few 1e-3 — see the delay_dist module docs).
-        for &(n, d, lam, t) in &[(3usize, 2usize, 0.6f64, 2u32), (3, 2, 0.85, 3), (4, 3, 0.7, 2)]
-        {
+        for &(n, d, lam, t) in &[
+            (3usize, 2usize, 0.6f64, 2u32),
+            (3, 2, 0.85, 3),
+            (4, 3, 0.7, 2),
+        ] {
             let sqd = Sqd::new(n, d, lam).unwrap();
             let exact = crate::brute::BruteForce::solve(n, d, lam, 32)
                 .unwrap()

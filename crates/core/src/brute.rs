@@ -16,7 +16,8 @@
 
 use std::collections::HashMap;
 
-use slb_markov::SparseCtmc;
+use slb_linalg::CooBuilder;
+use slb_markov::{generator_residual, stationary_jacobi_csr};
 
 use crate::{transitions_with_mode, CoreError, ModelVariant, PollMode, Result, State};
 
@@ -98,19 +99,29 @@ impl BruteForce {
             .map(|(i, s)| (s.clone(), i))
             .collect();
 
-        let mut chain = SparseCtmc::new(states.len());
+        // Assemble the truncated generator directly in the shared CSR
+        // kernel: off-diagonal rates plus the matching -outflow diagonal.
+        let to_core = |e: slb_linalg::LinalgError| CoreError::InvalidParameters {
+            reason: format!("generator assembly failed: {e}"),
+        };
+        let mut coo = CooBuilder::new(states.len(), states.len());
         for (i, s) in states.iter().enumerate() {
+            let mut outflow = 0.0;
             for tr in transitions_with_mode(s, d, lambda, ModelVariant::Base, mode) {
                 if tr.target.level(0) > cap {
                     continue; // truncation: drop arrivals past the cap
                 }
                 let j = index[&tr.target];
                 if j != i {
-                    chain.add_rate(i, j, tr.rate)?;
+                    coo.add(i, j, tr.rate).map_err(to_core)?;
+                    outflow += tr.rate;
                 }
             }
+            coo.add(i, i, -outflow).map_err(to_core)?;
         }
-        let pi = chain.stationary_jacobi(1e-13, 2_000_000)?;
+        let q = coo.build();
+        let pi = stationary_jacobi_csr(&q, 1e-13, 2_000_000)?;
+        debug_assert!(generator_residual(&q, &pi) < 1e-8, "stationary residual");
 
         Ok(BruteForce {
             n,
@@ -177,12 +188,8 @@ impl BruteForce {
         let mut tails = vec![0.0; k_max as usize + 1];
         for (s, &p) in self.states.iter().zip(&self.pi) {
             for (k, t) in tails.iter_mut().enumerate() {
-                let frac = s
-                    .as_slice()
-                    .iter()
-                    .filter(|&&x| x >= k as u32)
-                    .count() as f64
-                    / self.n as f64;
+                let frac =
+                    s.as_slice().iter().filter(|&&x| x >= k as u32).count() as f64 / self.n as f64;
                 *t += p * frac;
             }
         }
@@ -206,9 +213,7 @@ impl BruteForce {
             if p <= 0.0 {
                 continue;
             }
-            for (level, prob) in
-                arrival_level_weights(s, self.d, ModelVariant::Base, self.mode)
-            {
+            for (level, prob) in arrival_level_weights(s, self.d, ModelVariant::Base, self.mode) {
                 let k = level as usize;
                 if weights.len() <= k {
                     weights.resize(k + 1, 0.0);
@@ -335,7 +340,12 @@ mod tests {
         // Finite N with d = 2 has heavier tails than the N → ∞ limit at
         // small k... and the asymptotic s_2 = λ³ anchors the scale.
         let s2_asym = 0.6f64.powi(3);
-        assert!((tails[2] - s2_asym).abs() < 0.05, "s2 {} vs {}", tails[2], s2_asym);
+        assert!(
+            (tails[2] - s2_asym).abs() < 0.05,
+            "s2 {} vs {}",
+            tails[2],
+            s2_asym
+        );
     }
 
     #[test]
@@ -376,9 +386,18 @@ mod tests {
         // More choices ⇒ the whole delay distribution shifts down, not
         // just the mean.
         let (n, lam, cap) = (3usize, 0.75f64, 28u32);
-        let d1 = BruteForce::solve(n, 1, lam, cap).unwrap().delay_distribution().unwrap();
-        let d2 = BruteForce::solve(n, 2, lam, cap).unwrap().delay_distribution().unwrap();
-        let d3 = BruteForce::solve(n, 3, lam, cap).unwrap().delay_distribution().unwrap();
+        let d1 = BruteForce::solve(n, 1, lam, cap)
+            .unwrap()
+            .delay_distribution()
+            .unwrap();
+        let d2 = BruteForce::solve(n, 2, lam, cap)
+            .unwrap()
+            .delay_distribution()
+            .unwrap();
+        let d3 = BruteForce::solve(n, 3, lam, cap)
+            .unwrap()
+            .delay_distribution()
+            .unwrap();
         for i in 1..=40 {
             let t = i as f64 * 0.3;
             assert!(d3.survival(t) <= d2.survival(t) + 1e-9, "t={t}");

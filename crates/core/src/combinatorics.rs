@@ -91,12 +91,7 @@ pub fn group_arrival_probability(n: usize, d: usize, s: usize, e: usize) -> f64 
 /// let p = group_arrival_probability_with_replacement(3, 2, 3, 3);
 /// assert!((p - 5.0 / 9.0).abs() < 1e-15);
 /// ```
-pub fn group_arrival_probability_with_replacement(
-    n: usize,
-    d: usize,
-    s: usize,
-    e: usize,
-) -> f64 {
+pub fn group_arrival_probability_with_replacement(n: usize, d: usize, s: usize, e: usize) -> f64 {
     assert!(d >= 1, "need d >= 1, got {d}");
     assert!(
         1 <= s && s <= e && e <= n,
@@ -228,10 +223,7 @@ mod tests {
         for d in 2..=4 {
             let without = group_arrival_probability(n, d, n, n);
             let with = group_arrival_probability_with_replacement(n, d, n, n);
-            assert!(
-                with < without,
-                "d = {d}: with {with} !< without {without}"
-            );
+            assert!(with < without, "d = {d}: with {with} !< without {without}");
         }
     }
 

@@ -31,9 +31,7 @@
 //! crossing it by that much). Treat the lower curve as a sharp estimate
 //! with that error bar, not a certified bound.
 
-use crate::combinatorics::{
-    group_arrival_probability, group_arrival_probability_with_replacement,
-};
+use crate::combinatorics::{group_arrival_probability, group_arrival_probability_with_replacement};
 use crate::{CoreError, ModelVariant, PollMode, Result, State};
 
 /// P(Erlang(n, 1) > t) = e^{−t} Σ_{i<n} tⁱ/i!, computed by the stable
@@ -78,9 +76,7 @@ pub fn arrival_level_weights(
     let mut out = Vec::with_capacity(ng);
     for (gi, g) in groups.iter().enumerate() {
         let p = match mode {
-            PollMode::WithoutReplacement => {
-                group_arrival_probability(n, d, g.start + 1, g.end + 1)
-            }
+            PollMode::WithoutReplacement => group_arrival_probability(n, d, g.start + 1, g.end + 1),
             PollMode::WithReplacement => {
                 group_arrival_probability_with_replacement(n, d, g.start + 1, g.end + 1)
             }
@@ -346,12 +342,7 @@ mod tests {
         // (2, 1, 0), d = 2: tagged job joins level 1 w.p. C(2,2)−C(1,2)
         // = 1/3... and level 0 w.p. 2/3 (positions ordered).
         let s = State::new(vec![2, 1, 0]).unwrap();
-        let w = arrival_level_weights(
-            &s,
-            2,
-            ModelVariant::Base,
-            PollMode::WithoutReplacement,
-        );
+        let w = arrival_level_weights(&s, 2, ModelVariant::Base, PollMode::WithoutReplacement);
         let total: f64 = w.iter().map(|&(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-12);
         let p_level0: f64 = w.iter().filter(|&&(l, _)| l == 0).map(|&(_, p)| p).sum();

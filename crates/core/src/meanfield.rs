@@ -92,7 +92,10 @@ impl MeanField {
         for (i, &v) in s.iter().enumerate() {
             if !(0.0..=1.0).contains(&v) || v > prev + 1e-12 {
                 return Err(CoreError::InvalidParameters {
-                    reason: format!("tail fractions must be nonincreasing in [0, 1]; s_{} = {v}", i + 1),
+                    reason: format!(
+                        "tail fractions must be nonincreasing in [0, 1]; s_{} = {v}",
+                        i + 1
+                    ),
                 });
             }
             prev = v;

@@ -329,7 +329,14 @@ mod tests {
         // Poisson (CV 1) < hyperexponential (CV > 1) in tail decay.
         let rate = 0.8;
         let det = solve_sigma(&Interarrival::Deterministic { gap: 1.0 / rate }, 1.0).unwrap();
-        let erl = solve_sigma(&Interarrival::Erlang { k: 4, rate: 4.0 * rate }, 1.0).unwrap();
+        let erl = solve_sigma(
+            &Interarrival::Erlang {
+                k: 4,
+                rate: 4.0 * rate,
+            },
+            1.0,
+        )
+        .unwrap();
         let poi = solve_sigma(&Interarrival::Exponential { rate }, 1.0).unwrap();
         // Hyperexp with the same mean but CV² > 1.
         let hyp = solve_sigma(
@@ -341,7 +348,10 @@ mod tests {
             1.0,
         )
         .unwrap();
-        assert!(det < erl && erl < poi && poi < hyp, "{det} {erl} {poi} {hyp}");
+        assert!(
+            det < erl && erl < poi && poi < hyp,
+            "{det} {erl} {poi} {hyp}"
+        );
     }
 
     #[test]
@@ -375,10 +385,8 @@ mod tests {
         assert!((s - rho).abs() < 1e-10, "sigma {s}");
         // Erlang PH matches the enum's Erlang.
         let ph = PhaseType::erlang(3, 2.4).unwrap();
-        let via_ph =
-            solve_sigma_lst(|x| ph.lst(x).unwrap(), ph.mean().unwrap(), 1.0).unwrap();
-        let via_enum =
-            solve_sigma(&Interarrival::Erlang { k: 3, rate: 2.4 }, 1.0).unwrap();
+        let via_ph = solve_sigma_lst(|x| ph.lst(x).unwrap(), ph.mean().unwrap(), 1.0).unwrap();
+        let via_enum = solve_sigma(&Interarrival::Erlang { k: 3, rate: 2.4 }, 1.0).unwrap();
         assert!((via_ph - via_enum).abs() < 1e-10);
     }
 

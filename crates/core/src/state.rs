@@ -252,9 +252,30 @@ mod tests {
         let s = State::new(vec![4, 2, 2, 1, 1, 1]).unwrap();
         let g = s.groups();
         assert_eq!(g.len(), 3);
-        assert_eq!(g[0], Group { start: 0, end: 0, level: 4 });
-        assert_eq!(g[1], Group { start: 1, end: 2, level: 2 });
-        assert_eq!(g[2], Group { start: 3, end: 5, level: 1 });
+        assert_eq!(
+            g[0],
+            Group {
+                start: 0,
+                end: 0,
+                level: 4
+            }
+        );
+        assert_eq!(
+            g[1],
+            Group {
+                start: 1,
+                end: 2,
+                level: 2
+            }
+        );
+        assert_eq!(
+            g[2],
+            Group {
+                start: 3,
+                end: 5,
+                level: 1
+            }
+        );
         assert_eq!(g[1].len(), 2);
     }
 

@@ -154,7 +154,10 @@ impl BlockSpace {
             boundary: StateIndex::new(boundary),
             block0: StateIndex::new(block0),
         };
-        debug_assert_eq!(space.block_len() as f64, binomial(n - 1 + t as usize, t as usize));
+        debug_assert_eq!(
+            space.block_len() as f64,
+            binomial(n - 1 + t as usize, t as usize)
+        );
         Ok(space)
     }
 
@@ -302,8 +305,7 @@ mod tests {
     #[test]
     fn shapes_are_unique_per_block() {
         let space = BlockSpace::new(4, 2).unwrap();
-        let mut shapes: Vec<State> =
-            space.block0().iter().map(|(_, s)| s.shape()).collect();
+        let mut shapes: Vec<State> = space.block0().iter().map(|(_, s)| s.shape()).collect();
         shapes.sort();
         shapes.dedup();
         assert_eq!(shapes.len(), space.block_len());
@@ -342,11 +344,7 @@ mod tests {
     fn level_shift_preserves_index_order() {
         // The m ↔ m+1 bijection must be index-preserving between blocks.
         let space = BlockSpace::new(4, 3).unwrap();
-        let shifted: Vec<State> = space
-            .block0()
-            .iter()
-            .map(|(_, s)| s.plus_one())
-            .collect();
+        let shifted: Vec<State> = space.block0().iter().map(|(_, s)| s.plus_one()).collect();
         let reindexed = StateIndex::new(shifted.clone());
         for (i, s) in space.block0().iter() {
             assert_eq!(reindexed.get(&s.plus_one()), Some(i));
@@ -377,10 +375,7 @@ mod tests {
         assert_eq!(space.block_len(), 6);
         for e in &expect {
             let s = State::new(e.clone()).unwrap();
-            assert!(
-                space.block0().get(&s).is_some(),
-                "expected {s} in block 0"
-            );
+            assert!(space.block0().get(&s).is_some(), "expected {s} in block 0");
         }
     }
 

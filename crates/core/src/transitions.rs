@@ -27,9 +27,7 @@
 //! model redirects ⪰-larger ones; `precedence::verify_redirects` checks
 //! this for every enumerated state.
 
-use crate::combinatorics::{
-    group_arrival_probability, group_arrival_probability_with_replacement,
-};
+use crate::combinatorics::{group_arrival_probability, group_arrival_probability_with_replacement};
 use crate::State;
 
 /// Service rate of each server (the paper's unit-mean convention).
@@ -158,9 +156,7 @@ pub fn transitions_with_mode(
     let total_arrival = lambda * n as f64;
     for (gi, g) in groups.iter().enumerate() {
         let p = match mode {
-            PollMode::WithoutReplacement => {
-                group_arrival_probability(n, d, g.start + 1, g.end + 1)
-            }
+            PollMode::WithoutReplacement => group_arrival_probability(n, d, g.start + 1, g.end + 1),
             PollMode::WithReplacement => {
                 group_arrival_probability_with_replacement(n, d, g.start + 1, g.end + 1)
             }
@@ -425,13 +421,7 @@ mod tests {
     #[test]
     fn with_replacement_outflow_conserved() {
         let m = s(&[3, 2, 1, 0]);
-        let ts = transitions_with_mode(
-            &m,
-            2,
-            0.7,
-            ModelVariant::Base,
-            PollMode::WithReplacement,
-        );
+        let ts = transitions_with_mode(&m, 2, 0.7, ModelVariant::Base, PollMode::WithReplacement);
         let total: f64 = ts.iter().map(|t| t.rate).sum();
         assert!((total - (0.7 * 4.0 + 3.0)).abs() < 1e-12);
     }
@@ -441,13 +431,7 @@ mod tests {
         // N = 2, d = 2 with replacement on (1, 0): position 2 receives
         // the job unless both polls hit position 1: 1 − (1/2)² = 3/4.
         let m = s(&[1, 0]);
-        let ts = transitions_with_mode(
-            &m,
-            2,
-            0.5,
-            ModelVariant::Base,
-            PollMode::WithReplacement,
-        );
+        let ts = transitions_with_mode(&m, 2, 0.5, ModelVariant::Base, PollMode::WithReplacement);
         let lam_n = 0.5 * 2.0;
         assert!((rate_to(&ts, &s(&[1, 1])) - lam_n * 0.75).abs() < 1e-12);
         assert!((rate_to(&ts, &s(&[2, 0])) - lam_n * 0.25).abs() < 1e-12);
@@ -456,13 +440,7 @@ mod tests {
     #[test]
     fn with_replacement_allows_d_beyond_n() {
         let m = s(&[2, 1]);
-        let ts = transitions_with_mode(
-            &m,
-            5,
-            0.5,
-            ModelVariant::Base,
-            PollMode::WithReplacement,
-        );
+        let ts = transitions_with_mode(&m, 5, 0.5, ModelVariant::Base, PollMode::WithReplacement);
         // d = 5 polls on 2 servers: shortest wins with prob 1 − (1/2)⁵.
         let lam_n = 0.5 * 2.0;
         let p_short = 1.0 - 0.5f64.powi(5);
@@ -477,9 +455,7 @@ mod tests {
         ] {
             for v in [&[2u32, 2, 0][..], &[3, 1, 1], &[2, 1, 1], &[4, 2, 2]] {
                 let m = s(v);
-                for tr in
-                    transitions_with_mode(&m, 3, 0.9, variant, PollMode::WithReplacement)
-                {
+                for tr in transitions_with_mode(&m, 3, 0.9, variant, PollMode::WithReplacement) {
                     assert!(tr.target.diff() <= 2, "{m} -> {}", tr.target);
                 }
             }

@@ -1,13 +1,16 @@
 //! # slb-linalg
 //!
-//! Self-contained dense linear algebra for matrix-geometric queueing
-//! analysis.
+//! Self-contained dense and sparse linear algebra for matrix-geometric
+//! queueing analysis.
 //!
 //! This crate provides exactly the numeric substrate needed by the
-//! quasi-birth-death (QBD) machinery in `slb-qbd` and the bound models in
-//! `slb-core`: a dense row-major [`Matrix`] of `f64`, LU decomposition
-//! with partial pivoting ([`Lu`]), linear solves, inverses, determinants,
-//! norms and a few spectral utilities. It has no dependencies.
+//! quasi-birth-death (QBD) machinery in `slb-qbd`, the Markov solvers in
+//! `slb-markov` and the bound models in `slb-core`: a dense row-major
+//! [`Matrix`] of `f64`, LU decomposition with partial pivoting ([`Lu`]),
+//! linear solves, inverses, determinants, norms, spectral utilities, and a
+//! compressed-sparse-row [`CsrMatrix`] (with its [`CooBuilder`]) that the
+//! whole solver stack shares for large, structurally sparse generators.
+//! It has no dependencies.
 //!
 //! The matrix-geometric method of Neuts repeatedly forms expressions such
 //! as `(−A1)⁻¹ A0`, `R = −A0 (A1 + A0 G)⁻¹` and `(I − R)⁻¹ e`; all of them
@@ -35,13 +38,18 @@ mod error;
 mod lu;
 mod matrix;
 mod ops;
+mod sparse;
 mod spectral;
 pub mod vector;
 
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
-pub use spectral::{power_iteration, spectral_radius_upper_bound, PowerIteration};
+pub use sparse::{CooBuilder, CsrMatrix};
+pub use spectral::{
+    power_iteration, power_iteration_op, power_iteration_sparse, spectral_radius_upper_bound,
+    spectral_radius_upper_bound_sparse, LinearOperator, PowerIteration,
+};
 
 /// Convenience result alias for fallible linear-algebra operations.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -99,7 +99,11 @@ impl Lu {
             }
         }
 
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factorized matrix.
@@ -268,7 +272,9 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
     pub fn det(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         match Lu::new(self) {
             Ok(lu) => Ok(lu.det()),

@@ -60,13 +60,7 @@ impl Matrix {
             self.cols()
         );
         (0..self.rows())
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
             .collect()
     }
 
@@ -171,7 +165,9 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
     pub fn add_scaled_identity(&self, s: f64) -> Result<Matrix> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let mut out = self.clone();
         for i in 0..out.rows() {

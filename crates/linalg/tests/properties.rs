@@ -14,10 +14,7 @@ fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
         let mut m = Matrix::from_vec(n, n, vals).unwrap();
         for i in 0..n {
-            let off: f64 = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| m[(i, j)].abs())
-                .sum();
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
             // Diagonal strictly dominates the row.
             m[(i, i)] = off + 1.0 + m[(i, i)].abs();
         }

@@ -173,8 +173,7 @@ pub(crate) fn assemble(
         for h in 0..p {
             let row = i * p + h;
             for tr in product_transitions(&s, h, map, d, variant, mode) {
-                if let ProductLocation::Level { q: 0, index: j } = locate(&tr.target, tr.phase)
-                {
+                if let ProductLocation::Level { q: 0, index: j } = locate(&tr.target, tr.phase) {
                     a2[(row, j)] += tr.rate;
                 }
             }
@@ -260,7 +259,10 @@ mod tests {
                 .sum();
             let d1_row: f64 = (0..2).map(|h2| map.d1()[(h, h2)]).sum();
             let expect = d0_off + d1_row + s.busy() as f64;
-            assert!((total - expect).abs() < 1e-12, "phase {h}: {total} vs {expect}");
+            assert!(
+                (total - expect).abs() < 1e-12,
+                "phase {h}: {total} vs {expect}"
+            );
         }
     }
 
@@ -293,6 +295,9 @@ mod tests {
         .map(|t| t.rate)
         .sum();
         assert!(up < low, "upper outflow {up} should be below lower {low}");
-        assert!((low - up - 2.0).abs() < 1e-12, "blocked rate is the bottom pair");
+        assert!(
+            (low - up - 2.0).abs() < 1e-12,
+            "blocked rate is the bottom pair"
+        );
     }
 }

@@ -88,11 +88,8 @@ impl MapBrute {
 
         let states = enumerate_capped(n, cap);
         let p = map.phases();
-        let index: HashMap<&State, usize> = states
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s, i))
-            .collect();
+        let index: HashMap<&State, usize> =
+            states.iter().enumerate().map(|(i, s)| (s, i)).collect();
         let idx = |shape: usize, h: usize| shape * p + h;
 
         let d0 = map.d0();

@@ -2,7 +2,7 @@
 //! Poisson assumption removed.
 
 use slb_core::{BlockSpace, ModelVariant, PollMode};
-use slb_linalg::power_iteration;
+use slb_linalg::{power_iteration_sparse, CsrMatrix};
 use slb_markov::Map;
 use slb_qbd::{QbdBlocks, SolveOptions, Tail};
 
@@ -249,9 +249,7 @@ impl MapSqd {
         let kernels: Vec<Vec<(u32, f64)>> = space
             .block0()
             .iter()
-            .map(|(_, s)| {
-                arrival_level_weights(s, self.d, ModelVariant::Base, self.poll_mode)
-            })
+            .map(|(_, s)| arrival_level_weights(s, self.d, ModelVariant::Base, self.poll_mode))
             .collect();
         sol.for_each_level(1e-12, |q, pi_q| {
             for (j, kernel) in kernels.iter().enumerate() {
@@ -332,7 +330,11 @@ impl MapSqd {
         let waiting = sol.mean_linear_cost(&cb, &c0, &growth);
 
         let tail_decay = match sol.tail() {
-            Tail::Matrix(r) => power_iteration(r, 1e-12, 50_000)?.eigenvalue,
+            Tail::Matrix(r) => {
+                // sp(R) through the shared sparse kernel.
+                let r = CsrMatrix::from_dense(r, 0.0);
+                power_iteration_sparse(&r, 1e-12, 50_000)?.eigenvalue
+            }
             Tail::Scalar(b) => *b,
         };
 
@@ -365,17 +367,18 @@ mod tests {
         assert!(MapSqd::with_utilization(3, 2, &map, 1.0).is_err());
         assert!(MapSqd::with_utilization(3, 2, &map, 0.5).is_ok());
         // d > N allowed with replacement.
-        assert!(
-            MapSqd::new_with_mode(3, 5, &map, PollMode::WithReplacement).is_ok()
-        );
+        assert!(MapSqd::new_with_mode(3, 5, &map, PollMode::WithReplacement).is_ok());
     }
 
     #[test]
     fn poisson_map_reproduces_core_bounds() {
         // One-phase MAP ≡ Poisson: delays must match slb-core to solver
         // precision, and the lower tail decay must be Theorem 3's ρᴺ.
-        for &(n, d, lam, t) in &[(3usize, 2usize, 0.6f64, 2u32), (3, 2, 0.8, 3), (4, 3, 0.7, 2)]
-        {
+        for &(n, d, lam, t) in &[
+            (3usize, 2usize, 0.6f64, 2u32),
+            (3, 2, 0.8, 3),
+            (4, 3, 0.7, 2),
+        ] {
             let map = Map::poisson(lam * n as f64).unwrap();
             let model = MapSqd::new(n, d, &map).unwrap();
             let core = slb_core::Sqd::new(n, d, lam).unwrap();
@@ -429,7 +432,12 @@ mod tests {
         let model = MapSqd::with_utilization(3, 2, &map, 0.6).unwrap();
         let lb = model.lower_bound(3).unwrap();
         let ub = model.upper_bound(3).unwrap();
-        assert!(lb.delay <= ub.delay + 1e-9, "LB {} > UB {}", lb.delay, ub.delay);
+        assert!(
+            lb.delay <= ub.delay + 1e-9,
+            "LB {} > UB {}",
+            lb.delay,
+            ub.delay
+        );
         assert!(lb.residual < 1e-8 && ub.residual < 1e-8);
         assert!(lb.tail_decay < 1.0 && ub.tail_decay < 1.0);
     }
@@ -451,7 +459,12 @@ mod tests {
         let model = MapSqd::with_utilization(3, 2, &map, 0.65).unwrap();
         let ub2 = model.upper_bound(2).unwrap();
         let ub3 = model.upper_bound(3).unwrap();
-        assert!(ub3.delay <= ub2.delay + 1e-9, "{} vs {}", ub3.delay, ub2.delay);
+        assert!(
+            ub3.delay <= ub2.delay + 1e-9,
+            "{} vs {}",
+            ub3.delay,
+            ub2.delay
+        );
     }
 
     #[test]

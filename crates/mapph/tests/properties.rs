@@ -3,8 +3,8 @@
 //! ones.
 
 use proptest::prelude::*;
-use slb_markov::{Map, PhaseType};
 use slb_mapph::{MapPh1, MapSqd};
+use slb_markov::{Map, PhaseType};
 
 /// Random 2-phase MMPP with bounded switch and arrival rates.
 fn arb_mmpp() -> impl Strategy<Value = Map> {

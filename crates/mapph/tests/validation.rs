@@ -3,8 +3,8 @@
 //! against the truncated product-chain ground truth and against the
 //! discrete-event simulator.
 
-use slb_markov::{Map, PhaseType};
 use slb_mapph::{MapBrute, MapPh1, MapSqd};
+use slb_markov::{Map, PhaseType};
 use slb_sim::{Policy, SimConfig};
 
 #[test]
@@ -45,7 +45,10 @@ fn sandwich_vs_brute_force_erlang_renewal() {
     // Smoother-than-Poisson renewal input (SCV = 1/2).
     let (n, d, rho, t, cap) = (3usize, 2usize, 0.7f64, 3u32, 16u32);
     let ph = PhaseType::erlang(2, 2.0).unwrap();
-    let map = Map::renewal(&ph).unwrap().with_rate(rho * n as f64).unwrap();
+    let map = Map::renewal(&ph)
+        .unwrap()
+        .with_rate(rho * n as f64)
+        .unwrap();
     let model = MapSqd::new(n, d, &map).unwrap();
     let exact = MapBrute::solve(n, d, &map, cap).unwrap();
     assert!(exact.truncation_mass() < 1e-8);
@@ -136,7 +139,12 @@ fn modulated_decay_rate_is_coherent() {
     let model = MapSqd::with_utilization(n, d, &map, rho).unwrap();
     let lb = model.lower_bound(t).unwrap();
     let ub = model.upper_bound(t).unwrap();
-    assert!(lb.tail_decay < ub.tail_decay, "{} < {}", lb.tail_decay, ub.tail_decay);
+    assert!(
+        lb.tail_decay < ub.tail_decay,
+        "{} < {}",
+        lb.tail_decay,
+        ub.tail_decay
+    );
     // Poisson reference: LB decay of the scalar model is ρᴺ; burstiness
     // slows the decay (heavier tail).
     assert!(lb.tail_decay > rho.powi(n as i32));

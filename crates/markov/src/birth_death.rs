@@ -75,7 +75,9 @@ pub fn stationary(lambda: &[f64], mu: &[f64]) -> Result<Vec<f64>> {
 /// Panics unless `0 ≤ rho < 1`.
 pub fn mm1_queue_length_pmf(rho: f64, k_max: usize) -> Vec<f64> {
     assert!((0.0..1.0).contains(&rho), "need 0 <= rho < 1, got {rho}");
-    (0..=k_max).map(|k| (1.0 - rho) * rho.powi(k as i32)).collect()
+    (0..=k_max)
+        .map(|k| (1.0 - rho) * rho.powi(k as i32))
+        .collect()
 }
 
 /// Mean number in system for M/M/1: `ρ/(1−ρ)`.

@@ -1,6 +1,6 @@
 //! Dense continuous-time Markov chains.
 
-use slb_linalg::Matrix;
+use slb_linalg::{CsrMatrix, Matrix};
 
 use crate::{gth_stationary, Dtmc, MarkovError, Result};
 
@@ -112,6 +112,13 @@ impl Ctmc {
         &self.generator
     }
 
+    /// The generator compressed into the shared [`CsrMatrix`] kernel —
+    /// the form the uniformization ([`Ctmc::transient`]) and iterative
+    /// stationary paths consume.
+    pub fn sparse_generator(&self) -> CsrMatrix {
+        CsrMatrix::from_dense(&self.generator, 0.0)
+    }
+
     /// Transition rate from `i` to `j` (`i ≠ j`), or the negative total
     /// outflow when `i == j`.
     pub fn rate(&self, i: usize, j: usize) -> f64 {
@@ -193,19 +200,21 @@ impl Ctmc {
             return Ok(initial.to_vec());
         }
         let lam = self.uniformization_rate().max(1e-12) * 1.02;
-        let p = {
-            let n = self.n();
-            Matrix::from_fn(n, n, |r, c| {
-                let base = if r == c { 1.0 } else { 0.0 };
-                base + self.generator[(r, c)] / lam
-            })
-        };
+        // The uniformized operator P = I + Q/Λ in shared CSR form: the
+        // repeated vector–matrix products below cost O(nnz) per Poisson
+        // term instead of O(n²).
+        let p = self
+            .sparse_generator()
+            .scale(1.0 / lam)
+            .plus_scaled_identity(1.0)
+            .expect("generator is square");
         let a = lam * t;
         // Truncation K: P(Poisson(a) > K) < 1e-12. Use mean + 10 sqrt + 30.
         let k_max = (a + 10.0 * a.sqrt() + 30.0).ceil() as usize;
 
         let mut result = vec![0.0; self.n()];
         let mut v = initial.to_vec();
+        let mut next = vec![0.0; self.n()];
         // Poisson weights computed iteratively to avoid overflow.
         let mut log_w = -a; // log of e^{-a} a^0 / 0!
         for k in 0..=k_max {
@@ -213,7 +222,8 @@ impl Ctmc {
             for (ri, vi) in result.iter_mut().zip(&v) {
                 *ri += w * vi;
             }
-            v = p.vec_mat(&v);
+            p.vec_mat_into(&v, &mut next);
+            std::mem::swap(&mut v, &mut next);
             log_w += (a / (k as f64 + 1.0)).ln();
         }
         // Renormalize the tiny truncation loss.

@@ -88,9 +88,7 @@ impl Dtmc {
     /// [`MarkovError::NotErgodic`] if the chain is reducible.
     pub fn stationary(&self) -> Result<Vec<f64>> {
         let n = self.n();
-        let q = Matrix::from_fn(n, n, |r, c| {
-            self.p[(r, c)] - if r == c { 1.0 } else { 0.0 }
-        });
+        let q = Matrix::from_fn(n, n, |r, c| self.p[(r, c)] - if r == c { 1.0 } else { 0.0 });
         gth_stationary(&q)
     }
 
@@ -200,12 +198,7 @@ mod tests {
         // Symmetric random walk on {0,1,2} with reflecting 2, absorbing
         // checks via first-step analysis: from 1, E[hit 0] with p=1/2 each
         // way and state 2 reflecting back to 1.
-        let p = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.5, 0.0, 0.5],
-            &[0.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let p = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.5, 0.0, 0.5], &[0.0, 1.0, 0.0]]).unwrap();
         let c = Dtmc::from_matrix(p).unwrap();
         let h = c.hitting_times(0).unwrap();
         // h1 = 1 + 0.5 h2, h2 = 1 + h1  =>  h1 = 3, h2 = 4.

@@ -11,8 +11,11 @@
 //!   validation and stationary solves via the Grassmann–Taksar–Heyman
 //!   (GTH) elimination, which involves no subtractions and is therefore
 //!   immune to the cancellation that plagues naive `πQ = 0` solves.
-//! * [`SparseCtmc`] — a compressed sparse chain with a uniformization-based
-//!   power-iteration stationary solver, used for the brute-force
+//! * [`SparseCtmc`] — a sparse chain backed by the shared
+//!   [`slb_linalg::CsrMatrix`] kernel, with uniformization-based
+//!   power-iteration and Jacobi stationary solvers
+//!   ([`stationary_power_csr`], [`stationary_jacobi_csr`] for callers that
+//!   assemble their own CSR generator). Used for the brute-force
 //!   ground-truth SQ(d) chains whose state spaces are too large for dense
 //!   `O(n³)` elimination.
 //! * [`birth_death`] — birth–death chains and the exact M/M/1, M/M/c and
@@ -55,10 +58,10 @@ mod sparse;
 pub use ctmc::Ctmc;
 pub use dtmc::Dtmc;
 pub use error::MarkovError;
-pub use gth::gth_stationary;
+pub use gth::{gth_stationary, gth_stationary_csr};
 pub use map::Map;
 pub use phase_type::PhaseType;
-pub use sparse::SparseCtmc;
+pub use sparse::{generator_residual, stationary_jacobi_csr, stationary_power_csr, SparseCtmc};
 
 /// Convenience result alias for fallible Markov-chain operations.
 pub type Result<T> = std::result::Result<T, MarkovError>;

@@ -106,8 +106,7 @@ impl Map {
                 reason: "MMPP needs positive switch rates and nonnegative arrival rates".into(),
             });
         }
-        let d0 = Matrix::from_rows(&[&[-(r01 + lam0), r01], &[r10, -(r10 + lam1)]])
-            .expect("2x2");
+        let d0 = Matrix::from_rows(&[&[-(r01 + lam0), r01], &[r10, -(r10 + lam1)]]).expect("2x2");
         let d1 = Matrix::from_rows(&[&[lam0, 0.0], &[0.0, lam1]]).expect("2x2");
         Map::new(d0, d1)
     }
@@ -308,8 +307,7 @@ mod tests {
 
     #[test]
     fn renewal_map_from_hyperexponential() {
-        let ph =
-            crate::PhaseType::hyperexponential(&[0.4, 0.6], &[0.5, 2.0]).unwrap();
+        let ph = crate::PhaseType::hyperexponential(&[0.4, 0.6], &[0.5, 2.0]).unwrap();
         let map = Map::renewal(&ph).unwrap();
         let want_mean = ph.mean().unwrap();
         assert!((map.interarrival_moment(1).unwrap() - want_mean).abs() < 1e-12);
@@ -320,13 +318,9 @@ mod tests {
     fn scaling_changes_rate_not_scv() {
         let map = Map::mmpp2(0.3, 0.7, 0.4, 1.8).unwrap();
         let scaled = map.scaled(2.5).unwrap();
+        assert!((scaled.rate().unwrap() - 2.5 * map.rate().unwrap()).abs() < 1e-12);
         assert!(
-            (scaled.rate().unwrap() - 2.5 * map.rate().unwrap()).abs() < 1e-12
-        );
-        assert!(
-            (scaled.interarrival_scv().unwrap() - map.interarrival_scv().unwrap())
-                .abs()
-                < 1e-12
+            (scaled.interarrival_scv().unwrap() - map.interarrival_scv().unwrap()).abs() < 1e-12
         );
         assert!(map.scaled(0.0).is_err());
         assert!(map.scaled(f64::INFINITY).is_err());

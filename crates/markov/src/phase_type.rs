@@ -169,9 +169,7 @@ impl PhaseType {
                 reason: "need rates.len() = conts.len() + 1 >= 1".into(),
             });
         }
-        if rates.iter().any(|&r| r <= 0.0)
-            || conts.iter().any(|&c| !(0.0..=1.0).contains(&c))
-        {
+        if rates.iter().any(|&r| r <= 0.0) || conts.iter().any(|&c| !(0.0..=1.0).contains(&c)) {
             return Err(MarkovError::InvalidChain {
                 reason: "invalid Coxian rates/continuation probabilities".into(),
             });
@@ -261,9 +259,7 @@ impl PhaseType {
     pub fn lst(&self, s: f64) -> Result<f64> {
         assert!(s >= 0.0, "LST argument must be nonnegative");
         let p = self.phases();
-        let m = Matrix::from_fn(p, p, |r, c| {
-            (if r == c { s } else { 0.0 }) - self.s[(r, c)]
-        });
+        let m = Matrix::from_fn(p, p, |r, c| (if r == c { s } else { 0.0 }) - self.s[(r, c)]);
         let x = m.solve_vec(&self.exit_rates())?;
         Ok(slb_linalg::vector::dot(&self.alpha, &x))
     }
@@ -395,11 +391,7 @@ mod tests {
         )
         .is_err());
         // Positive row sum.
-        assert!(PhaseType::new(
-            vec![1.0],
-            Matrix::from_vec(1, 1, vec![0.5]).unwrap()
-        )
-        .is_err());
+        assert!(PhaseType::new(vec![1.0], Matrix::from_vec(1, 1, vec![0.5]).unwrap()).is_err());
     }
 
     #[test]

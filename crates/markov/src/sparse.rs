@@ -1,11 +1,21 @@
-//! Sparse continuous-time Markov chains with an iterative stationary
-//! solver.
+//! Sparse continuous-time Markov chains with iterative stationary
+//! solvers, built on the shared [`CsrMatrix`] kernel from `slb-linalg`.
 //!
 //! The brute-force "ground truth" SQ(d) chains used to validate the paper's
 //! bounds have state spaces in the tens of thousands — far too large for
 //! dense `O(n³)` elimination, but trivially sparse (≤ `2N` transitions per
-//! state). This module stores such chains in compressed row form and finds
-//! their stationary vector by power iteration on the uniformized DTMC.
+//! state). This module assembles such chains through
+//! [`slb_linalg::CooBuilder`], freezes them into [`CsrMatrix`] form, and
+//! finds their stationary vector by power iteration on the uniformized
+//! DTMC or by Jacobi sweeps — every inner loop is a CSR matvec from
+//! `slb-linalg`, not a private sparse format.
+//!
+//! The solver entry points [`stationary_power_csr`] and
+//! [`stationary_jacobi_csr`] accept a raw generator in CSR form directly,
+//! so callers that already assemble a [`CsrMatrix`] (`slb-core::brute`,
+//! QBD truncations) need no chain wrapper at all.
+
+use slb_linalg::{CooBuilder, CsrMatrix};
 
 use crate::{MarkovError, Result};
 
@@ -32,11 +42,14 @@ use crate::{MarkovError, Result};
 #[derive(Debug, Clone)]
 pub struct SparseCtmc {
     n: usize,
-    /// Per-row transition lists `(dest, rate)`; duplicates are summed when
-    /// they are inserted.
-    rows: Vec<Vec<(usize, f64)>>,
+    /// Off-diagonal transition rates, accumulated in the shared builder
+    /// (duplicates are summed on insertion).
+    rates: CooBuilder,
     /// Total outflow per state.
     out: Vec<f64>,
+    /// Lazily frozen full generator, so solve-then-certify sequences do
+    /// not rebuild the CSR. Invalidated by [`SparseCtmc::add_rate`].
+    csr: std::cell::OnceCell<CsrMatrix>,
 }
 
 impl SparseCtmc {
@@ -49,8 +62,9 @@ impl SparseCtmc {
         assert!(n > 0, "chain must have at least one state");
         SparseCtmc {
             n,
-            rows: vec![Vec::new(); n],
+            rates: CooBuilder::new(n, n),
             out: vec![0.0; n],
+            csr: std::cell::OnceCell::new(),
         }
     }
 
@@ -61,7 +75,7 @@ impl SparseCtmc {
 
     /// Number of stored transitions.
     pub fn nnz(&self) -> usize {
-        self.rows.iter().map(Vec::len).sum()
+        self.rates.raw_len()
     }
 
     /// Adds `rate` to the transition `from → to`.
@@ -90,13 +104,13 @@ impl SparseCtmc {
         if rate == 0.0 {
             return Ok(());
         }
-        // Merge duplicates so repeated redirects accumulate.
-        if let Some(entry) = self.rows[from].iter_mut().find(|(d, _)| *d == to) {
-            entry.1 += rate;
-        } else {
-            self.rows[from].push((to, rate));
-        }
+        self.rates
+            .add(from, to, rate)
+            .map_err(|e| MarkovError::InvalidChain {
+                reason: e.to_string(),
+            })?;
         self.out[from] += rate;
+        self.csr.take(); // the frozen generator is stale now
         Ok(())
     }
 
@@ -115,7 +129,22 @@ impl SparseCtmc {
     ///
     /// Panics if `i` is out of range.
     pub fn transitions(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.rows[i].iter().copied()
+        self.rates.row_entries(i)
+    }
+
+    /// The full generator `Q` (off-diagonal rates plus the `-outflow`
+    /// diagonal) in the shared CSR format. Frozen on first use and cached
+    /// until the next [`SparseCtmc::add_rate`].
+    pub fn generator_csr(&self) -> &CsrMatrix {
+        self.csr.get_or_init(|| {
+            let mut b = self.rates.clone();
+            for (i, &o) in self.out.iter().enumerate() {
+                if o > 0.0 {
+                    b.add(i, i, -o).expect("diagonal in range, finite");
+                }
+            }
+            b.build()
+        })
     }
 
     /// Stationary distribution via power iteration on the uniformized
@@ -128,53 +157,11 @@ impl SparseCtmc {
     /// * [`MarkovError::NoConvergence`] if `max_iter` sweeps do not reach
     ///   `tol`.
     pub fn stationary_power(&self, tol: f64, max_iter: usize) -> Result<Vec<f64>> {
-        let lam = self.out.iter().fold(0.0_f64, |m, &x| m.max(x));
-        if lam <= 0.0 {
-            return Err(MarkovError::InvalidChain {
-                reason: "chain has no transitions".into(),
-            });
-        }
-        let lam = lam * 1.02;
-        let mut pi = vec![1.0 / self.n as f64; self.n];
-        let mut next = vec![0.0; self.n];
-        for _ in 1..=max_iter {
-            // next = pi · P with P = I + Q/Λ, computed from the sparse rows.
-            for (i, v) in next.iter_mut().enumerate() {
-                *v = pi[i] * (1.0 - self.out[i] / lam);
-            }
-            for (i, row) in self.rows.iter().enumerate() {
-                let p = pi[i];
-                if p == 0.0 {
-                    continue;
-                }
-                for &(j, r) in row {
-                    next[j] += p * r / lam;
-                }
-            }
-            let diff: f64 = pi
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
-            std::mem::swap(&mut pi, &mut next);
-            if diff < tol {
-                // Clean up round-off and renormalize before returning.
-                let total: f64 = pi.iter().sum();
-                for v in &mut pi {
-                    *v /= total;
-                }
-                return Ok(pi);
-            }
-        }
-        Err(MarkovError::NoConvergence {
-            method: "sparse_power_iteration",
-            iterations: max_iter,
-            residual: f64::NAN,
-        })
+        stationary_power_csr(self.generator_csr(), tol, max_iter)
     }
 
-    /// Stationary solve with Gauss–Seidel-style Jacobi sweeps accelerated
-    /// by the embedded-jump normalization; generally converges in far fewer
+    /// Stationary solve with Gauss–Seidel-style sweeps accelerated by the
+    /// embedded-jump normalization; generally converges in far fewer
     /// sweeps than plain power iteration for stiff chains. Falls back on
     /// the caller to pick between the two.
     ///
@@ -182,44 +169,7 @@ impl SparseCtmc {
     ///
     /// Same failure modes as [`SparseCtmc::stationary_power`].
     pub fn stationary_jacobi(&self, tol: f64, max_iter: usize) -> Result<Vec<f64>> {
-        if self.out.iter().all(|&o| o == 0.0) {
-            return Err(MarkovError::InvalidChain {
-                reason: "chain has no transitions".into(),
-            });
-        }
-        // Build the incoming-transition view once.
-        let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
-        for (i, row) in self.rows.iter().enumerate() {
-            for &(j, r) in row {
-                incoming[j].push((i, r));
-            }
-        }
-        let mut pi = vec![1.0 / self.n as f64; self.n];
-        for _ in 1..=max_iter {
-            let mut max_rel = 0.0_f64;
-            for j in 0..self.n {
-                if self.out[j] == 0.0 {
-                    continue; // absorbing states keep their mass; caller's chains are irreducible
-                }
-                let inflow: f64 = incoming[j].iter().map(|&(i, r)| pi[i] * r).sum();
-                let new = inflow / self.out[j];
-                let denom = pi[j].abs().max(1e-300);
-                max_rel = max_rel.max((new - pi[j]).abs() / denom);
-                pi[j] = new;
-            }
-            let total: f64 = pi.iter().sum();
-            for v in &mut pi {
-                *v /= total;
-            }
-            if max_rel < tol {
-                return Ok(pi);
-            }
-        }
-        Err(MarkovError::NoConvergence {
-            method: "sparse_jacobi",
-            iterations: max_iter,
-            residual: f64::NAN,
-        })
+        stationary_jacobi_csr(self.generator_csr(), tol, max_iter)
     }
 
     /// The residual `‖π·Q‖₁` of a candidate stationary vector — a direct
@@ -230,14 +180,124 @@ impl SparseCtmc {
     /// Panics if `pi.len() != n`.
     pub fn residual(&self, pi: &[f64]) -> f64 {
         assert_eq!(pi.len(), self.n, "residual: dimension mismatch");
-        let mut r: Vec<f64> = (0..self.n).map(|i| -pi[i] * self.out[i]).collect();
-        for (i, row) in self.rows.iter().enumerate() {
-            for &(j, rate) in row {
-                r[j] += pi[i] * rate;
-            }
-        }
-        r.iter().map(|x| x.abs()).sum()
+        generator_residual(self.generator_csr(), pi)
     }
+}
+
+/// `‖π·Q‖₁` for a generator in CSR form.
+///
+/// # Panics
+///
+/// Panics if `pi.len()` differs from the generator dimension.
+pub fn generator_residual(q: &CsrMatrix, pi: &[f64]) -> f64 {
+    q.vec_mat(pi).iter().map(|x| x.abs()).sum()
+}
+
+/// Extracts `(outflow, Λ)` from a CSR generator, validating that it has
+/// work to do. The outflow of state `i` is `-Q[i][i]`.
+fn outflows(q: &CsrMatrix) -> Result<(Vec<f64>, f64)> {
+    if !q.is_square() {
+        return Err(MarkovError::InvalidChain {
+            reason: format!("generator must be square, got {:?}", q.shape()),
+        });
+    }
+    let out: Vec<f64> = (0..q.rows()).map(|i| -q.get(i, i)).collect();
+    let lam = out.iter().fold(0.0_f64, |m, &x| m.max(x));
+    if lam <= 0.0 {
+        return Err(MarkovError::InvalidChain {
+            reason: "chain has no transitions".into(),
+        });
+    }
+    Ok((out, lam))
+}
+
+/// Stationary distribution of a CSR generator via power iteration on the
+/// uniformized DTMC `P = I + Q/Λ`, `Λ = 1.02 × max outflow`.
+///
+/// Every step is one shared-kernel transpose-matvec: the iteration runs
+/// on `Pᵀ` in CSR form (`π_{k+1}ᵀ = Pᵀ π_kᵀ`), so the cost per sweep is
+/// `O(nnz)` and no dense operator is ever materialized.
+///
+/// # Errors
+///
+/// * [`MarkovError::InvalidChain`] if `q` is not square or has no
+///   transitions.
+/// * [`MarkovError::NoConvergence`] if `max_iter` sweeps do not reach
+///   `tol` (1-norm change between sweeps).
+pub fn stationary_power_csr(q: &CsrMatrix, tol: f64, max_iter: usize) -> Result<Vec<f64>> {
+    let (_, lam) = outflows(q)?;
+    let lam = lam * 1.02;
+    let n = q.rows();
+    // Pᵀ = (I + Q/Λ)ᵀ, built once; the hot loop is a CSR matvec.
+    let pt = q
+        .scale(1.0 / lam)
+        .plus_scaled_identity(1.0)
+        .expect("square by construction")
+        .transpose();
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    for _ in 1..=max_iter {
+        pt.mat_vec_into(&pi, &mut next);
+        let diff: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut pi, &mut next);
+        if diff < tol {
+            // Clean up round-off and renormalize before returning.
+            let total: f64 = pi.iter().sum();
+            for v in &mut pi {
+                *v /= total;
+            }
+            return Ok(pi);
+        }
+    }
+    Err(MarkovError::NoConvergence {
+        method: "sparse_power_iteration",
+        iterations: max_iter,
+        residual: f64::NAN,
+    })
+}
+
+/// Stationary distribution of a CSR generator by Gauss–Seidel-style
+/// sweeps on the flow-balance equations `π_j = (Σ_i π_i q_{ij}) / out_j`,
+/// walking the incoming-transition view `Qᵀ` in CSR form.
+///
+/// # Errors
+///
+/// Same failure modes as [`stationary_power_csr`].
+pub fn stationary_jacobi_csr(q: &CsrMatrix, tol: f64, max_iter: usize) -> Result<Vec<f64>> {
+    let (out, _) = outflows(q)?;
+    let n = q.rows();
+    // Row j of Qᵀ lists the incoming transitions of state j.
+    let qt = q.transpose();
+    let mut pi = vec![1.0 / n as f64; n];
+    for _ in 1..=max_iter {
+        let mut max_rel = 0.0_f64;
+        for j in 0..n {
+            if out[j] == 0.0 {
+                continue; // absorbing states keep their mass; caller's chains are irreducible
+            }
+            let inflow: f64 = qt
+                .row(j)
+                .filter(|&(i, _)| i != j)
+                .map(|(i, r)| pi[i] * r)
+                .sum();
+            let new = inflow / out[j];
+            let denom = pi[j].abs().max(1e-300);
+            max_rel = max_rel.max((new - pi[j]).abs() / denom);
+            pi[j] = new;
+        }
+        let total: f64 = pi.iter().sum();
+        for v in &mut pi {
+            *v /= total;
+        }
+        if max_rel < tol {
+            return Ok(pi);
+        }
+    }
+    Err(MarkovError::NoConvergence {
+        method: "sparse_jacobi",
+        iterations: max_iter,
+        residual: f64::NAN,
+    })
 }
 
 #[cfg(test)]
@@ -311,5 +371,36 @@ mod tests {
         let c = SparseCtmc::new(3);
         assert!(c.stationary_power(1e-10, 10).is_err());
         assert!(c.stationary_jacobi(1e-10, 10).is_err());
+    }
+
+    #[test]
+    fn generator_csr_rows_sum_to_zero() {
+        let mut c = SparseCtmc::new(3);
+        c.add_rate(0, 1, 1.5).unwrap();
+        c.add_rate(1, 2, 0.5).unwrap();
+        c.add_rate(2, 0, 2.0).unwrap();
+        let q = c.generator_csr();
+        for s in q.row_sums() {
+            assert!(s.abs() < 1e-15);
+        }
+        assert_eq!(q.get(0, 0), -1.5);
+    }
+
+    #[test]
+    fn csr_entry_points_match_chain_methods() {
+        let mut c = SparseCtmc::new(5);
+        for i in 0..4 {
+            c.add_rate(i, i + 1, 0.8).unwrap();
+            c.add_rate(i + 1, i, 1.0).unwrap();
+        }
+        let q = c.generator_csr();
+        let a = c.stationary_power(1e-13, 200_000).unwrap();
+        let b = stationary_power_csr(q, 1e-13, 200_000).unwrap();
+        let d = stationary_jacobi_csr(q, 1e-13, 200_000).unwrap();
+        for i in 0..5 {
+            assert!((a[i] - b[i]).abs() < 1e-12);
+            assert!((a[i] - d[i]).abs() < 1e-8);
+        }
+        assert!(generator_residual(q, &b) < 1e-10);
     }
 }

@@ -156,8 +156,12 @@ proptest! {
 #[test]
 fn dtmc_from_ctmc_example_sizes() {
     // Deterministic smoke check used as an anchor for the proptests above.
-    let c = Ctmc::from_rates(&[vec![0.0, 1.0, 0.0], vec![0.5, 0.0, 0.5], vec![0.0, 2.0, 0.0]])
-        .unwrap();
+    let c = Ctmc::from_rates(&[
+        vec![0.0, 1.0, 0.0],
+        vec![0.5, 0.0, 0.5],
+        vec![0.0, 2.0, 0.0],
+    ])
+    .unwrap();
     let pi = c.stationary().unwrap();
     assert_eq!(pi.len(), 3);
     let d = c.uniformized_dtmc().unwrap();

@@ -1,6 +1,6 @@
 //! Validated QBD block container and the Neuts drift / stability test.
 
-use slb_linalg::Matrix;
+use slb_linalg::{CooBuilder, CsrMatrix, Matrix};
 use slb_markov::gth_stationary;
 
 use crate::{QbdError, Result};
@@ -199,37 +199,54 @@ impl QbdBlocks {
     /// into its diagonal so rows still sum to zero). Used by tests to
     /// compare against direct CTMC solves.
     ///
+    /// Thin densification of [`QbdBlocks::truncated_generator_csr`]; use
+    /// the CSR form directly for anything beyond a handful of levels.
+    ///
     /// # Panics
     ///
     /// Panics if `levels == 0`.
     pub fn truncated_generator(&self, levels: usize) -> Matrix {
+        self.truncated_generator_csr(levels).to_dense()
+    }
+
+    /// The truncated generator assembled directly into the shared
+    /// [`CsrMatrix`] kernel. The block-tridiagonal structure means only
+    /// `O(levels · m²)` entries exist out of `(nb + levels·m)²` dense
+    /// slots, so this is the form the iterative stationary solvers in
+    /// `slb-markov` should consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    pub fn truncated_generator_csr(&self, levels: usize) -> CsrMatrix {
         assert!(levels > 0, "need at least one repeating level");
         let nb = self.boundary_len();
         let m = self.level_len();
         let n = nb + levels * m;
-        let mut q = Matrix::zeros(n, n);
-        q.set_block(0, 0, &self.r00);
-        q.set_block(0, nb, &self.r01);
-        q.set_block(nb, 0, &self.r10);
+        let mut q = CooBuilder::new(n, n);
+        let ok = "block entry in range";
+        q.add_dense_block(0, 0, &self.r00).expect(ok);
+        q.add_dense_block(0, nb, &self.r01).expect(ok);
+        q.add_dense_block(nb, 0, &self.r10).expect(ok);
         for l in 0..levels {
             let row = nb + l * m;
-            q.set_block(row, row, &self.a1);
+            q.add_dense_block(row, row, &self.a1).expect(ok);
             if l + 1 < levels {
-                q.set_block(row, row + m, &self.a0);
+                q.add_dense_block(row, row + m, &self.a0).expect(ok);
             } else {
                 // Fold A0 into the diagonal block: redirect up-transitions
                 // back to the same state (lost rate becomes a self-loop,
                 // i.e. is simply removed from the generator).
                 for r in 0..m {
                     let excess: f64 = self.a0.row(r).iter().sum();
-                    q[(row + r, row + r)] += excess;
+                    q.add(row + r, row + r, excess).expect(ok);
                 }
             }
             if l > 0 {
-                q.set_block(row, row - m, &self.a2);
+                q.add_dense_block(row, row - m, &self.a2).expect(ok);
             }
         }
-        q
+        q.build()
     }
 }
 
@@ -312,6 +329,26 @@ mod tests {
         // Truncated M/M/1 stationary ≈ geometric.
         let pi = slb_markov::gth_stationary(&q).unwrap();
         assert!(pi[0] > pi[1] && pi[1] > pi[2]);
+    }
+
+    #[test]
+    fn csr_truncation_matches_dense() {
+        let b = mm1_blocks(0.6, 1.0);
+        let sparse = b.truncated_generator_csr(8);
+        let dense = b.truncated_generator(8);
+        assert!(sparse.to_dense().approx_eq(&dense, 0.0));
+        // Block-tridiagonal: nnz far below the dense square.
+        assert!(sparse.nnz() <= 3 * sparse.rows());
+        for s in sparse.row_sums() {
+            assert!(s.abs() < 1e-12);
+        }
+        // The shared iterative solver agrees with dense GTH on the
+        // truncated chain.
+        let pi_gth = slb_markov::gth_stationary(&dense).unwrap();
+        let pi_csr = slb_markov::stationary_jacobi_csr(&sparse, 1e-13, 1_000_000).unwrap();
+        for (a, b) in pi_gth.iter().zip(&pi_csr) {
+            assert!((a - b).abs() < 1e-9, "{pi_gth:?} vs {pi_csr:?}");
+        }
     }
 
     #[test]

@@ -179,7 +179,10 @@ pub fn u_based_iteration(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> Resul
 pub fn decay_rate(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> Result<f64> {
     let g = crate::logarithmic_reduction(blocks, tol, max_iter)?;
     let r = crate::rate_matrix(blocks, &g.g)?;
-    let p = slb_linalg::power_iteration(&r, 1e-13, 100_000).map_err(QbdError::from)?;
+    // R inherits the sparsity of A0 (zero rows for phases that cannot
+    // move up); iterate on the shared CSR kernel.
+    let r = slb_linalg::CsrMatrix::from_dense(&r, 0.0);
+    let p = slb_linalg::power_iteration_sparse(&r, 1e-13, 100_000).map_err(QbdError::from)?;
     Ok(p.eigenvalue)
 }
 
@@ -203,8 +206,7 @@ mod tests {
     fn two_phase_blocks(l0: f64, l1: f64, mu: f64, r: f64) -> QbdBlocks {
         let a0 = Matrix::from_rows(&[&[l0, 0.0], &[0.0, l1]]).unwrap();
         let a2 = Matrix::from_rows(&[&[mu, 0.0], &[0.0, mu]]).unwrap();
-        let a1 =
-            Matrix::from_rows(&[&[-(l0 + mu + r), r], &[r, -(l1 + mu + r)]]).unwrap();
+        let a1 = Matrix::from_rows(&[&[-(l0 + mu + r), r], &[r, -(l1 + mu + r)]]).unwrap();
         let r00 = Matrix::from_rows(&[&[-(l0 + r), r], &[r, -(l1 + r)]]).unwrap();
         let r01 = a0.clone();
         let r10 = a2.clone();
@@ -247,7 +249,12 @@ mod tests {
         let ub = u_based_iteration(&b, 1e-13, 100_000).unwrap();
         let fi = functional_iteration(&b, 1e-13, 500_000).unwrap();
         assert!(lr.iterations <= 12 && cr.iterations <= 12);
-        assert!(ub.iterations < fi.iterations, "{} < {}", ub.iterations, fi.iterations);
+        assert!(
+            ub.iterations < fi.iterations,
+            "{} < {}",
+            ub.iterations,
+            fi.iterations
+        );
         assert!(cr.iterations < ub.iterations);
     }
 

@@ -140,11 +140,7 @@ pub fn logarithmic_reduction(
 /// * [`QbdError::NoConvergence`] if `max_iter` is exhausted before the
 ///   successive-iterate change drops below `tol`.
 /// * [`QbdError::Linalg`] if `A1` is singular (invalid QBD).
-pub fn functional_iteration(
-    blocks: &QbdBlocks,
-    tol: f64,
-    max_iter: usize,
-) -> Result<GComputation> {
+pub fn functional_iteration(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> Result<GComputation> {
     let m = blocks.level_len();
     let neg_a1 = -blocks.a1();
     let lu = Lu::new(&neg_a1)?;
@@ -210,11 +206,7 @@ mod tests {
     fn two_phase_blocks(l0: f64, l1: f64, mu: f64, r: f64) -> QbdBlocks {
         let a0 = Matrix::from_rows(&[&[l0, 0.0], &[0.0, l1]]).unwrap();
         let a2 = Matrix::from_rows(&[&[mu, 0.0], &[0.0, mu]]).unwrap();
-        let a1 = Matrix::from_rows(&[
-            &[-(l0 + mu + r), r],
-            &[r, -(l1 + mu + r)],
-        ])
-        .unwrap();
+        let a1 = Matrix::from_rows(&[&[-(l0 + mu + r), r], &[r, -(l1 + mu + r)]]).unwrap();
         // Boundary: empty system in phase i; only arrivals and switches.
         let r00 = Matrix::from_rows(&[&[-(l0 + r), r], &[r, -(l1 + r)]]).unwrap();
         let r01 = Matrix::from_rows(&[&[l0, 0.0], &[0.0, l1]]).unwrap();

@@ -18,7 +18,7 @@
 //! the `G`/`R` computation entirely; [`QbdBlocks::solve_with_scalar_tail`]
 //! implements that dramatically cheaper path.
 
-use slb_linalg::{vector, Lu, Matrix};
+use slb_linalg::{vector, CooBuilder, CsrMatrix, Lu, Matrix};
 
 use crate::{logarithmic_reduction, rate_matrix, QbdBlocks, QbdError, Result};
 
@@ -91,9 +91,7 @@ impl QbdStationary {
                     }
                     v
                 }
-                Tail::Scalar(b) => {
-                    vector::scale(&self.level1, b.powi(q as i32 - 1))
-                }
+                Tail::Scalar(b) => vector::scale(&self.level1, b.powi(q as i32 - 1)),
             },
         }
     }
@@ -324,15 +322,21 @@ impl QbdBlocks {
             Tail::Scalar(b) => vec![1.0 / (1.0 - b); m],
         };
 
-        // Assemble M (the finite balance system) in full.
-        let mut big = Matrix::zeros(k, k);
-        big.set_block(0, 0, self.r00());
-        big.set_block(0, nb, self.r01());
-        big.set_block(nb, 0, self.r10());
-        big.set_block(nb, nb, self.a1());
-        big.set_block(nb, nb + m, self.a0());
-        big.set_block(nb + m, nb, self.a2());
-        big.set_block(nb + m, nb + m, &tail_block);
+        // Assemble M (the finite balance system) through the shared
+        // sparse builder: the system is block-tridiagonal, so the CSR
+        // form both feeds the residual checks at O(nnz) and densifies
+        // into exactly the matrix the LU boundary solve needs.
+        let mut coo = CooBuilder::new(k, k);
+        let ok = "balance block in range";
+        coo.add_dense_block(0, 0, self.r00()).expect(ok);
+        coo.add_dense_block(0, nb, self.r01()).expect(ok);
+        coo.add_dense_block(nb, 0, self.r10()).expect(ok);
+        coo.add_dense_block(nb, nb, self.a1()).expect(ok);
+        coo.add_dense_block(nb, nb + m, self.a0()).expect(ok);
+        coo.add_dense_block(nb + m, nb, self.a2()).expect(ok);
+        coo.add_dense_block(nb + m, nb + m, &tail_block).expect(ok);
+        let sparse = coo.build();
+        let big = sparse.to_dense();
 
         // Normalization coefficients n = [e_b ; e_0 ; w].
         let mut norm = vec![1.0; k];
@@ -341,11 +345,11 @@ impl QbdBlocks {
         // Fast path: replace balance equation 0 with the normalization and
         // solve the transposed square system.
         let pi = match solve_replacing_equation(&big, &norm) {
-            Ok(pi) if residual_of(&big, &pi) <= opts.residual_tol => pi,
+            Ok(pi) if residual_of(&sparse, &pi) <= opts.residual_tol => pi,
             _ => solve_least_squares(&big, &norm)?,
         };
 
-        let res = residual_of(&big, &pi);
+        let res = residual_of(&sparse, &pi);
         if res > opts.residual_tol.max(1e-6) {
             return Err(QbdError::NoConvergence {
                 method: "qbd_boundary_solve",
@@ -373,8 +377,9 @@ impl QbdBlocks {
     }
 }
 
-/// `‖π M‖∞` for the assembled finite system.
-fn residual_of(big: &Matrix, pi: &[f64]) -> f64 {
+/// `‖π M‖∞` for the assembled finite system, via the shared sparse
+/// transpose-matvec.
+fn residual_of(big: &CsrMatrix, pi: &[f64]) -> f64 {
     vector::norm_inf(&big.vec_mat(pi))
 }
 
@@ -498,8 +503,7 @@ mod tests {
         let (l0, l1, mu, r) = (0.3, 0.8, 1.0, 0.5);
         let a0 = Matrix::from_rows(&[&[l0, 0.0], &[0.0, l1]]).unwrap();
         let a2 = Matrix::from_rows(&[&[mu, 0.0], &[0.0, mu]]).unwrap();
-        let a1 =
-            Matrix::from_rows(&[&[-(l0 + mu + r), r], &[r, -(l1 + mu + r)]]).unwrap();
+        let a1 = Matrix::from_rows(&[&[-(l0 + mu + r), r], &[r, -(l1 + mu + r)]]).unwrap();
         let r00 = Matrix::from_rows(&[&[-(l0 + r), r], &[r, -(l1 + r)]]).unwrap();
         let r01 = a0.clone();
         let r10 = a2.clone();
@@ -566,8 +570,7 @@ mod tests {
             assert!((p - sol.level_prob(q)[0]).abs() < 1e-14);
         }
         // Coverage: boundary + visited levels ≈ 1.
-        let covered: f64 =
-            sol.boundary()[0] + seen.iter().map(|&(_, p)| p).sum::<f64>();
+        let covered: f64 = sol.boundary()[0] + seen.iter().map(|&(_, p)| p).sum::<f64>();
         assert!((covered - 1.0).abs() < 1e-10);
     }
 

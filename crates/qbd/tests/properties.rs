@@ -14,8 +14,7 @@ fn stable_two_phase() -> impl Strategy<Value = QbdBlocks> {
         let mu = 1.0;
         let a0 = Matrix::from_rows(&[&[l0, 0.0], &[0.0, l1]]).unwrap();
         let a2 = Matrix::from_rows(&[&[mu, 0.0], &[0.0, mu]]).unwrap();
-        let a1 =
-            Matrix::from_rows(&[&[-(l0 + mu + r), r], &[r, -(l1 + mu + r)]]).unwrap();
+        let a1 = Matrix::from_rows(&[&[-(l0 + mu + r), r], &[r, -(l1 + mu + r)]]).unwrap();
         let r00 = Matrix::from_rows(&[&[-(l0 + r), r], &[r, -(l1 + r)]]).unwrap();
         let r01 = a0.clone();
         let r10 = a2.clone();

@@ -161,11 +161,7 @@ impl SimConfig {
         if let Some(speeds) = &self.speeds {
             if speeds.len() != self.n {
                 return Err(SimError::InvalidConfig {
-                    reason: format!(
-                        "{} speeds supplied for {} servers",
-                        speeds.len(),
-                        self.n
-                    ),
+                    reason: format!("{} speeds supplied for {} servers", speeds.len(), self.n),
                 });
             }
             if speeds.iter().any(|&s| s <= 0.0 || !s.is_finite()) {
@@ -313,7 +309,10 @@ mod tests {
         let random = run(Policy::Random);
         let sq2 = run(Policy::SqD { d: 2 });
         let jsq = run(Policy::Jsq);
-        assert!(jsq < sq2 && sq2 < random, "jsq {jsq}, sq2 {sq2}, random {random}");
+        assert!(
+            jsq < sq2 && sq2 < random,
+            "jsq {jsq}, sq2 {sq2}, random {random}"
+        );
     }
 
     #[test]
@@ -396,7 +395,11 @@ mod tests {
     #[test]
     fn queue_tail_utilization_identity() {
         // Fraction of busy servers = λ for any work-conserving policy.
-        for policy in [Policy::SqD { d: 2 }, Policy::Jsq, Policy::SqDReplace { d: 3 }] {
+        for policy in [
+            Policy::SqD { d: 2 },
+            Policy::Jsq,
+            Policy::SqDReplace { d: 3 },
+        ] {
             let res = SimConfig::new(5, 0.65)
                 .unwrap()
                 .policy(policy)
@@ -441,11 +444,7 @@ mod tests {
         // arrival λ and service speed r_i, so the job-averaged sojourn is
         // the mean of 1/(r_i − λ).
         let (lam, speeds) = (0.5, vec![1.0, 2.0]);
-        let exact: f64 = speeds
-            .iter()
-            .map(|r| 1.0 / (r - lam))
-            .sum::<f64>()
-            / speeds.len() as f64;
+        let exact: f64 = speeds.iter().map(|r| 1.0 / (r - lam)).sum::<f64>() / speeds.len() as f64;
         let res = SimConfig::new(2, lam)
             .unwrap()
             .policy(Policy::Random)

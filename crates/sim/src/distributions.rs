@@ -55,9 +55,7 @@ impl ServiceDistribution {
             ServiceDistribution::Exponential { mean } => mean,
             ServiceDistribution::Deterministic { value } => value,
             ServiceDistribution::Erlang { mean, .. } => mean,
-            ServiceDistribution::HyperExp { p, rate1, rate2 } => {
-                p / rate1 + (1.0 - p) / rate2
-            }
+            ServiceDistribution::HyperExp { p, rate1, rate2 } => p / rate1 + (1.0 - p) / rate2,
         }
     }
 

@@ -92,10 +92,7 @@ impl Simulation {
     pub(crate) fn new(config: SimConfig) -> Self {
         let n = config.n;
         let mut rng = SmallRng::seed_from_u64(config.seed);
-        let mut map_sampler = config
-            .map
-            .as_ref()
-            .map(|m| MapSampler::new(m, &mut rng));
+        let mut map_sampler = config.map.as_ref().map(|m| MapSampler::new(m, &mut rng));
         let mut events = BinaryHeap::with_capacity(n + 2);
         let rate = config.lambda * n as f64;
         let first = match map_sampler.as_mut() {

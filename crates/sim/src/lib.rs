@@ -43,10 +43,10 @@
 #![warn(missing_docs)]
 
 mod config;
-mod map_arrivals;
 mod distributions;
 mod engine;
 mod error;
+mod map_arrivals;
 mod policy;
 mod stats;
 

@@ -141,11 +141,16 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut sampler = MapSampler::new(&map, &mut rng);
         let n = 400_000;
-        let xs: Vec<f64> = (0..n).map(|_| sampler.next_interarrival(&mut rng)).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|_| sampler.next_interarrival(&mut rng))
+            .collect();
         let m = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
         let scv = var / (m * m);
         assert!(scv > 1.5, "sampled SCV {scv}");
-        assert!((scv - analytic).abs() / analytic < 0.15, "{scv} vs {analytic}");
+        assert!(
+            (scv - analytic).abs() / analytic < 0.15,
+            "{scv} vs {analytic}"
+        );
     }
 }

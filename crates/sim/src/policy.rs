@@ -340,7 +340,10 @@ mod tests {
         }
         assert_eq!(counts[1], 0);
         for &i in &[0usize, 2, 3] {
-            assert!((counts[i] as f64 / 10_000.0 - 1.0).abs() < 0.05, "{counts:?}");
+            assert!(
+                (counts[i] as f64 / 10_000.0 - 1.0).abs() < 0.05,
+                "{counts:?}"
+            );
         }
         // No idle server: uniform over all.
         let mut counts = [0usize; 4];

@@ -22,10 +22,7 @@ fn mm1_delay_quantiles_match_exponential() {
     for &p in &[0.5, 0.9, 0.99] {
         let want = -(1.0_f64 - p).ln() / (1.0 - rho);
         let got = res.delay_quantile(p).unwrap();
-        assert!(
-            (got - want).abs() / want < 0.06,
-            "p={p}: {got} vs {want}"
-        );
+        assert!((got - want).abs() / want < 0.06, "p={p}: {got} vs {want}");
     }
     // Survival at the analytic median is 1/2.
     let median = -(0.5f64).ln() / (1.0 - rho);
@@ -79,10 +76,7 @@ fn sqd_delay_tail_matches_analytic_mixture() {
     for &p in &[0.5, 0.9, 0.99] {
         let got = res.delay_quantile(p).unwrap();
         let want = exact.quantile(p).unwrap();
-        assert!(
-            (got - want).abs() / want < 0.05,
-            "p={p}: {got} vs {want}"
-        );
+        assert!((got - want).abs() / want < 0.05, "p={p}: {got} vs {want}");
     }
 }
 

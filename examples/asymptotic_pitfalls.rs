@@ -36,10 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "   (skipped)".into()
             };
             let err = 100.0 * (sim.mean_delay - asym).abs() / sim.mean_delay;
-            println!(
-                "{n:>3}   {:>9.4}   {lb:>11}   {err:>7.2}%",
-                sim.mean_delay
-            );
+            println!("{n:>3}   {:>9.4}   {lb:>11}   {err:>7.2}%", sim.mean_delay);
         }
     }
 

@@ -21,9 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (d, t, rho) = (2, 3, 0.7);
     let target_delay = 3.0;
 
-    println!(
-        "Bursty arrivals (MMPP-2, interarrival SCV = {scv:.2}) at utilization {rho}\n"
-    );
+    println!("Bursty arrivals (MMPP-2, interarrival SCV = {scv:.2}) at utilization {rho}\n");
     println!("  N    Poisson LB   bursty LB   bursty UB   meets target (UB <= {target_delay})?");
 
     for n in [2usize, 3, 4, 6, 8] {

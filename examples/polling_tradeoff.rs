@@ -76,10 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if d == 1 {
                 baseline[i] = delay;
             }
-            print!(
-                "  {delay:>12.3} ({:>5.1}%)",
-                100.0 * delay / baseline[i]
-            );
+            print!("  {delay:>12.3} ({:>5.1}%)", 100.0 * delay / baseline[i]);
         }
         println!();
     }

@@ -92,7 +92,10 @@ fn gi_m_1_three_ways() {
     )
     .unwrap();
     let via_qbd = queue.mean_sojourn().unwrap();
-    assert!((via_sigma - via_qbd).abs() < 1e-8, "{via_sigma} vs {via_qbd}");
+    assert!(
+        (via_sigma - via_qbd).abs() < 1e-8,
+        "{via_sigma} vs {via_qbd}"
+    );
 
     let sim = SimConfig::new(1, rho)
         .unwrap()
@@ -130,6 +133,8 @@ fn policy_hierarchy_full_spectrum() {
     let sq2 = run(Policy::SqD { d: 2 });
     let sq2m = run(Policy::SqDMemory { d: 2 });
     let jsq = run(Policy::Jsq);
-    assert!(random > sq2 && sq2 > sq2m && sq2m > jsq,
-        "{random} > {sq2} > {sq2m} > {jsq} violated");
+    assert!(
+        random > sq2 && sq2 > sq2m && sq2m > jsq,
+        "{random} > {sq2} > {sq2m} > {jsq} violated"
+    );
 }

@@ -1,0 +1,139 @@
+//! The paper's sandwich invariant, end to end and through both linear-
+//! algebra paths.
+//!
+//! For every configuration the finite-regime bounds must bracket the
+//! exact (truncated-chain) mean delay:
+//!
+//! ```text
+//! lower_bound(T)  ≤  brute force  ≤  upper_bound(T)
+//! ```
+//!
+//! The brute-force stationary vector is computed twice — once through the
+//! dense GTH elimination and once through the shared CSR iterative kernel
+//! (`slb_linalg::CsrMatrix` + `slb_markov::stationary_*_csr`) — and the
+//! two must agree to solver tolerance. This pins the multi-layer sparse
+//! refactor to the dense ground truth.
+
+use slb::core::{transitions, ModelVariant, State};
+use slb::linalg::{CooBuilder, CsrMatrix, Matrix};
+use slb::markov::{gth_stationary, stationary_jacobi_csr, stationary_power_csr};
+use slb::Sqd;
+
+/// All sorted states on `n` servers with longest queue ≤ `cap`.
+fn enumerate_capped(n: usize, cap: u32) -> Vec<State> {
+    fn rec(cur: &mut Vec<u32>, pos: usize, max: u32, out: &mut Vec<State>) {
+        if pos == cur.len() {
+            out.push(State::new(cur.clone()).expect("sorted by construction"));
+            return;
+        }
+        for v in (0..=max).rev() {
+            cur[pos] = v;
+            rec(cur, pos + 1, v, out);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut vec![0u32; n], 0, cap, &mut out);
+    out
+}
+
+/// The truncated SQ(d) generator as `(dense, csr)`, built from one pass
+/// over the transition function.
+fn truncated_generator(
+    n: usize,
+    d: usize,
+    lambda: f64,
+    cap: u32,
+) -> (Matrix, CsrMatrix, Vec<State>) {
+    let states = enumerate_capped(n, cap);
+    let index: std::collections::HashMap<&State, usize> =
+        states.iter().enumerate().map(|(i, s)| (s, i)).collect();
+    let mut dense = Matrix::zeros(states.len(), states.len());
+    let mut coo = CooBuilder::new(states.len(), states.len());
+    for (i, s) in states.iter().enumerate() {
+        for tr in transitions(s, d, lambda, ModelVariant::Base) {
+            if tr.target.level(0) > cap {
+                continue; // truncation: drop arrivals past the cap
+            }
+            let j = index[&tr.target];
+            if j == i {
+                continue;
+            }
+            dense[(i, j)] += tr.rate;
+            dense[(i, i)] -= tr.rate;
+            coo.add(i, j, tr.rate).unwrap();
+            coo.add(i, i, -tr.rate).unwrap();
+        }
+    }
+    (dense, coo.build(), states)
+}
+
+fn mean_delay(states: &[State], pi: &[f64], n: usize, lambda: f64) -> f64 {
+    let jobs: f64 = states
+        .iter()
+        .zip(pi)
+        .map(|(s, &p)| p * f64::from(s.total()))
+        .sum();
+    jobs / (lambda * n as f64)
+}
+
+#[test]
+fn sandwich_holds_via_dense_and_csr_paths() {
+    let (n, d, t, cap) = (3usize, 2usize, 3u32, 25u32);
+    for lambda in [0.5, 0.8] {
+        let sqd = Sqd::new(n, d, lambda).unwrap();
+        let lower = sqd.lower_bound(t).unwrap().delay;
+        let upper = sqd.upper_bound(t).unwrap().delay;
+
+        let (dense, csr, states) = truncated_generator(n, d, lambda, cap);
+        assert!(
+            csr.to_dense().approx_eq(&dense, 1e-14),
+            "assembly paths differ"
+        );
+
+        // Dense path: GTH elimination on the explicit generator.
+        let pi_dense = gth_stationary(&dense).unwrap();
+        // Sparse paths: the shared CSR kernel, both iterative solvers.
+        let pi_jacobi = stationary_jacobi_csr(&csr, 1e-13, 2_000_000).unwrap();
+        let pi_power = stationary_power_csr(&csr, 1e-13, 2_000_000).unwrap();
+        for i in 0..pi_dense.len() {
+            assert!(
+                (pi_dense[i] - pi_jacobi[i]).abs() < 1e-8,
+                "λ={lambda}: dense vs jacobi at {i}"
+            );
+            assert!(
+                (pi_dense[i] - pi_power[i]).abs() < 1e-7,
+                "λ={lambda}: dense vs power at {i}"
+            );
+        }
+
+        for (path, pi) in [("dense", &pi_dense), ("csr", &pi_jacobi)] {
+            let brute = mean_delay(&states, pi, n, lambda);
+            assert!(
+                lower <= brute + 1e-6,
+                "λ={lambda} [{path}]: lower {lower} > brute {brute}"
+            );
+            assert!(
+                brute <= upper + 1e-6,
+                "λ={lambda} [{path}]: brute {brute} > upper {upper}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sandwich_matches_library_brute_force() {
+    // The hand-assembled chain above must agree with the library's own
+    // CSR-backed brute-force solver.
+    let (n, d, cap) = (3usize, 2usize, 25u32);
+    for lambda in [0.5, 0.8] {
+        let bf = slb::core::brute::BruteForce::solve(n, d, lambda, cap).unwrap();
+        let (_, csr, states) = truncated_generator(n, d, lambda, cap);
+        let pi = stationary_jacobi_csr(&csr, 1e-13, 2_000_000).unwrap();
+        let here = mean_delay(&states, &pi, n, lambda);
+        assert!(
+            (bf.mean_delay() - here).abs() < 1e-9,
+            "λ={lambda}: {} vs {here}",
+            bf.mean_delay()
+        );
+    }
+}

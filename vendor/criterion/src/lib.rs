@@ -1,0 +1,252 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the real `criterion`
+//! is unavailable. This shim keeps the `harness = false` bench targets
+//! compiling *and producing useful numbers*: each benchmark closure is
+//! warmed up once, then timed for `sample_size` samples, and the
+//! min/mean/max wall-clock per iteration is printed in a Criterion-like
+//! format. There is no statistical analysis, HTML report, or baseline
+//! comparison.
+//!
+//! ```
+//! use criterion::{BenchmarkId, Criterion};
+//!
+//! let mut c = Criterion::default().sample_size(10);
+//! let mut group = c.benchmark_group("demo");
+//! group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+//!     b.iter(|| x * x)
+//! });
+//! group.finish();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    // Held only so groups cannot outlive (or interleave with) their
+    // Criterion, matching the real API's exclusive borrow.
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    /// Group-local sample count; starts at the parent's value and, as in
+    /// the real crate, overriding it here does not leak into later groups.
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used to derive rate figures.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &id.into(),
+            self.sample_size,
+            self.throughput.as_ref(),
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &id.into(),
+            self.sample_size,
+            self.throughput.as_ref(),
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (purely cosmetic in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements (jobs, states, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample, recording wall-clock durations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up run.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &BenchmarkId,
+    sample_size: usize,
+    throughput: Option<&Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {:<40} (no samples)", id.label);
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:.3e} elem/s", *n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:.3e} B/s", *n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "  {:<40} [{min:>12.3?} {mean:>12.3?} {max:>12.3?}]{rate}",
+        id.label
+    );
+}
+
+/// Declares a group of benchmark functions; supports both the simple and
+/// the `name/config/targets` forms of the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,46 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Lengths accepted by [`vec()`]: a fixed `usize` or a `Range<usize>`.
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn pick(&self, runner: &mut TestRunner) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _runner: &mut TestRunner) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, runner: &mut TestRunner) -> usize {
+        runner.sample_range(self.clone())
+    }
+}
+
+/// A strategy producing `Vec`s whose elements come from `element` and
+/// whose length is drawn from `size`.
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let len = self.size.pick(runner);
+        (0..len).map(|_| self.element.generate(runner)).collect()
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for the subset of the `proptest` crate this workspace
+//! uses.
+//!
+//! The build environment cannot reach crates.io, so the real `proptest` is
+//! unavailable. This shim keeps the workspace's property-based tests
+//! *running* (not merely compiling) by re-implementing the API surface
+//! they consume:
+//!
+//! * the [`proptest!`] macro with the `#![proptest_config(...)]` header,
+//! * [`strategy::Strategy`] with its `prop_map` / `prop_flat_map` combinators,
+//! * numeric range strategies, tuple strategies, [`prelude::Just`] and
+//!   [`collection::vec`],
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Differences from the real crate are intentional and documented:
+//! generation is plain random sampling (no size ramping) and failing
+//! cases are **not shrunk** — the failure message simply reports the
+//! panic from the offending case. Runs are deterministic: each test
+//! derives its RNG seed from its own name, so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The `proptest!` doc example necessarily shows `#[test]` functions; they
+// are compile-checked, which is all a macro-usage example needs.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Expands a block of property tests. Mirrors `proptest::proptest!`:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::deterministic(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            // Rejections via prop_assume! are retried without counting,
+            // up to a bounded number of attempts.
+            while accepted < config.cases && attempts < config.cases.saturating_mul(16) {
+                attempts += 1;
+                $(let $p = $crate::strategy::Strategy::generate(&($s), &mut runner);)+
+                let ran: bool = (move || -> bool {
+                    let _ = $body;
+                    true
+                })();
+                if ran {
+                    accepted += 1;
+                }
+            }
+            assert!(
+                accepted >= config.cases / 2,
+                "too many cases rejected by prop_assume!: \
+                 {accepted} accepted in {attempts} attempts"
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test (panics like `assert!`; the
+/// real crate's shrinking machinery is intentionally absent).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Rejects the current case (it is regenerated and not counted) when the
+/// assumption does not hold. Must appear in the top-level block of the
+/// test body, as in the real crate's common usage.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}

@@ -1,0 +1,190 @@
+//! Value-generation strategies: the [`Strategy`] trait, range and tuple
+//! instances, and the `prop_map` / `prop_flat_map` combinators.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRunner;
+
+/// A recipe for generating values of an output type.
+///
+/// Unlike the real crate there is no value tree and no shrinking:
+/// `generate` directly produces one random value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to pick a dependent strategy, then
+    /// samples that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// Strategies may be used behind references.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).generate(runner)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (self.f)(self.inner.generate(runner)).generate(runner)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(runner);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive values: {}",
+            self.whence
+        );
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.sample_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.sample_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        runner.sample_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}

@@ -1,0 +1,57 @@
+//! Test-run configuration and the deterministic RNG handed to strategies.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// Per-block configuration; only the `cases` knob of the real crate is
+/// supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test must execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The source of randomness passed to [`crate::strategy::Strategy`]
+/// implementations during generation.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// A runner whose seed is derived (FNV-1a) from the test name, so each
+    /// test has its own reproducible stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// Uniform sample from a range (integer or `f64`).
+    pub fn sample_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.rng.gen()
+    }
+}
