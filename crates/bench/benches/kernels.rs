@@ -1,0 +1,131 @@
+//! Criterion bench: the dense numerical kernels on which every solver
+//! iteration spends its time — G-matrix algorithms, the stationary
+//! boundary solve, raw dense matmul, and simulator throughput.
+//!
+//! Phase sizes m ∈ {4, 16, 64} bracket the block sizes the SQ(d) bound
+//! models generate. With `CRITERION_JSON=BENCH_pr3.json` the shim appends
+//! machine-readable medians, which is how the committed perf trajectory
+//! (`BENCH_pr3.json`) is produced; see README §Performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slb_linalg::Matrix;
+use slb_qbd::{cyclic_reduction, logarithmic_reduction, QbdBlocks, SolveOptions};
+use slb_sim::{Policy, SimConfig};
+
+/// A stable m-phase MMPP-modulated quasi-birth-death: ring phase
+/// switching at rate `r`, per-phase arrival rates cycling through
+/// `[0.35, 0.95)`, unit service. Exercises dense blocks of exactly the
+/// requested size without depending on the SQ(d) state-space layout.
+fn mmpp_blocks(m: usize) -> QbdBlocks {
+    let r = 0.3;
+    let mu = 1.0;
+    let lam = |i: usize| 0.35 + 0.6 * (i as f64) / (m as f64);
+    let a0 = Matrix::from_fn(m, m, |i, j| if i == j { lam(i) } else { 0.0 });
+    let a2 = Matrix::from_fn(m, m, |i, j| if i == j { mu } else { 0.0 });
+    let switch = |i: usize, j: usize| -> f64 {
+        if m > 1 && (j == (i + 1) % m || i == (j + 1) % m) {
+            r
+        } else {
+            0.0
+        }
+    };
+    let out = |i: usize| -> f64 { (0..m).map(|j| switch(i, j)).sum::<f64>() };
+    let a1 = Matrix::from_fn(m, m, |i, j| {
+        if i == j {
+            -(lam(i) + mu + out(i))
+        } else {
+            switch(i, j)
+        }
+    });
+    let r00 = Matrix::from_fn(m, m, |i, j| {
+        if i == j {
+            -(lam(i) + out(i))
+        } else {
+            switch(i, j)
+        }
+    });
+    QbdBlocks::new(r00, a0.clone(), a2.clone(), a0, a1, a2).unwrap()
+}
+
+const SIZES: [usize; 3] = [4, 16, 64];
+
+fn bench_g_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for &m in &SIZES {
+        let blocks = mmpp_blocks(m);
+        group.bench_with_input(
+            BenchmarkId::new("logred", format!("m{m}")),
+            &blocks,
+            |b, blocks| b.iter(|| logarithmic_reduction(blocks, 1e-13, 64).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cr", format!("m{m}")),
+            &blocks,
+            |b, blocks| b.iter(|| cyclic_reduction(blocks, 1e-12, 64).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stationary_solve", format!("m{m}")),
+            &blocks,
+            |b, blocks| b.iter(|| blocks.solve(&SolveOptions::default()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for &m in &SIZES {
+        let a = Matrix::from_fn(m, m, |i, j| ((i * 31 + j * 7) % 17) as f64 / 17.0 - 0.4);
+        let b_in = Matrix::from_fn(m, m, |i, j| ((i * 13 + j * 5) % 23) as f64 / 23.0 - 0.6);
+        group.bench_with_input(
+            BenchmarkId::new("matmul", format!("m{m}")),
+            &(a, b_in),
+            |bch, (a, b_in)| bch.iter(|| a * b_in),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    const JOBS: u64 = 100_000;
+    let mut group = c.benchmark_group("kernels");
+    group.throughput(Throughput::Elements(JOBS));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("sim_serial", "N16_rho0.9_100k"), |b| {
+        b.iter(|| {
+            SimConfig::new(16, 0.9)
+                .unwrap()
+                .policy(Policy::SqD { d: 2 })
+                .jobs(JOBS)
+                .warmup(JOBS / 10)
+                .seed(1)
+                .run()
+                .unwrap()
+        })
+    });
+    // Same total job budget split across 4 replications driven through
+    // run_parallel — measures the merged-replication path end to end
+    // (equal to serial wall-clock on one core, ~4x faster on four).
+    group.bench_function(BenchmarkId::new("sim_parallel4", "N16_rho0.9_100k"), |b| {
+        let reps = slb_bench::SIM_REPLICATIONS;
+        let threads = slb_bench::sim_threads();
+        b.iter(|| {
+            SimConfig::new(16, 0.9)
+                .unwrap()
+                .policy(Policy::SqD { d: 2 })
+                .jobs(slb_bench::rep_jobs(JOBS))
+                .warmup(slb_bench::rep_jobs(JOBS) / 10)
+                .seed(1)
+                .run_parallel(reps, threads)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_g_kernels, bench_matmul, bench_sim_throughput
+}
+criterion_main!(benches);

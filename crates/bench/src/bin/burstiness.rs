@@ -13,7 +13,7 @@
 //!     [--n 3] [--d 2] [--t 3] [--jobs 1000000] [--out burstiness.csv]
 //! ```
 
-use slb_bench::{arg_parse, arg_value, f4, Table};
+use slb_bench::{arg_parse, arg_value, f4, rep_jobs, sim_threads, Table, SIM_REPLICATIONS};
 use slb_mapph::MapSqd;
 use slb_markov::{Map, PhaseType};
 use slb_sim::{Policy, SimConfig};
@@ -65,10 +65,10 @@ fn main() {
                 .expect("validated rho")
                 .policy(Policy::SqD { d })
                 .arrival_map(case.map.clone())
-                .jobs(jobs)
-                .warmup(jobs / 10)
+                .jobs(rep_jobs(jobs))
+                .warmup(rep_jobs(jobs) / 10)
                 .seed(0xB0B0)
-                .run()
+                .run_parallel(SIM_REPLICATIONS, sim_threads())
                 .expect("validated config");
             let ub_cell = ub.as_ref().map_or("unstable".to_string(), |u| f4(u.delay));
             println!(

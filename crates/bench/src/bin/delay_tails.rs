@@ -12,7 +12,7 @@
 //!     [--n 3] [--d 2] [--t 3] [--jobs 1000000] [--out delay_tails.csv]
 //! ```
 
-use slb_bench::{arg_parse, arg_value, f4, Table};
+use slb_bench::{arg_parse, arg_value, f4, rep_jobs, sim_threads, Table, SIM_REPLICATIONS};
 use slb_core::brute::BruteForce;
 use slb_core::{BoundKind, Sqd};
 use slb_sim::{Policy, SimConfig};
@@ -43,10 +43,10 @@ fn main() {
         let sim = SimConfig::new(n, rho)
             .expect("validated rho")
             .policy(Policy::SqD { d })
-            .jobs(jobs)
-            .warmup(jobs / 10)
+            .jobs(rep_jobs(jobs))
+            .warmup(rep_jobs(jobs) / 10)
             .seed(0xD1A7)
-            .run()
+            .run_parallel(SIM_REPLICATIONS, sim_threads())
             .expect("validated config");
 
         for &p in &percentiles {

@@ -14,7 +14,7 @@
 //! — exactly the blow-up visible in the paper's plots), the UB column
 //! reports `inf`.
 
-use slb_bench::{arg_parse, arg_value, f4, Table};
+use slb_bench::{arg_parse, arg_value, f4, rep_jobs, sim_threads, Table, SIM_REPLICATIONS};
 use slb_core::{CoreError, Sqd};
 use slb_sim::{Policy, SimConfig};
 
@@ -97,10 +97,10 @@ fn run_panel(panel: &Panel, utils: &[f64], jobs: u64, args: &[String]) {
         let sim = SimConfig::new(panel.n, rho)
             .expect("validated rho")
             .policy(Policy::SqD { d })
-            .jobs(jobs)
-            .warmup(jobs / 10)
+            .jobs(rep_jobs(jobs))
+            .warmup(rep_jobs(jobs) / 10)
             .seed(0xF10 + (rho * 1000.0) as u64)
-            .run()
+            .run_parallel(SIM_REPLICATIONS, sim_threads())
             .expect("validated config");
 
         println!(

@@ -14,7 +14,7 @@
 //! to match the paper exactly. `--quick` shrinks the sweep for smoke
 //! tests.
 
-use slb_bench::{arg_parse, arg_value, f4, Table};
+use slb_bench::{arg_parse, arg_value, f4, sim_threads, Table, SIM_REPLICATIONS};
 use slb_core::asymptotic;
 use slb_sim::{Policy, SimConfig};
 
@@ -51,13 +51,15 @@ fn main() {
             if d > n {
                 continue; // cannot poll more servers than exist
             }
+            // The --jobs budget is split across parallel replications.
+            let rep_jobs = slb_bench::rep_jobs(jobs);
             let sim = SimConfig::new(n, rho)
                 .expect("validated rho")
                 .policy(Policy::SqD { d })
-                .jobs(jobs)
-                .warmup(jobs / 10)
+                .jobs(rep_jobs)
+                .warmup(rep_jobs / 10)
                 .seed(0xF19 + n as u64 * 1000 + d as u64)
-                .run()
+                .run_parallel(SIM_REPLICATIONS, sim_threads())
                 .expect("validated config");
             let rel = 100.0 * (sim.mean_delay - approx).abs() / sim.mean_delay;
             table.push([

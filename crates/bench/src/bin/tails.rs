@@ -11,7 +11,7 @@
 //!     [--n 6] [--rho 0.9] [--t 3] [--kmax 6] [--jobs 2000000] [--out tails.csv]
 //! ```
 
-use slb_bench::{arg_parse, arg_value, f4, Table};
+use slb_bench::{arg_parse, arg_value, f4, rep_jobs, sim_threads, Table, SIM_REPLICATIONS};
 use slb_core::{asymptotic, BoundKind, Sqd};
 use slb_sim::{Policy, SimConfig};
 
@@ -38,10 +38,10 @@ fn main() {
     let sim = SimConfig::new(n, rho)
         .expect("validated rho")
         .policy(Policy::SqD { d })
-        .jobs(jobs)
-        .warmup(jobs / 10)
+        .jobs(rep_jobs(jobs))
+        .warmup(rep_jobs(jobs) / 10)
         .seed(0x7A11)
-        .run()
+        .run_parallel(SIM_REPLICATIONS, sim_threads())
         .expect("validated config");
 
     let mut table = Table::new(["k", "lower", "sim", "upper", "asymptotic"]);

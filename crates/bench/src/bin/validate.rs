@@ -71,10 +71,10 @@ fn main() {
         let sim = SimConfig::new(n, lam)
             .expect("cfg")
             .policy(Policy::SqD { d })
-            .jobs(500_000)
-            .warmup(50_000)
+            .jobs(slb_bench::rep_jobs(500_000))
+            .warmup(slb_bench::rep_jobs(500_000) / 10)
             .seed(1)
-            .run()
+            .run_parallel(slb_bench::SIM_REPLICATIONS, slb_bench::sim_threads())
             .expect("sim");
         let slack = 4.0 * sim.ci_halfwidth + 5e-3;
         report.check(

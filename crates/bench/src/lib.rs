@@ -22,6 +22,29 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
+/// Replications the experiment binaries split their `--jobs` budget
+/// across when driving the simulator through
+/// `SimConfig::run_parallel` — enough to use small-host parallelism
+/// without fragmenting the per-replication warm-up.
+pub const SIM_REPLICATIONS: usize = 4;
+
+/// Worker-thread count for parallel simulation replications: the
+/// machine's available parallelism, capped by the replication count.
+pub fn sim_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(SIM_REPLICATIONS)
+}
+
+/// Per-replication job count when a `--jobs` budget is split across
+/// [`SIM_REPLICATIONS`] replications, floored so degenerate budgets
+/// still leave room for a warm-up prefix. The single source of the
+/// budget-splitting rule for every experiment binary.
+pub fn rep_jobs(total: u64) -> u64 {
+    (total / SIM_REPLICATIONS as u64).max(10)
+}
+
 /// A simple long-format results table that renders to CSV and to an
 /// aligned console listing.
 #[derive(Debug, Clone)]

@@ -41,6 +41,7 @@ mod ops;
 mod sparse;
 mod spectral;
 pub mod vector;
+mod workspace;
 
 pub use error::LinalgError;
 pub use lu::Lu;
@@ -50,6 +51,7 @@ pub use spectral::{
     power_iteration, power_iteration_op, power_iteration_sparse, spectral_radius_upper_bound,
     spectral_radius_upper_bound_sparse, LinearOperator, PowerIteration,
 };
+pub use workspace::Workspace;
 
 /// Convenience result alias for fallible linear-algebra operations.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -42,6 +42,56 @@ pub struct Lu {
     perm_sign: f64,
 }
 
+/// Gaussian elimination with partial pivoting, in place over `lu`;
+/// returns the permutation sign. Works on whole-row slices so the update
+/// `row_r ← row_r − factor·row_k` streams over contiguous memory (and
+/// auto-vectorizes) instead of paying an index computation per entry.
+fn factorize_in_place(lu: &mut Matrix, perm: &mut Vec<usize>) -> Result<f64> {
+    let n = lu.rows();
+    perm.clear();
+    perm.extend(0..n);
+    let mut perm_sign = 1.0;
+
+    for k in 0..n {
+        // Partial pivoting: bring the largest |entry| of column k into
+        // the pivot position.
+        let mut p = k;
+        let mut pmax = lu[(k, k)].abs();
+        for r in (k + 1)..n {
+            let v = lu[(r, k)].abs();
+            if v > pmax {
+                pmax = v;
+                p = r;
+            }
+        }
+        if pmax < PIVOT_TOL || !pmax.is_finite() {
+            return Err(LinalgError::Singular {
+                column: k,
+                pivot: pmax,
+            });
+        }
+        if p != k {
+            perm.swap(p, k);
+            perm_sign = -perm_sign;
+            let (row_k, row_p) = lu.rows_mut_pair(k, p);
+            row_k.swap_with_slice(row_p);
+        }
+        let pivot = lu[(k, k)];
+        for r in (k + 1)..n {
+            let (row_k, row_r) = lu.rows_mut_pair(k, r);
+            let factor = row_r[k] / pivot;
+            row_r[k] = factor;
+            if factor == 0.0 {
+                continue;
+            }
+            for (x, &ukc) in row_r[k + 1..].iter_mut().zip(&row_k[k + 1..]) {
+                *x -= factor * ukc;
+            }
+        }
+    }
+    Ok(perm_sign)
+}
+
 impl Lu {
     /// Factorizes `a`.
     ///
@@ -53,57 +103,38 @@ impl Lu {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
-        let n = a.rows();
         let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
-
-        for k in 0..n {
-            // Partial pivoting: bring the largest |entry| of column k into
-            // the pivot position.
-            let mut p = k;
-            let mut pmax = lu[(k, k)].abs();
-            for r in (k + 1)..n {
-                let v = lu[(r, k)].abs();
-                if v > pmax {
-                    pmax = v;
-                    p = r;
-                }
-            }
-            if pmax < PIVOT_TOL || !pmax.is_finite() {
-                return Err(LinalgError::Singular {
-                    column: k,
-                    pivot: pmax,
-                });
-            }
-            if p != k {
-                perm.swap(p, k);
-                perm_sign = -perm_sign;
-                for c in 0..n {
-                    let tmp = lu[(k, c)];
-                    lu[(k, c)] = lu[(p, c)];
-                    lu[(p, c)] = tmp;
-                }
-            }
-            let pivot = lu[(k, k)];
-            for r in (k + 1)..n {
-                let factor = lu[(r, k)] / pivot;
-                lu[(r, k)] = factor;
-                if factor == 0.0 {
-                    continue;
-                }
-                for c in (k + 1)..n {
-                    let ukc = lu[(k, c)];
-                    lu[(r, c)] -= factor * ukc;
-                }
-            }
-        }
-
+        let mut perm = Vec::with_capacity(a.rows());
+        let perm_sign = factorize_in_place(&mut lu, &mut perm)?;
         Ok(Lu {
             lu,
             perm,
             perm_sign,
         })
+    }
+
+    /// Refactorizes `a` **reusing this factorization's storage** — no heap
+    /// allocation. This is the per-iteration path of the QBD reductions,
+    /// which factor a same-shaped `(I − U)` every step.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not `n × n`.
+    /// * [`LinalgError::Singular`] if elimination hits a (near-)zero
+    ///   pivot. After an error the factorization holds partially
+    ///   eliminated data and **must not be used to solve**; refactor
+    ///   successfully before the next solve.
+    pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
+        if a.shape() != self.lu.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_refactor",
+                lhs: self.lu.shape(),
+                rhs: a.shape(),
+            });
+        }
+        self.lu.copy_from(a);
+        self.perm_sign = factorize_in_place(&mut self.lu, &mut self.perm)?;
+        Ok(())
     }
 
     /// Dimension of the factorized matrix.
@@ -145,12 +176,35 @@ impl Lu {
         Ok(x)
     }
 
-    /// Solves `A·X = B` column by column.
+    /// Solves `A·X = B` for all right-hand sides at once.
+    ///
+    /// Allocates the result and delegates to [`Lu::solve_mat_into`]; use
+    /// the in-place form directly when a scratch matrix is available.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `B.rows() != n`.
     pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        self.solve_mat_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `A·X = B` into caller-provided storage, with **zero heap
+    /// allocation**.
+    ///
+    /// Substitution runs over whole rows of `X` (all right-hand sides
+    /// simultaneously), so the inner loops stream over contiguous memory
+    /// instead of walking a strided column per right-hand side — both an
+    /// allocation and a locality win over the classic column-by-column
+    /// formulation. `b` and `out` may not alias (distinct `&`/`&mut`
+    /// borrows enforce this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `B.rows() != n` or
+    /// `out` does not have `B`'s shape.
+    pub fn solve_mat_into(&self, b: &Matrix, out: &mut Matrix) -> Result<()> {
         let n = self.n();
         if b.rows() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -159,15 +213,83 @@ impl Lu {
                 rhs: b.shape(),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
-        for c in 0..b.cols() {
-            let col = b.col(c);
-            let x = self.solve_vec(&col)?;
-            for (r, v) in x.into_iter().enumerate() {
-                out[(r, c)] = v;
+        if out.shape() != b.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve_mat_into",
+                lhs: b.shape(),
+                rhs: out.shape(),
+            });
+        }
+        // Permuted copy of the right-hand sides.
+        for (i, &p) in self.perm.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(b.row(p));
+        }
+        let w = b.cols();
+        // Forward substitution with unit lower L. The eliminated rows j
+        // are folded in two at a time (same per-element order, half the
+        // passes over row i).
+        for i in 1..n {
+            let (head, tail) = out.as_mut_slice().split_at_mut(i * w);
+            let row_i = &mut tail[..w];
+            let lrow = self.lu.row(i);
+            let mut j = 0;
+            while j + 1 < i {
+                let (l0, l1) = (lrow[j], lrow[j + 1]);
+                if l0 != 0.0 || l1 != 0.0 {
+                    let y0 = &head[j * w..(j + 1) * w];
+                    let y1 = &head[(j + 1) * w..(j + 2) * w];
+                    for ((x, &a), &b) in row_i.iter_mut().zip(y0).zip(y1) {
+                        *x -= l0 * a;
+                        *x -= l1 * b;
+                    }
+                }
+                j += 2;
+            }
+            if j < i {
+                let l0 = lrow[j];
+                if l0 != 0.0 {
+                    let y0 = &head[j * w..(j + 1) * w];
+                    for (x, &a) in row_i.iter_mut().zip(y0) {
+                        *x -= l0 * a;
+                    }
+                }
             }
         }
-        Ok(out)
+        // Back substitution with U, with the same two-row folding.
+        for i in (0..n).rev() {
+            let (head, tail) = out.as_mut_slice().split_at_mut((i + 1) * w);
+            let row_i = &mut head[i * w..];
+            let urow = self.lu.row(i);
+            let mut j = i + 1;
+            while j + 1 < n {
+                let (u0, u1) = (urow[j], urow[j + 1]);
+                if u0 != 0.0 || u1 != 0.0 {
+                    let off = (j - i - 1) * w;
+                    let y0 = &tail[off..off + w];
+                    let y1 = &tail[off + w..off + 2 * w];
+                    for ((x, &a), &b) in row_i.iter_mut().zip(y0).zip(y1) {
+                        *x -= u0 * a;
+                        *x -= u1 * b;
+                    }
+                }
+                j += 2;
+            }
+            if j < n {
+                let u0 = urow[j];
+                if u0 != 0.0 {
+                    let off = (j - i - 1) * w;
+                    let y0 = &tail[off..off + w];
+                    for (x, &a) in row_i.iter_mut().zip(y0) {
+                        *x -= u0 * a;
+                    }
+                }
+            }
+            let d = urow[i];
+            for x in row_i.iter_mut() {
+                *x /= d;
+            }
+        }
+        Ok(())
     }
 
     /// Solves the transposed system `xᵀ·A = bᵀ` (i.e. `Aᵀ·x = b`), the
@@ -373,6 +495,48 @@ mod tests {
         // Determinant reports NotSquare rather than silently returning 0.
         let a = Matrix::zeros(1, 2);
         assert!(matches!(a.det(), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn refactor_reuses_storage_and_matches_fresh() {
+        let a = mat(&[&[4.0, 7.0, 2.0], &[3.0, 5.0, 1.0], &[8.0, 1.0, 6.0]]);
+        let b = mat(&[&[0.0, 1.0, 0.5], &[2.0, 0.3, 0.1], &[0.4, 5.0, 9.0]]);
+        let mut lu = Lu::new(&a).unwrap();
+        lu.refactor(&b).unwrap();
+        let fresh = Lu::new(&b).unwrap();
+        // Same factorization bit for bit.
+        assert_eq!(lu.det(), fresh.det());
+        let rhs = [1.0, 2.0, 3.0];
+        assert_eq!(lu.solve_vec(&rhs).unwrap(), fresh.solve_vec(&rhs).unwrap());
+        // Wrong shape rejected; singular input reported.
+        assert!(lu.refactor(&Matrix::zeros(2, 2)).is_err());
+        assert!(matches!(
+            lu.refactor(&mat(&[
+                &[1.0, 2.0, 3.0],
+                &[2.0, 4.0, 6.0],
+                &[0.5, 1.0, 1.5]
+            ])),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_mat_into_matches_column_solves() {
+        let a = mat(&[&[3.0, 1.0, 0.5], &[0.2, 2.0, 0.1], &[0.3, 0.4, 4.0]]);
+        let b = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f64 * 0.37 - 1.0);
+        let lu = Lu::new(&a).unwrap();
+        let mut out = Matrix::zeros(3, 5);
+        lu.solve_mat_into(&b, &mut out).unwrap();
+        for c in 0..5 {
+            let x = lu.solve_vec(&b.col(c)).unwrap();
+            for r in 0..3 {
+                assert_eq!(out[(r, c)], x[r], "entry ({r}, {c})");
+            }
+        }
+        // Shape mismatches rejected.
+        let mut bad = Matrix::zeros(3, 4);
+        assert!(lu.solve_mat_into(&b, &mut bad).is_err());
+        assert!(lu.solve_mat_into(&Matrix::zeros(2, 2), &mut bad).is_err());
     }
 
     #[test]

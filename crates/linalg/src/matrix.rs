@@ -151,6 +151,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r` is out of bounds.
+    #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
         assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
         &self.data[r * self.cols..(r + 1) * self.cols]
@@ -161,9 +162,60 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r` is out of bounds.
+    #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
         assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
         &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterates over the rows as contiguous slices — the bounds-check-free
+    /// row access the streaming kernels (matvec, norms, row sums) build on.
+    #[inline]
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Mutable counterpart of [`Matrix::rows_iter`].
+    #[inline]
+    pub fn rows_mut_iter(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        self.data.chunks_exact_mut(self.cols)
+    }
+
+    /// Two disjoint mutable row views `(row i, row j)` with `i ≠ j` — the
+    /// primitive behind in-place row swaps and eliminations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of bounds.
+    #[inline]
+    pub(crate) fn rows_mut_pair(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(i != j && i < self.rows && j < self.rows, "invalid row pair");
+        let c = self.cols;
+        if i < j {
+            let (head, tail) = self.data.split_at_mut(j * c);
+            (&mut head[i * c..(i + 1) * c], &mut tail[..c])
+        } else {
+            let (head, tail) = self.data.split_at_mut(i * c);
+            (&mut tail[..c], &mut head[j * c..(j + 1) * c])
+        }
+    }
+
+    /// Sets every entry to `v` (e.g. `fill(0.0)` to clear recycled
+    /// workspace scratch).
+    #[inline]
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Overwrites `self` with the entries of `src` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[inline]
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from: shape mismatch");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Copies column `c` into a new vector.
@@ -195,12 +247,28 @@ impl Matrix {
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t[(c, r)] = self[(r, c)];
+        self.transpose_into(&mut t);
+        t
+    }
+
+    /// Writes the transpose into a caller-provided matrix of shape
+    /// `(cols, rows)` — the allocation-free sibling of
+    /// [`Matrix::transpose`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong shape.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into: output shape mismatch"
+        );
+        for (r, row) in self.rows_iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                out[(c, r)] = v;
             }
         }
-        t
     }
 
     /// Extracts the sub-matrix with rows `r0..r0+nr` and columns
@@ -245,8 +313,8 @@ impl Matrix {
 
     /// Infinity norm: maximum absolute row sum.
     pub fn norm_inf(&self) -> f64 {
-        (0..self.rows)
-            .map(|r| self.row(r).iter().map(|x| x.abs()).sum::<f64>())
+        self.rows_iter()
+            .map(|row| row.iter().map(|x| x.abs()).sum::<f64>())
             .fold(0.0, f64::max)
     }
 
@@ -264,9 +332,38 @@ impl Matrix {
 
     /// Sum of each row, as a vector (i.e. `A·e` with `e` all ones).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.rows)
-            .map(|r| self.row(r).iter().sum::<f64>())
+        self.rows_iter()
+            .map(|row| row.iter().sum::<f64>())
             .collect()
+    }
+
+    /// `max_{i,j} |self[i,j] − other[i,j]|` without materializing the
+    /// difference — the convergence check of every fixed-point loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// `‖self − other‖∞` (maximum absolute row sum of the difference)
+    /// without materializing the difference matrix. Evaluates exactly the
+    /// same sums as `(&a - &b).norm_inf()`, term for term.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn norm_inf_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "norm_inf_diff: shape mismatch");
+        self.rows_iter()
+            .zip(other.rows_iter())
+            .map(|(ra, rb)| ra.iter().zip(rb).map(|(a, b)| (a - b).abs()).sum::<f64>())
+            .fold(0.0, f64::max)
     }
 
     /// `true` if every entry is finite.

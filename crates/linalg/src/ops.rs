@@ -1,20 +1,151 @@
-//! Arithmetic on [`Matrix`]: checked methods plus operator overloads.
+//! Arithmetic on [`Matrix`]: the in-place kernel, checked allocating
+//! methods, and operator overloads.
 //!
-//! The checked methods (`mat_mul`, `add`, …) return a [`Result`] and are the
-//! primary API; the `std::ops` overloads are thin panicking wrappers that
-//! make numerical code readable in contexts where the shapes are known by
-//! construction (inside the QBD solver every block is `m × m`).
+//! Three layers, from hot to convenient:
+//!
+//! 1. **In-place kernel** — [`Matrix::mul_into`], [`Matrix::mul_acc_into`],
+//!    `+=`/`-=` ([`AddAssign`]/[`SubAssign`]), [`Matrix::axpy`],
+//!    [`Matrix::scale_in_place`], [`Matrix::add_assign_scaled_identity`].
+//!    These write into caller-provided storage and perform **zero heap
+//!    allocation**; the QBD iteration loops run entirely on this layer
+//!    (together with a [`crate::Workspace`] of scratch matrices).
+//! 2. **Checked methods** (`mat_mul`, `add`, …) returning a [`Result`],
+//!    which allocate their output and delegate to the kernel.
+//! 3. **`std::ops` overloads** — thin panicking wrappers over layer 2 that
+//!    keep numerical code readable where shapes are known by construction.
+//!
+//! The layers evaluate identical floating-point operations in identical
+//! order, so results agree bit for bit (pinned by
+//! `tests/inplace_equiv.rs`).
 
-use std::ops::{Add, Mul, Neg, Sub};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
 use crate::{LinalgError, Matrix, Result};
 
 impl Matrix {
-    /// Matrix product `self · rhs`.
+    /// Matrix product `out = self · rhs` into caller-provided storage —
+    /// the allocation-free core every multiply in this crate reduces to.
     ///
     /// Uses the ikj loop order so the inner loop streams over contiguous
-    /// rows, which is enough for the block sizes in this project (≤ a few
-    /// thousand).
+    /// rows of `rhs` and `out`, which the compiler auto-vectorizes; this
+    /// is enough for the block sizes in this project (≤ a few thousand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs.rows()` or `out` has the wrong shape.
+    pub fn mul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.check_mul_shapes(rhs, out, "mul_into")?;
+        out.as_mut_slice().fill(0.0);
+        self.mul_acc_unchecked(rhs, out);
+        Ok(())
+    }
+
+    /// Accumulating product `out += self · rhs` (a `β = 1` GEMM), in
+    /// place. Lets expressions like `A2 + A0·G²` evaluate without a
+    /// temporary for the product.
+    ///
+    /// # Errors
+    ///
+    /// As [`Matrix::mul_into`].
+    pub fn mul_acc_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.check_mul_shapes(rhs, out, "mul_acc_into")?;
+        self.mul_acc_unchecked(rhs, out);
+        Ok(())
+    }
+
+    fn check_mul_shapes(&self, rhs: &Matrix, out: &Matrix, op: &'static str) -> Result<()> {
+        if self.cols() != rhs.rows() {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.rows(), rhs.cols()) {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                lhs: (self.rows(), rhs.cols()),
+                rhs: out.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The shared ikj accumulation loop; shapes already validated.
+    ///
+    /// Rows of `self`/`out` are processed four at a time so each streamed
+    /// row of `rhs` feeds four accumulator rows (register blocking —
+    /// quarters the `rhs` memory traffic). Each `out[i][j]` accumulates
+    /// its products in ascending-`p` order and zero coefficients are
+    /// skipped per lane (never multiplied against `rhs`, exactly like the
+    /// plain loop's `a == 0.0` skip), so the result is bit-identical to
+    /// the plain triple loop even for non-finite `rhs` entries.
+    fn mul_acc_unchecked(&self, rhs: &Matrix, out: &mut Matrix) {
+        let n = self.rows();
+        let w = out.cols();
+        let mut i = 0;
+        while i + 3 < n {
+            let (head, tail) = out.as_mut_slice().split_at_mut((i + 2) * w);
+            let (orow0, orow1) = head[i * w..].split_at_mut(w);
+            let (orow2, orow3) = tail[..2 * w].split_at_mut(w);
+            let k = self.cols();
+            let arows = &self.as_slice()[i * k..(i + 4) * k];
+            for (p, rrow) in rhs.rows_iter().enumerate() {
+                let (a0, a1, a2, a3) = (arows[p], arows[k + p], arows[2 * k + p], arows[3 * k + p]);
+                if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                    // All four lanes live: the blocked fast path.
+                    for ((((o0, o1), o2), o3), &r) in orow0
+                        .iter_mut()
+                        .zip(orow1.iter_mut())
+                        .zip(orow2.iter_mut())
+                        .zip(orow3.iter_mut())
+                        .zip(rrow)
+                    {
+                        *o0 += a0 * r;
+                        *o1 += a1 * r;
+                        *o2 += a2 * r;
+                        *o3 += a3 * r;
+                    }
+                } else {
+                    // Mixed lanes: accumulate only the live ones, so a
+                    // zero coefficient never touches rhs (0·inf would
+                    // otherwise poison an untouched output row).
+                    for (a, orow) in [
+                        (a0, &mut *orow0),
+                        (a1, &mut *orow1),
+                        (a2, &mut *orow2),
+                        (a3, &mut *orow3),
+                    ] {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &r) in orow.iter_mut().zip(rrow) {
+                            *o += a * r;
+                        }
+                    }
+                }
+            }
+            i += 4;
+        }
+        while i < n {
+            let orow = out.row_mut(i);
+            for (&a, rrow) in self.row(i).iter().zip(rhs.rows_iter()) {
+                if a == 0.0 {
+                    continue;
+                }
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// Allocates the result and delegates to [`Matrix::mul_into`]; use the
+    /// in-place form directly when a scratch matrix is available.
     ///
     /// # Errors
     ///
@@ -28,21 +159,8 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let (n, k, m) = (self.rows(), self.cols(), rhs.cols());
-        let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
-            for p in 0..k {
-                let a = self[(i, p)];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = rhs.row(p);
-                let orow = out.row_mut(i);
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(self.rows(), rhs.cols());
+        self.mul_acc_unchecked(rhs, &mut out);
         Ok(out)
     }
 
@@ -52,6 +170,18 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows()];
+        self.mat_vec_into(x, &mut out);
+        out
+    }
+
+    /// `out = self · x` into a caller-provided buffer — the
+    /// allocation-free sibling of [`Matrix::mat_vec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mat_vec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(
             x.len(),
             self.cols(),
@@ -59,9 +189,16 @@ impl Matrix {
             x.len(),
             self.cols()
         );
-        (0..self.rows())
-            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
-            .collect()
+        assert_eq!(
+            out.len(),
+            self.rows(),
+            "mat_vec: output length {} does not match {} rows",
+            out.len(),
+            self.rows()
+        );
+        for (o, row) in out.iter_mut().zip(self.rows_iter()) {
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum::<f64>();
+        }
     }
 
     /// Row-vector–matrix product `x · self` (the natural operation on
@@ -79,15 +216,41 @@ impl Matrix {
             self.rows()
         );
         let mut out = vec![0.0; self.cols()];
-        for (r, &xv) in x.iter().enumerate() {
+        self.vec_mat_into(x, &mut out);
+        out
+    }
+
+    /// `out = x · self` into a caller-provided buffer — the
+    /// allocation-free sibling of [`Matrix::vec_mat`], used by the
+    /// geometric-tail iteration `π_{q+1} = π_q·R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()` or `out.len() != self.cols()`.
+    pub fn vec_mat_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            x.len(),
+            self.rows(),
+            "vec_mat: vector length {} does not match {} rows",
+            x.len(),
+            self.rows()
+        );
+        assert_eq!(
+            out.len(),
+            self.cols(),
+            "vec_mat: output length {} does not match {} columns",
+            out.len(),
+            self.cols()
+        );
+        out.fill(0.0);
+        for (row, &xv) in self.rows_iter().zip(x) {
             if xv == 0.0 {
                 continue;
             }
-            for (o, &a) in out.iter_mut().zip(self.row(r)) {
+            for (o, &a) in out.iter_mut().zip(row) {
                 *o += xv * a;
             }
         }
-        out
     }
 
     /// Element-wise sum.
@@ -111,10 +274,51 @@ impl Matrix {
     /// Multiplies every entry by `s`.
     pub fn scale(&self, s: f64) -> Matrix {
         let mut out = self.clone();
-        for v in out.as_mut_slice() {
+        out.scale_in_place(s);
+        out
+    }
+
+    /// Multiplies every entry by `s`, in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        for v in self.as_mut_slice() {
             *v *= s;
         }
-        out
+    }
+
+    /// `self += alpha · x` (the matrix AXPY), in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, x: &Matrix) -> Result<()> {
+        if self.shape() != x.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: x.shape(),
+            });
+        }
+        for (s, &v) in self.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *s += alpha * v;
+        }
+        Ok(())
+    }
+
+    /// `self += s·I`, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn add_assign_scaled_identity(&mut self, s: f64) -> Result<()> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
+        }
+        for i in 0..self.rows() {
+            self[(i, i)] += s;
+        }
+        Ok(())
     }
 
     /// Kronecker (tensor) product `self ⊗ rhs`.
@@ -164,15 +368,8 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
     pub fn add_scaled_identity(&self, s: f64) -> Result<Matrix> {
-        if !self.is_square() {
-            return Err(LinalgError::NotSquare {
-                shape: self.shape(),
-            });
-        }
         let mut out = self.clone();
-        for i in 0..out.rows() {
-            out[(i, i)] += s;
-        }
+        out.add_assign_scaled_identity(s)?;
         Ok(out)
     }
 
@@ -194,6 +391,36 @@ impl Matrix {
             *o = f(*o, b);
         }
         Ok(out)
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    /// Element-wise `self += rhs`, in place (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Matrix::axpy`] with `alpha = 1` for
+    /// a checked version.
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix += shape mismatch");
+        for (s, &v) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *s += v;
+        }
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    /// Element-wise `self -= rhs`, in place (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Matrix::axpy`] with `alpha = -1`
+    /// for a checked version.
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix -= shape mismatch");
+        for (s, &v) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *s -= v;
+        }
     }
 }
 
@@ -253,6 +480,28 @@ mod tests {
 
     fn m(rows: &[&[f64]]) -> Matrix {
         Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn zero_lhs_rows_never_touch_rhs() {
+        // A zero coefficient must be skipped, not multiplied: 0·inf would
+        // poison an output row that the plain triple loop leaves at zero.
+        // Exercises both the 4-row blocked path (n = 5 puts rows 0..4 in
+        // one block) and the remainder row.
+        let n = 5;
+        let mut a = Matrix::from_fn(n, n, |r, c| (r * n + c) as f64 + 1.0);
+        for c in 0..n {
+            a[(1, c)] = 0.0; // zero row inside the 4-row block
+            a[(4, c)] = 0.0; // zero remainder row
+        }
+        let mut b = Matrix::from_fn(n, n, |r, c| (r + c) as f64);
+        b[(2, 3)] = f64::INFINITY;
+        b[(3, 1)] = f64::NAN;
+        let prod = a.mat_mul(&b).unwrap();
+        for c in 0..n {
+            assert_eq!(prod[(1, c)], 0.0, "blocked zero row leaked at col {c}");
+            assert_eq!(prod[(4, c)], 0.0, "remainder zero row leaked at col {c}");
+        }
     }
 
     #[test]

@@ -315,6 +315,7 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `r` is out of range.
+    #[inline]
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let span = self.row_ptr[r]..self.row_ptr[r + 1];
         self.col_idx[span.clone()]
@@ -354,13 +355,19 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `x.len() != cols` or `y.len() != rows`.
+    #[inline]
     pub fn mat_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mat_vec: x has wrong length");
         assert_eq!(y.len(), self.rows, "mat_vec: y has wrong length");
-        for (r, yr) in y.iter_mut().enumerate() {
-            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        // Iterator-based row walk: one pair of slices per row, no
+        // per-element bounds check on the CSR arrays.
+        for (yr, (cols, vals)) in y.iter_mut().zip(
+            self.row_ptr
+                .windows(2)
+                .map(|w| (&self.col_idx[w[0]..w[1]], &self.values[w[0]..w[1]])),
+        ) {
             let mut acc = 0.0;
-            for (c, v) in self.col_idx[span.clone()].iter().zip(&self.values[span]) {
+            for (c, v) in cols.iter().zip(vals) {
                 acc += v * x[*c];
             }
             *yr = acc;

@@ -36,7 +36,7 @@ impl LinearOperator for Matrix {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        y.copy_from_slice(&self.mat_vec(x));
+        self.mat_vec_into(x, y);
     }
 }
 

@@ -44,6 +44,13 @@ pub fn scale(x: &[f64], s: f64) -> Vec<f64> {
     x.iter().map(|a| a * s).collect()
 }
 
+/// `x ← s · x`, in place (the allocation-free sibling of [`scale`]).
+pub fn scale_in_place(x: &mut [f64], s: f64) {
+    for v in x {
+        *v *= s;
+    }
+}
+
 /// Maximum absolute entry.
 pub fn norm_inf(x: &[f64]) -> f64 {
     x.iter().fold(0.0, |m, &v| m.max(v.abs()))

@@ -1,0 +1,155 @@
+//! A pool of same-shape scratch matrices for allocation-free iteration
+//! loops.
+
+use crate::Matrix;
+
+/// A reusable pool of `rows × cols` scratch matrices.
+///
+/// Matrix-analytic iterations (logarithmic reduction, cyclic reduction,
+/// the fixed-point `G` maps) need a handful of same-shape temporaries per
+/// step. Allocating them anew every iteration dominates the runtime for
+/// small blocks and fragments the heap for large ones; a `Workspace`
+/// hands out scratch matrices ([`Workspace::take`]) and accepts them back
+/// ([`Workspace::put`]), so after the pool has warmed up — at most the
+/// peak number of simultaneously live temporaries — the steady-state loop
+/// performs **zero heap allocation**.
+///
+/// Contents of a matrix returned by [`Workspace::take`] are unspecified
+/// (it is whatever the previous user left behind); every kernel in this
+/// crate that writes into an `out` matrix overwrites it completely, so no
+/// clearing pass is needed.
+///
+/// # Example
+///
+/// ```
+/// use slb_linalg::{Matrix, Workspace};
+///
+/// # fn main() -> Result<(), slb_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let mut ws = Workspace::square(2);
+///
+/// // A fixed-point style loop: all temporaries come from the pool.
+/// let mut acc = ws.take(); // will hold a² each round
+/// for _ in 0..3 {
+///     let mut tmp = ws.take();
+///     a.mul_into(&a, &mut tmp)?; // tmp = a·a, no allocation after warm-up
+///     acc.copy_from(&tmp);
+///     ws.put(tmp);
+/// }
+/// assert_eq!(acc[(0, 0)], 7.0);
+/// ws.put(acc);
+/// assert_eq!(ws.pooled(), 2); // both scratch matrices returned
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    rows: usize,
+    cols: usize,
+    pool: Vec<Matrix>,
+}
+
+impl Workspace {
+    /// An empty pool of `rows × cols` scratch matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero (as [`Matrix::zeros`] would).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows > 0 && cols > 0,
+            "workspace dimensions must be positive"
+        );
+        Workspace {
+            rows,
+            cols,
+            pool: Vec::new(),
+        }
+    }
+
+    /// An empty pool of `n × n` scratch matrices.
+    pub fn square(n: usize) -> Self {
+        Workspace::new(n, n)
+    }
+
+    /// Shape of the matrices this pool manages.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Takes a scratch matrix out of the pool, allocating a zero matrix
+    /// only when the pool is empty (i.e. during warm-up). The contents of
+    /// a recycled matrix are unspecified.
+    pub fn take(&mut self) -> Matrix {
+        self.pool
+            .pop()
+            .unwrap_or_else(|| Matrix::zeros(self.rows, self.cols))
+    }
+
+    /// Returns a scratch matrix to the pool for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` does not have this pool's shape — mixing shapes would
+    /// silently hand wrong-sized scratch to a later `take`.
+    pub fn put(&mut self, m: Matrix) {
+        assert_eq!(
+            m.shape(),
+            (self.rows, self.cols),
+            "workspace: returned matrix has the wrong shape"
+        );
+        self.pool.push(m);
+    }
+
+    /// Number of matrices currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Pre-allocates the pool to hold at least `n` matrices, so even the
+    /// first iteration of a loop runs allocation-free.
+    pub fn warm_up(&mut self, n: usize) {
+        while self.pool.len() < n {
+            let m = Matrix::zeros(self.rows, self.cols);
+            self.pool.push(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_recycles() {
+        let mut ws = Workspace::square(3);
+        assert_eq!(ws.pooled(), 0);
+        let a = ws.take();
+        assert_eq!(a.shape(), (3, 3));
+        ws.put(a);
+        assert_eq!(ws.pooled(), 1);
+        let _b = ws.take();
+        assert_eq!(ws.pooled(), 0); // recycled, not reallocated
+    }
+
+    #[test]
+    fn warm_up_prefills() {
+        let mut ws = Workspace::new(2, 4);
+        ws.warm_up(3);
+        assert_eq!(ws.pooled(), 3);
+        assert_eq!(ws.take().shape(), (2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong shape")]
+    fn put_rejects_foreign_shape() {
+        let mut ws = Workspace::square(2);
+        ws.put(Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_rejected() {
+        let _ = Workspace::new(0, 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Equivalence suite: the in-place kernel must produce **bit-identical**
+//! results to the allocating operator-overload paths.
+//!
+//! The in-place kernels evaluate the same floating-point operations in
+//! the same order as the overloads, so equality here is exact (`==`), not
+//! approximate — any reordering of accumulation would trip these tests.
+
+use slb_linalg::{Lu, Matrix, Workspace};
+
+/// Deterministic dense test matrix with no special structure.
+fn dense(n: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| {
+        let x = (r as u64)
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add((c as u64).wrapping_mul(1_442_695_040_888_963_407))
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Map to (-1, 1) with a few exact zeros sprinkled in.
+        if x % 11 == 0 {
+            0.0
+        } else {
+            (x % 10_000) as f64 / 5_000.0 - 1.0
+        }
+    })
+}
+
+/// Diagonally dominant, hence safely factorizable.
+fn dominant(n: usize, salt: u64) -> Matrix {
+    let mut a = dense(n, salt);
+    for i in 0..n {
+        a[(i, i)] += n as f64 + 1.0;
+    }
+    a
+}
+
+#[test]
+fn mul_into_matches_operator_product() {
+    for &n in &[1usize, 2, 3, 5, 8, 16, 33] {
+        let a = dense(n, 1);
+        let b = dense(n, 2);
+        let by_operator = &a * &b;
+        let mut ws = Workspace::square(n);
+        let mut out = ws.take();
+        a.mul_into(&b, &mut out).unwrap();
+        assert_eq!(out, by_operator, "mul_into diverged at n = {n}");
+        // The accumulating form seeded with zeros IS the product, bit for
+        // bit; seeded with data it matches product-then-add to round-off
+        // (the accumulation folds products into the seed term by term).
+        let mut acc = ws.take();
+        acc.fill(0.0);
+        a.mul_acc_into(&b, &mut acc).unwrap();
+        assert_eq!(acc, by_operator, "zero-seeded mul_acc_into at n = {n}");
+        let seed = dense(n, 3);
+        acc.copy_from(&seed);
+        a.mul_acc_into(&b, &mut acc).unwrap();
+        let acc_ref = &seed + &by_operator;
+        assert!(
+            acc.approx_eq(&acc_ref, 1e-12 * n as f64),
+            "seeded mul_acc_into diverged at n = {n}"
+        );
+    }
+}
+
+#[test]
+fn elementwise_assign_ops_match_operators() {
+    let n = 13;
+    let a = dense(n, 4);
+    let b = dense(n, 5);
+
+    let mut sum = a.clone();
+    sum += &b;
+    assert_eq!(sum, &a + &b);
+
+    let mut diff = a.clone();
+    diff -= &b;
+    assert_eq!(diff, &a - &b);
+
+    let mut scaled = a.clone();
+    scaled.scale_in_place(-2.5);
+    assert_eq!(scaled, &a * -2.5);
+
+    let mut axpyed = a.clone();
+    axpyed.axpy(1.0, &b).unwrap();
+    assert_eq!(axpyed, &a + &b);
+
+    let mut shifted = a.clone();
+    shifted.add_assign_scaled_identity(0.75).unwrap();
+    assert_eq!(shifted, a.add_scaled_identity(0.75).unwrap());
+}
+
+#[test]
+fn diff_norms_match_materialized_difference() {
+    let a = dense(9, 6);
+    let b = dense(9, 7);
+    let d = &a - &b;
+    assert_eq!(a.norm_inf_diff(&b), d.norm_inf());
+    assert_eq!(a.max_abs_diff(&b), d.max_abs());
+}
+
+#[test]
+fn transpose_into_matches_transpose() {
+    let a = Matrix::from_fn(4, 7, |r, c| (r * 7 + c) as f64 * 0.311 - 1.0);
+    let mut out = Matrix::zeros(7, 4);
+    a.transpose_into(&mut out);
+    assert_eq!(out, a.transpose());
+}
+
+#[test]
+fn lu_solves_match_per_column_path() {
+    for &n in &[1usize, 2, 4, 9, 17, 32] {
+        let a = dominant(n, 8);
+        let b = dense(n, 9);
+        let lu = Lu::new(&a).unwrap();
+        // solve_mat (and solve_mat_into beneath it) against the
+        // column-by-column vector solver.
+        let x = lu.solve_mat(&b).unwrap();
+        for c in 0..n {
+            let xc = lu.solve_vec(&b.col(c)).unwrap();
+            for r in 0..n {
+                assert_eq!(x[(r, c)], xc[r], "n = {n}, entry ({r}, {c})");
+            }
+        }
+        // In-place form into recycled scratch (unspecified contents).
+        let mut ws = Workspace::square(n);
+        let mut scratch = ws.take();
+        scratch.fill(f64::NAN); // prove every entry is overwritten
+        lu.solve_mat_into(&b, &mut scratch).unwrap();
+        assert_eq!(scratch, x);
+    }
+}
+
+#[test]
+fn lu_refactor_is_bit_identical_to_fresh_factorization() {
+    let n = 12;
+    let first = dominant(n, 10);
+    let second = dominant(n, 11);
+    let mut reused = Lu::new(&first).unwrap();
+    reused.refactor(&second).unwrap();
+    let fresh = Lu::new(&second).unwrap();
+    assert_eq!(reused.det(), fresh.det());
+    let b = dense(n, 12);
+    assert_eq!(reused.solve_mat(&b).unwrap(), fresh.solve_mat(&b).unwrap());
+}
+
+#[test]
+fn matvec_into_matches_allocating_forms() {
+    let a = dense(11, 13);
+    let x: Vec<f64> = (0..11).map(|i| (i as f64) * 0.17 - 0.9).collect();
+    let mut y = vec![f64::NAN; 11];
+    a.mat_vec_into(&x, &mut y);
+    assert_eq!(y, a.mat_vec(&x));
+    a.vec_mat_into(&x, &mut y);
+    assert_eq!(y, a.vec_mat(&x));
+}

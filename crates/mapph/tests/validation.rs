@@ -72,14 +72,16 @@ fn sandwich_vs_simulator_mmpp() {
     let lb = model.lower_bound(t).unwrap().delay;
     let ub = model.upper_bound(t).unwrap().delay;
 
+    // Four parallel replications splitting the 600k-job budget; merged
+    // statistics are deterministic in the replication count.
     let sim = SimConfig::new(n, rho)
         .unwrap()
         .policy(Policy::SqD { d })
         .arrival_map(map)
-        .jobs(600_000)
-        .warmup(60_000)
+        .jobs(150_000)
+        .warmup(15_000)
         .seed(42)
-        .run()
+        .run_parallel(4, 4)
         .unwrap();
     let slack = 3.0 * sim.ci_halfwidth.max(0.02);
     assert!(
@@ -116,10 +118,10 @@ fn map_ph1_vs_simulator() {
             rate1: 0.5,
             rate2: 2.0,
         })
-        .jobs(800_000)
-        .warmup(80_000)
+        .jobs(200_000)
+        .warmup(20_000)
         .seed(7)
-        .run()
+        .run_parallel(4, 4)
         .unwrap();
     let slack = 4.0 * sim.ci_halfwidth.max(0.05);
     assert!(

@@ -115,8 +115,12 @@ impl Dtmc {
             });
         }
         let mut v = initial.to_vec();
+        let mut next = vec![0.0; v.len()];
         for _ in 0..k {
-            v = self.p.vec_mat(&v);
+            // In-place step on two ping-pong buffers — no allocation in
+            // the power loop.
+            self.p.vec_mat_into(&v, &mut next);
+            std::mem::swap(&mut v, &mut next);
         }
         Ok(v)
     }

@@ -288,13 +288,17 @@ impl PhaseType {
         let a = lam * t;
         let k_max = (a + 10.0 * a.sqrt() + 30.0).ceil() as usize;
         let mut v = self.alpha.clone();
+        let mut next = vec![0.0; v.len()];
         let mut survive = 0.0;
         let mut log_w = -a;
         for k in 0..=k_max {
             let w = log_w.exp();
             let mass: f64 = v.iter().sum();
             survive += w * mass;
-            v = pm.vec_mat(&v);
+            // In-place uniformization step — no allocation per Poisson
+            // term.
+            pm.vec_mat_into(&v, &mut next);
+            std::mem::swap(&mut v, &mut next);
             log_w += (a / (k as f64 + 1.0)).ln();
         }
         Ok((1.0 - survive).clamp(0.0, 1.0))

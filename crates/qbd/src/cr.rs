@@ -21,16 +21,10 @@
 //! `A2 + A1·G + A0·G² = 0`; the unit tests pin them against each other
 //! and against closed forms.
 
-use slb_linalg::{Lu, Matrix};
+use slb_linalg::{Lu, Matrix, Workspace};
 
-use crate::logred::GComputation;
+use crate::logred::{g_residual, GComputation};
 use crate::{QbdBlocks, QbdError, Result};
-
-fn g_residual(blocks: &QbdBlocks, g: &Matrix) -> f64 {
-    let a1g = blocks.a1() * g;
-    let a0gg = &(blocks.a0() * g) * g;
-    (&(blocks.a2() + &a1g) + &a0gg).norm_inf()
-}
 
 /// Uniformization constant: strictly dominates every diagonal rate so the
 /// discretized local block `I + A1/u` stays substochastic with a strictly
@@ -88,46 +82,95 @@ fn uniformization_rate(a1: &Matrix) -> f64 {
 /// ```
 pub fn cyclic_reduction(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> Result<GComputation> {
     let m = blocks.level_len();
-    let eye = Matrix::identity(m);
+    let mut ws = Workspace::square(m);
+    let ok = "cyclic_reduction: all QBD blocks share one square shape";
     let u = uniformization_rate(blocks.a1());
 
-    let b_minus0 = blocks.a2().scale(1.0 / u);
-    let mut b_minus = b_minus0.clone();
-    let mut b_plus = blocks.a0().scale(1.0 / u);
-    let mut b0 = blocks.a1().scale(1.0 / u).add(&eye)?;
-    let mut b0_hat = b0.clone();
+    // Setup (the only allocating phase): uniformized DTMC blocks and two
+    // LU factorizations whose storage the loop refactors in place.
+    let mut b_minus0 = ws.take();
+    b_minus0.copy_from(blocks.a2());
+    b_minus0.scale_in_place(1.0 / u);
+    let mut b_minus = ws.take();
+    b_minus.copy_from(&b_minus0);
+    let mut b_plus = ws.take();
+    b_plus.copy_from(blocks.a0());
+    b_plus.scale_in_place(1.0 / u);
+    let mut b0 = ws.take();
+    b0.copy_from(blocks.a1());
+    b0.scale_in_place(1.0 / u);
+    b0.add_assign_scaled_identity(1.0).expect(ok);
+    let mut b0_hat = ws.take();
+    b0_hat.copy_from(&b0);
 
-    let mut g_prev = Matrix::zeros(m, m);
+    let eye = Matrix::identity(m);
+    let mut lu = Lu::new(&eye)?; // placeholder factorization, refactored below
+    let mut lu_hat = lu.clone();
+
+    let mut g_prev = ws.take();
+    g_prev.fill(0.0);
+    // Per-iteration scratch, reused every round: the loop below performs
+    // zero heap allocation (pinned by `tests/alloc_free.rs`).
+    let mut g = ws.take();
+    let mut s_minus = ws.take();
+    let mut s_plus = ws.take();
+    let mut up_down = ws.take();
+    let mut down_up = ws.take();
+    let mut tmp = ws.take();
+
     for it in 1..=max_iter {
-        let i_minus_b0 = &eye - &b0;
-        let lu = Lu::new(&i_minus_b0)?;
-        let s_minus = lu.solve_mat(&b_minus)?; // S·B₋
-        let s_plus = lu.solve_mat(&b_plus)?; // S·B₊
+        // tmp = I − B₀, factorized into reused LU storage.
+        tmp.copy_from(&b0);
+        tmp.scale_in_place(-1.0);
+        tmp.add_assign_scaled_identity(1.0).expect(ok);
+        lu.refactor(&tmp)?;
+        lu.solve_mat_into(&b_minus, &mut s_minus).expect(ok); // S·B₋
+        lu.solve_mat_into(&b_plus, &mut s_plus).expect(ok); // S·B₊
 
-        let up_down = &b_plus * &s_minus;
-        let down_up = &b_minus * &s_plus;
-        b0_hat = &b0_hat + &up_down;
-        b0 = &(&b0 + &up_down) + &down_up;
-        b_plus = &b_plus * &s_plus;
-        b_minus = &b_minus * &s_minus;
+        b_plus.mul_into(&s_minus, &mut up_down).expect(ok);
+        b_minus.mul_into(&s_plus, &mut down_up).expect(ok);
+        b0_hat += &up_down;
+        b0 += &up_down;
+        b0 += &down_up;
+        b_plus.mul_into(&s_plus, &mut tmp).expect(ok);
+        std::mem::swap(&mut b_plus, &mut tmp);
+        b_minus.mul_into(&s_minus, &mut tmp).expect(ok);
+        std::mem::swap(&mut b_minus, &mut tmp);
 
         // Current G estimate from the accumulated hat block.
-        let i_minus_hat = &eye - &b0_hat;
-        let g = Lu::new(&i_minus_hat)?.solve_mat(&b_minus0)?;
-        let delta = (&g - &g_prev).norm_inf();
-        g_prev = g;
+        tmp.copy_from(&b0_hat);
+        tmp.scale_in_place(-1.0);
+        tmp.add_assign_scaled_identity(1.0).expect(ok); // I − B̂₀
+        lu_hat.refactor(&tmp)?;
+        lu_hat.solve_mat_into(&b_minus0, &mut g).expect(ok);
+        let delta = g.norm_inf_diff(&g_prev);
+        std::mem::swap(&mut g_prev, &mut g);
         if delta < tol {
+            // Retire the loop scratch into the pool; g_residual recycles
+            // it instead of allocating.
+            ws.put(g);
+            ws.put(s_minus);
+            ws.put(s_plus);
+            ws.put(up_down);
+            ws.put(down_up);
+            ws.put(tmp);
             return Ok(GComputation {
-                residual: g_residual(blocks, &g_prev),
+                residual: g_residual(blocks, &g_prev, &mut ws),
                 g: g_prev,
                 iterations: it,
             });
         }
     }
+    ws.put(g);
+    ws.put(s_minus);
+    ws.put(s_plus);
+    ws.put(up_down);
+    ws.put(down_up);
+    ws.put(tmp);
     Err(QbdError::NoConvergence {
         method: "cyclic_reduction",
         iterations: max_iter,
-        residual: g_residual(blocks, &g_prev),
+        residual: g_residual(blocks, &g_prev, &mut ws),
     })
 }
 
@@ -145,25 +188,39 @@ pub fn cyclic_reduction(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> Result
 /// * [`QbdError::Linalg`] if `A1 + A0·G` becomes singular (invalid QBD).
 pub fn u_based_iteration(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> Result<GComputation> {
     let m = blocks.level_len();
-    let mut g = Matrix::zeros(m, m);
+    let mut ws = Workspace::square(m);
+    let ok = "u_based_iteration: all QBD blocks share one square shape";
+    let mut g = ws.take();
+    g.fill(0.0);
+    let mut lu = Lu::new(&Matrix::identity(m))?; // refactored every round
+                                                 // Per-iteration scratch; the loop allocates nothing.
+    let mut u = ws.take();
+    let mut next = ws.take();
     for it in 1..=max_iter {
-        let u = blocks.a1().add(&blocks.a0().mat_mul(&g)?)?;
-        let neg_u = -&u;
-        let next = Lu::new(&neg_u)?.solve_mat(blocks.a2())?;
-        let delta = (&next - &g).norm_inf();
-        g = next;
+        blocks.a0().mul_into(&g, &mut u).expect(ok); // A0·G
+        u += blocks.a1(); // U = A1 + A0·G
+        u.scale_in_place(-1.0);
+        lu.refactor(&u)?;
+        lu.solve_mat_into(blocks.a2(), &mut next).expect(ok);
+        let delta = next.norm_inf_diff(&g);
+        std::mem::swap(&mut g, &mut next);
         if delta < tol {
+            // Retire the loop scratch; g_residual recycles it.
+            ws.put(u);
+            ws.put(next);
             return Ok(GComputation {
-                residual: g_residual(blocks, &g),
+                residual: g_residual(blocks, &g, &mut ws),
                 g,
                 iterations: it,
             });
         }
     }
+    ws.put(u);
+    ws.put(next);
     Err(QbdError::NoConvergence {
         method: "u_based_iteration",
         iterations: max_iter,
-        residual: g_residual(blocks, &g),
+        residual: g_residual(blocks, &g, &mut ws),
     })
 }
 

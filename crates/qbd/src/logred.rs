@@ -20,7 +20,7 @@
 //! The rate matrix follows as `R = −A0 (A1 + A0·G)⁻¹` and satisfies
 //! `A0 + R·A1 + R²·A2 = 0` ([`rate_matrix`]).
 
-use slb_linalg::{Lu, Matrix};
+use slb_linalg::{Lu, Matrix, Workspace};
 
 use crate::{QbdBlocks, QbdError, Result};
 
@@ -35,11 +35,26 @@ pub struct GComputation {
     pub residual: f64,
 }
 
-fn g_residual(blocks: &QbdBlocks, g: &Matrix) -> f64 {
-    let a2 = blocks.a2();
-    let a1g = blocks.a1() * g;
-    let a0gg = &(blocks.a0() * g) * g;
-    (&(a2 + &a1g) + &a0gg).norm_inf()
+/// `‖A2 + A1·G + A0·G²‖∞` evaluated through the workspace kernel — two
+/// scratch matrices, no temporaries. The term order matches the textbook
+/// expression `(A2 + A1 G) + A0 G²` exactly, so the value agrees bit for
+/// bit with the operator-overload formulation.
+pub(crate) fn g_residual(blocks: &QbdBlocks, g: &Matrix, ws: &mut Workspace) -> f64 {
+    let mut acc = ws.take();
+    let mut tmp = ws.take();
+    acc.copy_from(blocks.a2());
+    let ok = "g_residual: blocks and G share one square shape";
+    blocks.a1().mul_into(g, &mut tmp).expect(ok); // tmp = A1·G
+    acc += &tmp;
+    let mut a0g = ws.take();
+    blocks.a0().mul_into(g, &mut a0g).expect(ok); // A0·G
+    a0g.mul_into(g, &mut tmp).expect(ok); // tmp = A0·G²
+    acc += &tmp;
+    let r = acc.norm_inf();
+    ws.put(acc);
+    ws.put(tmp);
+    ws.put(a0g);
+    r
 }
 
 /// Computes `G` by the logarithmic-reduction algorithm of Latouche &
@@ -86,44 +101,70 @@ pub fn logarithmic_reduction(
     max_iter: usize,
 ) -> Result<GComputation> {
     let m = blocks.level_len();
-    let neg_a1 = -blocks.a1();
-    let lu = Lu::new(&neg_a1)?;
-    // H = (−A1)⁻¹ A0 (up), L = (−A1)⁻¹ A2 (down).
-    let mut h = lu.solve_mat(blocks.a0())?;
-    let mut l = lu.solve_mat(blocks.a2())?;
+    let mut ws = Workspace::square(m);
+    let ok = "logred: all QBD blocks share one square shape";
 
-    let mut g = l.clone();
-    let mut t = h.clone();
-    let eye = Matrix::identity(m);
+    // Setup (the only allocating phase): factor −A1 and form
+    // H = (−A1)⁻¹ A0 (up), L = (−A1)⁻¹ A2 (down).
+    let mut scratch = ws.take();
+    scratch.copy_from(blocks.a1());
+    scratch.scale_in_place(-1.0);
+    let mut lu = Lu::new(&scratch)?;
+    let mut h = ws.take();
+    lu.solve_mat_into(blocks.a0(), &mut h)?;
+    let mut l = ws.take();
+    lu.solve_mat_into(blocks.a2(), &mut l)?;
+
+    let mut g = ws.take();
+    g.copy_from(&l);
+    let mut t = ws.take();
+    t.copy_from(&h);
+
+    // Per-iteration scratch, reused every round: the loop below performs
+    // zero heap allocation (pinned by `tests/alloc_free.rs`).
+    let mut u = ws.take();
+    let mut sq = ws.take();
 
     for it in 1..=max_iter {
         // U = H·L + L·H ; H ← (I−U)⁻¹ H² ; L ← (I−U)⁻¹ L².
-        let u = &(&h * &l) + &(&l * &h);
-        let i_minus_u = &eye - &u;
-        let lu_u = Lu::new(&i_minus_u)?;
-        let h2 = &h * &h;
-        let l2 = &l * &l;
-        h = lu_u.solve_mat(&h2)?;
-        l = lu_u.solve_mat(&l2)?;
+        h.mul_into(&l, &mut u).expect(ok);
+        l.mul_into(&h, &mut scratch).expect(ok);
+        u += &scratch;
+        u.scale_in_place(-1.0);
+        u.add_assign_scaled_identity(1.0).expect(ok); // u = I − U
+        lu.refactor(&u)?;
+        h.mul_into(&h, &mut sq).expect(ok);
+        lu.solve_mat_into(&sq, &mut h).expect(ok);
+        l.mul_into(&l, &mut sq).expect(ok);
+        lu.solve_mat_into(&sq, &mut l).expect(ok);
 
         // G += T·L ; T ← T·H.
-        let add = &t * &l;
-        let delta = add.norm_inf();
-        g = &g + &add;
-        t = &t * &h;
+        t.mul_into(&l, &mut scratch).expect(ok);
+        let delta = scratch.norm_inf();
+        g += &scratch;
+        t.mul_into(&h, &mut u).expect(ok);
+        std::mem::swap(&mut t, &mut u);
 
         if delta < tol {
+            // Retire the loop scratch into the pool; g_residual recycles
+            // it instead of allocating.
+            ws.put(scratch);
+            ws.put(u);
+            ws.put(sq);
             return Ok(GComputation {
-                residual: g_residual(blocks, &g),
+                residual: g_residual(blocks, &g, &mut ws),
                 g,
                 iterations: it,
             });
         }
     }
+    ws.put(scratch);
+    ws.put(u);
+    ws.put(sq);
     Err(QbdError::NoConvergence {
         method: "logarithmic_reduction",
         iterations: max_iter,
-        residual: g_residual(blocks, &g),
+        residual: g_residual(blocks, &g, &mut ws),
     })
 }
 
@@ -142,27 +183,44 @@ pub fn logarithmic_reduction(
 /// * [`QbdError::Linalg`] if `A1` is singular (invalid QBD).
 pub fn functional_iteration(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> Result<GComputation> {
     let m = blocks.level_len();
-    let neg_a1 = -blocks.a1();
-    let lu = Lu::new(&neg_a1)?;
-    let mut g = Matrix::zeros(m, m);
+    let mut ws = Workspace::square(m);
+    let ok = "functional_iteration: all QBD blocks share one square shape";
+
+    let mut rhs = ws.take();
+    rhs.copy_from(blocks.a1());
+    rhs.scale_in_place(-1.0);
+    let lu = Lu::new(&rhs)?;
+    let mut g = ws.take();
+    g.fill(0.0);
+    // Per-iteration scratch; the loop allocates nothing.
+    let mut gg = ws.take();
+    let mut next = ws.take();
     for it in 1..=max_iter {
-        let gg = &g * &g;
-        let rhs = blocks.a2().add(&blocks.a0().mat_mul(&gg)?)?;
-        let next = lu.solve_mat(&rhs)?;
-        let delta = (&next - &g).norm_inf();
-        g = next;
+        g.mul_into(&g, &mut gg).expect(ok); // G²
+        blocks.a0().mul_into(&gg, &mut rhs).expect(ok); // A0·G²
+        rhs += blocks.a2(); // A2 + A0·G²
+        lu.solve_mat_into(&rhs, &mut next).expect(ok);
+        let delta = next.norm_inf_diff(&g);
+        std::mem::swap(&mut g, &mut next);
         if delta < tol {
+            // Retire the loop scratch; g_residual recycles it.
+            ws.put(rhs);
+            ws.put(gg);
+            ws.put(next);
             return Ok(GComputation {
-                residual: g_residual(blocks, &g),
+                residual: g_residual(blocks, &g, &mut ws),
                 g,
                 iterations: it,
             });
         }
     }
+    ws.put(rhs);
+    ws.put(gg);
+    ws.put(next);
     Err(QbdError::NoConvergence {
         method: "functional_iteration",
         iterations: max_iter,
-        residual: g_residual(blocks, &g),
+        residual: g_residual(blocks, &g, &mut ws),
     })
 }
 
@@ -177,12 +235,27 @@ pub fn functional_iteration(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> Re
 /// [`QbdError::Linalg`] if `A1 + A0 G` is singular, which signals a
 /// non-irreducible or unstable QBD.
 pub fn rate_matrix(blocks: &QbdBlocks, g: &Matrix) -> Result<Matrix> {
-    let inner = blocks.a1().add(&blocks.a0().mat_mul(g)?)?;
-    let neg_a0 = -blocks.a0();
+    let m = blocks.level_len();
+    let mut ws = Workspace::square(m);
+
+    // inner = A1 + A0·G, then transposed in place into scratch. `g` is
+    // caller-supplied, so its shape errors propagate (a wrong-shaped `G`
+    // fails the `mul_into` check against the m×m scratch).
+    let mut prod = ws.take();
+    blocks.a0().mul_into(g, &mut prod)?;
+    prod.axpy(1.0, blocks.a1())?;
+    let mut inner_t = ws.take();
+    prod.transpose_into(&mut inner_t);
     // R = −A0 · inner⁻¹  ⇔  R · inner = −A0  ⇔  innerᵀ Rᵀ = −A0ᵀ.
-    let lu = Lu::new(&inner.transpose())?;
-    let rt = lu.solve_mat(&neg_a0.transpose())?;
-    Ok(rt.transpose())
+    let lu = Lu::new(&inner_t)?;
+    let mut rhs = ws.take();
+    blocks.a0().transpose_into(&mut rhs);
+    rhs.scale_in_place(-1.0);
+    let mut rt = ws.take();
+    lu.solve_mat_into(&rhs, &mut rt)?;
+    let mut r = ws.take();
+    rt.transpose_into(&mut r);
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -288,6 +361,15 @@ mod tests {
             let g = logarithmic_reduction(&b, 1e-13, 64).unwrap();
             assert!(g.iterations <= 10, "iterations {}", g.iterations);
         }
+    }
+
+    #[test]
+    fn rate_matrix_rejects_wrong_shaped_g() {
+        // Public entry point: a caller-supplied G of the wrong shape is a
+        // recoverable error, not a panic.
+        let b = two_phase_blocks(0.4, 1.2, 1.0, 0.3);
+        let bad_g = Matrix::zeros(3, 3);
+        assert!(matches!(rate_matrix(&b, &bad_g), Err(QbdError::Linalg(_))));
     }
 
     #[test]

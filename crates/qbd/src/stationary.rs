@@ -85,9 +85,13 @@ impl QbdStationary {
             1 => self.level1.clone(),
             _ => match &self.tail {
                 Tail::Matrix(r) => {
+                    // Two ping-pong buffers; the level walk allocates
+                    // nothing beyond them.
                     let mut v = self.level1.clone();
+                    let mut next = vec![0.0; v.len()];
                     for _ in 1..q {
-                        v = r.vec_mat(&v);
+                        r.vec_mat_into(&v, &mut next);
+                        std::mem::swap(&mut v, &mut next);
                     }
                     v
                 }
@@ -121,13 +125,17 @@ impl QbdStationary {
 
     /// `(Σ_{q≥1} π_q, Σ_{q≥1} q·π_q)` in closed form.
     fn tail_sums(&self) -> (Vec<f64>, Vec<f64>) {
-        let m = self.level1.len();
         match &self.tail {
             Tail::Matrix(r) => {
-                let eye = Matrix::identity(m);
-                let i_minus_r = &eye - r;
-                // Row-vector solves: x (I−R) = π₁  ⇔  (I−R)ᵀ xᵀ = π₁ᵀ.
-                let lu = Lu::new(&i_minus_r.transpose()).expect("I − R must be nonsingular");
+                // (I−R)ᵀ assembled in place from Rᵀ, without an identity
+                // temporary. Row-vector solves:
+                // x (I−R) = π₁  ⇔  (I−R)ᵀ xᵀ = π₁ᵀ.
+                let mut i_minus_r_t = r.transpose();
+                i_minus_r_t.scale_in_place(-1.0);
+                i_minus_r_t
+                    .add_assign_scaled_identity(1.0)
+                    .expect("R is square");
+                let lu = Lu::new(&i_minus_r_t).expect("I − R must be nonsingular");
                 let s = lu.solve_vec(&self.level1).expect("tail sum solve");
                 let qs = lu.solve_vec(&s).expect("weighted tail sum solve");
                 (s, qs)
@@ -189,13 +197,17 @@ impl QbdStationary {
         );
         f(0, &self.level0);
         let mut v = self.level1.clone();
+        let mut next = vec![0.0; v.len()];
         let mut q = 1usize;
         while vector::sum(&v) >= tail_tol {
             f(q, &v);
-            v = match &self.tail {
-                Tail::Matrix(r) => r.vec_mat(&v),
-                Tail::Scalar(b) => vector::scale(&v, *b),
-            };
+            match &self.tail {
+                Tail::Matrix(r) => {
+                    r.vec_mat_into(&v, &mut next);
+                    std::mem::swap(&mut v, &mut next);
+                }
+                Tail::Scalar(b) => vector::scale_in_place(&mut v, *b),
+            }
             q += 1;
             debug_assert!(q < 100_000, "tail failed to decay");
         }
@@ -230,8 +242,9 @@ impl QbdStationary {
         for (j, &p) in self.level0.iter().enumerate() {
             total += p * cost(0, j);
         }
-        // Levels q >= 1: iterate the tail operator.
+        // Levels q >= 1: iterate the tail operator in place.
         let mut v = self.level1.clone();
+        let mut next = vec![0.0; v.len()];
         let mut q = 1usize;
         loop {
             let mass = vector::sum(&v);
@@ -241,10 +254,13 @@ impl QbdStationary {
             for (j, &p) in v.iter().enumerate() {
                 total += p * cost(q, j);
             }
-            v = match &self.tail {
-                Tail::Matrix(r) => r.vec_mat(&v),
-                Tail::Scalar(b) => vector::scale(&v, *b),
-            };
+            match &self.tail {
+                Tail::Matrix(r) => {
+                    r.vec_mat_into(&v, &mut next);
+                    std::mem::swap(&mut v, &mut next);
+                }
+                Tail::Scalar(b) => vector::scale_in_place(&mut v, *b),
+            }
             q += 1;
             debug_assert!(q < 100_000, "tail failed to decay");
             let _ = m;
@@ -309,14 +325,24 @@ impl QbdBlocks {
         let m = self.level_len();
         let k = nb + 2 * m;
 
-        let tail_block = match &tail {
-            Tail::Matrix(r) => self.a1().add(&r.mat_mul(self.a2())?)?,
-            Tail::Scalar(b) => self.a1().add(&self.a2().scale(*b))?,
-        };
+        // Tail column `A1 + R·A2` (or `A1 + β·A2`) and the tail weight
+        // `w = (I−R)⁻¹e` (or `e/(1−β)`), formed on the in-place kernel:
+        // one scratch matrix, no expression-tree temporaries.
+        let mut tail_block = Matrix::zeros(m, m);
+        match &tail {
+            Tail::Matrix(r) => {
+                r.mul_into(self.a2(), &mut tail_block)?;
+            }
+            Tail::Scalar(b) => {
+                tail_block.copy_from(self.a2());
+                tail_block.scale_in_place(*b);
+            }
+        }
+        tail_block += self.a1();
         let w = match &tail {
             Tail::Matrix(r) => {
-                let eye = Matrix::identity(m);
-                let i_minus_r = &eye - r;
+                let mut i_minus_r = r.scale(-1.0);
+                i_minus_r.add_assign_scaled_identity(1.0)?;
                 i_minus_r.solve_vec(&vec![1.0; m])?
             }
             Tail::Scalar(b) => vec![1.0 / (1.0 - b); m],

@@ -1,0 +1,167 @@
+//! Bit-identity of the workspace-based QBD iterations against textbook
+//! reference implementations written on the allocating operator
+//! overloads.
+//!
+//! The production loops in `logred.rs`/`cr.rs` were rewritten onto the
+//! in-place kernel; these references are the pre-rewrite formulations.
+//! Because the kernel evaluates the same floating-point operations in the
+//! same order, `G`, `R` and the iteration counts must agree **exactly**,
+//! not just within tolerance.
+
+use slb_linalg::{Lu, Matrix};
+use slb_qbd::{cyclic_reduction, logarithmic_reduction, rate_matrix, QbdBlocks};
+
+fn two_phase_blocks(l0: f64, l1: f64, mu: f64, r: f64) -> QbdBlocks {
+    let a0 = Matrix::from_rows(&[&[l0, 0.0], &[0.0, l1]]).unwrap();
+    let a2 = Matrix::from_rows(&[&[mu, 0.0], &[0.0, mu]]).unwrap();
+    let a1 = Matrix::from_rows(&[&[-(l0 + mu + r), r], &[r, -(l1 + mu + r)]]).unwrap();
+    let r00 = Matrix::from_rows(&[&[-(l0 + r), r], &[r, -(l1 + r)]]).unwrap();
+    QbdBlocks::new(r00, a0.clone(), a2.clone(), a0, a1, a2).unwrap()
+}
+
+/// A larger (4-phase) QBD so the kernels run past their blocked-loop
+/// tails.
+fn four_phase_blocks() -> QbdBlocks {
+    let m = 4;
+    let lam = |i: usize| 0.3 + 0.15 * i as f64;
+    let sw = 0.25;
+    let a0 = Matrix::from_fn(m, m, |i, j| if i == j { lam(i) } else { 0.0 });
+    let a2 = Matrix::from_fn(m, m, |i, j| if i == j { 1.0 } else { 0.0 });
+    let ring = |i: usize, j: usize| {
+        if j == (i + 1) % m || i == (j + 1) % m {
+            sw
+        } else {
+            0.0
+        }
+    };
+    let out = |i: usize| (0..m).map(|j| ring(i, j)).sum::<f64>();
+    let a1 = Matrix::from_fn(m, m, |i, j| {
+        if i == j {
+            -(lam(i) + 1.0 + out(i))
+        } else {
+            ring(i, j)
+        }
+    });
+    let r00 = Matrix::from_fn(m, m, |i, j| {
+        if i == j {
+            -(lam(i) + out(i))
+        } else {
+            ring(i, j)
+        }
+    });
+    QbdBlocks::new(r00, a0.clone(), a2.clone(), a0, a1, a2).unwrap()
+}
+
+/// Reference logarithmic reduction: the Latouche–Ramaswami recurrence
+/// written on operator overloads, allocating every temporary.
+fn logred_reference(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> (Matrix, usize) {
+    let m = blocks.a1().rows();
+    let neg_a1 = -blocks.a1();
+    let lu = Lu::new(&neg_a1).unwrap();
+    let mut h = lu.solve_mat(blocks.a0()).unwrap();
+    let mut l = lu.solve_mat(blocks.a2()).unwrap();
+    let mut g = l.clone();
+    let mut t = h.clone();
+    let eye = Matrix::identity(m);
+    for it in 1..=max_iter {
+        let u = &(&h * &l) + &(&l * &h);
+        let i_minus_u = &eye - &u;
+        let lu_u = Lu::new(&i_minus_u).unwrap();
+        let h2 = &h * &h;
+        let l2 = &l * &l;
+        h = lu_u.solve_mat(&h2).unwrap();
+        l = lu_u.solve_mat(&l2).unwrap();
+        let add = &t * &l;
+        let delta = add.norm_inf();
+        g = &g + &add;
+        t = &t * &h;
+        if delta < tol {
+            return (g, it);
+        }
+    }
+    panic!("reference logred failed to converge");
+}
+
+/// Reference cyclic reduction (Bini–Meini) on operator overloads.
+fn cr_reference(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> (Matrix, usize) {
+    let m = blocks.a1().rows();
+    let eye = Matrix::identity(m);
+    let mut u = 0.0_f64;
+    for i in 0..m {
+        u = u.max(-blocks.a1()[(i, i)]);
+    }
+    let u = u * (1.0 + 1e-9) + 1e-12;
+    let b_minus0 = blocks.a2().scale(1.0 / u);
+    let mut b_minus = b_minus0.clone();
+    let mut b_plus = blocks.a0().scale(1.0 / u);
+    let mut b0 = blocks.a1().scale(1.0 / u).add(&eye).unwrap();
+    let mut b0_hat = b0.clone();
+    let mut g_prev = Matrix::zeros(m, m);
+    for it in 1..=max_iter {
+        let i_minus_b0 = &eye - &b0;
+        let lu = Lu::new(&i_minus_b0).unwrap();
+        let s_minus = lu.solve_mat(&b_minus).unwrap();
+        let s_plus = lu.solve_mat(&b_plus).unwrap();
+        let up_down = &b_plus * &s_minus;
+        let down_up = &b_minus * &s_plus;
+        b0_hat = &b0_hat + &up_down;
+        b0 = &(&b0 + &up_down) + &down_up;
+        b_plus = &b_plus * &s_plus;
+        b_minus = &b_minus * &s_minus;
+        let i_minus_hat = &eye - &b0_hat;
+        let g = Lu::new(&i_minus_hat).unwrap().solve_mat(&b_minus0).unwrap();
+        let delta = (&g - &g_prev).norm_inf();
+        g_prev = g;
+        if delta < tol {
+            return (g_prev, it);
+        }
+    }
+    panic!("reference CR failed to converge");
+}
+
+/// Reference rate matrix `R = −A0 (A1 + A0·G)⁻¹` on operator overloads.
+fn rate_matrix_reference(blocks: &QbdBlocks, g: &Matrix) -> Matrix {
+    let inner = blocks.a1().add(&blocks.a0().mat_mul(g).unwrap()).unwrap();
+    let neg_a0 = -blocks.a0();
+    let lu = Lu::new(&inner.transpose()).unwrap();
+    let rt = lu.solve_mat(&neg_a0.transpose()).unwrap();
+    rt.transpose()
+}
+
+#[test]
+fn logred_bit_identical_to_reference() {
+    for blocks in [
+        two_phase_blocks(0.4, 1.2, 1.0, 0.3),
+        two_phase_blocks(0.85, 0.95, 1.0, 0.1),
+        four_phase_blocks(),
+    ] {
+        let (g_ref, it_ref) = logred_reference(&blocks, 1e-13, 64);
+        let got = logarithmic_reduction(&blocks, 1e-13, 64).unwrap();
+        assert_eq!(got.iterations, it_ref);
+        assert_eq!(got.g, g_ref);
+    }
+}
+
+#[test]
+fn cr_bit_identical_to_reference() {
+    for blocks in [
+        two_phase_blocks(0.4, 1.2, 1.0, 0.3),
+        two_phase_blocks(0.8, 0.2, 1.0, 0.6),
+        four_phase_blocks(),
+    ] {
+        let (g_ref, it_ref) = cr_reference(&blocks, 1e-12, 64);
+        let got = cyclic_reduction(&blocks, 1e-12, 64).unwrap();
+        assert_eq!(got.iterations, it_ref);
+        assert_eq!(got.g, g_ref);
+    }
+}
+
+#[test]
+fn rate_matrix_bit_identical_to_reference() {
+    for blocks in [two_phase_blocks(0.5, 1.1, 1.0, 0.3), four_phase_blocks()] {
+        let g = logarithmic_reduction(&blocks, 1e-13, 64).unwrap();
+        let r_ref = rate_matrix_reference(&blocks, &g.g);
+        let r = rate_matrix(&blocks, &g.g).unwrap();
+        assert_eq!(r, r_ref);
+    }
+}

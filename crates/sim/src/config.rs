@@ -140,6 +140,76 @@ impl SimConfig {
     /// [`SimError::InvalidConfig`] if the policy does not fit the server
     /// count, the service law is invalid, or `warmup ≥ jobs`.
     pub fn run(&self) -> Result<SimResult> {
+        Ok(Simulation::new(self.validated()?).run_to_end())
+    }
+
+    /// Runs `replications` independent replications of this configuration
+    /// on up to `n_threads` worker threads and merges their statistics.
+    ///
+    /// Replication `r` runs the full configured job count with the seed
+    /// of replication `r`: the base seed for `r = 0` (so
+    /// `run_parallel(1, k)` reproduces [`SimConfig::run`] exactly) and a
+    /// splitmix64-derived stream for `r ≥ 1`. Results are merged in
+    /// replication order after all workers finish, so the outcome is
+    /// **bit-for-bit deterministic in `(config, replications)` and
+    /// independent of `n_threads`** and of OS scheduling. Sojourn/wait
+    /// statistics pool their observations (the confidence interval
+    /// tightens roughly as `1/√replications`); time-averaged quantities
+    /// weight each replication by its simulated horizon.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimConfig::run`], plus [`SimError::InvalidConfig`] when
+    /// `replications == 0` or `n_threads == 0`.
+    pub fn run_parallel(&self, replications: usize, n_threads: usize) -> Result<SimResult> {
+        if replications == 0 || n_threads == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "need at least one replication and one thread, got {replications} and {n_threads}"
+                ),
+            });
+        }
+        let base = self.validated()?;
+        let workers = n_threads.min(replications);
+        // Work queue: each worker pops the next replication index; slots
+        // are written once, so a per-slot mutex carries no contention.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<crate::engine::RunStats>>> = (0..replications)
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let r = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if r >= replications {
+                        break;
+                    }
+                    let mut cfg = base.clone();
+                    cfg.seed = replication_seed(base.seed, r as u64);
+                    let stats = Simulation::new(cfg).run_collect();
+                    *slots[r].lock().expect("replication slot") = Some(stats);
+                });
+            }
+        });
+        // Deterministic merge in replication order.
+        let mut merged: Option<crate::engine::RunStats> = None;
+        for slot in slots {
+            let stats = slot
+                .into_inner()
+                .expect("replication slot")
+                .expect("every replication index was claimed and completed");
+            match merged.as_mut() {
+                None => merged = Some(stats),
+                Some(m) => m.merge(&stats),
+            }
+        }
+        Ok(merged.expect("at least one replication").finalize())
+    }
+
+    /// Shared validation behind [`SimConfig::run`] and
+    /// [`SimConfig::run_parallel`]: checks the configuration and returns
+    /// the effective one (with the MAP rescaled to rate `λN`).
+    fn validated(&self) -> Result<SimConfig> {
         if !self.policy.is_valid(self.n) {
             return Err(SimError::InvalidConfig {
                 reason: format!("policy {:?} invalid for N = {}", self.policy, self.n),
@@ -189,8 +259,21 @@ impl SimConfig {
             })?;
             cfg.map = Some(scaled);
         }
-        Ok(Simulation::new(cfg).run_to_end())
+        Ok(cfg)
     }
+}
+
+/// Seed of replication `rep`: the base seed itself for replication 0 and
+/// a splitmix64 mix of `(base, rep)` for the rest — deterministic,
+/// collision-resistant streams without any shared RNG state.
+fn replication_seed(base: u64, rep: u64) -> u64 {
+    if rep == 0 {
+        return base;
+    }
+    let mut z = base.wrapping_add(rep.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Statistics from a completed run.

@@ -146,47 +146,26 @@ impl Simulation {
     }
 
     /// Runs to completion and returns the collected statistics.
-    pub(crate) fn run_to_end(mut self) -> SimResult {
+    pub(crate) fn run_to_end(self) -> SimResult {
+        self.run_collect().finalize()
+    }
+
+    /// Runs to completion, returning the raw accumulators — the
+    /// replication-level output that [`RunStats::merge`] folds across
+    /// independent runs before a single [`RunStats::finalize`].
+    pub(crate) fn run_collect(mut self) -> RunStats {
         while self.completed < self.config.jobs {
             self.step();
         }
-        let measured = self.delay_stats.count();
-        // Time-averaged tail fractions P(queue length >= k) from the
-        // occupancy histogram.
-        let n = self.config.n as f64;
-        let queue_tail: Vec<f64> = if self.clock > 0.0 {
-            let mut suffix = 0.0;
-            let mut tail: Vec<f64> = self
-                .area_hist
-                .iter()
-                .rev()
-                .map(|a| {
-                    suffix += a;
-                    suffix / (self.clock * n)
-                })
-                .collect();
-            tail.reverse();
-            // Trim trailing zero-probability levels.
-            while tail.len() > 1 && *tail.last().expect("nonempty") == 0.0 {
-                tail.pop();
-            }
-            tail
-        } else {
-            vec![1.0]
-        };
-        SimResult {
-            mean_delay: self.delay_stats.mean(),
-            ci_halfwidth: self.delay_stats.ci_halfwidth(),
-            mean_wait: self.wait_stats.mean(),
-            jobs_measured: measured,
-            mean_jobs_in_system: if self.clock > 0.0 {
-                self.area_jobs / self.clock
-            } else {
-                0.0
-            },
-            max_queue_len: self.max_queue,
-            queue_tail,
+        RunStats {
+            n: self.config.n,
+            delay_stats: self.delay_stats,
             delay_hist: self.delay_hist,
+            wait_stats: self.wait_stats,
+            area_hist: self.area_hist,
+            area_jobs: self.area_jobs,
+            clock: self.clock,
+            max_queue: self.max_queue,
         }
     }
 
@@ -265,6 +244,91 @@ impl Simulation {
             time: self.clock + service,
             kind: EventKind::Departure { server },
         });
+    }
+}
+
+/// Raw accumulators of one completed run (or of several merged
+/// replications): everything needed to produce a [`SimResult`], in a form
+/// that is still mergeable.
+#[derive(Debug, Clone)]
+pub(crate) struct RunStats {
+    n: usize,
+    delay_stats: BatchMeans,
+    delay_hist: DelayHistogram,
+    wait_stats: Welford,
+    area_hist: Vec<f64>,
+    area_jobs: f64,
+    clock: f64,
+    max_queue: u32,
+}
+
+impl RunStats {
+    /// Folds an independent replication into this one. Sojourn/wait
+    /// statistics pool their observations; time-averaged quantities
+    /// (occupancy histogram, job-count integral) add their time integrals
+    /// so the final averages weight each replication by its simulated
+    /// horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replications disagree on server count, batch size or
+    /// histogram bin width — i.e. if they did not come from the same
+    /// configuration.
+    pub(crate) fn merge(&mut self, other: &RunStats) {
+        assert_eq!(self.n, other.n, "replications disagree on server count");
+        self.delay_stats.merge(&other.delay_stats);
+        self.delay_hist.merge(&other.delay_hist);
+        self.wait_stats.merge(&other.wait_stats);
+        if self.area_hist.len() < other.area_hist.len() {
+            self.area_hist.resize(other.area_hist.len(), 0.0);
+        }
+        for (a, &o) in self.area_hist.iter_mut().zip(&other.area_hist) {
+            *a += o;
+        }
+        self.area_jobs += other.area_jobs;
+        self.clock += other.clock;
+        self.max_queue = self.max_queue.max(other.max_queue);
+    }
+
+    /// Collapses the accumulators into the user-facing [`SimResult`].
+    pub(crate) fn finalize(self) -> SimResult {
+        // Time-averaged tail fractions P(queue length >= k) from the
+        // occupancy histogram.
+        let n = self.n as f64;
+        let queue_tail: Vec<f64> = if self.clock > 0.0 {
+            let mut suffix = 0.0;
+            let mut tail: Vec<f64> = self
+                .area_hist
+                .iter()
+                .rev()
+                .map(|a| {
+                    suffix += a;
+                    suffix / (self.clock * n)
+                })
+                .collect();
+            tail.reverse();
+            // Trim trailing zero-probability levels.
+            while tail.len() > 1 && *tail.last().expect("nonempty") == 0.0 {
+                tail.pop();
+            }
+            tail
+        } else {
+            vec![1.0]
+        };
+        SimResult {
+            mean_delay: self.delay_stats.mean(),
+            ci_halfwidth: self.delay_stats.ci_halfwidth(),
+            mean_wait: self.wait_stats.mean(),
+            jobs_measured: self.delay_stats.count(),
+            mean_jobs_in_system: if self.clock > 0.0 {
+                self.area_jobs / self.clock
+            } else {
+                0.0
+            },
+            max_queue_len: self.max_queue,
+            queue_tail,
+            delay_hist: self.delay_hist,
+        }
     }
 }
 

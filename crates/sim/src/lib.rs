@@ -21,6 +21,12 @@
 //! discarded, and the mean sojourn time over the remainder is reported
 //! with a batch-means 95% confidence interval.
 //!
+//! Independent replications can run in parallel:
+//! [`SimConfig::run_parallel`] derives one deterministic seed per
+//! replication (splitmix64 over the base seed), executes them on scoped
+//! worker threads and merges the statistics in replication order — the
+//! result does not depend on the thread count or scheduling.
+//!
 //! ## Example
 //!
 //! ```

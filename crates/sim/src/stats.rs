@@ -59,6 +59,28 @@ impl Welford {
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
+
+    /// Folds another accumulator into this one (Chan et al.'s parallel
+    /// variance update), as if every observation of `other` had been
+    /// pushed into `self`. The result is deterministic in the pair —
+    /// merging replications in a fixed order yields identical bits
+    /// regardless of which threads produced them.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
 }
 
 /// Batch-means estimator for steady-state simulation output.
@@ -128,6 +150,24 @@ impl BatchMeans {
             return 0.0;
         }
         1.96 * self.batches.std_dev() / (k as f64).sqrt()
+    }
+
+    /// Folds the estimator of an independent replication into this one:
+    /// overall statistics and completed batches merge; `other`'s trailing
+    /// partial batch contributes to the overall mean only, exactly as a
+    /// partial batch at the end of a single run would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch sizes differ (batch means from different batch
+    /// sizes are not exchangeable).
+    pub fn merge(&mut self, other: &BatchMeans) {
+        assert_eq!(
+            self.batch_size, other.batch_size,
+            "cannot merge batch-means estimators with different batch sizes"
+        );
+        self.overall.merge(&other.overall);
+        self.batches.merge(&other.batches);
     }
 }
 
@@ -213,6 +253,25 @@ impl DelayHistogram {
         (above as f64 + partial) / self.total as f64
     }
 
+    /// Folds another histogram into this one by summing per-bin counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin widths differ.
+    pub fn merge(&mut self, other: &DelayHistogram) {
+        assert_eq!(
+            self.width, other.width,
+            "cannot merge histograms with different bin widths"
+        );
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
     /// Empirical `p`-quantile (`None` when empty or `p ∉ (0, 1)`), with
     /// linear interpolation inside the quantile bin.
     pub fn quantile(&self, p: f64) -> Option<f64> {
@@ -296,6 +355,78 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_rejected() {
         let _ = BatchMeans::new(0);
+    }
+
+    #[test]
+    fn welford_merge_matches_single_stream() {
+        let data: Vec<f64> = (0..200).map(|i| (i as f64 * 0.61).cos() * 3.0).collect();
+        let mut whole = Welford::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let (a, b) = data.split_at(73);
+        let mut w1 = Welford::new();
+        let mut w2 = Welford::new();
+        a.iter().for_each(|&x| w1.push(x));
+        b.iter().for_each(|&x| w2.push(x));
+        w1.merge(&w2);
+        assert_eq!(w1.count(), whole.count());
+        assert!((w1.mean() - whole.mean()).abs() < 1e-12);
+        assert!((w1.variance() - whole.variance()).abs() < 1e-12);
+        // Merging an empty accumulator is the identity, either way round.
+        let snapshot = w1;
+        w1.merge(&Welford::new());
+        assert_eq!(w1, snapshot);
+        let mut empty = Welford::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn batch_means_merge_pools_batches() {
+        let mut a = BatchMeans::new(10);
+        let mut b = BatchMeans::new(10);
+        for i in 0..45 {
+            a.push(i as f64);
+        }
+        for i in 0..37 {
+            b.push(100.0 + i as f64);
+        }
+        let (ca, cb) = (a.count(), b.count());
+        let (ba, bb) = (a.batch_count(), b.batch_count());
+        a.merge(&b);
+        assert_eq!(a.count(), ca + cb);
+        assert_eq!(a.batch_count(), ba + bb);
+        assert!(a.ci_halfwidth() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different batch sizes")]
+    fn batch_means_merge_rejects_mismatch() {
+        let mut a = BatchMeans::new(10);
+        a.merge(&BatchMeans::new(20));
+    }
+
+    #[test]
+    fn histogram_merge_sums_counts() {
+        let mut a = DelayHistogram::new(0.5);
+        let mut b = DelayHistogram::new(0.5);
+        for x in [0.1, 1.2, 3.0] {
+            a.push(x);
+        }
+        for x in [0.2, 5.5] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert!(a.survival(5.0) > 0.0); // b's tail observation arrived
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin widths")]
+    fn histogram_merge_rejects_mismatch() {
+        let mut a = DelayHistogram::new(0.5);
+        a.merge(&DelayHistogram::new(0.25));
     }
 
     #[test]

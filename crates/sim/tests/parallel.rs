@@ -1,0 +1,82 @@
+//! Determinism and statistical-sanity tests for parallel replications.
+
+use slb_sim::{Policy, SimConfig};
+
+fn base_config(jobs: u64) -> SimConfig {
+    SimConfig::new(4, 0.8)
+        .unwrap()
+        .policy(Policy::SqD { d: 2 })
+        .jobs(jobs)
+        .warmup(jobs / 10)
+        .seed(42)
+        .clone()
+}
+
+/// The merged result is a pure function of `(config, replications)`:
+/// every thread count — including the fully serial `n_threads = 1` merge
+/// — produces identical bits.
+#[test]
+fn thread_count_does_not_change_result() {
+    let cfg = base_config(40_000);
+    let serial = cfg.run_parallel(3, 1).unwrap();
+    for threads in [2, 3, 4, 7] {
+        let parallel = cfg.run_parallel(3, threads).unwrap();
+        assert_eq!(parallel, serial, "diverged at {threads} threads");
+    }
+}
+
+/// One replication on any number of threads is exactly the serial run:
+/// replication 0 uses the base seed.
+#[test]
+fn single_replication_matches_run() {
+    let cfg = base_config(30_000);
+    let serial = cfg.run().unwrap();
+    assert_eq!(cfg.run_parallel(1, 4).unwrap(), serial);
+    assert_eq!(cfg.run_parallel(1, 1).unwrap(), serial);
+}
+
+/// Replications use distinct seed streams: adding one changes the merged
+/// statistics, and the pooled sample count is the sum over replications.
+#[test]
+fn replications_pool_observations() {
+    let cfg = base_config(30_000);
+    let one = cfg.run_parallel(1, 2).unwrap();
+    let four = cfg.run_parallel(4, 2).unwrap();
+    assert_eq!(four.jobs_measured, 4 * one.jobs_measured);
+    assert_ne!(four.mean_delay, one.mean_delay);
+    // More replications, same estimand: both estimates agree loosely and
+    // the pooled confidence interval is tighter.
+    assert!((four.mean_delay - one.mean_delay).abs() < 0.5);
+    assert!(four.ci_halfwidth < one.ci_halfwidth);
+}
+
+/// The merged estimate converges to the right value: SQ(1) random
+/// dispatch on N servers is N independent M/M/1 queues.
+#[test]
+fn parallel_replications_hit_mm1_truth() {
+    let rho = 0.7;
+    let res = SimConfig::new(2, rho)
+        .unwrap()
+        .policy(Policy::Random)
+        .jobs(150_000)
+        .warmup(15_000)
+        .seed(7)
+        .run_parallel(4, 4)
+        .unwrap();
+    let exact = 1.0 / (1.0 - rho);
+    assert!(
+        (res.mean_delay - exact).abs() < 0.08,
+        "delay {} vs {exact}",
+        res.mean_delay
+    );
+    // Utilization identity holds for the time-weighted merge.
+    assert!((res.queue_tail[1] - rho).abs() < 0.02);
+}
+
+/// Degenerate parameters are rejected, not deadlocked on.
+#[test]
+fn zero_replications_or_threads_rejected() {
+    let cfg = base_config(10_000);
+    assert!(cfg.run_parallel(0, 2).is_err());
+    assert!(cfg.run_parallel(2, 0).is_err());
+}

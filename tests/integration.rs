@@ -53,13 +53,16 @@ fn bounds_bracket_simulation() {
         let sqd = Sqd::new(n, d, lam).unwrap();
         let lb = sqd.lower_bound(t).unwrap().delay;
         let ub = sqd.upper_bound(t).unwrap().delay;
+        // The 1.5M-job budget runs as four parallel replications with
+        // merged statistics — same estimand, wall-clock divided by the
+        // available cores, deterministic in the thread count.
         let sim = SimConfig::new(n, lam)
             .unwrap()
             .policy(Policy::SqD { d })
-            .jobs(1_500_000)
-            .warmup(150_000)
+            .jobs(375_000)
+            .warmup(37_500)
             .seed(0xACC)
-            .run()
+            .run_parallel(4, 4)
             .unwrap();
         let slack = 4.0 * sim.ci_halfwidth + 1e-3;
         assert!(

@@ -9,6 +9,20 @@
 //! format. There is no statistical analysis, HTML report, or baseline
 //! comparison.
 //!
+//! Two environment variables extend the shim for scripted runs:
+//!
+//! * `CRITERION_SAMPLE_SIZE` — overrides every benchmark's sample count
+//!   (CI smoke jobs set it to `1` so `cargo bench` stays cheap).
+//! * `CRITERION_JSON` — a path (use an absolute one: cargo runs bench
+//!   binaries with their cwd at the *package* root, so a relative path
+//!   lands next to the bench crate's manifest, not the workspace root);
+//!   when set, [`criterion_main!`] appends one
+//!   machine-readable record per benchmark (median/mean/min/max ns per
+//!   iteration) to that JSON file after the groups finish. Records carry
+//!   the phase label from `CRITERION_PHASE` (default `"current"`), so a
+//!   before/after trajectory can accumulate in a single file — this is
+//!   how the repository's `BENCH_*.json` files are produced.
+//!
 //! ```
 //! use criterion::{BenchmarkId, Criterion};
 //!
@@ -24,9 +38,98 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One benchmark measurement destined for the JSON report.
+#[derive(Debug, Clone)]
+struct JsonRecord {
+    label: String,
+    samples: usize,
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// Records collected by every benchmark of the current process; flushed
+/// by [`criterion_main!`] via [`write_json_report`].
+static JSON_RECORDS: Mutex<Vec<JsonRecord>> = Mutex::new(Vec::new());
+
+/// Escapes the handful of characters that would break a JSON string.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Flushes the collected benchmark records to the file named by the
+/// `CRITERION_JSON` environment variable (no-op when unset).
+///
+/// The file holds a single JSON array; an existing array is extended in
+/// place so successive `cargo bench` invocations (e.g. a pre-change
+/// baseline followed by a post-change run, distinguished by
+/// `CRITERION_PHASE`) accumulate one trajectory. Called automatically by
+/// the [`criterion_main!`] expansion — user code never needs it.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let phase = std::env::var("CRITERION_PHASE").unwrap_or_else(|_| "current".into());
+    let records = JSON_RECORDS.lock().expect("json record lock").clone();
+    if records.is_empty() {
+        return;
+    }
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"phase\": \"{}\", \"bench\": \"{}\", \"samples\": {}, \
+                 \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}",
+                json_escape(&phase),
+                json_escape(&r.label),
+                r.samples,
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+            )
+        })
+        .collect();
+    // Extend an existing array without a JSON parser: strip the closing
+    // bracket and splice the new records in front of it.
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let trimmed = existing.trim_end();
+    let content = match trimmed.strip_suffix(']') {
+        Some(head) if head.trim_end().ends_with('}') => {
+            format!("{},\n{}\n]\n", head.trim_end(), body.join(",\n"))
+        }
+        _ => format!("[\n{}\n]\n", body.join(",\n")),
+    };
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
+}
+
+/// The effective sample count: the configured value unless the
+/// `CRITERION_SAMPLE_SIZE` environment variable overrides it.
+fn effective_sample_size(configured: usize) -> usize {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(configured)
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Clone)]
@@ -197,7 +300,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
 ) {
     let mut bencher = Bencher {
         samples: Vec::new(),
-        sample_size,
+        sample_size: effective_sample_size(sample_size),
     };
     f(&mut bencher);
     if bencher.samples.is_empty() {
@@ -207,6 +310,22 @@ fn run_one<F: FnMut(&mut Bencher)>(
     let min = bencher.samples.iter().min().copied().unwrap_or_default();
     let max = bencher.samples.iter().max().copied().unwrap_or_default();
     let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    let median = {
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    };
+    JSON_RECORDS
+        .lock()
+        .expect("json record lock")
+        .push(JsonRecord {
+            label: id.label.clone(),
+            samples: bencher.samples.len(),
+            median_ns: median.as_nanos() as f64,
+            mean_ns: mean.as_nanos() as f64,
+            min_ns: min.as_nanos() as f64,
+            max_ns: max.as_nanos() as f64,
+        });
     let rate = match throughput {
         Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
             format!("  {:.3e} elem/s", *n as f64 / mean.as_secs_f64())
@@ -241,12 +360,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` running the given benchmark groups.
+/// Emits `main` running the given benchmark groups, then flushing the
+/// machine-readable report (see [`write_json_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
