@@ -1,0 +1,110 @@
+//! CI bench-regression gate: compares a fresh criterion-shim JSON
+//! record (the bench-smoke artifact) against the committed `BENCH_*.json`
+//! trajectory and fails on a large slowdown.
+//!
+//! ```text
+//! cargo run -p slb-bench --bin bench_gate -- \
+//!     --baseline BENCH_pr3.json --current bench-smoke.json [--threshold 3.0]
+//! ```
+//!
+//! The threshold is deliberately loose (default 3×): the CI record is a
+//! single sample on shared runners, so only order-of-magnitude
+//! regressions — a kernel accidentally de-optimized, an algorithm
+//! swapped for a quadratic one — should trip it, not scheduler noise.
+//! Sub-microsecond baselines are pure timer noise at one sample, so the
+//! comparison floor (`--floor-ns`, default 1000) clamps the baseline:
+//! a 100 ns benchmark only fails once it exceeds `threshold × 1 µs`.
+//! For each benchmark the *latest* record per file wins (trajectory
+//! files accumulate phases); benchmarks present in only one file are
+//! reported but never fail the gate.
+
+use slb_bench::{arg_parse, arg_value, f4, Table};
+use slb_exp::Json;
+
+/// `bench name → median_ns of its latest record` from a criterion-shim
+/// JSON report.
+fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = Json::parse(&src).map_err(|e| format!("parsing {path}: {e}"))?;
+    let records = doc
+        .as_arr()
+        .ok_or_else(|| format!("{path}: expected a JSON array of records"))?;
+    let mut medians: Vec<(String, f64)> = Vec::new();
+    for rec in records {
+        let (Some(bench), Some(median)) = (
+            rec.get("bench").and_then(Json::as_str),
+            rec.get("median_ns").and_then(Json::as_f64),
+        ) else {
+            return Err(format!("{path}: record missing bench/median_ns: {rec:?}"));
+        };
+        // Later records override earlier ones: the trajectory's newest
+        // phase is the comparison point.
+        if let Some(slot) = medians.iter_mut().find(|(b, _)| b == bench) {
+            slot.1 = median;
+        } else {
+            medians.push((bench.to_string(), median));
+        }
+    }
+    if medians.is_empty() {
+        return Err(format!("{path}: no benchmark records"));
+    }
+    Ok(medians)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = arg_value(&args, "--baseline").unwrap_or_else(|| "BENCH_pr3.json".into());
+    let current_path = arg_value(&args, "--current").unwrap_or_else(|| "bench-smoke.json".into());
+    let threshold: f64 = arg_parse(&args, "--threshold", 3.0);
+    let floor_ns: f64 = arg_parse(&args, "--floor-ns", 1000.0);
+
+    let (baseline, current) = match (load_medians(&baseline_path), load_medians(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {r}");
+            }
+            std::process::exit(2);
+        }
+    };
+
+    println!("Bench gate: {current_path} vs {baseline_path} (fail above {threshold}x)\n");
+    let mut table = Table::new(["bench", "baseline_ns", "current_ns", "ratio", "verdict"]);
+    let mut failures = 0usize;
+    for (bench, cur) in &current {
+        let Some((_, base)) = baseline.iter().find(|(b, _)| b == bench) else {
+            table.push([bench.as_str(), "-", &f4(*cur), "-", "new (no baseline)"]);
+            continue;
+        };
+        let ratio = cur / base;
+        let verdict = if *cur > threshold * base.max(floor_ns) {
+            failures += 1;
+            "REGRESSION"
+        } else if ratio > threshold {
+            "ok (below floor)"
+        } else {
+            "ok"
+        };
+        table.push([
+            bench.clone(),
+            f4(*base),
+            f4(*cur),
+            format!("{ratio:.2}x"),
+            verdict.to_string(),
+        ]);
+    }
+    for (bench, _) in &baseline {
+        if !current.iter().any(|(b, _)| b == bench) {
+            table.push([bench.as_str(), "?", "-", "-", "missing from current"]);
+        }
+    }
+    print!("{}", table.to_aligned());
+
+    if failures > 0 {
+        eprintln!(
+            "\n{failures} benchmark(s) regressed beyond {threshold}x the committed trajectory"
+        );
+        std::process::exit(1);
+    }
+    println!("\nall compared benchmarks within {threshold}x of the trajectory");
+}

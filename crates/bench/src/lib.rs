@@ -1,19 +1,22 @@
 //! # slb-bench
 //!
-//! Experiment harness regenerating every figure of the ICDCS 2016
-//! evaluation, plus Criterion micro-benchmarks for the numerical kernels.
+//! Criterion micro-benchmarks for the numerical kernels, the
+//! bench-regression gate, and the companion diagnostic binaries.
 //!
-//! Binaries (see `DESIGN.md` §5 for the experiment index):
+//! The figure-regenerating parameter sweeps (Fig. 9, Fig. 10, delay
+//! tails, burstiness, logred iterations, Theorem-3 ablation) live as
+//! declarative scenario files under `experiments/*.toml`, executed by
+//! the `slb-exp` engine via `slb sweep <spec>`. The binaries that remain
+//! here are not sweeps:
 //!
-//! * `fig9` — relative error of the asymptotic approximation vs
-//!   simulation (Figure 9a/9b).
-//! * `fig10` — mean delay vs utilization with lower bound, upper bound,
-//!   simulation and asymptotic curves (Figure 10a–d).
-//! * `logred_iters` — logarithmic-reduction iteration counts across all
-//!   evaluated configurations (the "within k = 6" claim of §IV-A).
+//! * `validate` — compact pass/fail report of the paper's core claims;
+//! * `bench_gate` — CI gate comparing a fresh criterion-shim record
+//!   against the committed `BENCH_*.json` trajectory;
+//! * `tails`, `stability_frontier`, `relaxation`, `finite_relaxation` —
+//!   companion diagnostics.
 //!
-//! Each binary prints aligned series to stdout and writes a CSV next to
-//! the invocation (override with `--out`).
+//! Each binary prints aligned series to stdout; those that write CSVs
+//! accept `--out`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -68,8 +68,87 @@ pub fn bounds(args: &[String]) -> CmdResult {
     finish(&table, args)
 }
 
-/// `slb sweep` — bounds across utilizations (a Figure-10 panel).
+/// `slb sweep` — either the declarative engine (`slb sweep <spec.toml>`)
+/// or, with flags only, the legacy one-panel utilization sweep.
 pub fn sweep(args: &[String]) -> CmdResult {
+    match args.first() {
+        Some(first) if !first.starts_with("--") => sweep_spec(first, &args[1..]),
+        _ => sweep_panel(args),
+    }
+}
+
+/// `slb sweep <spec.toml>` — run a committed scenario file through the
+/// cached, multithreaded sweep engine (`slb-exp`).
+fn sweep_spec(path: &str, args: &[String]) -> CmdResult {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let spec = slb_exp::ScenarioSpec::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    let defaults = slb_exp::SweepOptions::default();
+    // `--jobs` here is the *worker-thread* count (the deleted figure
+    // binaries used the same flag for the simulation budget, which now
+    // lives in the spec's `jobs` parameter) — reject values that only
+    // make sense as a budget instead of silently clamping them.
+    let threads = arg_parse(
+        args,
+        "--threads",
+        arg_parse(args, "--jobs", defaults.threads),
+    );
+    if threads == 0 || threads > 1024 {
+        return Err(format!(
+            "--jobs/--threads {threads} is the worker-thread count (1..=1024); the \
+             simulation budget per grid point is the spec's 'jobs' parameter"
+        ));
+    }
+    let opts = slb_exp::SweepOptions {
+        threads,
+        smoke: args.iter().any(|a| a == "--smoke"),
+        cache: !args.iter().any(|a| a == "--no-cache"),
+        cache_dir: arg_value(args, "--cache-dir").map(std::path::PathBuf::from),
+        check: args.iter().any(|a| a == "--check"),
+    };
+
+    let started = std::time::Instant::now();
+    let report = slb_exp::run_sweep(&spec, &opts)?;
+    let elapsed = started.elapsed();
+
+    print!(
+        "{}",
+        slb_exp::output::to_aligned(&report.columns, &report.rows)
+    );
+    println!(
+        "\n{}{}: {} rows from {} grid points ({} cached) in {:.2}s",
+        spec.name,
+        if opts.smoke { " [smoke]" } else { "" },
+        report.rows.len(),
+        report.jobs,
+        report.cache_hits,
+        elapsed.as_secs_f64()
+    );
+    if opts.check {
+        println!(
+            "sandwich check: lower <= sim/exact <= upper holds on {} rows",
+            report.checked_rows
+        );
+    }
+
+    let out = arg_value(args, "--out").unwrap_or_else(|| format!("{}.csv", spec.name));
+    let body = if out.ends_with(".json") {
+        slb_exp::output::to_json(&report.columns, &report.rows)
+    } else {
+        slb_exp::output::to_csv(&report.columns, &report.rows)
+    };
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&out, body).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// The legacy flag form: bounds across utilizations (a Figure-10 panel).
+fn sweep_panel(args: &[String]) -> CmdResult {
     let n: usize = arg_parse(args, "--n", 3);
     let d: usize = arg_parse(args, "--d", 2);
     let t: u32 = arg_parse(args, "--t", 3);
@@ -306,6 +385,40 @@ mod tests {
         assert_eq!(sigma(&argv("--law erlang --k 2 --rho 0.7")), Ok(()));
         assert_eq!(meanfield(&argv("--d 2 --rho 0.7 --kmax 4")), Ok(()));
         assert_eq!(burst(&argv("--rho 0.5 --t 2")), Ok(()));
+    }
+
+    #[test]
+    fn spec_sweep_runs_and_writes_output() {
+        let dir = std::env::temp_dir().join(format!("slb-cli-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("mini.toml");
+        std::fs::write(
+            &spec_path,
+            "[scenario]\nname = \"mini\"\nfamily = \"theorem3\"\n\
+             [axes]\nn = [3]\nd = [2]\nrho = [0.7]\nt = [2]\nzip = [\"n\", \"d\", \"rho\", \"t\"]\n",
+        )
+        .unwrap();
+        let out = dir.join("mini.json");
+        let args: Vec<String> = vec![
+            spec_path.to_string_lossy().into_owned(),
+            "--jobs".into(),
+            "2".into(),
+            "--no-cache".into(),
+            "--check".into(),
+            "--out".into(),
+            out.to_string_lossy().into_owned(),
+        ];
+        assert_eq!(sweep(&args), Ok(()));
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(body.trim_start().starts_with('['), "json output: {body}");
+        assert!(sweep(&argv("no-such-spec.toml")).is_err());
+        // A simulation-budget-sized --jobs is the old binaries' flag
+        // misapplied: reject loudly instead of clamping.
+        let mut budget_args = args.clone();
+        budget_args[2] = "2000000".into();
+        let err = sweep(&budget_args).unwrap_err();
+        assert!(err.contains("worker-thread count"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

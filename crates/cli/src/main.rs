@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! slb bounds    --n 3 --d 2 --rho 0.7 --t 3        mean-delay bounds at one point
-//! slb sweep     --n 3 --d 2 --t 3 --points 9       bounds across utilizations (Fig. 10)
+//! slb sweep     experiments/fig10.toml --smoke     declarative scenario sweep
 //! slb dist      --n 3 --d 2 --rho 0.7 --t 3        delay percentile bounds
 //! slb simulate  --n 3 --d 2 --rho 0.7 --jobs 1e6   discrete-event simulation
 //! slb sigma     --law erlang --k 2 --rho 0.7       Theorem-2 decay root σ
@@ -29,7 +29,11 @@ USAGE: slb <COMMAND> [FLAGS]
 COMMANDS:
   bounds     Lower/upper mean-delay bounds, asymptotic and brute force at one point
              --n <servers> --d <choices> --rho <utilization> --t <threshold>
-  sweep      Bounds across utilizations (regenerates a Figure-10 panel)
+  sweep      Run a declarative scenario sweep (cached, multithreaded)
+             <spec.toml> [--smoke] [--threads N (alias --jobs)]
+             [--out file.csv|file.json] [--check] [--no-cache]
+             [--cache-dir dir]  (simulation budget comes from the spec)
+             Flag-only form sweeps one Figure-10 panel:
              --n --d --t [--points 9] [--csv out.csv]
   dist       Delay percentile bounds (median/p90/p99 by default)
              --n --d --rho --t [--percentiles 0.5,0.9,0.99]

@@ -1,0 +1,144 @@
+//! Content-hash result cache for sweep jobs.
+//!
+//! Every expanded job has a canonical key (family + sorted parameters +
+//! schema version); its rows are stored under
+//! `<workspace-root>/target/sweep-cache/<fnv64(key)>.json`. Re-running a
+//! grid after editing one axis therefore only recomputes the points
+//! whose keys changed — unchanged points are byte-identical replays.
+//!
+//! The stored file carries the full key, so a hash collision (or a stale
+//! schema) degrades to a cache miss, never to wrong rows.
+
+use std::path::{Path, PathBuf};
+
+use crate::json::{escape, Json};
+
+/// Bump when a runner's output semantics change: invalidates every
+/// cached row at once.
+pub const CACHE_SCHEMA: u32 = 1;
+
+/// 64-bit FNV-1a — the workspace-standard small stable hash.
+pub fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Walks up from `start` to the first directory containing `Cargo.lock`
+/// — the workspace root, whichever crate directory a binary was spawned
+/// in. Falls back to `start` itself when no lock file exists (e.g. an
+/// installed binary far from any checkout).
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}
+
+/// The default cache directory: `target/sweep-cache` under the
+/// workspace root resolved from the current directory — robust to
+/// being invoked from a crate root instead of the workspace root (the
+/// same discipline the criterion shim applies to `CRITERION_JSON`).
+pub fn default_cache_dir() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    find_workspace_root(&cwd).join("target").join("sweep-cache")
+}
+
+fn entry_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{:016x}.json", fnv64(key)))
+}
+
+/// Loads the cached rows for `key`, or `None` on miss / mismatch /
+/// unreadable entry.
+pub fn load(dir: &Path, key: &str) -> Option<Vec<Vec<String>>> {
+    let src = std::fs::read_to_string(entry_path(dir, key)).ok()?;
+    let doc = Json::parse(&src).ok()?;
+    let schema = doc.get("schema")?.as_f64()?;
+    if schema != f64::from(CACHE_SCHEMA) || doc.get("key")?.as_str()? != key {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for row in doc.get("rows")?.as_arr()? {
+        let cells: Option<Vec<String>> = row
+            .as_arr()?
+            .iter()
+            .map(|c| c.as_str().map(str::to_string))
+            .collect();
+        rows.push(cells?);
+    }
+    Some(rows)
+}
+
+/// Stores `rows` under `key`, creating the cache directory on demand.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (callers treat a failed store as
+/// non-fatal: the sweep result is already in hand).
+pub fn store(dir: &Path, key: &str, rows: &[Vec<String>]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    // Hand-rendered with one row per line: diffable, and the cache
+    // entry doubles as a human-readable record of the job.
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":{CACHE_SCHEMA},\"key\":\"{}\",\"rows\":[\n",
+        escape(key)
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        let cells: Vec<String> = row.iter().map(|c| format!("\"{}\"", escape(c))).collect();
+        out.push_str(&format!(
+            " [{}]{}\n",
+            cells.join(","),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]}\n");
+    std::fs::write(entry_path(dir, key), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned value: the cache file naming scheme must never drift.
+        assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv64("fig10"), fnv64("fig9"));
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("slb-exp-cache-{}", std::process::id()));
+        let rows = vec![
+            vec!["0.5".to_string(), "inf".to_string()],
+            vec!["0.9".to_string(), "1.25\"x".to_string()],
+        ];
+        store(&dir, "k1", &rows).unwrap();
+        assert_eq!(load(&dir, "k1"), Some(rows));
+        assert_eq!(load(&dir, "k2"), None); // different key hashes elsewhere
+                                            // A key whose file exists but holds a different key string is a miss.
+        store(&dir, "k3", &[]).unwrap();
+        assert_eq!(load(&dir, "k3"), Some(vec![]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn workspace_root_detection() {
+        // The test binary runs somewhere under the workspace; walking up
+        // from the crate dir must find the root that holds Cargo.lock.
+        let crate_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(&crate_dir);
+        assert!(root.join("Cargo.lock").is_file());
+        assert!(crate_dir.starts_with(&root));
+    }
+}

@@ -1,0 +1,182 @@
+//! The sandwich check: every row that carries bound columns must
+//! respect `lower ≤ sim ≤ upper` (and `lower ≤ exact ≤ upper` where an
+//! exact column exists) — the paper's Theorem 1 invariant, asserted by
+//! CI over every committed scenario on every push.
+
+use crate::runner::{Family, Row};
+
+/// Per-family slack for the *simulated* value: simulation estimates
+/// carry statistical noise, bounded by the reported CI where available
+/// plus a family-specific floor (quantile estimates — `delay-tails` —
+/// are noisier than means at smoke-sized budgets).
+fn sim_slack(family: Family, sim: f64, ci: Option<f64>) -> f64 {
+    let (abs_floor, rel): (f64, f64) = match family {
+        Family::DelayTails => (0.15, 0.15),
+        _ => (0.02, 0.05),
+    };
+    ci.map_or(0.0, |c| 4.0 * c) + abs_floor.max(rel * sim.abs())
+}
+
+/// Tolerance for *deterministic* quantities (exact solver vs bounds).
+/// Mean-delay comparisons are round-off-clean; quantiles invert a
+/// mixture-of-Erlangs CDF numerically and the cells are printed at four
+/// decimals, so the `delay-tails` family allows a few 1e-3.
+fn exact_tol(family: Family) -> f64 {
+    match family {
+        Family::DelayTails => 5e-3,
+        _ => 1e-6,
+    }
+}
+
+fn col(columns: &[&'static str], name: &str) -> Option<usize> {
+    columns.iter().position(|c| *c == name)
+}
+
+/// Parses a cell as a finite float; `inf` / `unstable` / `-` return
+/// `None` (those cells are legitimately unbounded and skip their side
+/// of the comparison).
+fn finite(cell: &str) -> Option<f64> {
+    cell.parse::<f64>().ok().filter(|x| x.is_finite())
+}
+
+/// Checks the sandwich on every applicable row; returns the number of
+/// rows actually compared.
+///
+/// # Errors
+///
+/// Lists the violating rows (up to five) when any comparison fails.
+pub fn check_sandwich(
+    family: Family,
+    columns: &[&'static str],
+    rows: &[Row],
+) -> Result<usize, String> {
+    let (Some(lower_c), Some(upper_c)) = (col(columns, "lower"), col(columns, "upper")) else {
+        return Ok(0); // family carries no bound columns
+    };
+    let sim_c = col(columns, "sim");
+    let exact_c = col(columns, "exact");
+    let ci_c = col(columns, "sim_ci");
+
+    let mut checked = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        // Only the upper bound is legitimately unbounded (`inf` /
+        // `unstable`); a non-finite lower, sim or exact cell means a
+        // broken runner and must fail the gate, never skip it.
+        let Some(lower) = row.get(lower_c).map(String::as_str).and_then(finite) else {
+            violations.push(format!(
+                "row {i}: lower '{}' is not a finite number",
+                row.get(lower_c).map_or("", String::as_str)
+            ));
+            checked += 1;
+            continue;
+        };
+        let upper = row.get(upper_c).map(String::as_str).and_then(finite);
+
+        if let Some(cell) = sim_c.and_then(|c| row.get(c)) {
+            if let Some(sim) = finite(cell) {
+                let ci = ci_c.and_then(|c| row.get(c)).and_then(|s| finite(s));
+                let slack = sim_slack(family, sim, ci);
+                if lower > sim + slack {
+                    violations.push(format!("row {i}: lower {lower} > sim {sim} + {slack:.4}"));
+                }
+                if let Some(up) = upper {
+                    if sim > up + slack {
+                        violations.push(format!("row {i}: sim {sim} > upper {up} + {slack:.4}"));
+                    }
+                }
+            } else {
+                violations.push(format!("row {i}: sim '{cell}' is not a finite number"));
+            }
+        }
+        if let Some(cell) = exact_c.and_then(|c| row.get(c)) {
+            if let Some(exact) = finite(cell) {
+                let tol = exact_tol(family);
+                if lower > exact + tol {
+                    violations.push(format!("row {i}: lower {lower} > exact {exact}"));
+                }
+                if let Some(up) = upper {
+                    if exact > up + tol {
+                        violations.push(format!("row {i}: exact {exact} > upper {up}"));
+                    }
+                }
+            } else {
+                violations.push(format!("row {i}: exact '{cell}' is not a finite number"));
+            }
+        }
+        checked += 1;
+    }
+
+    if violations.is_empty() {
+        Ok(checked)
+    } else {
+        let shown = violations.len().min(5);
+        Err(format!(
+            "sandwich check failed on {} of {} rows:\n  {}{}",
+            violations.len(),
+            rows.len(),
+            violations[..shown].join("\n  "),
+            if violations.len() > shown {
+                "\n  ..."
+            } else {
+                ""
+            }
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cells: &[&str]) -> Row {
+        cells.iter().map(|c| c.to_string()).collect()
+    }
+
+    const COLS: &[&str] = &["rho", "lower", "sim", "sim_ci", "upper"];
+
+    #[test]
+    fn accepts_sandwiched_rows_and_counts_them() {
+        let rows = vec![
+            row(&["0.5", "1.0", "1.05", "0.01", "1.2"]),
+            row(&["0.9", "2.0", "2.1", "0.02", "inf"]), // unbounded upper: skipped side
+        ];
+        assert_eq!(check_sandwich(Family::Bounds, COLS, &rows), Ok(2));
+    }
+
+    #[test]
+    fn rejects_violations_with_row_numbers() {
+        let rows = vec![
+            row(&["0.5", "1.0", "1.05", "0.01", "1.2"]),
+            row(&["0.9", "3.0", "2.0", "0.0", "2.5"]), // lower > sim
+        ];
+        let err = check_sandwich(Family::Bounds, COLS, &rows).unwrap_err();
+        assert!(err.contains("row 1"), "{err}");
+        assert!(err.contains("lower 3 > sim 2"), "{err}");
+    }
+
+    #[test]
+    fn exact_column_uses_tight_tolerance() {
+        let cols: &[&'static str] = &["lower", "exact", "upper"];
+        let ok = vec![row(&["1.0", "1.0000005", "1.1"])];
+        assert_eq!(check_sandwich(Family::DelayTails, cols, &ok), Ok(1));
+        let bad = vec![row(&["1.0", "0.99", "1.1"])];
+        assert!(check_sandwich(Family::DelayTails, cols, &bad).is_err());
+    }
+
+    #[test]
+    fn non_finite_lower_or_sim_is_a_violation_not_a_skip() {
+        let bad_sim = vec![row(&["0.5", "1.0", "NaN", "0.01", "1.2"])];
+        let err = check_sandwich(Family::Bounds, COLS, &bad_sim).unwrap_err();
+        assert!(err.contains("not a finite number"), "{err}");
+        let bad_lower = vec![row(&["0.5", "inf", "1.0", "0.01", "1.2"])];
+        assert!(check_sandwich(Family::Bounds, COLS, &bad_lower).is_err());
+    }
+
+    #[test]
+    fn families_without_bounds_check_nothing() {
+        let cols: &[&'static str] = &["n", "logred_iters"];
+        let rows = vec![row(&["3", "6"])];
+        assert_eq!(check_sandwich(Family::LogredIters, cols, &rows), Ok(0));
+    }
+}

@@ -1,0 +1,303 @@
+//! The sweep executor: cached, multithreaded, deterministic.
+//!
+//! Jobs are distributed round-robin onto per-worker deques; a worker
+//! pops from the back of its own deque and, when empty, steals from the
+//! front of a sibling's. Stealing takes the *oldest* queued job, so two
+//! workers never contend for the same end and long tails drain evenly.
+//!
+//! Determinism: runners are pure functions of the job parameters, every
+//! result lands in the slot of its job index, and rows are concatenated
+//! in job order after the scope joins — so the output is byte-identical
+//! for any thread count and any steal interleaving (the same discipline
+//! as `slb-sim`'s `run_parallel`). The cache layer reuses that purity:
+//! a hit replays the stored rows, which are the same bytes a cold run
+//! would produce.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::cache;
+use crate::check::check_sandwich;
+use crate::runner::{run_job, Row, Scratch};
+use crate::spec::ScenarioSpec;
+
+/// Result slot of one scheduled job: filled exactly once by whichever
+/// worker ran it.
+type JobSlot = Mutex<Option<Result<Vec<Row>, String>>>;
+
+/// Options for one sweep execution.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker-thread count (clamped to at least 1; jobs fewer than
+    /// threads leave the surplus workers idle).
+    pub threads: usize,
+    /// Apply the spec's `[smoke]` overrides (reduced CI grids).
+    pub smoke: bool,
+    /// Consult and populate the result cache.
+    pub cache: bool,
+    /// Cache directory override; defaults to
+    /// `<workspace-root>/target/sweep-cache`.
+    pub cache_dir: Option<PathBuf>,
+    /// Verify the bound sandwich (`lower ≤ sim/exact ≤ upper`) on every
+    /// row that carries those columns; violations fail the sweep.
+    pub check: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            smoke: false,
+            cache: true,
+            cache_dir: None,
+            check: false,
+        }
+    }
+}
+
+/// The outcome of a sweep: the full table plus execution counters.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Column names (fixed per family).
+    pub columns: Vec<&'static str>,
+    /// All rows in job order — independent of thread count.
+    pub rows: Vec<Row>,
+    /// Expanded grid size.
+    pub jobs: usize,
+    /// Jobs answered from the cache.
+    pub cache_hits: usize,
+    /// Rows that passed the sandwich check (0 when unchecked or the
+    /// family carries no bound columns).
+    pub checked_rows: usize,
+}
+
+/// Expands a spec and runs (or replays) every job.
+///
+/// # Errors
+///
+/// Returns a message when expansion fails, any job's runner fails, or
+/// the sandwich check finds a violating row.
+pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> Result<SweepReport, String> {
+    let jobs = spec.expand(opts.smoke)?;
+    let total = jobs.len();
+    let cache_dir = opts
+        .cache_dir
+        .clone()
+        .unwrap_or_else(cache::default_cache_dir);
+
+    // Cache pass: resolve hits up front so only misses are scheduled.
+    let mut slots: Vec<Option<Vec<Row>>> = vec![None; total];
+    let mut cache_hits = 0usize;
+    if opts.cache {
+        for job in &jobs {
+            if let Some(rows) = cache::load(&cache_dir, &job.canonical_key()) {
+                slots[job.index] = Some(rows);
+                cache_hits += 1;
+            }
+        }
+    }
+    let pending: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
+
+    if !pending.is_empty() {
+        let workers = opts.threads.clamp(1, pending.len());
+        // Round-robin seeding keeps neighbouring (similar-cost) grid
+        // points on different workers.
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                Mutex::new(
+                    pending
+                        .iter()
+                        .copied()
+                        .skip(w)
+                        .step_by(workers)
+                        .collect::<VecDeque<usize>>(),
+                )
+            })
+            .collect();
+        let results: Vec<JobSlot> = (0..total).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let deques = &deques;
+                let results = &results;
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    let mut scratch = Scratch::new();
+                    loop {
+                        // Own deque first (back = newest, cache-warm
+                        // shapes), then steal the oldest job of the
+                        // first non-empty sibling.
+                        let mut next = deques[w].lock().expect("deque lock").pop_back();
+                        if next.is_none() {
+                            for v in 1..workers {
+                                let victim = (w + v) % workers;
+                                next = deques[victim].lock().expect("deque lock").pop_front();
+                                if next.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(i) = next else { break };
+                        let outcome = run_job(&jobs[i], &mut scratch);
+                        *results[i].lock().expect("result lock") = Some(outcome);
+                    }
+                });
+            }
+        });
+
+        // Collect in job order; store fresh results in the cache from
+        // the main thread so cache writes cannot race. Every successful
+        // job is cached even when a sibling failed — a retry after
+        // fixing one bad grid point replays the rest instead of
+        // recomputing it.
+        let mut first_error: Option<String> = None;
+        for i in &pending {
+            let outcome = results[*i]
+                .lock()
+                .expect("result lock")
+                .take()
+                .unwrap_or_else(|| Err("job was never executed (executor bug)".into()));
+            match outcome {
+                Ok(rows) => {
+                    if opts.cache {
+                        if let Err(e) = cache::store(&cache_dir, &jobs[*i].canonical_key(), &rows) {
+                            eprintln!("warning: cannot write sweep cache: {e}");
+                        }
+                    }
+                    slots[*i] = Some(rows);
+                }
+                Err(e) if first_error.is_none() => {
+                    first_error = Some(format!(
+                        "job {} of {} ({}): {e}",
+                        i + 1,
+                        total,
+                        describe(&jobs[*i])
+                    ));
+                }
+                Err(_) => {}
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+    }
+
+    let mut rows = Vec::new();
+    for slot in slots {
+        rows.extend(slot.expect("all slots filled"));
+    }
+
+    let checked_rows = if opts.check {
+        check_sandwich(spec.family, spec.family.columns(), &rows)?
+    } else {
+        0
+    };
+
+    Ok(SweepReport {
+        columns: spec.family.columns().to_vec(),
+        rows,
+        jobs: total,
+        cache_hits,
+        checked_rows,
+    })
+}
+
+/// Short human description of a job for error messages: the varying
+/// parameters only (axis values), which is what identifies a grid point.
+fn describe(job: &crate::spec::Job) -> String {
+    for key in ["rho", "n"] {
+        if let Some(v) = job.get(key) {
+            return format!("{key}={v}, ...");
+        }
+    }
+    String::from("job")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("slb-exp-exec-{tag}-{}", std::process::id()))
+    }
+
+    const SPEC: &str = r#"
+[scenario]
+name = "exec-test"
+family = "logred-iters"
+d = 2
+
+[axes]
+n   = [3, 3]
+t   = [2, 3]
+rho = [0.5, 0.75, 0.9]
+kind = ["lower", "upper"]
+zip = ["n", "t"]
+"#;
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let base = SweepOptions {
+            threads: 1,
+            cache: false,
+            ..SweepOptions::default()
+        };
+        let serial = run_sweep(&spec, &base).unwrap();
+        assert_eq!(serial.jobs, 12);
+        assert_eq!(serial.rows.len(), 12);
+        for threads in [2, 8] {
+            let par = run_sweep(
+                &spec,
+                &SweepOptions {
+                    threads,
+                    ..base.clone()
+                },
+            )
+            .unwrap();
+            assert_eq!(par.rows, serial.rows, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cache_replays_identical_rows() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let dir = temp_dir("replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = SweepOptions {
+            threads: 4,
+            cache: true,
+            cache_dir: Some(dir.clone()),
+            ..SweepOptions::default()
+        };
+        let cold = run_sweep(&spec, &opts).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        let warm = run_sweep(&spec, &opts).unwrap();
+        assert_eq!(warm.cache_hits, warm.jobs);
+        assert_eq!(warm.rows, cold.rows);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_name_the_failing_point() {
+        // rho = 1.5 is invalid for the model: the sweep must fail with a
+        // located message, not panic.
+        let spec = ScenarioSpec::parse(
+            "[scenario]\nname = \"bad\"\nfamily = \"logred-iters\"\nd = 2\n\
+             [axes]\nn = [3]\nt = [2]\nrho = [1.5]\nkind = [\"lower\"]\n",
+        )
+        .unwrap();
+        let err = run_sweep(
+            &spec,
+            &SweepOptions {
+                cache: false,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("rho=1.5"), "{err}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Rendering a sweep table as CSV, JSON or an aligned console listing.
+
+use std::fmt::Write as _;
+
+use crate::json::escape;
+use crate::runner::Row;
+
+/// Renders header + rows as CSV (the committed-figure interchange
+/// format; cells never contain commas).
+pub fn to_csv(columns: &[&'static str], rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", columns.join(","));
+    for r in rows {
+        let _ = writeln!(out, "{}", r.join(","));
+    }
+    out
+}
+
+/// Renders the table as a JSON array of objects, one row object per
+/// line. Cell values stay strings — they are the canonical formatted
+/// cells (including `inf` / `unstable` markers), not re-parsed floats.
+pub fn to_json(columns: &[&'static str], rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let fields: Vec<String> = columns
+            .iter()
+            .zip(r)
+            .map(|(c, v)| format!("\"{}\": \"{}\"", escape(c), escape(v)))
+            .collect();
+        let _ = write!(out, "  {{{}}}", fields.join(", "));
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders an aligned console listing (right-justified columns).
+pub fn to_aligned(columns: &[&'static str], rows: &[Row]) -> String {
+    let cols = columns.len();
+    let mut width: Vec<usize> = columns.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (c, cell) in r.iter().enumerate().take(cols) {
+            width[c] = width[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |row: &[String], out: &mut String| {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>w$}", w = width[c]);
+        }
+        out.push('\n');
+    };
+    let header: Vec<String> = columns.iter().map(|s| s.to_string()).collect();
+    fmt_row(&header, &mut out);
+    let total: usize = width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for r in rows {
+        fmt_row(r, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec!["0.5".into(), "1.2".into()],
+            vec!["0.9".into(), "inf".into()],
+        ]
+    }
+
+    #[test]
+    fn csv_shape() {
+        assert_eq!(
+            to_csv(&["rho", "upper"], &rows()),
+            "rho,upper\n0.5,1.2\n0.9,inf\n"
+        );
+    }
+
+    #[test]
+    fn json_is_parseable_and_ordered() {
+        let text = to_json(&["rho", "upper"], &rows());
+        let doc = Json::parse(&text).unwrap();
+        let arr = doc.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("rho").and_then(Json::as_str), Some("0.5"));
+        assert_eq!(arr[1].get("upper").and_then(Json::as_str), Some("inf"));
+    }
+
+    #[test]
+    fn aligned_pads_columns() {
+        let text = to_aligned(&["rho", "upper"], &rows());
+        assert!(text.starts_with("rho  upper\n"), "{text:?}");
+        assert!(text.contains("0.9    inf"), "{text:?}");
+    }
+}

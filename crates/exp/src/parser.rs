@@ -1,0 +1,373 @@
+//! Hand-rolled parser for the scenario-spec format — a small TOML
+//! subset, vendored-shim style (the build environment has no network,
+//! so a real TOML crate is not an option).
+//!
+//! Supported syntax:
+//!
+//! * `[section]` headers;
+//! * `key = value` assignments, where a value is an integer, float,
+//!   `true`/`false`, a double-quoted string (`\"`, `\\`, `\n`, `\t`
+//!   escapes) or an array `[v, v, ...]` (trailing comma allowed);
+//! * arrays may span lines — an assignment continues onto following
+//!   lines until its brackets balance;
+//! * `#` comments (outside strings) and blank lines.
+//!
+//! Not supported (and not needed by any spec): dotted keys, inline
+//! tables, multi-line strings, dates.
+
+use crate::value::Value;
+
+/// One `[name]` section with its assignments in file order.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section name (the text between the brackets).
+    pub name: String,
+    /// Line number of the header, for error messages.
+    pub line: usize,
+    /// `key = value` entries in file order.
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Section {
+    /// Looks up an entry by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+}
+
+/// Strips a `#` comment, honouring string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Net bracket depth of a line (outside string literals) — used to join
+/// multi-line arrays.
+fn bracket_delta(line: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    depth
+}
+
+fn valid_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Parses a whole spec file into its sections.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on any syntax error,
+/// duplicate key, or assignment outside a section.
+pub fn parse_document(src: &str) -> Result<Vec<Section>, String> {
+    let mut sections: Vec<Section> = Vec::new();
+    let mut lines = src.lines().enumerate();
+
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(header) = line.strip_prefix('[') {
+            // A value never starts a line, so a leading '[' is a header.
+            let name = header
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {line_no}: unterminated section header"))?
+                .trim();
+            if !valid_bare_key(name) {
+                return Err(format!("line {line_no}: invalid section name '{name}'"));
+            }
+            if sections.iter().any(|s| s.name == name) {
+                return Err(format!("line {line_no}: duplicate section [{name}]"));
+            }
+            sections.push(Section {
+                name: name.to_string(),
+                line: line_no,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+
+        let (key, rest) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {line_no}: expected 'key = value' or '[section]'"))?;
+        let key = key.trim();
+        if !valid_bare_key(key) {
+            return Err(format!("line {line_no}: invalid key '{key}'"));
+        }
+
+        // Join continuation lines until the array brackets balance.
+        let mut text = rest.trim().to_string();
+        let mut depth = bracket_delta(&text);
+        while depth > 0 {
+            let Some((_, cont)) = lines.next() else {
+                return Err(format!(
+                    "line {line_no}: unterminated array for key '{key}'"
+                ));
+            };
+            let cont = strip_comment(cont).trim();
+            text.push(' ');
+            text.push_str(cont);
+            depth += bracket_delta(cont);
+        }
+
+        let value =
+            parse_value_str(&text).map_err(|e| format!("line {line_no}: value of '{key}': {e}"))?;
+
+        let section = sections
+            .last_mut()
+            .ok_or_else(|| format!("line {line_no}: '{key}' appears before any [section]"))?;
+        if section.entries.iter().any(|(k, _)| k == key) {
+            return Err(format!(
+                "line {line_no}: duplicate key '{key}' in [{}]",
+                section.name
+            ));
+        }
+        section.entries.push((key.to_string(), value));
+    }
+
+    Ok(sections)
+}
+
+/// Parses a single value (the text after `=`), rejecting trailing junk.
+pub fn parse_value_str(text: &str) -> Result<Value, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!(
+            "trailing characters after value: '{}'",
+            chars[pos..].iter().collect::<String>()
+        ));
+    }
+    Ok(v)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        None => Err("empty value".into()),
+        Some('"') => parse_string(chars, pos),
+        Some('[') => parse_array(chars, pos),
+        Some(_) => parse_scalar(chars, pos),
+    }
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match chars.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some('"') => {
+                *pos += 1;
+                return Ok(Value::Str(out));
+            }
+            Some('\\') => {
+                *pos += 1;
+                match chars.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some(c) => return Err(format!("unsupported escape '\\{c}'")),
+                    None => return Err("unterminated escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_array(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // opening bracket
+    let mut items = Vec::new();
+    loop {
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            None => return Err("unterminated array".into()),
+            Some(']') => {
+                *pos += 1;
+                return Ok(Value::List(items));
+            }
+            Some(_) => {
+                items.push(parse_value(chars, pos)?);
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => {
+                        *pos += 1;
+                    }
+                    Some(']') => {}
+                    Some(c) => return Err(format!("expected ',' or ']' in array, found '{c}'")),
+                    None => return Err("unterminated array".into()),
+                }
+            }
+        }
+    }
+}
+
+fn parse_scalar(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while chars
+        .get(*pos)
+        .is_some_and(|&c| !c.is_whitespace() && c != ',' && c != ']')
+    {
+        *pos += 1;
+    }
+    let token: String = chars[start..*pos].iter().collect();
+    match token.as_str() {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Some(hex) = token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+    {
+        return i64::from_str_radix(hex, 16)
+            .map(Value::Int)
+            .map_err(|_| format!("cannot parse '{token}' as a hex integer"));
+    }
+    let looks_float = token.contains(['.', 'e', 'E']);
+    if !looks_float {
+        if let Ok(i) = token.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    token
+        .parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| format!("cannot parse '{token}' as a number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_types() {
+        let doc = parse_document(
+            r##"
+# a comment
+[scenario]
+name = "fig10"   # trailing comment
+family = "bounds"
+d = 2
+rho = 0.95
+quick = false
+
+[axes]
+n = [3, 6, 12]
+kind = ["lower", "upper"]
+"##,
+        )
+        .unwrap();
+        assert_eq!(doc.len(), 2);
+        let sc = &doc[0];
+        assert_eq!(sc.name, "scenario");
+        assert_eq!(sc.get("name"), Some(&Value::Str("fig10".into())));
+        assert_eq!(sc.get("d"), Some(&Value::Int(2)));
+        assert_eq!(sc.get("rho"), Some(&Value::Float(0.95)));
+        assert_eq!(sc.get("quick"), Some(&Value::Bool(false)));
+        let ax = &doc[1];
+        assert_eq!(
+            ax.get("n"),
+            Some(&Value::List(vec![
+                Value::Int(3),
+                Value::Int(6),
+                Value::Int(12)
+            ]))
+        );
+    }
+
+    #[test]
+    fn multiline_arrays_join() {
+        let doc = parse_document("[axes]\nrho = [0.1, # low\n       0.5,\n       0.9]\nn = [3]\n")
+            .unwrap();
+        let rho = doc[0].get("rho").unwrap().as_list().unwrap();
+        assert_eq!(rho.len(), 3);
+        assert_eq!(doc[0].get("n").unwrap().as_list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn string_escapes_and_hash_in_string() {
+        let doc = parse_document("[s]\nk = \"a#b\\\"c\"\n").unwrap();
+        assert_eq!(doc[0].get("k"), Some(&Value::Str("a#b\"c".into())));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(parse_document("x = 1\n")
+            .unwrap_err()
+            .contains("before any"));
+        assert!(parse_document("[a]\nx 1\n").unwrap_err().contains("line 2"));
+        assert!(parse_document("[a]\nx = 1\nx = 2\n")
+            .unwrap_err()
+            .contains("duplicate key"));
+        assert!(parse_document("[a]\n[a]\n")
+            .unwrap_err()
+            .contains("duplicate section"));
+        assert!(parse_document("[a]\nx = [1, 2\n")
+            .unwrap_err()
+            .contains("unterminated"));
+        assert!(parse_document("[a]\nx = 1 2\n")
+            .unwrap_err()
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn scientific_notation_is_float() {
+        assert_eq!(parse_value_str("1e-3").unwrap(), Value::Float(1e-3));
+        assert_eq!(parse_value_str("-4").unwrap(), Value::Int(-4));
+    }
+
+    #[test]
+    fn hex_integers() {
+        assert_eq!(parse_value_str("0xD1A7").unwrap(), Value::Int(0xD1A7));
+        assert!(parse_value_str("0xZZ").is_err());
+    }
+}

@@ -1,0 +1,603 @@
+//! Experiment families: the mapping from one expanded [`Job`] to its
+//! result rows.
+//!
+//! Each family reproduces one of the repository's former one-off
+//! experiment binaries (`crates/bench/src/bin/*`) as a pure function of
+//! the job parameters — pure in the sense that the rows depend only on
+//! the parameters, never on thread scheduling or execution order, which
+//! is what makes both the cache and the deterministic-output guarantee
+//! of the executor sound.
+
+use std::fmt;
+
+use slb_core::brute::BruteForce;
+use slb_core::{asymptotic, BoundKind, BoundModel, CoreError, Sqd};
+use slb_linalg::{power_iteration_sparse, CsrMatrix, Workspace};
+use slb_mapph::MapSqd;
+use slb_markov::{Map, PhaseType};
+use slb_qbd::{functional_iteration, logarithmic_reduction_in, SolveOptions, Tail};
+use slb_sim::{Policy, SimConfig, SimResult};
+
+use crate::spec::Job;
+
+/// A result row: one stringified cell per column of the family.
+pub type Row = Vec<String>;
+
+/// The experiment families the sweep engine knows how to run.
+///
+/// | family | former binary | what it reproduces |
+/// |---|---|---|
+/// | `bounds` | `fig10` | LB/sim/UB/asymptotic vs utilization (Fig. 10) |
+/// | `asymptotic-error` | `fig9` | relative error of Eq. 16 vs `N` (Fig. 9) |
+/// | `delay-tails` | `delay_tails` | sojourn-time percentiles, 4 solvers |
+/// | `burstiness` | `burstiness` | bounds under MAP arrivals |
+/// | `logred-iters` | `logred_iters` | §IV-A iteration-count claim |
+/// | `theorem3` | `theorem3` | scalar-tail ablation diagnostics |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Lower/upper/simulated/asymptotic mean delay (Figure 10).
+    Bounds,
+    /// Relative error of the asymptotic formula vs simulation (Figure 9).
+    AsymptoticError,
+    /// Sojourn-time percentiles: lower / exact / simulated / upper.
+    DelayTails,
+    /// Bounds under Markov-modulated and renewal arrivals.
+    Burstiness,
+    /// Logarithmic-reduction vs functional-iteration counts.
+    LogredIters,
+    /// Theorem-3 scalar-tail diagnostics.
+    Theorem3,
+}
+
+impl Family {
+    /// Parses a family name as written in spec files.
+    ///
+    /// # Errors
+    ///
+    /// Lists the valid names when the input matches none.
+    pub fn from_name(s: &str) -> Result<Self, String> {
+        match s {
+            "bounds" => Ok(Family::Bounds),
+            "asymptotic-error" => Ok(Family::AsymptoticError),
+            "delay-tails" => Ok(Family::DelayTails),
+            "burstiness" => Ok(Family::Burstiness),
+            "logred-iters" => Ok(Family::LogredIters),
+            "theorem3" => Ok(Family::Theorem3),
+            other => Err(format!(
+                "unknown family '{other}' (expected bounds, asymptotic-error, delay-tails, \
+                 burstiness, logred-iters or theorem3)"
+            )),
+        }
+    }
+
+    /// The spec-file name of the family.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Family::Bounds => "bounds",
+            Family::AsymptoticError => "asymptotic-error",
+            Family::DelayTails => "delay-tails",
+            Family::Burstiness => "burstiness",
+            Family::LogredIters => "logred-iters",
+            Family::Theorem3 => "theorem3",
+        }
+    }
+
+    /// Column names of the rows this family emits.
+    pub fn columns(self) -> &'static [&'static str] {
+        match self {
+            Family::Bounds => &[
+                "n",
+                "t",
+                "d",
+                "rho",
+                "lower",
+                "sim",
+                "sim_ci",
+                "upper",
+                "asymptotic",
+            ],
+            Family::AsymptoticError => &[
+                "rho",
+                "d",
+                "n",
+                "sim_delay",
+                "sim_ci",
+                "asymptotic",
+                "rel_error_pct",
+            ],
+            Family::DelayTails => &["n", "d", "t", "rho", "p", "lower", "exact", "sim", "upper"],
+            Family::Burstiness => &[
+                "n",
+                "d",
+                "t",
+                "rho",
+                "arrivals",
+                "scv",
+                "lower",
+                "sim",
+                "sim_ci",
+                "upper",
+                "tail_decay",
+            ],
+            Family::LogredIters => &[
+                "n",
+                "t",
+                "d",
+                "rho",
+                "kind",
+                "logred_iters",
+                "logred_residual",
+                "functional_iters",
+            ],
+            Family::Theorem3 => &[
+                "n",
+                "d",
+                "rho",
+                "t",
+                "sp_r",
+                "rho_n",
+                "vec_residual",
+                "delay_rel_diff",
+            ],
+        }
+    }
+
+    /// Whether this family drives the discrete-event simulator (and thus
+    /// receives the `jobs`/`replications`/`seed` defaults and the
+    /// `SIM_REPLICATIONS` override).
+    pub fn needs_sim(self) -> bool {
+        !matches!(self, Family::LogredIters | Family::Theorem3)
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-worker scratch: one [`Workspace`] per QBD block shape, reused
+/// across every job a worker thread executes. A utilization sweep at
+/// fixed `(N, T)` revisits the same shape at every grid point, so after
+/// the first job of a shape the dense solvers draw all their
+/// temporaries from a warm pool.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pools: Vec<(usize, Workspace)>,
+}
+
+impl Scratch {
+    /// A scratch holder with no warmed pools.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// The workspace pool for `m × m` blocks, created on first use.
+    pub fn square(&mut self, m: usize) -> &mut Workspace {
+        if let Some(i) = self.pools.iter().position(|(s, _)| *s == m) {
+            return &mut self.pools[i].1;
+        }
+        self.pools.push((m, Workspace::square(m)));
+        &mut self.pools.last_mut().expect("just pushed").1
+    }
+
+    /// Number of distinct shapes warmed so far.
+    pub fn shapes(&self) -> usize {
+        self.pools.len()
+    }
+}
+
+/// Formats a float with 4 decimal places (the shared table precision).
+fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Runs one job, returning its rows in deterministic order.
+///
+/// # Errors
+///
+/// Returns a message naming the family and the failing stage; infeasible
+/// points that the old binaries silently skipped (e.g. `d > N` in the
+/// Figure-9 grid) yield an empty row list instead of an error.
+pub fn run_job(job: &Job, scratch: &mut Scratch) -> Result<Vec<Row>, String> {
+    match job.family {
+        Family::Bounds => run_bounds(job),
+        Family::AsymptoticError => run_asymptotic_error(job),
+        Family::DelayTails => run_delay_tails(job),
+        Family::Burstiness => run_burstiness(job),
+        Family::LogredIters => run_logred_iters(job, scratch),
+        Family::Theorem3 => run_theorem3(job),
+    }
+}
+
+/// Splits a total job budget across replications, floored so degenerate
+/// budgets still leave room for a warm-up prefix (the same rule the old
+/// binaries applied via `slb_bench::rep_jobs`).
+fn rep_jobs(total: u64, replications: usize) -> u64 {
+    (total / replications.max(1) as u64).max(10)
+}
+
+/// Drives the simulator for one grid point. Replications run serially
+/// (`n_threads = 1`): the sweep executor already parallelizes across
+/// grid points, and `run_parallel`'s merge is thread-count independent,
+/// so the merged statistics are identical either way.
+fn run_sim(
+    job: &Job,
+    n: usize,
+    rho: f64,
+    d: usize,
+    map: Option<&Map>,
+) -> Result<SimResult, String> {
+    let total = job.u64("jobs")?;
+    let reps = job.usize("replications")?.max(1);
+    let per_rep = rep_jobs(total, reps);
+    let mut cfg = SimConfig::new(n, rho).map_err(|e| format!("sim config: {e}"))?;
+    cfg.policy(Policy::SqD { d })
+        .jobs(per_rep)
+        .warmup(per_rep / 10)
+        .seed(job.derived_seed());
+    if let Some(m) = map {
+        cfg.arrival_map(m.clone());
+    }
+    cfg.run_parallel(reps, 1)
+        .map_err(|e| format!("sim run: {e}"))
+}
+
+/// `bounds` (ex-`fig10`): LB / sim / UB / asymptotic at one `(N, T, ρ)`.
+fn run_bounds(job: &Job) -> Result<Vec<Row>, String> {
+    let n = job.usize("n")?;
+    let d = job.usize("d")?;
+    let t = job.u32("t")?;
+    let rho = job.f64("rho")?;
+
+    let sqd = Sqd::new(n, d, rho).map_err(|e| format!("bounds model: {e}"))?;
+    let lb = sqd
+        .lower_bound(t)
+        .map_err(|e| format!("lower bound: {e}"))?;
+    // Where the upper-bound model is unstable (high utilization at small
+    // T — the blow-up visible in the paper's plots) report `inf`.
+    let ub = match sqd.upper_bound(t) {
+        Ok(r) => f4(r.delay),
+        Err(CoreError::UpperBoundUnstable { .. }) => "inf".to_string(),
+        Err(e) => return Err(format!("upper bound: {e}")),
+    };
+    let sim = run_sim(job, n, rho, d, None)?;
+
+    Ok(vec![vec![
+        n.to_string(),
+        t.to_string(),
+        d.to_string(),
+        f4(rho),
+        f4(lb.delay),
+        f4(sim.mean_delay),
+        f4(sim.ci_halfwidth),
+        ub,
+        f4(sqd.asymptotic_delay()),
+    ]])
+}
+
+/// `asymptotic-error` (ex-`fig9`): relative error of Eq. 16 vs sim.
+fn run_asymptotic_error(job: &Job) -> Result<Vec<Row>, String> {
+    let n = job.usize("n")?;
+    let d = job.usize("d")?;
+    let rho = job.f64("rho")?;
+    if d > n {
+        return Ok(Vec::new()); // cannot poll more servers than exist
+    }
+    let approx = asymptotic::mean_delay(rho, d);
+    let sim = run_sim(job, n, rho, d, None)?;
+    let rel = 100.0 * (sim.mean_delay - approx).abs() / sim.mean_delay;
+    Ok(vec![vec![
+        f4(rho),
+        d.to_string(),
+        n.to_string(),
+        f4(sim.mean_delay),
+        f4(sim.ci_halfwidth),
+        f4(approx),
+        f4(rel),
+    ]])
+}
+
+/// `delay-tails` (ex-`delay_tails`): percentile rows for one `(N, T, ρ)`
+/// — one row per requested percentile.
+fn run_delay_tails(job: &Job) -> Result<Vec<Row>, String> {
+    let n = job.usize("n")?;
+    let d = job.usize("d")?;
+    let t = job.u32("t")?;
+    let rho = job.f64("rho")?;
+    let percentiles = job.f64_list("percentiles")?;
+    let cap = job.u32_or("cap", if rho > 0.9 { 60 } else { 35 })?;
+
+    let sqd = Sqd::new(n, d, rho).map_err(|e| format!("model: {e}"))?;
+    let lo = sqd
+        .delay_distribution(BoundKind::Lower, t)
+        .map_err(|e| format!("lower distribution: {e}"))?;
+    let hi = sqd.delay_distribution(BoundKind::Upper, t).ok();
+    let exact = BruteForce::solve(n, d, rho, cap)
+        .map_err(|e| format!("brute force: {e}"))?
+        .delay_distribution()
+        .map_err(|e| format!("exact distribution: {e}"))?;
+    let sim = run_sim(job, n, rho, d, None)?;
+
+    let q = |dist: &slb_core::DelayDistribution, p: f64| {
+        dist.quantile(p).map_err(|e| format!("quantile({p}): {e}"))
+    };
+    let mut rows = Vec::with_capacity(percentiles.len());
+    for &p in &percentiles {
+        let hi_cell = match &hi {
+            Some(h) => f4(q(h, p)?),
+            None => "unstable".to_string(),
+        };
+        rows.push(vec![
+            n.to_string(),
+            d.to_string(),
+            t.to_string(),
+            f4(rho),
+            format!("{p}"),
+            f4(q(&lo, p)?),
+            f4(q(&exact, p)?),
+            f4(sim
+                .delay_quantile(p)
+                .ok_or_else(|| "simulation measured no jobs".to_string())?),
+            hi_cell,
+        ]);
+    }
+    Ok(rows)
+}
+
+/// The arrival laws of the burstiness experiment, by spec-file name.
+fn arrival_case(name: &str) -> Result<Map, String> {
+    let err = |e| format!("arrival '{name}': {e}");
+    match name {
+        "poisson" => Map::poisson(1.0).map_err(err),
+        "erlang2" => PhaseType::erlang(2, 2.0)
+            .and_then(|ph| Map::renewal(&ph))
+            .map_err(err),
+        "mmpp-mild" => Map::mmpp2(0.5, 0.5, 0.5, 1.5).map_err(err),
+        "mmpp-bursty" => Map::mmpp2(0.1, 0.1, 0.2, 4.0).map_err(err),
+        other => Err(format!(
+            "unknown arrival case '{other}' (expected poisson, erlang2, mmpp-mild or mmpp-bursty)"
+        )),
+    }
+}
+
+/// `burstiness`: bounds and simulation under one MAP arrival law.
+fn run_burstiness(job: &Job) -> Result<Vec<Row>, String> {
+    let n = job.usize("n")?;
+    let d = job.usize("d")?;
+    let t = job.u32("t")?;
+    let rho = job.f64("rho")?;
+    let map = arrival_case(job.str("arrival")?)?;
+
+    let scv = map
+        .interarrival_scv()
+        .map_err(|e| format!("interarrival SCV: {e}"))?;
+    let model = MapSqd::with_utilization(n, d, &map, rho).map_err(|e| format!("MAP model: {e}"))?;
+    let lb = model
+        .lower_bound(t)
+        .map_err(|e| format!("lower bound: {e}"))?;
+    let ub_cell = model
+        .upper_bound(t)
+        .map_or("unstable".to_string(), |u| f4(u.delay));
+    let sim = run_sim(job, n, rho, d, Some(&map))?;
+
+    Ok(vec![vec![
+        n.to_string(),
+        d.to_string(),
+        t.to_string(),
+        f4(rho),
+        job.str("arrival")?.to_string(),
+        f4(scv),
+        f4(lb.delay),
+        f4(sim.mean_delay),
+        f4(sim.ci_halfwidth),
+        ub_cell,
+        f4(lb.tail_decay),
+    ]])
+}
+
+/// `logred-iters`: the §IV-A "within k = 6" claim, against functional
+/// iteration, drawing dense scratch from the worker's shared pool.
+fn run_logred_iters(job: &Job, scratch: &mut Scratch) -> Result<Vec<Row>, String> {
+    let n = job.usize("n")?;
+    let d = job.usize("d")?;
+    let t = job.u32("t")?;
+    let rho = job.f64("rho")?;
+    let kind = match job.str("kind")? {
+        "lower" => BoundKind::Lower,
+        "upper" => BoundKind::Upper,
+        other => return Err(format!("unknown bound kind '{other}'")),
+    };
+    let functional_budget = 2_000_000;
+
+    let sqd = Sqd::new(n, d, rho).map_err(|e| format!("model: {e}"))?;
+    let model = BoundModel::new(sqd, kind, t).map_err(|e| format!("bound model: {e}"))?;
+    let blocks = model.qbd_blocks().map_err(|e| format!("assembly: {e}"))?;
+    // The G equation has a solution regardless of positive recurrence;
+    // report iterations even for unstable UB cases.
+    let ws = scratch.square(blocks.level_len());
+    let lr =
+        logarithmic_reduction_in(&blocks, 1e-13, 64, ws).map_err(|e| format!("logred: {e}"))?;
+    let fi = functional_iteration(&blocks, 1e-12, functional_budget)
+        .map(|g| g.iterations.to_string())
+        .unwrap_or_else(|_| format!(">{functional_budget}"));
+
+    Ok(vec![vec![
+        n.to_string(),
+        t.to_string(),
+        d.to_string(),
+        f4(rho),
+        job.str("kind")?.to_string(),
+        lr.iterations.to_string(),
+        format!("{:.3e}", lr.residual),
+        fi,
+    ]])
+}
+
+/// `theorem3`: scalar-tail diagnostics for the lower-bound model.
+fn run_theorem3(job: &Job) -> Result<Vec<Row>, String> {
+    let n = job.usize("n")?;
+    let d = job.usize("d")?;
+    let t = job.u32("t")?;
+    let rho = job.f64("rho")?;
+
+    let sqd = Sqd::new(n, d, rho).map_err(|e| format!("model: {e}"))?;
+    let model =
+        BoundModel::new(sqd, BoundKind::Lower, t).map_err(|e| format!("bound model: {e}"))?;
+    let blocks = model.qbd_blocks().map_err(|e| format!("assembly: {e}"))?;
+    let sol = blocks
+        .solve(&SolveOptions::default())
+        .map_err(|e| format!("stationary solve: {e}"))?;
+
+    let rho_n = rho.powi(n as i32);
+    let sp_r = match sol.tail() {
+        Tail::Matrix(r) => {
+            power_iteration_sparse(&CsrMatrix::from_dense(r, 0.0), 1e-13, 100_000)
+                .map_err(|e| format!("power iteration: {e}"))?
+                .eigenvalue
+        }
+        Tail::Scalar(b) => *b,
+    };
+
+    let pi1 = sol.level_prob(1);
+    let pi2 = sol.level_prob(2);
+    let num = pi2
+        .iter()
+        .zip(&pi1)
+        .map(|(a, b)| (a - rho_n * b).abs())
+        .fold(0.0_f64, f64::max);
+    let den = pi2.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    let vec_res = if den > 0.0 { num / den } else { 0.0 };
+
+    let fast = sqd
+        .lower_bound(t)
+        .map_err(|e| format!("scalar solve: {e}"))?
+        .delay;
+    let full = sqd
+        .lower_bound_full_r(t)
+        .map_err(|e| format!("full solve: {e}"))?
+        .delay;
+    let rel = (fast - full).abs() / full;
+
+    Ok(vec![vec![
+        n.to_string(),
+        d.to_string(),
+        format!("{rho}"),
+        t.to_string(),
+        format!("{sp_r:.12}"),
+        format!("{rho_n:.12}"),
+        format!("{vec_res:.3e}"),
+        format!("{rel:.3e}"),
+    ]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn job(family: Family, params: &[(&str, Value)]) -> Job {
+        Job::new(
+            family,
+            0,
+            params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn family_names_roundtrip() {
+        for f in [
+            Family::Bounds,
+            Family::AsymptoticError,
+            Family::DelayTails,
+            Family::Burstiness,
+            Family::LogredIters,
+            Family::Theorem3,
+        ] {
+            assert_eq!(Family::from_name(f.as_str()).unwrap(), f);
+            assert!(!f.columns().is_empty());
+        }
+        assert!(Family::from_name("bogus").is_err());
+    }
+
+    #[test]
+    fn bounds_row_is_sandwiched() {
+        let j = job(
+            Family::Bounds,
+            &[
+                ("n", Value::Int(3)),
+                ("t", Value::Int(3)),
+                ("d", Value::Int(2)),
+                ("rho", Value::Float(0.7)),
+                ("jobs", Value::Int(40_000)),
+                ("replications", Value::Int(2)),
+                ("seed", Value::Int(1)),
+            ],
+        );
+        let rows = run_job(&j, &mut Scratch::new()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), Family::Bounds.columns().len());
+        let lower: f64 = rows[0][4].parse().unwrap();
+        let sim: f64 = rows[0][5].parse().unwrap();
+        let upper: f64 = rows[0][7].parse().unwrap();
+        assert!(lower <= sim + 0.1 && sim <= upper + 0.1, "{rows:?}");
+    }
+
+    #[test]
+    fn asymptotic_error_skips_infeasible_points() {
+        let j = job(
+            Family::AsymptoticError,
+            &[
+                ("n", Value::Int(3)),
+                ("d", Value::Int(5)),
+                ("rho", Value::Float(0.75)),
+            ],
+        );
+        assert_eq!(run_job(&j, &mut Scratch::new()).unwrap(), Vec::<Row>::new());
+    }
+
+    #[test]
+    fn logred_iters_uses_shared_scratch() {
+        let mut scratch = Scratch::new();
+        let j = job(
+            Family::LogredIters,
+            &[
+                ("n", Value::Int(3)),
+                ("t", Value::Int(2)),
+                ("d", Value::Int(2)),
+                ("rho", Value::Float(0.7)),
+                ("kind", Value::Str("lower".into())),
+            ],
+        );
+        let first = run_job(&j, &mut scratch).unwrap();
+        assert_eq!(scratch.shapes(), 1);
+        // Re-running on the warm pool is deterministic.
+        assert_eq!(run_job(&j, &mut scratch).unwrap(), first);
+        assert_eq!(scratch.shapes(), 1);
+        let iters: usize = first[0][5].parse().unwrap();
+        assert!(iters <= 8, "logred should converge within ~6: {first:?}");
+    }
+
+    #[test]
+    fn runner_errors_name_the_stage() {
+        let j = job(Family::Bounds, &[("n", Value::Int(3))]);
+        let err = run_job(&j, &mut Scratch::new()).unwrap_err();
+        assert!(err.contains("missing parameter"), "{err}");
+        let j = job(
+            Family::Burstiness,
+            &[
+                ("n", Value::Int(3)),
+                ("d", Value::Int(2)),
+                ("t", Value::Int(3)),
+                ("rho", Value::Float(0.5)),
+                ("arrival", Value::Str("weird".into())),
+            ],
+        );
+        assert!(run_job(&j, &mut Scratch::new())
+            .unwrap_err()
+            .contains("unknown arrival case"));
+    }
+}

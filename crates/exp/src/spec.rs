@@ -1,0 +1,542 @@
+//! Scenario specifications: a declarative description of one experiment
+//! family plus the axes to sweep, expanded into a flat, deterministic
+//! job list.
+//!
+//! A spec file has up to three sections:
+//!
+//! ```toml
+//! [scenario]            # fixed parameters
+//! name = "fig10"        # output/display name (required)
+//! family = "bounds"     # runner selection (required)
+//! d = 2
+//! jobs = 2000000        # total simulated jobs per grid point
+//!
+//! [axes]                # swept parameters: every key is a list
+//! n   = [3, 3, 6, 12]
+//! t   = [2, 3, 3, 3]
+//! rho = [0.5, 0.7, 0.9]
+//! zip = ["n", "t"]      # these axes advance together (panels), not as
+//!                       # a cross product
+//!
+//! [smoke]               # overrides applied under --smoke
+//! rho = [0.5, 0.9]      # a list replaces the same-named axis
+//! jobs = 60000          # a scalar replaces/adds a scenario parameter
+//! ```
+//!
+//! Expansion takes the cross product of the axes in file order (first
+//! axis outermost), with all `zip`ped axes advancing as one group. The
+//! resulting job order is part of the output contract: rows are emitted
+//! in job order regardless of how many executor threads ran them.
+
+use crate::cache::{fnv64, CACHE_SCHEMA};
+use crate::parser::parse_document;
+use crate::runner::Family;
+use crate::value::Value;
+
+/// Keys read by the simulation-driving runners and injected with
+/// defaults when a spec omits them.
+const SIM_KEYS: [(&str, i64); 3] = [("jobs", 1_000_000), ("replications", 4), ("seed", 1)];
+
+/// Hard ceiling on expanded grid size — a typo in an axis should fail
+/// loudly, not allocate a billion jobs.
+const MAX_JOBS: usize = 100_000;
+
+/// A parsed scenario file.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (used for default output paths).
+    pub name: String,
+    /// Experiment family selecting the runner and column set.
+    pub family: Family,
+    params: Vec<(String, Value)>,
+    axes: Vec<(String, Vec<Value>)>,
+    zip: Vec<String>,
+    smoke: Vec<(String, Value)>,
+}
+
+impl ScenarioSpec {
+    /// Parses a spec from source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on syntax errors, unknown sections
+    /// or families, missing `name`/`family`, or axis/parameter clashes.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let sections = parse_document(src)?;
+        for s in &sections {
+            if !matches!(s.name.as_str(), "scenario" | "axes" | "smoke") {
+                return Err(format!(
+                    "line {}: unknown section [{}] (expected scenario, axes or smoke)",
+                    s.line, s.name
+                ));
+            }
+        }
+        let scenario = sections
+            .iter()
+            .find(|s| s.name == "scenario")
+            .ok_or("missing [scenario] section")?;
+
+        let mut name = None;
+        let mut family = None;
+        let mut params = Vec::new();
+        for (k, v) in &scenario.entries {
+            match k.as_str() {
+                "name" => {
+                    name = Some(
+                        v.as_str()
+                            .ok_or("scenario.name must be a string")?
+                            .to_string(),
+                    );
+                }
+                "family" => {
+                    family = Some(Family::from_name(
+                        v.as_str().ok_or("scenario.family must be a string")?,
+                    )?);
+                }
+                _ => params.push((k.clone(), v.clone())),
+            }
+        }
+        let name = name.ok_or("scenario.name is required")?;
+        let family = family.ok_or("scenario.family is required")?;
+
+        let mut axes = Vec::new();
+        let mut zip = Vec::new();
+        if let Some(section) = sections.iter().find(|s| s.name == "axes") {
+            for (k, v) in &section.entries {
+                if k == "zip" {
+                    let items = v.as_list().ok_or("axes.zip must be a list of axis names")?;
+                    for it in items {
+                        zip.push(
+                            it.as_str()
+                                .ok_or("axes.zip entries must be strings")?
+                                .to_string(),
+                        );
+                    }
+                    continue;
+                }
+                let values = v
+                    .as_list()
+                    .ok_or_else(|| format!("axis '{k}' must be a list"))?;
+                if values.is_empty() {
+                    return Err(format!("axis '{k}' is empty"));
+                }
+                if params.iter().any(|(p, _)| p == k) {
+                    return Err(format!("'{k}' is both a scenario parameter and an axis"));
+                }
+                axes.push((k.clone(), values.to_vec()));
+            }
+        }
+        for z in &zip {
+            if !axes.iter().any(|(a, _)| a == z) {
+                return Err(format!("zip names unknown axis '{z}'"));
+            }
+        }
+
+        let smoke = sections
+            .iter()
+            .find(|s| s.name == "smoke")
+            .map(|s| s.entries.clone())
+            .unwrap_or_default();
+
+        Ok(ScenarioSpec {
+            name,
+            family,
+            params,
+            axes,
+            zip,
+            smoke,
+        })
+    }
+
+    /// Expands the spec into its flat job list.
+    ///
+    /// With `smoke = true` the `[smoke]` overrides are applied first —
+    /// the reduced grids CI runs on every push. For simulation-driving
+    /// families the `SIM_REPLICATIONS` environment variable overrides
+    /// the `replications` parameter (the same knob the old experiment
+    /// binaries honoured via `slb-bench`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on inconsistent `zip` lengths, smoke keys that
+    /// name no axis, or absurd grid sizes.
+    pub fn expand(&self, smoke: bool) -> Result<Vec<Job>, String> {
+        let mut params = self.params.clone();
+        let mut axes = self.axes.clone();
+
+        if smoke {
+            for (k, v) in &self.smoke {
+                if let Value::List(items) = v {
+                    if let Some(axis) = axes.iter_mut().find(|(a, _)| a == k) {
+                        axis.1 = items.clone();
+                    } else if let Some(p) = params.iter_mut().find(|(p, _)| p == k) {
+                        // A list-valued scenario parameter (e.g. the
+                        // delay-tails percentiles) shrinks like any
+                        // other parameter.
+                        p.1 = v.clone();
+                    } else {
+                        return Err(format!(
+                            "[smoke] list '{k}' names no axis or scenario parameter"
+                        ));
+                    }
+                } else if axes.iter().any(|(a, _)| a == k) {
+                    // A scalar override of an axis would silently shadow
+                    // every axis value while the axis still multiplies
+                    // the grid (duplicate rows): reject it.
+                    return Err(format!(
+                        "[smoke] '{k}' is a scalar but '{k}' is an axis; use a one-element list"
+                    ));
+                } else if let Some(p) = params.iter_mut().find(|(p, _)| p == k) {
+                    p.1 = v.clone();
+                } else {
+                    params.push((k.clone(), v.clone()));
+                }
+            }
+        }
+
+        if self.family.needs_sim() {
+            for (key, default) in SIM_KEYS {
+                if !params.iter().any(|(p, _)| p == key) {
+                    params.push((key.to_string(), Value::Int(default)));
+                }
+            }
+            if let Ok(raw) = std::env::var("SIM_REPLICATIONS") {
+                let reps: i64 = raw
+                    .parse()
+                    .ok()
+                    .filter(|&r| r >= 1)
+                    .ok_or_else(|| format!("bad SIM_REPLICATIONS value '{raw}'"))?;
+                let slot = params
+                    .iter_mut()
+                    .find(|(p, _)| p == "replications")
+                    .expect("injected above");
+                slot.1 = Value::Int(reps);
+            }
+        }
+
+        // Group the axes: zipped axes advance together; the group sits
+        // at the position of its first member.
+        struct Group {
+            axis_ids: Vec<usize>,
+            len: usize,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        let mut axis_group = vec![0usize; axes.len()];
+        let mut zip_group: Option<usize> = None;
+        for (i, (axis_name, values)) in axes.iter().enumerate() {
+            if self.zip.contains(axis_name) {
+                match zip_group {
+                    Some(g) => {
+                        if groups[g].len != values.len() {
+                            return Err(format!(
+                                "zipped axes must have equal lengths; '{axis_name}' has {} values, \
+                                 expected {}",
+                                values.len(),
+                                groups[g].len
+                            ));
+                        }
+                        groups[g].axis_ids.push(i);
+                        axis_group[i] = g;
+                    }
+                    None => {
+                        zip_group = Some(groups.len());
+                        axis_group[i] = groups.len();
+                        groups.push(Group {
+                            axis_ids: vec![i],
+                            len: values.len(),
+                        });
+                    }
+                }
+            } else {
+                axis_group[i] = groups.len();
+                groups.push(Group {
+                    axis_ids: vec![i],
+                    len: values.len(),
+                });
+            }
+        }
+
+        let total: usize = groups.iter().map(|g| g.len).product();
+        if total > MAX_JOBS {
+            return Err(format!("grid expands to {total} jobs (limit {MAX_JOBS})"));
+        }
+
+        let mut jobs = Vec::with_capacity(total);
+        for index in 0..total {
+            // Odometer decomposition, last group fastest: the first axis
+            // listed in the file is the outermost loop.
+            let mut rem = index;
+            let mut choice = vec![0usize; groups.len()];
+            for g in (0..groups.len()).rev() {
+                choice[g] = rem % groups[g].len;
+                rem /= groups[g].len;
+            }
+            let mut job_params = params.clone();
+            for (i, (axis_name, values)) in axes.iter().enumerate() {
+                job_params.push((axis_name.clone(), values[choice[axis_group[i]]].clone()));
+            }
+            jobs.push(Job {
+                family: self.family,
+                index,
+                params: job_params,
+            });
+        }
+        Ok(jobs)
+    }
+}
+
+/// One expanded grid point: a family plus fully resolved parameters.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The experiment family that will run this job.
+    pub family: Family,
+    /// Position in the expanded grid (defines output order).
+    pub index: usize,
+    params: Vec<(String, Value)>,
+}
+
+impl Job {
+    /// Builds a job directly (tests and ad-hoc drivers).
+    pub fn new(family: Family, index: usize, params: Vec<(String, Value)>) -> Self {
+        Job {
+            family,
+            index,
+            params,
+        }
+    }
+
+    /// Raw parameter lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.params
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    fn missing(&self, key: &str, want: &str) -> String {
+        match self.get(key) {
+            None => format!("{}: missing parameter '{key}' ({want})", self.family),
+            Some(v) => format!(
+                "{}: parameter '{key}' is a {}, expected {want}",
+                self.family,
+                v.type_name()
+            ),
+        }
+    }
+
+    /// Float parameter (integers promote).
+    pub fn f64(&self, key: &str) -> Result<f64, String> {
+        self.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| self.missing(key, "number"))
+    }
+
+    /// Non-negative integer parameter as `usize`.
+    pub fn usize(&self, key: &str) -> Result<usize, String> {
+        self.get(key)
+            .and_then(Value::as_i64)
+            .and_then(|i| usize::try_from(i).ok())
+            .ok_or_else(|| self.missing(key, "non-negative integer"))
+    }
+
+    /// Non-negative integer parameter as `u32`.
+    pub fn u32(&self, key: &str) -> Result<u32, String> {
+        self.get(key)
+            .and_then(Value::as_i64)
+            .and_then(|i| u32::try_from(i).ok())
+            .ok_or_else(|| self.missing(key, "non-negative integer"))
+    }
+
+    /// Like [`Job::u32`] but with a default for an absent key.
+    pub fn u32_or(&self, key: &str, default: u32) -> Result<u32, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(_) => self.u32(key),
+        }
+    }
+
+    /// Non-negative integer parameter as `u64`.
+    pub fn u64(&self, key: &str) -> Result<u64, String> {
+        self.get(key)
+            .and_then(Value::as_i64)
+            .and_then(|i| u64::try_from(i).ok())
+            .ok_or_else(|| self.missing(key, "non-negative integer"))
+    }
+
+    /// String parameter.
+    pub fn str(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| self.missing(key, "string"))
+    }
+
+    /// List-of-numbers parameter.
+    pub fn f64_list(&self, key: &str) -> Result<Vec<f64>, String> {
+        self.get(key)
+            .and_then(Value::as_list)
+            .and_then(|items| items.iter().map(Value::as_f64).collect())
+            .ok_or_else(|| self.missing(key, "list of numbers"))
+    }
+
+    /// The canonical cache key: schema version, family, and every
+    /// parameter in sorted order. Any parameter change — including the
+    /// smoke overrides, an edited axis value, or a different
+    /// `SIM_REPLICATIONS` — yields a different key.
+    pub fn canonical_key(&self) -> String {
+        let mut parts: Vec<String> = self
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.canon()))
+            .collect();
+        parts.sort();
+        format!("schema{CACHE_SCHEMA}|{}|{}", self.family, parts.join(";"))
+    }
+
+    /// Deterministic per-job simulation seed: the spec's base `seed`
+    /// mixed (the simulator's own splitmix64 finalizer) with a hash of
+    /// the structural parameters, so every grid point gets an
+    /// independent stream while the whole sweep stays reproducible from
+    /// the spec file alone.
+    pub fn derived_seed(&self) -> u64 {
+        let base = self
+            .get("seed")
+            .and_then(Value::as_i64)
+            .unwrap_or(1)
+            .unsigned_abs();
+        let mut parts: Vec<String> = self
+            .params
+            .iter()
+            .filter(|(k, _)| !matches!(k.as_str(), "seed" | "jobs" | "replications"))
+            .map(|(k, v)| format!("{k}={}", v.canon()))
+            .collect();
+        parts.sort();
+        slb_sim::splitmix64_mix(base ^ fnv64(&parts.join(";")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+[scenario]
+name = "demo"
+family = "logred-iters"
+d = 2
+
+[axes]
+n   = [3, 6]
+t   = [2, 3]
+rho = [0.5, 0.9]
+kind = ["lower", "upper"]
+zip = ["n", "t"]
+
+[smoke]
+rho = [0.5]
+d = 3
+"#;
+
+    #[test]
+    fn expansion_product_and_zip() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let jobs = spec.expand(false).unwrap();
+        // (n,t) zipped → 2 panels × 2 rho × 2 kinds = 8 jobs.
+        assert_eq!(jobs.len(), 8);
+        // First axis outermost: panel (3,2) first, kinds fastest.
+        assert_eq!(jobs[0].usize("n").unwrap(), 3);
+        assert_eq!(jobs[0].u32("t").unwrap(), 2);
+        assert_eq!(jobs[0].str("kind").unwrap(), "lower");
+        assert_eq!(jobs[1].str("kind").unwrap(), "upper");
+        assert_eq!(jobs[2].f64("rho").unwrap(), 0.9);
+        assert_eq!(jobs[4].usize("n").unwrap(), 6);
+        assert_eq!(jobs[4].u32("t").unwrap(), 3);
+        // Zip never mixes panels: no job sees (n=3, t=3).
+        assert!(!jobs
+            .iter()
+            .any(|j| j.usize("n").unwrap() == 3 && j.u32("t").unwrap() == 3));
+    }
+
+    #[test]
+    fn smoke_overrides_axes_and_params() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let jobs = spec.expand(true).unwrap();
+        assert_eq!(jobs.len(), 4); // rho axis shrank to 1 value
+        assert!(jobs.iter().all(|j| j.f64("rho").unwrap() == 0.5));
+        assert!(jobs.iter().all(|j| j.usize("d").unwrap() == 3));
+    }
+
+    #[test]
+    fn canonical_keys_differ_and_are_stable() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let jobs = spec.expand(false).unwrap();
+        let keys: Vec<String> = jobs.iter().map(Job::canonical_key).collect();
+        let mut uniq = keys.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), keys.len(), "keys must be unique per point");
+        // Stable across re-expansion.
+        assert_eq!(spec.expand(false).unwrap()[3].canonical_key(), keys[3]);
+        // Smoke overrides change the keys (different d).
+        assert_ne!(spec.expand(true).unwrap()[0].canonical_key(), keys[0]);
+    }
+
+    #[test]
+    fn derived_seeds_vary_per_point_not_per_budget() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let jobs = spec.expand(false).unwrap();
+        assert_ne!(jobs[0].derived_seed(), jobs[1].derived_seed());
+        // The seed ignores jobs/replications so a budget change replays
+        // the same streams.
+        let mut params = jobs[0].params.clone();
+        params.push(("jobs".into(), Value::Int(123)));
+        let j = Job::new(jobs[0].family, 0, params);
+        assert_eq!(j.derived_seed(), jobs[0].derived_seed());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(ScenarioSpec::parse("[scenario]\nfamily = \"bounds\"\n")
+            .unwrap_err()
+            .contains("name"));
+        assert!(
+            ScenarioSpec::parse("[scenario]\nname = \"x\"\nfamily = \"nope\"\n")
+                .unwrap_err()
+                .contains("unknown family")
+        );
+        assert!(ScenarioSpec::parse(
+            "[scenario]\nname = \"x\"\nfamily = \"bounds\"\n[axes]\nrho = 3\n"
+        )
+        .unwrap_err()
+        .contains("must be a list"));
+        assert!(ScenarioSpec::parse(
+            "[scenario]\nname = \"x\"\nfamily = \"bounds\"\n[axes]\nzip = [\"rho\"]\n"
+        )
+        .unwrap_err()
+        .contains("unknown axis"));
+        let bad_zip = ScenarioSpec::parse(
+            "[scenario]\nname = \"x\"\nfamily = \"bounds\"\n[axes]\nn = [1, 2]\nt = [1]\nzip = [\"n\", \"t\"]\n",
+        )
+        .unwrap();
+        assert!(bad_zip.expand(false).unwrap_err().contains("equal lengths"));
+    }
+
+    #[test]
+    fn smoke_scalar_cannot_shadow_an_axis() {
+        let spec = ScenarioSpec::parse(
+            "[scenario]\nname = \"x\"\nfamily = \"bounds\"\n[axes]\nrho = [0.5, 0.9]\n\
+             [smoke]\nrho = 0.5\n",
+        )
+        .unwrap();
+        let err = spec.expand(true).unwrap_err();
+        assert!(err.contains("one-element list"), "{err}");
+    }
+
+    #[test]
+    fn smoke_list_must_name_an_axis() {
+        let spec = ScenarioSpec::parse(
+            "[scenario]\nname = \"x\"\nfamily = \"bounds\"\n[smoke]\nrho = [0.5]\n",
+        )
+        .unwrap();
+        assert!(spec.expand(true).unwrap_err().contains("names no axis"));
+        assert!(spec.expand(false).is_ok());
+    }
+}

@@ -1,0 +1,137 @@
+//! Typed values of the scenario-spec format.
+
+use std::fmt;
+
+/// A scalar or list value parsed from a scenario file.
+///
+/// The spec format distinguishes integers from floats (so `n = 3` can
+/// become a `usize` without a lossy round-trip) and keeps lists ordered
+/// exactly as written — sweep-axis order is part of the experiment's
+/// deterministic output contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer literal (`42`).
+    Int(i64),
+    /// Float literal (`0.95`, `1e-3`).
+    Float(f64),
+    /// Double-quoted string (`"lower"`).
+    Str(String),
+    /// Boolean literal (`true` / `false`).
+    Bool(bool),
+    /// Array (`[1, 2, 3]`), possibly empty or nested.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Human-readable type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "boolean",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// A canonical, type-tagged encoding that is stable across runs and
+    /// platforms — the building block of sweep-cache content hashes.
+    ///
+    /// Two values canonicalize identically iff they compare equal, so a
+    /// spec edit that changes any parameter changes every affected
+    /// cache key.
+    pub fn canon(&self) -> String {
+        match self {
+            Value::Int(i) => format!("i{i}"),
+            Value::Float(x) => format!("f{x}"),
+            Value::Str(s) => format!("s\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            Value::Bool(b) => format!("b{b}"),
+            Value::List(items) => {
+                let inner: Vec<String> = items.iter().map(Value::canon).collect();
+                format!("[{}]", inner.join(","))
+            }
+        }
+    }
+
+    /// Numeric view: integers promote to floats, everything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Integer view (floats do **not** demote).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// List view.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canon_distinguishes_types() {
+        assert_ne!(Value::Int(3).canon(), Value::Float(3.0).canon());
+        assert_ne!(Value::Int(3).canon(), Value::Str("3".into()).canon());
+        assert_eq!(Value::Float(0.05).canon(), "f0.05");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Bool(true)]).canon(),
+            "[i1,btrue]"
+        );
+    }
+
+    #[test]
+    fn canon_escapes_strings() {
+        assert_eq!(Value::Str("a\"b".into()).canon(), "s\"a\\\"b\"");
+    }
+
+    #[test]
+    fn numeric_promotion() {
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::Float(2.5).as_i64(), None);
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! End-to-end guarantees over the *committed* scenario files: every
+//! spec under `experiments/` parses and expands, sweep output is
+//! independent of the worker-thread count, and a cache hit replays
+//! byte-identical rows.
+
+use std::path::PathBuf;
+
+use slb_exp::{output, run_sweep, ScenarioSpec, SweepOptions, Value};
+
+/// The committed scenario files (kept in sync with `experiments/`).
+const SPECS: [&str; 6] = [
+    "burstiness",
+    "delay_tails",
+    "fig9",
+    "fig10",
+    "logred_iters",
+    "theorem3",
+];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn load(name: &str) -> ScenarioSpec {
+    let path = workspace_root()
+        .join("experiments")
+        .join(format!("{name}.toml"));
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    ScenarioSpec::parse(&src).unwrap_or_else(|e| panic!("{name}.toml: {e}"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("slb-exp-determinism-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn committed_specs_parse_and_expand() {
+    for name in SPECS {
+        let spec = load(name);
+        assert_eq!(spec.name, name, "spec name should match its file name");
+        let full = spec.expand(false).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let smoke = spec.expand(true).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!full.is_empty(), "{name}: empty full grid");
+        assert!(!smoke.is_empty(), "{name}: empty smoke grid");
+        assert!(
+            smoke.len() <= full.len(),
+            "{name}: smoke grid ({}) larger than full grid ({})",
+            smoke.len(),
+            full.len()
+        );
+    }
+}
+
+#[test]
+fn thread_count_invariance_on_committed_spec() {
+    // logred-iters: solver-only, fast enough for a debug-profile test.
+    let spec = load("logred_iters");
+    let base = SweepOptions {
+        threads: 1,
+        smoke: true,
+        cache: false,
+        ..SweepOptions::default()
+    };
+    let serial = run_sweep(&spec, &base).unwrap();
+    let parallel = run_sweep(
+        &spec,
+        &SweepOptions {
+            threads: 8,
+            ..base.clone()
+        },
+    )
+    .unwrap();
+    assert_eq!(serial.rows, parallel.rows);
+    assert_eq!(
+        output::to_csv(&serial.columns, &serial.rows),
+        output::to_csv(&parallel.columns, &parallel.rows)
+    );
+}
+
+#[test]
+fn simulation_family_is_thread_invariant_and_cache_replays() {
+    // A miniature bounds sweep (the fig10 family) exercising the
+    // simulator: thread-count invariance and byte-identical cache
+    // replay together, against a disposable cache directory.
+    let spec = ScenarioSpec::parse(
+        "[scenario]\n\
+         name = \"mini-bounds\"\n\
+         family = \"bounds\"\n\
+         d = 2\n\
+         jobs = 20000\n\
+         replications = 2\n\
+         [axes]\n\
+         n = [3, 3]\n\
+         t = [2, 3]\n\
+         rho = [0.4, 0.7]\n\
+         zip = [\"n\", \"t\"]\n",
+    )
+    .unwrap();
+    let dir = temp_dir("sim");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_serial = run_sweep(
+        &spec,
+        &SweepOptions {
+            threads: 1,
+            cache: false,
+            check: true,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(cold_serial.rows.len(), 4);
+    assert_eq!(
+        cold_serial.checked_rows, 4,
+        "all bounds rows carry the sandwich"
+    );
+
+    let cached_opts = SweepOptions {
+        threads: 8,
+        cache: true,
+        cache_dir: Some(dir.clone()),
+        check: true,
+        ..SweepOptions::default()
+    };
+    let cold_parallel = run_sweep(&spec, &cached_opts).unwrap();
+    assert_eq!(cold_parallel.cache_hits, 0);
+    assert_eq!(
+        cold_parallel.rows, cold_serial.rows,
+        "threads must not change rows"
+    );
+
+    let warm = run_sweep(&spec, &cached_opts).unwrap();
+    assert_eq!(
+        warm.cache_hits, warm.jobs,
+        "second run must be all cache hits"
+    );
+    assert_eq!(
+        output::to_csv(&warm.columns, &warm.rows),
+        output::to_csv(&cold_serial.columns, &cold_serial.rows),
+        "cache replay must be byte-identical to the cold run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn editing_one_axis_only_invalidates_changed_points() {
+    let spec = load("theorem3");
+    let dir = temp_dir("invalidate");
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = SweepOptions {
+        threads: 2,
+        smoke: true,
+        cache: true,
+        cache_dir: Some(dir.clone()),
+        ..SweepOptions::default()
+    };
+    let cold = run_sweep(&spec, &opts).unwrap();
+    assert_eq!(cold.cache_hits, 0);
+
+    // Re-expanding the same spec hits every point; the same grid with
+    // one extra zipped configuration recomputes only the new point.
+    let smoke_jobs = spec.expand(true).unwrap();
+    let mut grown =
+        String::from("[scenario]\nname = \"theorem3\"\nfamily = \"theorem3\"\n[axes]\n");
+    let axis = |key: &str| {
+        let vals: Vec<String> = smoke_jobs
+            .iter()
+            .map(|j| match j.get(key).unwrap() {
+                Value::Int(i) => i.to_string(),
+                Value::Float(x) => format!("{x}"),
+                other => panic!("unexpected axis value {other:?}"),
+            })
+            .collect();
+        vals.join(", ")
+    };
+    grown.push_str(&format!("n   = [{}, 6]\n", axis("n")));
+    grown.push_str(&format!("d   = [{}, 2]\n", axis("d")));
+    grown.push_str(&format!("rho = [{}, 0.8]\n", axis("rho")));
+    grown.push_str(&format!("t   = [{}, 3]\n", axis("t")));
+    grown.push_str("zip = [\"n\", \"d\", \"rho\", \"t\"]\n");
+    let grown_spec = ScenarioSpec::parse(&grown).unwrap();
+
+    let grown_run = run_sweep(
+        &grown_spec,
+        &SweepOptions {
+            smoke: false,
+            ..opts.clone()
+        },
+    )
+    .unwrap();
+    assert_eq!(grown_run.jobs, cold.jobs + 1);
+    assert_eq!(
+        grown_run.cache_hits, cold.jobs,
+        "every unchanged grid point must replay from cache"
+    );
+    assert_eq!(grown_run.rows[..cold.rows.len()], cold.rows[..]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

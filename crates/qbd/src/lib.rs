@@ -68,7 +68,10 @@ mod stationary;
 pub use blocks::QbdBlocks;
 pub use cr::{cyclic_reduction, decay_rate, u_based_iteration};
 pub use error::QbdError;
-pub use logred::{functional_iteration, logarithmic_reduction, rate_matrix, GComputation};
+pub use logred::{
+    functional_iteration, logarithmic_reduction, logarithmic_reduction_in, rate_matrix,
+    GComputation,
+};
 pub use stationary::{QbdStationary, SolveOptions, Tail};
 
 /// Convenience result alias for fallible QBD operations.

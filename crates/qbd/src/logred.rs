@@ -100,20 +100,66 @@ pub fn logarithmic_reduction(
     tol: f64,
     max_iter: usize,
 ) -> Result<GComputation> {
+    let mut ws = Workspace::square(blocks.level_len());
+    logarithmic_reduction_in(blocks, tol, max_iter, &mut ws)
+}
+
+/// [`logarithmic_reduction`] drawing its scratch matrices from a
+/// caller-owned [`Workspace`] instead of a fresh pool.
+///
+/// Long-lived drivers that solve many same-shape QBDs — the sweep
+/// executor's worker threads in particular — keep one pool per block
+/// shape and amortize all scratch allocation across jobs; after the
+/// first call on a given shape the setup phase allocates nothing but
+/// the returned `G`.
+///
+/// # Errors
+///
+/// As [`logarithmic_reduction`], plus [`QbdError::InvalidBlocks`] when
+/// the workspace shape does not match the blocks' level length.
+pub fn logarithmic_reduction_in(
+    blocks: &QbdBlocks,
+    tol: f64,
+    max_iter: usize,
+    ws: &mut Workspace,
+) -> Result<GComputation> {
     let m = blocks.level_len();
-    let mut ws = Workspace::square(m);
+    if ws.shape() != (m, m) {
+        return Err(QbdError::InvalidBlocks {
+            reason: format!(
+                "workspace shape {:?} does not match QBD level length {m}",
+                ws.shape()
+            ),
+        });
+    }
     let ok = "logred: all QBD blocks share one square shape";
 
     // Setup (the only allocating phase): factor −A1 and form
-    // H = (−A1)⁻¹ A0 (up), L = (−A1)⁻¹ A2 (down).
+    // H = (−A1)⁻¹ A0 (up), L = (−A1)⁻¹ A2 (down). Every fallible step
+    // returns its scratch to the pool before bailing so a failure (a
+    // singular factor from degenerate blocks) leaves a caller-owned
+    // pool warm, not leaking its matrices.
     let mut scratch = ws.take();
     scratch.copy_from(blocks.a1());
     scratch.scale_in_place(-1.0);
-    let mut lu = Lu::new(&scratch)?;
+    let mut lu = match Lu::new(&scratch) {
+        Ok(lu) => lu,
+        Err(e) => {
+            ws.put(scratch);
+            return Err(e.into());
+        }
+    };
     let mut h = ws.take();
-    lu.solve_mat_into(blocks.a0(), &mut h)?;
     let mut l = ws.take();
-    lu.solve_mat_into(blocks.a2(), &mut l)?;
+    if let Err(e) = lu
+        .solve_mat_into(blocks.a0(), &mut h)
+        .and_then(|()| lu.solve_mat_into(blocks.a2(), &mut l))
+    {
+        ws.put(scratch);
+        ws.put(h);
+        ws.put(l);
+        return Err(e.into());
+    }
 
     let mut g = ws.take();
     g.copy_from(&l);
@@ -132,7 +178,16 @@ pub fn logarithmic_reduction(
         u += &scratch;
         u.scale_in_place(-1.0);
         u.add_assign_scaled_identity(1.0).expect(ok); // u = I − U
-        lu.refactor(&u)?;
+        if let Err(e) = lu.refactor(&u) {
+            ws.put(scratch);
+            ws.put(u);
+            ws.put(sq);
+            ws.put(h);
+            ws.put(l);
+            ws.put(g);
+            ws.put(t);
+            return Err(e.into());
+        }
         h.mul_into(&h, &mut sq).expect(ok);
         lu.solve_mat_into(&sq, &mut h).expect(ok);
         l.mul_into(&l, &mut sq).expect(ok);
@@ -147,12 +202,16 @@ pub fn logarithmic_reduction(
 
         if delta < tol {
             // Retire the loop scratch into the pool; g_residual recycles
-            // it instead of allocating.
+            // it instead of allocating, and a reused pool starts the
+            // next same-shape solve fully warm.
             ws.put(scratch);
             ws.put(u);
             ws.put(sq);
+            ws.put(h);
+            ws.put(l);
+            ws.put(t);
             return Ok(GComputation {
-                residual: g_residual(blocks, &g, &mut ws),
+                residual: g_residual(blocks, &g, ws),
                 g,
                 iterations: it,
             });
@@ -161,10 +220,13 @@ pub fn logarithmic_reduction(
     ws.put(scratch);
     ws.put(u);
     ws.put(sq);
+    ws.put(h);
+    ws.put(l);
+    ws.put(t);
     Err(QbdError::NoConvergence {
         method: "logarithmic_reduction",
         iterations: max_iter,
-        residual: g_residual(blocks, &g, &mut ws),
+        residual: g_residual(blocks, &g, ws),
     })
 }
 

@@ -263,6 +263,16 @@ impl SimConfig {
     }
 }
 
+/// The splitmix64 finalizer: the avalanche rounds applied after
+/// additive seeding. The one place the magic constants live — shared by
+/// the per-replication streams here and `slb-exp`'s per-grid-point seed
+/// derivation.
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Seed of replication `rep`: the base seed itself for replication 0 and
 /// a splitmix64 mix of `(base, rep)` for the rest — deterministic,
 /// collision-resistant streams without any shared RNG state.
@@ -270,10 +280,7 @@ fn replication_seed(base: u64, rep: u64) -> u64 {
     if rep == 0 {
         return base;
     }
-    let mut z = base.wrapping_add(rep.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    splitmix64_mix(base.wrapping_add(rep.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
 /// Statistics from a completed run.

@@ -56,7 +56,7 @@ mod map_arrivals;
 mod policy;
 mod stats;
 
-pub use config::{SimConfig, SimResult};
+pub use config::{splitmix64_mix, SimConfig, SimResult};
 pub use distributions::{ArrivalProcess, ServiceDistribution};
 pub use engine::Simulation;
 pub use error::SimError;

@@ -13,10 +13,10 @@
 //!
 //! * `CRITERION_SAMPLE_SIZE` — overrides every benchmark's sample count
 //!   (CI smoke jobs set it to `1` so `cargo bench` stays cheap).
-//! * `CRITERION_JSON` — a path (use an absolute one: cargo runs bench
-//!   binaries with their cwd at the *package* root, so a relative path
-//!   lands next to the bench crate's manifest, not the workspace root);
-//!   when set, [`criterion_main!`] appends one
+//! * `CRITERION_JSON` — a path; a relative one is resolved against the
+//!   *workspace* root (the nearest ancestor directory holding a
+//!   `Cargo.lock`), because cargo runs bench binaries with their cwd at
+//!   the *package* root. When set, [`criterion_main!`] appends one
 //!   machine-readable record per benchmark (median/mean/min/max ns per
 //!   iteration) to that JSON file after the groups finish. Records carry
 //!   the phase label from `CRITERION_PHASE` (default `"current"`), so a
@@ -85,6 +85,7 @@ pub fn write_json_report() {
     let Ok(path) = std::env::var("CRITERION_JSON") else {
         return;
     };
+    let path = resolve_against_workspace_root(&path);
     let phase = std::env::var("CRITERION_PHASE").unwrap_or_else(|_| "current".into());
     let records = JSON_RECORDS.lock().expect("json record lock").clone();
     if records.is_empty() {
@@ -118,6 +119,31 @@ pub fn write_json_report() {
     };
     if let Err(e) = std::fs::write(&path, content) {
         eprintln!("criterion shim: cannot write {path}: {e}");
+    }
+}
+
+/// Resolves a relative `CRITERION_JSON` path against the *workspace*
+/// root — the first ancestor of the current directory holding a
+/// `Cargo.lock`. Cargo runs bench binaries with their cwd at the
+/// *package* root, so without this a relative path would land next to
+/// the bench crate's manifest; absolute paths pass through untouched,
+/// and so does everything when no lock file is found (an installed
+/// binary far from any checkout).
+fn resolve_against_workspace_root(path: &str) -> String {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return path.to_string();
+    }
+    let Ok(mut dir) = std::env::current_dir() else {
+        return path.to_string();
+    };
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join(p).to_string_lossy().into_owned();
+        }
+        if !dir.pop() {
+            return path.to_string();
+        }
     }
 }
 
