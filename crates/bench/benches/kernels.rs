@@ -86,40 +86,64 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Server counts for the simulator scaling benches: N = 16 is the
+/// paper-sized regime, 256 and 4096 stress the dispatch path (an O(N)
+/// scan per arrival dominates long before 4096 servers).
+const SIM_SIZES: [usize; 3] = [16, 256, 4096];
+
 fn bench_sim_throughput(c: &mut Criterion) {
     const JOBS: u64 = 100_000;
     let mut group = c.benchmark_group("kernels");
     group.throughput(Throughput::Elements(JOBS));
     group.sample_size(10);
-    group.bench_function(BenchmarkId::new("sim_serial", "N16_rho0.9_100k"), |b| {
-        b.iter(|| {
-            SimConfig::new(16, 0.9)
-                .unwrap()
-                .policy(Policy::SqD { d: 2 })
-                .jobs(JOBS)
-                .warmup(JOBS / 10)
-                .seed(1)
-                .run()
-                .unwrap()
-        })
-    });
-    // Same total job budget split across 4 replications driven through
-    // run_parallel — measures the merged-replication path end to end
-    // (equal to serial wall-clock on one core, ~4x faster on four).
-    group.bench_function(BenchmarkId::new("sim_parallel4", "N16_rho0.9_100k"), |b| {
-        let reps = slb_bench::SIM_REPLICATIONS;
-        let threads = slb_bench::sim_threads();
-        b.iter(|| {
-            SimConfig::new(16, 0.9)
-                .unwrap()
-                .policy(Policy::SqD { d: 2 })
-                .jobs(slb_bench::rep_jobs(JOBS))
-                .warmup(slb_bench::rep_jobs(JOBS) / 10)
-                .seed(1)
-                .run_parallel(reps, threads)
-                .unwrap()
-        })
-    });
+    let serial = |n: usize, policy: Policy| {
+        SimConfig::new(n, 0.9)
+            .unwrap()
+            .policy(policy)
+            .jobs(JOBS)
+            .warmup(JOBS / 10)
+            .seed(1)
+            .run()
+            .unwrap()
+    };
+    for &n in &SIM_SIZES {
+        group.bench_function(
+            BenchmarkId::new("sim_serial", format!("N{n}_rho0.9_100k")),
+            |b| b.iter(|| serial(n, Policy::SqD { d: 2 })),
+        );
+        group.bench_function(
+            BenchmarkId::new("sim_jsq", format!("N{n}_rho0.9_100k")),
+            |b| b.iter(|| serial(n, Policy::Jsq)),
+        );
+    }
+    // Parallel replications: the *same total work* (4 replications of
+    // 25k jobs) on 1 worker thread vs 4. The t1 variant is the serial
+    // reference, so the parallel speedup is the t1/t4 median ratio — a
+    // directly gateable number, unlike the old sim_parallel4 bench
+    // whose median coincided with sim_serial by construction.
+    let par = |n: usize, policy: Policy, threads: usize| {
+        SimConfig::new(n, 0.9)
+            .unwrap()
+            .policy(policy)
+            .jobs(JOBS / 4)
+            .warmup(JOBS / 40)
+            .seed(1)
+            .run_parallel(4, threads)
+            .unwrap()
+    };
+    for &n in &SIM_SIZES {
+        for (policy_name, policy) in [("sq2", Policy::SqD { d: 2 }), ("jsq", Policy::Jsq)] {
+            for threads in [1usize, 4] {
+                group.bench_function(
+                    BenchmarkId::new(
+                        format!("sim_par_{policy_name}_t{threads}"),
+                        format!("N{n}_rho0.9_4x25k"),
+                    ),
+                    |b| b.iter(|| par(n, policy, threads)),
+                );
+            }
+        }
+    }
     group.finish();
 }
 

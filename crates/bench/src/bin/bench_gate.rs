@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run -p slb-bench --bin bench_gate -- \
-//!     --baseline BENCH_pr3.json --current bench-smoke.json [--threshold 3.0]
+//!     --baseline BENCH_pr5.json --current bench-smoke.json [--threshold 3.0]
 //! ```
 //!
 //! The threshold is deliberately loose (default 3×): the CI record is a
@@ -53,7 +53,7 @@ fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let baseline_path = arg_value(&args, "--baseline").unwrap_or_else(|| "BENCH_pr3.json".into());
+    let baseline_path = arg_value(&args, "--baseline").unwrap_or_else(|| "BENCH_pr5.json".into());
     let current_path = arg_value(&args, "--current").unwrap_or_else(|| "bench-smoke.json".into());
     let threshold: f64 = arg_parse(&args, "--threshold", 3.0);
     let floor_ns: f64 = arg_parse(&args, "--floor-ns", 1000.0);

@@ -15,7 +15,12 @@ use crate::json::{escape, Json};
 
 /// Bump when a runner's output semantics change: invalidates every
 /// cached row at once.
-pub const CACHE_SCHEMA: u32 = 1;
+///
+/// v2: the flat-event-core simulator rewrite (new RNG draw order and
+/// ziggurat exponential sampling) changed every simulated cell, so
+/// rows cached by the heap-based engine must not replay as if they
+/// were produced by the current one.
+pub const CACHE_SCHEMA: u32 = 2;
 
 /// 64-bit FNV-1a — the workspace-standard small stable hash.
 pub fn fnv64(s: &str) -> u64 {

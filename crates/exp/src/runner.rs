@@ -33,6 +33,7 @@ pub type Row = Vec<String>;
 /// | `burstiness` | `burstiness` | bounds under MAP arrivals |
 /// | `logred-iters` | `logred_iters` | §IV-A iteration-count claim |
 /// | `theorem3` | `theorem3` | scalar-tail ablation diagnostics |
+/// | `scaling` | — (new) | large-`N` simulator scaling, mean-field sandwich |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Lower/upper/simulated/asymptotic mean delay (Figure 10).
@@ -47,6 +48,14 @@ pub enum Family {
     LogredIters,
     /// Theorem-3 scalar-tail diagnostics.
     Theorem3,
+    /// Simulator scaling to thousands of servers: the mean delay under
+    /// SQ(d) or JSQ, sandwiched between the mean-field (Eq. 16) delay —
+    /// asymptotically exact from below as `N → ∞` — and the SQ(1)
+    /// random-routing M/M/1 delay `1/(1 − ρ)`, which any
+    /// feedback policy with `d ≥ 1` improves on at every `N`. Both
+    /// reference values are O(1) to evaluate at any `N`, unlike the QBD
+    /// bounds whose block size `C(N+T−1, T)` explodes combinatorially.
+    Scaling,
 }
 
 impl Family {
@@ -63,9 +72,10 @@ impl Family {
             "burstiness" => Ok(Family::Burstiness),
             "logred-iters" => Ok(Family::LogredIters),
             "theorem3" => Ok(Family::Theorem3),
+            "scaling" => Ok(Family::Scaling),
             other => Err(format!(
                 "unknown family '{other}' (expected bounds, asymptotic-error, delay-tails, \
-                 burstiness, logred-iters or theorem3)"
+                 burstiness, logred-iters, theorem3 or scaling)"
             )),
         }
     }
@@ -79,6 +89,7 @@ impl Family {
             Family::Burstiness => "burstiness",
             Family::LogredIters => "logred-iters",
             Family::Theorem3 => "theorem3",
+            Family::Scaling => "scaling",
         }
     }
 
@@ -138,6 +149,17 @@ impl Family {
                 "rho_n",
                 "vec_residual",
                 "delay_rel_diff",
+            ],
+            Family::Scaling => &[
+                "policy",
+                "n",
+                "d",
+                "rho",
+                "lower",
+                "sim",
+                "sim_ci",
+                "upper",
+                "max_queue",
             ],
         }
     }
@@ -207,6 +229,7 @@ pub fn run_job(job: &Job, scratch: &mut Scratch) -> Result<Vec<Row>, String> {
         Family::Burstiness => run_burstiness(job),
         Family::LogredIters => run_logred_iters(job, scratch),
         Family::Theorem3 => run_theorem3(job),
+        Family::Scaling => run_scaling(job),
     }
 }
 
@@ -225,14 +248,14 @@ fn run_sim(
     job: &Job,
     n: usize,
     rho: f64,
-    d: usize,
+    policy: Policy,
     map: Option<&Map>,
 ) -> Result<SimResult, String> {
     let total = job.u64("jobs")?;
     let reps = job.usize("replications")?.max(1);
     let per_rep = rep_jobs(total, reps);
     let mut cfg = SimConfig::new(n, rho).map_err(|e| format!("sim config: {e}"))?;
-    cfg.policy(Policy::SqD { d })
+    cfg.policy(policy)
         .jobs(per_rep)
         .warmup(per_rep / 10)
         .seed(job.derived_seed());
@@ -261,7 +284,7 @@ fn run_bounds(job: &Job) -> Result<Vec<Row>, String> {
         Err(CoreError::UpperBoundUnstable { .. }) => "inf".to_string(),
         Err(e) => return Err(format!("upper bound: {e}")),
     };
-    let sim = run_sim(job, n, rho, d, None)?;
+    let sim = run_sim(job, n, rho, Policy::SqD { d }, None)?;
 
     Ok(vec![vec![
         n.to_string(),
@@ -285,7 +308,7 @@ fn run_asymptotic_error(job: &Job) -> Result<Vec<Row>, String> {
         return Ok(Vec::new()); // cannot poll more servers than exist
     }
     let approx = asymptotic::mean_delay(rho, d);
-    let sim = run_sim(job, n, rho, d, None)?;
+    let sim = run_sim(job, n, rho, Policy::SqD { d }, None)?;
     let rel = 100.0 * (sim.mean_delay - approx).abs() / sim.mean_delay;
     Ok(vec![vec![
         f4(rho),
@@ -317,7 +340,7 @@ fn run_delay_tails(job: &Job) -> Result<Vec<Row>, String> {
         .map_err(|e| format!("brute force: {e}"))?
         .delay_distribution()
         .map_err(|e| format!("exact distribution: {e}"))?;
-    let sim = run_sim(job, n, rho, d, None)?;
+    let sim = run_sim(job, n, rho, Policy::SqD { d }, None)?;
 
     let q = |dist: &slb_core::DelayDistribution, p: f64| {
         dist.quantile(p).map_err(|e| format!("quantile({p}): {e}"))
@@ -379,7 +402,7 @@ fn run_burstiness(job: &Job) -> Result<Vec<Row>, String> {
     let ub_cell = model
         .upper_bound(t)
         .map_or("unstable".to_string(), |u| f4(u.delay));
-    let sim = run_sim(job, n, rho, d, Some(&map))?;
+    let sim = run_sim(job, n, rho, Policy::SqD { d }, Some(&map))?;
 
     Ok(vec![vec![
         n.to_string(),
@@ -491,6 +514,47 @@ fn run_theorem3(job: &Job) -> Result<Vec<Row>, String> {
     ]])
 }
 
+/// `scaling`: large-`N` simulator throughput validation. The simulated
+/// mean delay is sandwiched between two O(1) references valid at any
+/// `N`: the mean-field delay (Eq. 16 for SQ(d); the bare unit service
+/// time for JSQ, whose delay tends to 1 as `N → ∞`) from below, and the
+/// SQ(1) random-routing M/M/1 delay `1/(1 − ρ)` from above.
+fn run_scaling(job: &Job) -> Result<Vec<Row>, String> {
+    let n = job.usize("n")?;
+    let d = job.usize("d")?;
+    let rho = job.f64("rho")?;
+    let policy_name = job.str("policy")?;
+    let policy = match policy_name {
+        // Cannot poll more servers than exist: skip the point, as the
+        // asymptotic-error family does, instead of silently clamping d
+        // while the row still prints the unclamped value.
+        "sqd" if d > n => return Ok(Vec::new()),
+        "sqd" => Policy::SqD { d },
+        "jsq" => Policy::Jsq,
+        other => Err(format!("unknown policy '{other}' (expected sqd or jsq)"))?,
+    };
+    let lower = match policy {
+        // Mean-field mean delay: exact as N → ∞, approached from below.
+        Policy::SqD { d } => asymptotic::mean_delay(rho, d),
+        // JSQ delay tends to the bare service time at fixed ρ < 1.
+        _ => 1.0,
+    };
+    let upper = 1.0 / (1.0 - rho);
+    let sim = run_sim(job, n, rho, policy, None)?;
+
+    Ok(vec![vec![
+        policy_name.to_string(),
+        n.to_string(),
+        d.to_string(),
+        f4(rho),
+        f4(lower),
+        f4(sim.mean_delay),
+        f4(sim.ci_halfwidth),
+        f4(upper),
+        sim.max_queue_len.to_string(),
+    ]])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,11 +580,70 @@ mod tests {
             Family::Burstiness,
             Family::LogredIters,
             Family::Theorem3,
+            Family::Scaling,
         ] {
             assert_eq!(Family::from_name(f.as_str()).unwrap(), f);
             assert!(!f.columns().is_empty());
         }
         assert!(Family::from_name("bogus").is_err());
+    }
+
+    #[test]
+    fn scaling_row_is_sandwiched_for_both_policies() {
+        for policy in ["sqd", "jsq"] {
+            let j = job(
+                Family::Scaling,
+                &[
+                    ("n", Value::Int(64)),
+                    ("d", Value::Int(2)),
+                    ("rho", Value::Float(0.85)),
+                    ("policy", Value::Str(policy.into())),
+                    ("jobs", Value::Int(60_000)),
+                    ("replications", Value::Int(2)),
+                    ("seed", Value::Int(5)),
+                ],
+            );
+            let rows = run_job(&j, &mut Scratch::new()).unwrap();
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0].len(), Family::Scaling.columns().len());
+            let lower: f64 = rows[0][4].parse().unwrap();
+            let sim: f64 = rows[0][5].parse().unwrap();
+            let upper: f64 = rows[0][7].parse().unwrap();
+            assert!(
+                lower <= sim + 0.1 && sim <= upper + 0.1,
+                "{policy}: {rows:?}"
+            );
+        }
+        // Unknown policies are reported, not panicked on.
+        let j = job(
+            Family::Scaling,
+            &[
+                ("n", Value::Int(8)),
+                ("d", Value::Int(2)),
+                ("rho", Value::Float(0.5)),
+                ("policy", Value::Str("lru".into())),
+                ("jobs", Value::Int(1_000)),
+                ("replications", Value::Int(1)),
+                ("seed", Value::Int(1)),
+            ],
+        );
+        assert!(run_job(&j, &mut Scratch::new())
+            .unwrap_err()
+            .contains("unknown policy"));
+        // d > n under sqd is infeasible: skipped, like asymptotic-error.
+        let j = job(
+            Family::Scaling,
+            &[
+                ("n", Value::Int(4)),
+                ("d", Value::Int(8)),
+                ("rho", Value::Float(0.5)),
+                ("policy", Value::Str("sqd".into())),
+                ("jobs", Value::Int(1_000)),
+                ("replications", Value::Int(1)),
+                ("seed", Value::Int(1)),
+            ],
+        );
+        assert_eq!(run_job(&j, &mut Scratch::new()).unwrap(), Vec::<Row>::new());
     }
 
     #[test]

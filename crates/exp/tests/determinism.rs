@@ -8,12 +8,13 @@ use std::path::PathBuf;
 use slb_exp::{output, run_sweep, ScenarioSpec, SweepOptions, Value};
 
 /// The committed scenario files (kept in sync with `experiments/`).
-const SPECS: [&str; 6] = [
+const SPECS: [&str; 7] = [
     "burstiness",
     "delay_tails",
     "fig9",
     "fig10",
     "logred_iters",
+    "scaling",
     "theorem3",
 ];
 

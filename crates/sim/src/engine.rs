@@ -1,56 +1,102 @@
 //! The discrete-event simulation engine.
 //!
-//! Classic event-list design: a binary heap of timestamped events
-//! (arrivals and departures), per-server FIFO job queues storing arrival
-//! timestamps, and streaming statistics. Because service is FIFO within a
-//! server, only the head-of-line job of each server needs a scheduled
-//! departure event; queued jobs are scheduled when they reach the head.
-
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+//! The hot path is a *flat next-event core* instead of the classic
+//! binary-heap event list. Because service is FIFO within a server, only
+//! the head-of-line job of each server ever has a scheduled departure, so
+//! at any instant exactly `N + 1` candidate events exist: one pending
+//! arrival plus one next-departure per server (`+∞` when idle). The
+//! engine keeps the departures in a dense array reduced by an indexed
+//! tournament tree — O(log N) when a server's departure changes, O(1) to
+//! find the earliest, zero allocation and no heap churn.
+//!
+//! Tie rule (also pinned by a unit test below): at equal timestamps a
+//! **departure precedes the arrival** — the rule the seed engine's
+//! reversed heap `Ord` encoded. Among simultaneous departures the
+//! lowest server index fires first; that half is *stricter* than the
+//! seed engine, whose `Ord` returned `Equal` for two departures and
+//! left their pop order to heap internals. These are zero-probability
+//! events under continuous laws; the rule only keeps replay
+//! deterministic.
+//!
+//! Per-server FIFO queues live in one contiguous ring arena
+//! ([`crate::queue::Queues`]), queue lengths are maintained
+//! incrementally, and the event loop is monomorphized per dispatch
+//! policy ([`crate::policy::DispatchCore`]), with per-length server
+//! buckets maintained only for the policies that read them (JSQ/JIQ).
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::config::{SimConfig, SimResult};
 use crate::map_arrivals::MapSampler;
-use crate::policy::Dispatcher;
+use crate::policy::{DispatchCore, PolicyCore};
+use crate::queue::{Buckets, Queues};
 use crate::stats::{BatchMeans, DelayHistogram, Welford};
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum EventKind {
+/// The earliest pending event of the flat core (diagnostics and the
+/// tie-order test; the monomorphized loop branches directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NextEvent {
     Arrival,
     Departure { server: usize },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Event {
-    time: f64,
-    kind: EventKind,
+/// Indexed tournament tree over the per-server next-departure times:
+/// a perfect binary tree whose internal nodes hold the index of the
+/// earlier child, left-biased on ties so equal departure times resolve
+/// to the lowest server index.
+#[derive(Debug, Clone)]
+struct DepartureTree {
+    /// `node[1]` = overall winner; leaves occupy `[base, base + n)`.
+    /// Padding leaves point at `u32::MAX` (time `+∞` by convention).
+    node: Vec<u32>,
+    /// Leaf offset (power of two, `≥ n`).
+    base: usize,
 }
 
-impl Eq for Event {}
+const NO_SERVER: u32 = u32::MAX;
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on time via reversed comparison; ties broken so
-        // departures precede arrivals (matters only for zero-probability
-        // simultaneous events, but keeps the order deterministic).
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
-            .then_with(|| match (self.kind, other.kind) {
-                (EventKind::Departure { .. }, EventKind::Arrival) => Ordering::Greater,
-                (EventKind::Arrival, EventKind::Departure { .. }) => Ordering::Less,
-                _ => Ordering::Equal,
-            })
+impl DepartureTree {
+    fn new(n: usize) -> Self {
+        let base = n.next_power_of_two();
+        let mut node = vec![NO_SERVER; 2 * base];
+        for s in 0..n {
+            node[base + s] = s as u32;
+        }
+        // All departures start at +∞; left bias makes server 0 the
+        // initial winner everywhere.
+        for i in (1..base).rev() {
+            node[i] = node[2 * i];
+        }
+        DepartureTree { node, base }
     }
-}
 
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    /// The server with the earliest departure (ties → lowest index).
+    #[inline]
+    fn min_server(&self) -> usize {
+        self.node[1] as usize
+    }
+
+    /// Re-runs the matches on the path above server `s` after its
+    /// departure time changed.
+    #[inline]
+    fn update(&mut self, dep: &[f64], s: usize) {
+        let time = |idx: u32| -> f64 {
+            if idx == NO_SERVER {
+                f64::INFINITY
+            } else {
+                dep[idx as usize]
+            }
+        };
+        let mut i = (self.base + s) >> 1;
+        while i >= 1 {
+            let l = self.node[2 * i];
+            let r = self.node[2 * i + 1];
+            // Strict `<` keeps the left child on ties: lower server
+            // indices and real servers (over padding) win.
+            self.node[i] = if time(r) < time(l) { r } else { l };
+            i >>= 1;
+        }
     }
 }
 
@@ -59,15 +105,31 @@ impl PartialOrd for Event {
 /// examples.
 #[derive(Debug)]
 pub struct Simulation {
+    core: Core,
+    policy: PolicyCore,
+}
+
+/// Everything of the simulation except the dispatch policy, so the
+/// event loop can be monomorphized over the policy type while the
+/// public [`Simulation`] stays a single concrete type.
+#[derive(Debug)]
+struct Core {
     config: SimConfig,
     rng: SmallRng,
-    dispatcher: Dispatcher,
     /// Stateful MAP sampler when the configuration carries one.
     map_sampler: Option<MapSampler>,
-    events: BinaryHeap<Event>,
-    /// Arrival timestamps of the jobs in each server's FIFO queue
-    /// (head = in service).
-    queues: Vec<VecDeque<f64>>,
+    /// Total arrival rate `λN` (ignored when a MAP drives arrivals).
+    arrival_rate: f64,
+    /// Time of the one pending arrival.
+    next_arrival: f64,
+    /// Next departure per server; `+∞` when the server is idle.
+    departure: Vec<f64>,
+    tree: DepartureTree,
+    /// Arrival timestamps of queued jobs (head = in service).
+    queues: Queues,
+    /// Per-length server buckets; maintained only when the policy's
+    /// `NEEDS_BUCKETS` is set.
+    buckets: Buckets,
     clock: f64,
     arrivals_seen: u64,
     completed: u64,
@@ -79,8 +141,13 @@ pub struct Simulation {
     /// `len_counts[l]` = number of servers currently holding exactly `l`
     /// jobs, maintained incrementally.
     len_counts: Vec<u32>,
-    /// `area_hist[l]` = time-integral of `len_counts[l]`.
+    /// `area_hist[l]` = time-integral of `len_counts[l]`, folded lazily:
+    /// a level's integral is brought up to date only when its count is
+    /// about to change (and once at the end of the run), so the
+    /// per-event cost is O(1) instead of O(max occupancy).
     area_hist: Vec<f64>,
+    /// Per-level time up to which `area_hist` has been folded.
+    hist_stamp: Vec<f64>,
     /// Time-averaged total queue length accumulator.
     area_jobs: f64,
     last_event_time: f64,
@@ -93,56 +160,77 @@ impl Simulation {
         let n = config.n;
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let mut map_sampler = config.map.as_ref().map(|m| MapSampler::new(m, &mut rng));
-        let mut events = BinaryHeap::with_capacity(n + 2);
-        let rate = config.lambda * n as f64;
+        let arrival_rate = config.lambda * n as f64;
         let first = match map_sampler.as_mut() {
             Some(s) => s.next_interarrival(&mut rng),
-            None => config.arrival.sample(&mut rng, rate),
+            None => config.arrival.sample(&mut rng, arrival_rate),
         };
-        events.push(Event {
-            time: first,
-            kind: EventKind::Arrival,
-        });
         let batch = (config.jobs.saturating_sub(config.warmup) / 64).max(1);
         let mut len_counts = vec![0u32; 8];
         len_counts[0] = n as u32;
+        let policy = PolicyCore::new(config.policy, n);
+        let needs_buckets = policy.needs_buckets();
         Simulation {
-            dispatcher: Dispatcher::new(config.policy, n),
-            map_sampler,
-            rng,
-            events,
-            queues: vec![VecDeque::new(); n],
-            clock: 0.0,
-            arrivals_seen: 0,
-            completed: 0,
-            delay_stats: BatchMeans::new(batch),
-            delay_hist: DelayHistogram::new(0.02),
-            wait_stats: Welford::new(),
-            total_jobs: 0,
-            len_counts,
-            area_hist: vec![0.0; 8],
-            area_jobs: 0.0,
-            last_event_time: 0.0,
-            max_queue: 0,
-            config,
+            core: Core {
+                rng,
+                map_sampler,
+                arrival_rate,
+                next_arrival: first,
+                departure: vec![f64::INFINITY; n],
+                tree: DepartureTree::new(n),
+                queues: Queues::new(n),
+                buckets: if needs_buckets {
+                    Buckets::new(n)
+                } else {
+                    Buckets::default()
+                },
+                clock: 0.0,
+                arrivals_seen: 0,
+                completed: 0,
+                delay_stats: BatchMeans::new(batch),
+                delay_hist: DelayHistogram::new(0.02),
+                wait_stats: Welford::new(),
+                total_jobs: 0,
+                len_counts,
+                area_hist: vec![0.0; 8],
+                hist_stamp: vec![0.0; 8],
+                area_jobs: 0.0,
+                last_event_time: 0.0,
+                max_queue: 0,
+                config,
+            },
+            policy,
         }
     }
 
     /// Total jobs currently in the system.
     pub fn jobs_in_system(&self) -> usize {
-        self.total_jobs
+        self.core.total_jobs
     }
 
-    /// Moves one server from occupancy `from` to `from ± 1` in the
-    /// incremental histogram.
-    fn reclassify(&mut self, from: usize, to: usize) {
-        let need = from.max(to) + 1;
-        if self.len_counts.len() < need {
-            self.len_counts.resize(need, 0);
-            self.area_hist.resize(need, 0.0);
+    /// Completed jobs so far.
+    pub fn jobs_completed(&self) -> u64 {
+        self.core.completed
+    }
+
+    /// Arrivals observed so far.
+    pub fn arrivals_seen(&self) -> u64 {
+        self.core.arrivals_seen
+    }
+
+    /// Advances the simulation by one event (tests and step-wise
+    /// inspection; [`SimConfig::run`] drives the monomorphized loop
+    /// instead).
+    pub fn step(&mut self) {
+        match &mut self.policy {
+            PolicyCore::Random(p) => self.core.step(p),
+            PolicyCore::RoundRobin(p) => self.core.step(p),
+            PolicyCore::Jsq(p) => self.core.step(p),
+            PolicyCore::Jiq(p) => self.core.step(p),
+            PolicyCore::SqD(p) => self.core.step(p),
+            PolicyCore::SqDReplace(p) => self.core.step(p),
+            PolicyCore::SqDMemory(p) => self.core.step(p),
         }
-        self.len_counts[from] -= 1;
-        self.len_counts[to] += 1;
     }
 
     /// Runs to completion and returns the collected statistics.
@@ -153,9 +241,150 @@ impl Simulation {
     /// Runs to completion, returning the raw accumulators — the
     /// replication-level output that [`RunStats::merge`] folds across
     /// independent runs before a single [`RunStats::finalize`].
-    pub(crate) fn run_collect(mut self) -> RunStats {
+    pub(crate) fn run_collect(self) -> RunStats {
+        let Simulation {
+            mut core,
+            mut policy,
+        } = self;
+        match &mut policy {
+            PolicyCore::Random(p) => core.run(p),
+            PolicyCore::RoundRobin(p) => core.run(p),
+            PolicyCore::Jsq(p) => core.run(p),
+            PolicyCore::Jiq(p) => core.run(p),
+            PolicyCore::SqD(p) => core.run(p),
+            PolicyCore::SqDReplace(p) => core.run(p),
+            PolicyCore::SqDMemory(p) => core.run(p),
+        }
+        core.into_stats()
+    }
+}
+
+impl Core {
+    /// The earliest pending event under the deterministic tie rule:
+    /// departures fire before a simultaneous arrival.
+    #[inline]
+    fn next_event(&self) -> NextEvent {
+        let s = self.tree.min_server();
+        if self.departure[s] <= self.next_arrival {
+            NextEvent::Departure { server: s }
+        } else {
+            NextEvent::Arrival
+        }
+    }
+
+    /// The monomorphized event loop: drives the simulation to its
+    /// configured completion count with all policy dispatch inlined.
+    fn run<P: DispatchCore>(&mut self, policy: &mut P) {
         while self.completed < self.config.jobs {
-            self.step();
+            self.step(policy);
+        }
+    }
+
+    #[inline]
+    fn step<P: DispatchCore>(&mut self, policy: &mut P) {
+        let (event, time) = match self.next_event() {
+            NextEvent::Departure { server } => {
+                (NextEvent::Departure { server }, self.departure[server])
+            }
+            NextEvent::Arrival => (NextEvent::Arrival, self.next_arrival),
+        };
+        // Accumulate the time-averaged job count; the occupancy
+        // histogram folds lazily inside `reclassify`.
+        let dt = time - self.last_event_time;
+        self.area_jobs += self.total_jobs as f64 * dt;
+        self.last_event_time = time;
+        self.clock = time;
+
+        match event {
+            NextEvent::Arrival => {
+                self.arrivals_seen += 1;
+                // Dispatch on the incrementally maintained lengths (and
+                // buckets, for the policies that read them).
+                let server = policy.pick(&mut self.rng, self.queues.lens(), &self.buckets);
+                let old_len = self.queues.len(server);
+                self.queues.push_back(server, self.clock);
+                if P::NEEDS_BUCKETS {
+                    self.buckets.on_push(server, old_len);
+                }
+                let qlen = old_len as usize + 1;
+                self.reclassify(qlen - 1, qlen);
+                self.total_jobs += 1;
+                self.max_queue = self.max_queue.max(qlen as u32);
+                if old_len == 0 {
+                    self.schedule_departure(server);
+                }
+                // Next arrival.
+                let gap = match self.map_sampler.as_mut() {
+                    Some(s) => s.next_interarrival(&mut self.rng),
+                    None => self.config.arrival.sample(&mut self.rng, self.arrival_rate),
+                };
+                self.next_arrival = self.clock + gap;
+            }
+            NextEvent::Departure { server } => {
+                let arrived_at = self.queues.pop_front(server);
+                let old_len = self.queues.len(server) + 1;
+                if P::NEEDS_BUCKETS {
+                    self.buckets.on_pop(server, old_len);
+                }
+                let qlen = old_len as usize - 1;
+                self.reclassify(qlen + 1, qlen);
+                self.total_jobs -= 1;
+                self.completed += 1;
+                if self.completed > self.config.warmup {
+                    let sojourn = self.clock - arrived_at;
+                    self.delay_stats.push(sojourn);
+                    self.delay_hist.push(sojourn);
+                }
+                if qlen > 0 {
+                    // Waiting time of the job now entering service.
+                    let head_arrival = self.queues.front(server);
+                    if self.completed > self.config.warmup {
+                        self.wait_stats.push(self.clock - head_arrival);
+                    }
+                    self.schedule_departure(server);
+                } else {
+                    self.departure[server] = f64::INFINITY;
+                    self.tree.update(&self.departure, server);
+                }
+            }
+        }
+    }
+
+    /// Moves one server from occupancy `from` to `from ± 1` in the
+    /// incremental histogram, folding the two touched levels' time
+    /// integrals up to the current clock first.
+    #[inline]
+    fn reclassify(&mut self, from: usize, to: usize) {
+        let need = from.max(to) + 1;
+        if self.len_counts.len() < need {
+            self.len_counts.resize(need, 0);
+            self.area_hist.resize(need, 0.0);
+            self.hist_stamp.resize(need, 0.0);
+        }
+        for l in [from, to] {
+            self.area_hist[l] += f64::from(self.len_counts[l]) * (self.clock - self.hist_stamp[l]);
+            self.hist_stamp[l] = self.clock;
+        }
+        self.len_counts[from] -= 1;
+        self.len_counts[to] += 1;
+    }
+
+    #[inline]
+    fn schedule_departure(&mut self, server: usize) {
+        let mut service = self.config.service.sample(&mut self.rng);
+        if let Some(speeds) = &self.config.speeds {
+            service /= speeds[server];
+        }
+        self.departure[server] = self.clock + service;
+        self.tree.update(&self.departure, server);
+    }
+
+    fn into_stats(mut self) -> RunStats {
+        // Final fold: bring every level's lazy integral up to the end of
+        // the simulated horizon.
+        for l in 0..self.area_hist.len() {
+            self.area_hist[l] += f64::from(self.len_counts[l]) * (self.clock - self.hist_stamp[l]);
+            self.hist_stamp[l] = self.clock;
         }
         RunStats {
             n: self.config.n,
@@ -167,83 +396,6 @@ impl Simulation {
             clock: self.clock,
             max_queue: self.max_queue,
         }
-    }
-
-    fn step(&mut self) {
-        let ev = self.events.pop().expect("event list never empties");
-        // Accumulate the time-averaged job count and occupancy histogram.
-        let dt = ev.time - self.last_event_time;
-        self.area_jobs += self.total_jobs as f64 * dt;
-        if dt > 0.0 {
-            for (a, &c) in self.area_hist.iter_mut().zip(&self.len_counts) {
-                if c > 0 {
-                    *a += f64::from(c) * dt;
-                }
-            }
-        }
-        self.last_event_time = ev.time;
-        self.clock = ev.time;
-
-        match ev.kind {
-            EventKind::Arrival => {
-                self.arrivals_seen += 1;
-                // Dispatch.
-                let lens: Vec<u32> = self.queues.iter().map(|q| q.len() as u32).collect();
-                let server = self.dispatcher.dispatch(&mut self.rng, &lens);
-                let was_idle = self.queues[server].is_empty();
-                self.queues[server].push_back(self.clock);
-                let qlen = self.queues[server].len();
-                self.reclassify(qlen - 1, qlen);
-                self.total_jobs += 1;
-                self.max_queue = self.max_queue.max(qlen as u32);
-                if was_idle {
-                    self.schedule_departure(server);
-                }
-                // Next arrival.
-                let rate = self.config.lambda * self.config.n as f64;
-                let gap = match self.map_sampler.as_mut() {
-                    Some(s) => s.next_interarrival(&mut self.rng),
-                    None => self.config.arrival.sample(&mut self.rng, rate),
-                };
-                self.events.push(Event {
-                    time: self.clock + gap,
-                    kind: EventKind::Arrival,
-                });
-            }
-            EventKind::Departure { server } => {
-                let arrived_at = self.queues[server]
-                    .pop_front()
-                    .expect("departure from nonempty queue");
-                let qlen = self.queues[server].len();
-                self.reclassify(qlen + 1, qlen);
-                self.total_jobs -= 1;
-                self.completed += 1;
-                if self.completed > self.config.warmup {
-                    let sojourn = self.clock - arrived_at;
-                    self.delay_stats.push(sojourn);
-                    self.delay_hist.push(sojourn);
-                }
-                if !self.queues[server].is_empty() {
-                    // Waiting time of the job now entering service.
-                    let head_arrival = self.queues[server][0];
-                    if self.completed > self.config.warmup {
-                        self.wait_stats.push(self.clock - head_arrival);
-                    }
-                    self.schedule_departure(server);
-                }
-            }
-        }
-    }
-
-    fn schedule_departure(&mut self, server: usize) {
-        let mut service = self.config.service.sample(&mut self.rng);
-        if let Some(speeds) = &self.config.speeds {
-            service /= speeds[server];
-        }
-        self.events.push(Event {
-            time: self.clock + service,
-            kind: EventKind::Departure { server },
-        });
     }
 }
 
@@ -337,27 +489,56 @@ mod tests {
     use super::*;
     use crate::Policy;
 
+    /// The tie rule of the flat event core, pinned: at equal timestamps
+    /// a departure precedes the arrival — inherited from the seed
+    /// engine, whose reversed heap `Ord` returned `Greater` for a
+    /// departure against an equal-time arrival so the departure popped
+    /// first. Among equal departure times the lowest server index fires
+    /// first — new here: the seed `Ord` compared two departures as
+    /// `Equal` and left their order to heap internals.
     #[test]
-    fn event_ordering_is_time_then_kind() {
-        let a = Event {
-            time: 1.0,
-            kind: EventKind::Arrival,
-        };
-        let d = Event {
-            time: 1.0,
-            kind: EventKind::Departure { server: 0 },
-        };
-        let later = Event {
-            time: 2.0,
-            kind: EventKind::Arrival,
-        };
-        let mut heap = BinaryHeap::new();
-        heap.push(later);
-        heap.push(a);
-        heap.push(d);
-        assert_eq!(heap.pop().unwrap(), d); // departure first at equal time
-        assert_eq!(heap.pop().unwrap(), a);
-        assert_eq!(heap.pop().unwrap(), later);
+    fn tie_order_departure_before_arrival_lowest_server_first() {
+        let cfg = SimConfig::new(3, 0.5).unwrap();
+        let mut sim = Simulation::new(cfg);
+        // Force a three-way tie by hand: two departures and the arrival
+        // all at t = 1.0.
+        sim.core.next_arrival = 1.0;
+        sim.core.departure[1] = 1.0;
+        sim.core.tree.update(&sim.core.departure, 1);
+        sim.core.departure[2] = 1.0;
+        sim.core.tree.update(&sim.core.departure, 2);
+        assert_eq!(sim.core.next_event(), NextEvent::Departure { server: 1 });
+        // The lower-indexed simultaneous departure wins; once it clears,
+        // the next one fires, and only then the arrival.
+        sim.core.departure[1] = f64::INFINITY;
+        sim.core.tree.update(&sim.core.departure, 1);
+        assert_eq!(sim.core.next_event(), NextEvent::Departure { server: 2 });
+        sim.core.departure[2] = f64::INFINITY;
+        sim.core.tree.update(&sim.core.departure, 2);
+        assert_eq!(sim.core.next_event(), NextEvent::Arrival);
+    }
+
+    #[test]
+    fn tournament_tree_tracks_minimum() {
+        let n = 11; // deliberately not a power of two
+        let mut dep = vec![f64::INFINITY; n];
+        let mut tree = DepartureTree::new(n);
+        assert_eq!(tree.min_server(), 0, "all-idle tie resolves to server 0");
+        dep[7] = 3.0;
+        tree.update(&dep, 7);
+        assert_eq!(tree.min_server(), 7);
+        dep[2] = 1.5;
+        tree.update(&dep, 2);
+        assert_eq!(tree.min_server(), 2);
+        dep[10] = 1.5; // equal time: lower index keeps winning
+        tree.update(&dep, 10);
+        assert_eq!(tree.min_server(), 2);
+        dep[2] = f64::INFINITY;
+        tree.update(&dep, 2);
+        assert_eq!(tree.min_server(), 10);
+        dep[10] = f64::INFINITY;
+        tree.update(&dep, 10);
+        assert_eq!(tree.min_server(), 7);
     }
 
     #[test]
@@ -370,11 +551,11 @@ mod tests {
             .seed(11)
             .clone();
         let mut sim = Simulation::new(cfg);
-        while sim.completed < 20_000 {
+        while sim.jobs_completed() < 20_000 {
             sim.step();
         }
         assert_eq!(
-            sim.arrivals_seen as usize,
+            sim.arrivals_seen() as usize,
             20_000 + sim.jobs_in_system(),
             "arrivals must equal departures plus in-flight jobs"
         );
@@ -395,5 +576,25 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn stepwise_equals_monomorphized_run() {
+        // The per-event `step` dispatch and the monomorphized `run`
+        // loop must trace identical trajectories.
+        let cfg = SimConfig::new(4, 0.85)
+            .unwrap()
+            .policy(Policy::Jsq)
+            .jobs(15_000)
+            .warmup(1_500)
+            .seed(33)
+            .clone();
+        let via_run = cfg.run().unwrap();
+        let mut sim = Simulation::new(cfg);
+        while sim.jobs_completed() < 15_000 {
+            sim.step();
+        }
+        let via_step = sim.run_collect().finalize();
+        assert_eq!(via_step, via_run);
     }
 }

@@ -54,6 +54,7 @@ mod engine;
 mod error;
 mod map_arrivals;
 mod policy;
+mod queue;
 mod stats;
 
 pub use config::{splitmix64_mix, SimConfig, SimResult};

@@ -83,8 +83,7 @@ impl MapSampler {
         loop {
             let rate = self.outflow[self.phase];
             debug_assert!(rate > 0.0, "absorbing MAP phase");
-            let u: f64 = rng.gen();
-            elapsed += -(1.0 - u).ln() / rate;
+            elapsed += crate::distributions::sample_exp(rng, rate);
             let v: f64 = rng.gen();
             let table = &self.events[self.phase];
             let idx = table

@@ -1,6 +1,19 @@
 //! Dispatch policies: how the central dispatcher picks a server.
+//!
+//! [`Policy`] is the user-facing configuration enum; at run start the
+//! engine lowers it into one of the per-policy state structs below and
+//! monomorphizes its event loop over that struct (via [`DispatchCore`]),
+//! so the hot path carries no per-event `match` on the policy.
+//!
+//! Policies read queue lengths from the engine's incrementally
+//! maintained length array; the feedback-heavy policies (JSQ, JIQ)
+//! additionally read the per-length server buckets
+//! ([`crate::queue::Buckets`]), which turns their dispatch decision
+//! from an O(N) scan into an O(1) lookup.
 
 use rand::Rng;
+
+use crate::queue::Buckets;
 
 /// A dispatch policy for the central dispatcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,163 +73,271 @@ impl Policy {
     }
 }
 
-/// Runtime dispatcher state (round-robin needs a cursor; SQ(d) needs a
-/// scratch permutation buffer to sample without replacement in O(d)).
+/// The monomorphization hook of the event loop: one dispatch decision,
+/// given the current queue lengths and (when [`Self::NEEDS_BUCKETS`])
+/// the per-length server buckets.
+pub(crate) trait DispatchCore {
+    /// Whether the engine must maintain [`Buckets`] for this policy.
+    /// `false` makes the bucket bookkeeping compile out of the
+    /// monomorphized loop entirely.
+    const NEEDS_BUCKETS: bool;
+
+    /// Picks the server for the next arrival.
+    fn pick<R: Rng>(&mut self, rng: &mut R, lens: &[u32], buckets: &Buckets) -> usize;
+}
+
+/// Uniform random dispatch (SQ(1)).
 #[derive(Debug, Clone)]
-pub(crate) struct Dispatcher {
-    policy: Policy,
-    rr_next: usize,
+pub(crate) struct RandomCore;
+
+impl DispatchCore for RandomCore {
+    const NEEDS_BUCKETS: bool = false;
+
+    #[inline]
+    fn pick<R: Rng>(&mut self, rng: &mut R, lens: &[u32], _: &Buckets) -> usize {
+        rng.gen_range(0..lens.len())
+    }
+}
+
+/// Cyclic dispatch.
+#[derive(Debug, Clone)]
+pub(crate) struct RoundRobinCore {
+    next: usize,
+}
+
+impl DispatchCore for RoundRobinCore {
+    const NEEDS_BUCKETS: bool = false;
+
+    #[inline]
+    fn pick<R: Rng>(&mut self, _: &mut R, lens: &[u32], _: &Buckets) -> usize {
+        let s = self.next;
+        self.next = (self.next + 1) % lens.len();
+        s
+    }
+}
+
+/// Picks uniformly from a non-empty candidate slice, spending a random
+/// draw only when there is an actual choice to make.
+#[inline]
+fn uniform_pick<R: Rng>(rng: &mut R, candidates: &[u32]) -> usize {
+    debug_assert!(!candidates.is_empty());
+    if candidates.len() == 1 {
+        candidates[0] as usize
+    } else {
+        candidates[rng.gen_range(0..candidates.len())] as usize
+    }
+}
+
+/// JSQ via the minimum-length bucket: O(1) per dispatch, uniform among
+/// the global minima exactly as the seed engine's reservoir scan, but
+/// without touching all `N` queue lengths.
+#[derive(Debug, Clone)]
+pub(crate) struct JsqCore;
+
+impl DispatchCore for JsqCore {
+    const NEEDS_BUCKETS: bool = true;
+
+    #[inline]
+    fn pick<R: Rng>(&mut self, rng: &mut R, _: &[u32], buckets: &Buckets) -> usize {
+        uniform_pick(rng, buckets.shortest())
+    }
+}
+
+/// JIQ via the idle bucket: O(1) per dispatch.
+#[derive(Debug, Clone)]
+pub(crate) struct JiqCore;
+
+impl DispatchCore for JiqCore {
+    const NEEDS_BUCKETS: bool = true;
+
+    #[inline]
+    fn pick<R: Rng>(&mut self, rng: &mut R, lens: &[u32], buckets: &Buckets) -> usize {
+        let idle = buckets.idle();
+        if idle.is_empty() {
+            rng.gen_range(0..lens.len())
+        } else {
+            uniform_pick(rng, idle)
+        }
+    }
+}
+
+/// SQ(d) without replacement: partial Fisher–Yates over a persistent
+/// permutation buffer, O(d) per dispatch.
+#[derive(Debug, Clone)]
+pub(crate) struct SqdCore {
+    d: usize,
     scratch: Vec<usize>,
-    /// SQ(d)-with-memory: the retained server from the previous poll.
+}
+
+impl SqdCore {
+    /// The first `d` entries of `scratch` become a uniform `d`-subset
+    /// without replacement.
+    #[inline]
+    fn shuffle_prefix<R: Rng>(&mut self, rng: &mut R) {
+        let n = self.scratch.len();
+        for i in 0..self.d {
+            let j = rng.gen_range(i..n);
+            self.scratch.swap(i, j);
+        }
+    }
+}
+
+/// Scans `candidates` for the minimum queue length, breaking ties
+/// uniformly at random by reservoir sampling.
+#[inline]
+fn min_of_candidates<R: Rng>(rng: &mut R, lens: &[u32], candidates: &[usize]) -> (usize, u32) {
+    let mut best = candidates[0];
+    let mut best_q = lens[best];
+    let mut ties = 1u32;
+    for &s in &candidates[1..] {
+        let q = lens[s];
+        if q < best_q {
+            best_q = q;
+            best = s;
+            ties = 1;
+        } else if q == best_q {
+            ties += 1;
+            if rng.gen_range(0..ties) == 0 {
+                best = s;
+            }
+        }
+    }
+    (best, best_q)
+}
+
+impl DispatchCore for SqdCore {
+    const NEEDS_BUCKETS: bool = false;
+
+    #[inline]
+    fn pick<R: Rng>(&mut self, rng: &mut R, lens: &[u32], _: &Buckets) -> usize {
+        self.shuffle_prefix(rng);
+        min_of_candidates(rng, lens, &self.scratch[..self.d]).0
+    }
+}
+
+/// SQ(d) with replacement: `d` independent polls.
+#[derive(Debug, Clone)]
+pub(crate) struct SqdReplaceCore {
+    d: usize,
+}
+
+impl DispatchCore for SqdReplaceCore {
+    const NEEDS_BUCKETS: bool = false;
+
+    #[inline]
+    fn pick<R: Rng>(&mut self, rng: &mut R, lens: &[u32], _: &Buckets) -> usize {
+        let n = lens.len();
+        let mut best = rng.gen_range(0..n);
+        let mut best_q = lens[best];
+        let mut ties = 1u32;
+        for _ in 1..self.d {
+            let s = rng.gen_range(0..n);
+            let q = lens[s];
+            if q < best_q {
+                best_q = q;
+                best = s;
+                ties = 1;
+            } else if q == best_q && s != best {
+                ties += 1;
+                if rng.gen_range(0..ties) == 0 {
+                    best = s;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// SQ(d) with one unit of memory.
+#[derive(Debug, Clone)]
+pub(crate) struct SqdMemoryCore {
+    sqd: SqdCore,
+    /// The retained server from the previous poll.
     memory: Option<usize>,
-    /// Reusable candidate buffer for SQ(d)-with-memory dispatches.
+    /// Reusable candidate buffer (fresh polls plus the memory).
     cand_buf: Vec<usize>,
 }
 
-impl Dispatcher {
+impl DispatchCore for SqdMemoryCore {
+    const NEEDS_BUCKETS: bool = false;
+
+    #[inline]
+    fn pick<R: Rng>(&mut self, rng: &mut R, lens: &[u32], _: &Buckets) -> usize {
+        // Fresh d-subset without replacement, plus the remembered server
+        // (if distinct) as an extra candidate.
+        self.sqd.shuffle_prefix(rng);
+        self.cand_buf.clear();
+        self.cand_buf
+            .extend_from_slice(&self.sqd.scratch[..self.sqd.d]);
+        if let Some(m) = self.memory {
+            if !self.cand_buf.contains(&m) {
+                self.cand_buf.push(m);
+            }
+        }
+        let (best, best_q) = min_of_candidates(rng, lens, &self.cand_buf);
+        // MPS rule: remember the candidate with the smallest
+        // *post-dispatch* length (the chosen one counts as q + 1),
+        // bootstrapping the memory even at d = 1.
+        let mut mem = best;
+        let mut mem_q = best_q + 1;
+        for &s in &self.cand_buf {
+            let q = if s == best { lens[s] + 1 } else { lens[s] };
+            if q < mem_q {
+                mem_q = q;
+                mem = s;
+            }
+        }
+        self.memory = Some(mem);
+        best
+    }
+}
+
+/// The lowered policy state the engine drives; each variant is one
+/// monomorphized event loop.
+#[derive(Debug, Clone)]
+pub(crate) enum PolicyCore {
+    Random(RandomCore),
+    RoundRobin(RoundRobinCore),
+    Jsq(JsqCore),
+    Jiq(JiqCore),
+    SqD(SqdCore),
+    SqDReplace(SqdReplaceCore),
+    SqDMemory(SqdMemoryCore),
+}
+
+impl PolicyCore {
     pub(crate) fn new(policy: Policy, n: usize) -> Self {
-        Dispatcher {
-            policy,
-            rr_next: 0,
+        let sqd = |d: usize| SqdCore {
+            d,
             scratch: (0..n).collect(),
-            memory: None,
-            cand_buf: Vec::with_capacity(n + 1),
+        };
+        match policy {
+            Policy::Random => PolicyCore::Random(RandomCore),
+            Policy::RoundRobin => PolicyCore::RoundRobin(RoundRobinCore { next: 0 }),
+            Policy::Jsq => PolicyCore::Jsq(JsqCore),
+            Policy::Jiq => PolicyCore::Jiq(JiqCore),
+            Policy::SqD { d } => PolicyCore::SqD(sqd(d)),
+            Policy::SqDReplace { d } => PolicyCore::SqDReplace(SqdReplaceCore { d }),
+            Policy::SqDMemory { d } => PolicyCore::SqDMemory(SqdMemoryCore {
+                sqd: sqd(d),
+                memory: None,
+                cand_buf: Vec::with_capacity(n + 1),
+            }),
         }
     }
 
-    /// Picks the server for the next arrival given current queue lengths.
-    pub(crate) fn dispatch<R: Rng>(&mut self, rng: &mut R, queues: &[u32]) -> usize {
-        let n = queues.len();
-        match self.policy {
-            Policy::Random => rng.gen_range(0..n),
-            Policy::RoundRobin => {
-                let s = self.rr_next;
-                self.rr_next = (self.rr_next + 1) % n;
-                s
-            }
-            Policy::Jsq => {
-                // Uniform tie breaking via reservoir over minima.
-                let mut best = 0usize;
-                let mut best_q = u32::MAX;
-                let mut ties = 0u32;
-                for (i, &q) in queues.iter().enumerate() {
-                    if q < best_q {
-                        best_q = q;
-                        best = i;
-                        ties = 1;
-                    } else if q == best_q {
-                        ties += 1;
-                        if rng.gen_range(0..ties) == 0 {
-                            best = i;
-                        }
-                    }
-                }
-                best
-            }
-            Policy::SqD { d } => {
-                // Partial Fisher–Yates: the first d entries of `scratch`
-                // become a uniform d-subset without replacement.
-                for i in 0..d {
-                    let j = rng.gen_range(i..n);
-                    self.scratch.swap(i, j);
-                }
-                let mut best = self.scratch[0];
-                let mut best_q = queues[best];
-                let mut ties = 1u32;
-                for &s in &self.scratch[1..d] {
-                    let q = queues[s];
-                    if q < best_q {
-                        best_q = q;
-                        best = s;
-                        ties = 1;
-                    } else if q == best_q {
-                        ties += 1;
-                        if rng.gen_range(0..ties) == 0 {
-                            best = s;
-                        }
-                    }
-                }
-                best
-            }
-            Policy::SqDReplace { d } => {
-                let mut best = rng.gen_range(0..n);
-                let mut best_q = queues[best];
-                let mut ties = 1u32;
-                for _ in 1..d {
-                    let s = rng.gen_range(0..n);
-                    let q = queues[s];
-                    if q < best_q {
-                        best_q = q;
-                        best = s;
-                        ties = 1;
-                    } else if q == best_q && s != best {
-                        ties += 1;
-                        if rng.gen_range(0..ties) == 0 {
-                            best = s;
-                        }
-                    }
-                }
-                best
-            }
-            Policy::Jiq => {
-                // Reservoir-sample a uniform idle server in one pass.
-                let mut pick = None;
-                let mut idle = 0u32;
-                for (i, &q) in queues.iter().enumerate() {
-                    if q == 0 {
-                        idle += 1;
-                        if rng.gen_range(0..idle) == 0 {
-                            pick = Some(i);
-                        }
-                    }
-                }
-                pick.unwrap_or_else(|| rng.gen_range(0..n))
-            }
-            Policy::SqDMemory { d } => {
-                // Fresh d-subset without replacement, plus the remembered
-                // server (if distinct) as an extra candidate.
-                for i in 0..d {
-                    let j = rng.gen_range(i..n);
-                    self.scratch.swap(i, j);
-                }
-                self.cand_buf.clear();
-                self.cand_buf.extend_from_slice(&self.scratch[..d]);
-                if let Some(m) = self.memory {
-                    if !self.cand_buf.contains(&m) {
-                        self.cand_buf.push(m);
-                    }
-                }
-                let mut best = self.cand_buf[0];
-                let mut best_q = queues[best];
-                let mut ties = 1u32;
-                for &s in &self.cand_buf[1..] {
-                    let q = queues[s];
-                    if q < best_q {
-                        best_q = q;
-                        best = s;
-                        ties = 1;
-                    } else if q == best_q {
-                        ties += 1;
-                        if rng.gen_range(0..ties) == 0 {
-                            best = s;
-                        }
-                    }
-                }
-                // MPS rule: remember the candidate with the smallest
-                // *post-dispatch* length (the chosen one counts as q + 1),
-                // bootstrapping the memory even at d = 1.
-                let mut mem = best;
-                let mut mem_q = best_q + 1;
-                for &s in &self.cand_buf {
-                    let q = if s == best { queues[s] + 1 } else { queues[s] };
-                    if q < mem_q {
-                        mem_q = q;
-                        mem = s;
-                    }
-                }
-                self.memory = Some(mem);
-                best
-            }
+    /// Whether the engine must maintain [`Buckets`] for the lowered
+    /// policy — each variant's own [`DispatchCore::NEEDS_BUCKETS`], so
+    /// this cannot drift from what `pick` actually reads.
+    pub(crate) fn needs_buckets(&self) -> bool {
+        match self {
+            PolicyCore::Random(_) => RandomCore::NEEDS_BUCKETS,
+            PolicyCore::RoundRobin(_) => RoundRobinCore::NEEDS_BUCKETS,
+            PolicyCore::Jsq(_) => JsqCore::NEEDS_BUCKETS,
+            PolicyCore::Jiq(_) => JiqCore::NEEDS_BUCKETS,
+            PolicyCore::SqD(_) => SqdCore::NEEDS_BUCKETS,
+            PolicyCore::SqDReplace(_) => SqdReplaceCore::NEEDS_BUCKETS,
+            PolicyCore::SqDMemory(_) => SqdMemoryCore::NEEDS_BUCKETS,
         }
     }
 }
@@ -226,6 +347,17 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    /// Drives one dispatch against an explicit length vector, building
+    /// the buckets the feedback policies read.
+    fn pick<P: DispatchCore>(p: &mut P, rng: &mut SmallRng, lens: &[u32]) -> usize {
+        let buckets = if P::NEEDS_BUCKETS {
+            Buckets::from_lens(lens)
+        } else {
+            Buckets::default()
+        };
+        p.pick(rng, lens, &buckets)
+    }
 
     #[test]
     fn poll_costs() {
@@ -245,27 +377,27 @@ mod tests {
 
     #[test]
     fn round_robin_cycles() {
-        let mut d = Dispatcher::new(Policy::RoundRobin, 3);
+        let mut d = RoundRobinCore { next: 0 };
         let mut rng = SmallRng::seed_from_u64(0);
         let qs = [0u32, 0, 0];
-        let picks: Vec<usize> = (0..6).map(|_| d.dispatch(&mut rng, &qs)).collect();
+        let picks: Vec<usize> = (0..6).map(|_| pick(&mut d, &mut rng, &qs)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
     #[test]
     fn jsq_picks_minimum() {
-        let mut d = Dispatcher::new(Policy::Jsq, 4);
+        let mut d = JsqCore;
         let mut rng = SmallRng::seed_from_u64(0);
-        assert_eq!(d.dispatch(&mut rng, &[3, 1, 2, 5]), 1);
+        assert_eq!(pick(&mut d, &mut rng, &[3, 1, 2, 5]), 1);
     }
 
     #[test]
     fn jsq_breaks_ties_uniformly() {
-        let mut d = Dispatcher::new(Policy::Jsq, 3);
+        let mut d = JsqCore;
         let mut rng = SmallRng::seed_from_u64(123);
         let mut counts = [0usize; 3];
         for _ in 0..30_000 {
-            counts[d.dispatch(&mut rng, &[2, 2, 2])] += 1;
+            counts[pick(&mut d, &mut rng, &[2, 2, 2])] += 1;
         }
         for &c in &counts {
             assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.05, "{counts:?}");
@@ -275,11 +407,14 @@ mod tests {
     #[test]
     fn sqd_picks_min_of_sample() {
         // With d = N, SQ(d) must behave exactly like JSQ.
-        let mut d = Dispatcher::new(Policy::SqD { d: 4 }, 4);
+        let mut d = SqdCore {
+            d: 4,
+            scratch: (0..4).collect(),
+        };
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..100 {
             let qs = [4u32, 0, 3, 2];
-            assert_eq!(d.dispatch(&mut rng, &qs), 1);
+            assert_eq!(pick(&mut d, &mut rng, &qs), 1);
         }
     }
 
@@ -288,10 +423,13 @@ mod tests {
         // d = 2 on 2 servers: both are always polled, so the shorter queue
         // always wins — distinguishable from with-replacement sampling,
         // which would sometimes poll the longer twice.
-        let mut d = Dispatcher::new(Policy::SqD { d: 2 }, 2);
+        let mut d = SqdCore {
+            d: 2,
+            scratch: (0..2).collect(),
+        };
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..200 {
-            assert_eq!(d.dispatch(&mut rng, &[7, 2]), 1);
+            assert_eq!(pick(&mut d, &mut rng, &[7, 2]), 1);
         }
     }
 
@@ -299,10 +437,10 @@ mod tests {
     fn sqd_replace_picks_min_of_polls() {
         // d large relative to N: with replacement, the minimum is found
         // with overwhelming probability.
-        let mut d = Dispatcher::new(Policy::SqDReplace { d: 64 }, 3);
+        let mut d = SqdReplaceCore { d: 64 };
         let mut rng = SmallRng::seed_from_u64(8);
         for _ in 0..100 {
-            assert_eq!(d.dispatch(&mut rng, &[5, 3, 1]), 2);
+            assert_eq!(pick(&mut d, &mut rng, &[5, 3, 1]), 2);
         }
     }
 
@@ -311,12 +449,12 @@ mod tests {
         // With d = 2 on N = 2, sampling WITH replacement sometimes polls
         // the same (longer) server twice and misses the shorter queue —
         // distinguishing it from without-replacement, which never does.
-        let mut d = Dispatcher::new(Policy::SqDReplace { d: 2 }, 2);
+        let mut d = SqdReplaceCore { d: 2 };
         let mut rng = SmallRng::seed_from_u64(8);
         let mut wrong = 0;
         let trials = 40_000;
         for _ in 0..trials {
-            if d.dispatch(&mut rng, &[7, 2]) == 0 {
+            if pick(&mut d, &mut rng, &[7, 2]) == 0 {
                 wrong += 1;
             }
         }
@@ -327,16 +465,16 @@ mod tests {
 
     #[test]
     fn jiq_prefers_idle_servers() {
-        let mut d = Dispatcher::new(Policy::Jiq, 4);
+        let mut d = JiqCore;
         let mut rng = SmallRng::seed_from_u64(3);
         // Exactly one idle server: always chosen.
         for _ in 0..100 {
-            assert_eq!(d.dispatch(&mut rng, &[2, 3, 0, 1]), 2);
+            assert_eq!(pick(&mut d, &mut rng, &[2, 3, 0, 1]), 2);
         }
         // Several idle: uniform among them, never the busy ones.
         let mut counts = [0usize; 4];
         for _ in 0..30_000 {
-            counts[d.dispatch(&mut rng, &[0, 5, 0, 0])] += 1;
+            counts[pick(&mut d, &mut rng, &[0, 5, 0, 0])] += 1;
         }
         assert_eq!(counts[1], 0);
         for &i in &[0usize, 2, 3] {
@@ -348,7 +486,7 @@ mod tests {
         // No idle server: uniform over all.
         let mut counts = [0usize; 4];
         for _ in 0..40_000 {
-            counts[d.dispatch(&mut rng, &[1, 2, 3, 4])] += 1;
+            counts[pick(&mut d, &mut rng, &[1, 2, 3, 4])] += 1;
         }
         for &c in &counts {
             assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.06, "{counts:?}");
@@ -357,21 +495,26 @@ mod tests {
 
     #[test]
     fn memory_includes_remembered_server() {
-        // d = 1 with memory: after polling server A (loaded) the memory
-        // holds nothing; but after a poll that sees two candidates the
-        // unused one is remembered and compared next time. With d = 1 on
-        // 2 servers the memory effectively upgrades it toward d = 2.
-        let mut with_mem = Dispatcher::new(Policy::SqDMemory { d: 1 }, 2);
-        let mut plain = Dispatcher::new(Policy::SqD { d: 1 }, 2);
+        // d = 1 with memory: after a poll that sees two candidates the
+        // unused one is remembered and compared next time, so on 2
+        // servers memory effectively upgrades d = 1 toward d = 2.
+        let mut with_mem = match PolicyCore::new(Policy::SqDMemory { d: 1 }, 2) {
+            PolicyCore::SqDMemory(p) => p,
+            other => panic!("unexpected lowering {other:?}"),
+        };
+        let mut plain = SqdCore {
+            d: 1,
+            scratch: (0..2).collect(),
+        };
         let mut rng1 = SmallRng::seed_from_u64(9);
         let mut rng2 = SmallRng::seed_from_u64(9);
         let qs = [6u32, 0];
         let (mut mem_right, mut plain_right) = (0, 0);
         for _ in 0..20_000 {
-            if with_mem.dispatch(&mut rng1, &qs) == 1 {
+            if pick(&mut with_mem, &mut rng1, &qs) == 1 {
                 mem_right += 1;
             }
-            if plain.dispatch(&mut rng2, &qs) == 1 {
+            if pick(&mut plain, &mut rng2, &qs) == 1 {
                 plain_right += 1;
             }
         }
@@ -399,12 +542,15 @@ mod tests {
         // With equal queues, SQ(2) must choose each server with equal
         // probability.
         let n = 5;
-        let mut d = Dispatcher::new(Policy::SqD { d: 2 }, n);
+        let mut d = SqdCore {
+            d: 2,
+            scratch: (0..n).collect(),
+        };
         let mut rng = SmallRng::seed_from_u64(17);
         let mut counts = vec![0usize; n];
         let trials = 50_000;
         for _ in 0..trials {
-            counts[d.dispatch(&mut rng, &[1, 1, 1, 1, 1])] += 1;
+            counts[pick(&mut d, &mut rng, &[1, 1, 1, 1, 1])] += 1;
         }
         let expect = trials as f64 / n as f64;
         for &c in &counts {

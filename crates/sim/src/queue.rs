@@ -1,0 +1,291 @@
+//! Cache-friendly queue state for the simulation hot path.
+//!
+//! [`Queues`] stores every server's FIFO of arrival timestamps as a ring
+//! over one contiguous backing buffer — replacing the seed engine's
+//! `Vec<VecDeque<f64>>`, whose per-queue heap blocks scattered the hot
+//! data and whose per-arrival reallocation churn dominated small-`N`
+//! profiles. Queue lengths are maintained incrementally in a dense
+//! `u32` array, so dispatch policies read lengths without the engine
+//! materializing a fresh snapshot per arrival.
+//!
+//! [`Buckets`] groups servers by exact queue length and tracks the
+//! minimum occupied length, turning JSQ ("uniform server among the
+//! global minima") and JIQ ("uniform idle server, if any") into O(1)
+//! lookups instead of O(N) scans. Updates are O(1) swap-removes per
+//! enqueue/dequeue; the running minimum moves by at most one level per
+//! event, so maintenance is O(1) amortized.
+
+/// Per-server FIFO queues of arrival timestamps over one contiguous
+/// arena. Each server owns `cap` slots (a power of two) used as a ring;
+/// when any ring fills, the whole arena doubles — O(jobs in system),
+/// and geometrically rare.
+#[derive(Debug, Clone)]
+pub(crate) struct Queues {
+    buf: Vec<f64>,
+    /// Slots per server; always a power of two.
+    cap: usize,
+    /// Ring-index mask (`cap - 1`).
+    mask: usize,
+    /// Ring start offset per server.
+    head: Vec<u32>,
+    /// Jobs per server — the incrementally maintained length array the
+    /// dispatch policies read.
+    len: Vec<u32>,
+}
+
+impl Queues {
+    /// Empty queues for `n` servers.
+    pub(crate) fn new(n: usize) -> Self {
+        const INITIAL_CAP: usize = 8;
+        Queues {
+            buf: vec![0.0; n * INITIAL_CAP],
+            cap: INITIAL_CAP,
+            mask: INITIAL_CAP - 1,
+            head: vec![0; n],
+            len: vec![0; n],
+        }
+    }
+
+    /// Number of servers.
+    pub(crate) fn servers(&self) -> usize {
+        self.len.len()
+    }
+
+    /// Queue length of one server.
+    #[inline]
+    pub(crate) fn len(&self, s: usize) -> u32 {
+        self.len[s]
+    }
+
+    /// All queue lengths, indexed by server.
+    #[inline]
+    pub(crate) fn lens(&self) -> &[u32] {
+        &self.len
+    }
+
+    /// Appends a job (its arrival timestamp) to server `s`.
+    #[inline]
+    pub(crate) fn push_back(&mut self, s: usize, arrival: f64) {
+        if self.len[s] as usize == self.cap {
+            self.grow();
+        }
+        let slot = (self.head[s] as usize + self.len[s] as usize) & self.mask;
+        self.buf[s * self.cap + slot] = arrival;
+        self.len[s] += 1;
+    }
+
+    /// Removes and returns the head-of-line job of server `s`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when the queue is empty (the engine only departs
+    /// busy servers).
+    #[inline]
+    pub(crate) fn pop_front(&mut self, s: usize) -> f64 {
+        debug_assert!(self.len[s] > 0, "departure from empty queue");
+        let v = self.buf[s * self.cap + self.head[s] as usize];
+        self.head[s] = (self.head[s] + 1) & self.mask as u32;
+        self.len[s] -= 1;
+        v
+    }
+
+    /// Arrival timestamp of the head-of-line job of server `s`.
+    #[inline]
+    pub(crate) fn front(&self, s: usize) -> f64 {
+        debug_assert!(self.len[s] > 0, "peek into empty queue");
+        self.buf[s * self.cap + self.head[s] as usize]
+    }
+
+    /// Doubles every ring, compacting each server's jobs to the start of
+    /// its new segment.
+    fn grow(&mut self) {
+        let n = self.servers();
+        let new_cap = self.cap * 2;
+        let mut buf = vec![0.0; n * new_cap];
+        for s in 0..n {
+            for k in 0..self.len[s] as usize {
+                let slot = (self.head[s] as usize + k) & self.mask;
+                buf[s * new_cap + k] = self.buf[s * self.cap + slot];
+            }
+            self.head[s] = 0;
+        }
+        self.buf = buf;
+        self.cap = new_cap;
+        self.mask = new_cap - 1;
+    }
+}
+
+/// Servers grouped by exact queue length, with the minimum occupied
+/// length maintained incrementally — the feedback structure behind the
+/// O(1) JSQ and JIQ dispatch paths.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Buckets {
+    /// `by_len[l]` = servers currently holding exactly `l` jobs.
+    by_len: Vec<Vec<u32>>,
+    /// Position of each server inside its current bucket.
+    pos: Vec<u32>,
+    /// Smallest `l` with `by_len[l]` non-empty.
+    min_len: usize,
+}
+
+impl Buckets {
+    /// All `n` servers start idle (length 0).
+    pub(crate) fn new(n: usize) -> Self {
+        Buckets {
+            by_len: vec![(0..n as u32).collect()],
+            pos: (0..n as u32).collect(),
+            min_len: 0,
+        }
+    }
+
+    /// Rebuilds from an explicit length array (tests and ad-hoc use).
+    #[cfg(test)]
+    pub(crate) fn from_lens(lens: &[u32]) -> Self {
+        let mut b = Buckets::new(lens.len());
+        for (s, &l) in lens.iter().enumerate() {
+            for k in 0..l {
+                b.on_push(s, k);
+            }
+        }
+        b
+    }
+
+    /// Smallest occupied queue length.
+    #[cfg(test)]
+    pub(crate) fn min_len(&self) -> usize {
+        self.min_len
+    }
+
+    /// Servers at the smallest occupied queue length (never empty).
+    #[inline]
+    pub(crate) fn shortest(&self) -> &[u32] {
+        &self.by_len[self.min_len]
+    }
+
+    /// Servers that are idle; empty when every server is busy.
+    #[inline]
+    pub(crate) fn idle(&self) -> &[u32] {
+        if self.min_len == 0 {
+            &self.by_len[0]
+        } else {
+            &[]
+        }
+    }
+
+    /// Moves server `s` from length `old_len` to `old_len + 1`.
+    #[inline]
+    pub(crate) fn on_push(&mut self, s: usize, old_len: u32) {
+        self.remove(s, old_len as usize);
+        self.insert(s, old_len as usize + 1);
+        if self.min_len == old_len as usize && self.by_len[self.min_len].is_empty() {
+            self.min_len += 1;
+        }
+    }
+
+    /// Moves server `s` from length `old_len` to `old_len - 1`.
+    #[inline]
+    pub(crate) fn on_pop(&mut self, s: usize, old_len: u32) {
+        debug_assert!(old_len > 0);
+        self.remove(s, old_len as usize);
+        let new_len = old_len as usize - 1;
+        self.insert(s, new_len);
+        if new_len < self.min_len {
+            self.min_len = new_len;
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, s: usize, l: usize) {
+        let p = self.pos[s] as usize;
+        let bucket = &mut self.by_len[l];
+        debug_assert_eq!(bucket[p], s as u32, "bucket position out of sync");
+        let last = bucket.pop().expect("server was in its bucket");
+        if p < bucket.len() {
+            bucket[p] = last;
+            self.pos[last as usize] = p as u32;
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, s: usize, l: usize) {
+        if self.by_len.len() <= l {
+            self.by_len.resize_with(l + 1, Vec::new);
+        }
+        self.pos[s] = self.by_len[l].len() as u32;
+        self.by_len[l].push(s as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_fifo_order_survives_growth() {
+        let mut q = Queues::new(2);
+        // Push enough through one server to force several growths while
+        // interleaving pops, so heads are mid-ring when growth happens.
+        let mut expect = std::collections::VecDeque::new();
+        let mut t = 0.0;
+        for round in 0..100 {
+            for _ in 0..7 {
+                t += 1.0;
+                q.push_back(0, t);
+                expect.push_back(t);
+            }
+            for _ in 0..(if round % 3 == 0 { 2 } else { 5 }) {
+                if let Some(e) = expect.pop_front() {
+                    assert_eq!(q.front(0), e);
+                    assert_eq!(q.pop_front(0), e);
+                }
+            }
+            assert_eq!(q.len(0), expect.len() as u32);
+            assert_eq!(q.len(1), 0, "server 1 untouched");
+        }
+        while let Some(e) = expect.pop_front() {
+            assert_eq!(q.pop_front(0), e);
+        }
+    }
+
+    #[test]
+    fn lens_track_incrementally() {
+        let mut q = Queues::new(3);
+        q.push_back(1, 0.5);
+        q.push_back(1, 0.7);
+        q.push_back(2, 0.9);
+        assert_eq!(q.lens(), &[0, 2, 1]);
+        q.pop_front(1);
+        assert_eq!(q.lens(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn buckets_track_min_and_membership() {
+        let mut b = Buckets::new(4);
+        assert_eq!(b.min_len(), 0);
+        assert_eq!(b.idle().len(), 4);
+        // Push one job on everyone: min moves to 1, no idle servers.
+        for s in 0..4 {
+            b.on_push(s, 0);
+        }
+        assert_eq!(b.min_len(), 1);
+        assert!(b.idle().is_empty());
+        assert_eq!(b.shortest().len(), 4);
+        // Second job on server 2, then a departure from server 0.
+        b.on_push(2, 1);
+        assert_eq!(b.shortest().len(), 3);
+        b.on_pop(0, 1);
+        assert_eq!(b.min_len(), 0);
+        assert_eq!(b.idle(), &[0]);
+    }
+
+    #[test]
+    fn buckets_from_lens_matches_incremental() {
+        let lens = [3u32, 0, 1, 1, 5];
+        let b = Buckets::from_lens(&lens);
+        assert_eq!(b.min_len(), 0);
+        assert_eq!(b.idle(), &[1]);
+        let mut shortest = b.shortest().to_vec();
+        shortest.sort_unstable();
+        assert_eq!(shortest, vec![1]);
+    }
+}

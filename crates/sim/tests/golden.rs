@@ -1,0 +1,167 @@
+//! Golden-value pins for the flat-event-core engine: a small fixed-seed
+//! configuration under every [`Policy`] variant, with the key
+//! [`slb_sim::SimResult`] fields pinned to 12 significant digits.
+//!
+//! These pins freeze the engine's *exact* trajectory — event order (the
+//! departure-before-arrival tie rule), RNG draw order, dispatch
+//! decisions and statistics accumulation. Any unintended semantic
+//! change to the hot path shows up here immediately, long before it
+//! would be visible through statistical tolerances.
+//!
+//! Regenerate after an *intended* engine change with:
+//!
+//! ```text
+//! cargo test -p slb-sim --test golden -- --nocapture  # failures print actual values
+//! ```
+
+use slb_sim::{Policy, SimConfig, SimResult};
+
+fn run(policy: Policy) -> SimResult {
+    SimConfig::new(5, 0.8)
+        .unwrap()
+        .policy(policy)
+        .jobs(20_000)
+        .warmup(2_000)
+        .seed(7)
+        .run()
+        .unwrap()
+}
+
+/// One pinned scalar, compared through its 12-significant-digit
+/// rendering so the assertion output is copy-pasteable on intended
+/// regenerations.
+fn pin(name: &str, actual: f64, expected: &str) {
+    let got = format!("{actual:.12e}");
+    assert_eq!(got, expected, "{name}: engine trajectory changed");
+}
+
+struct Golden {
+    policy: Policy,
+    mean_delay: &'static str,
+    mean_wait: &'static str,
+    mean_jobs: &'static str,
+    busy_fraction: &'static str,
+    max_queue: u32,
+}
+
+/// N = 5, λ = 0.8, 20k jobs, 2k warm-up, seed 7 — small enough to run
+/// in milliseconds, long enough that every code path (growth of the
+/// queue arena, bucket churn, batch-means batching) executes.
+const GOLDENS: &[Golden] = &[
+    Golden {
+        policy: Policy::Random,
+        mean_delay: "5.357481948629e0",
+        mean_wait: "5.391175531342e0",
+        mean_jobs: "2.096056175128e1",
+        busy_fraction: "8.068680728546e-1",
+        max_queue: 29,
+    },
+    Golden {
+        policy: Policy::RoundRobin,
+        mean_delay: "2.934914770891e0",
+        mean_wait: "2.916734238813e0",
+        mean_jobs: "1.151921660145e1",
+        busy_fraction: "7.865694187822e-1",
+        max_queue: 18,
+    },
+    Golden {
+        policy: Policy::Jsq,
+        mean_delay: "1.761590618622e0",
+        mean_wait: "1.499197016728e0",
+        mean_jobs: "6.851858787352e0",
+        busy_fraction: "7.986522929583e-1",
+        max_queue: 10,
+    },
+    Golden {
+        policy: Policy::Jiq,
+        mean_delay: "1.935427496192e0",
+        mean_wait: "2.094941146500e0",
+        mean_jobs: "7.553529148486e0",
+        busy_fraction: "7.946182104609e-1",
+        max_queue: 18,
+    },
+    Golden {
+        policy: Policy::SqD { d: 2 },
+        mean_delay: "2.238950118558e0",
+        mean_wait: "1.873136157408e0",
+        mean_jobs: "8.820708392530e0",
+        busy_fraction: "7.967695610564e-1",
+        max_queue: 9,
+    },
+    Golden {
+        policy: Policy::SqDReplace { d: 2 },
+        mean_delay: "2.561885364904e0",
+        mean_wait: "2.217364535809e0",
+        mean_jobs: "9.990047538054e0",
+        busy_fraction: "8.036333110036e-1",
+        max_queue: 13,
+    },
+    Golden {
+        policy: Policy::SqDMemory { d: 2 },
+        mean_delay: "2.052534443603e0",
+        mean_wait: "1.667564254017e0",
+        mean_jobs: "8.058858987131e0",
+        busy_fraction: "8.042388452658e-1",
+        max_queue: 6,
+    },
+];
+
+#[test]
+fn golden_results_per_policy() {
+    for g in GOLDENS {
+        let r = run(g.policy);
+        let name = format!("{:?}", g.policy);
+        pin(&format!("{name}.mean_delay"), r.mean_delay, g.mean_delay);
+        pin(&format!("{name}.mean_wait"), r.mean_wait, g.mean_wait);
+        pin(
+            &format!("{name}.mean_jobs_in_system"),
+            r.mean_jobs_in_system,
+            g.mean_jobs,
+        );
+        pin(
+            &format!("{name}.queue_tail[1]"),
+            r.queue_tail[1],
+            g.busy_fraction,
+        );
+        assert_eq!(r.max_queue_len, g.max_queue, "{name}.max_queue_len");
+        assert_eq!(r.jobs_measured, 18_000, "{name}.jobs_measured");
+    }
+}
+
+#[test]
+fn golden_policy_hierarchy_holds() {
+    // The pins above also encode the qualitative ordering the paper
+    // studies; assert it explicitly so a wholesale regeneration cannot
+    // silently pin a broken engine.
+    let d = |p| run(p).mean_delay;
+    let (random, rr) = (d(Policy::Random), d(Policy::RoundRobin));
+    let (jsq, sq2) = (d(Policy::Jsq), d(Policy::SqD { d: 2 }));
+    let sq2m = d(Policy::SqDMemory { d: 2 });
+    assert!(jsq < sq2 && sq2 < rr && rr < random, "feedback helps");
+    assert!(sq2m < sq2, "memory helps at equal poll cost");
+}
+
+#[test]
+fn golden_parallel_merge() {
+    // The replication-merge path, pinned end to end (3 replications on
+    // 2 threads; thread count must not matter).
+    let merged = SimConfig::new(5, 0.8)
+        .unwrap()
+        .policy(Policy::SqD { d: 2 })
+        .jobs(20_000)
+        .warmup(2_000)
+        .seed(7)
+        .run_parallel(3, 2)
+        .unwrap();
+    pin("par3.mean_delay", merged.mean_delay, "2.234099265500e0");
+    assert_eq!(merged.jobs_measured, 54_000);
+}
+
+#[test]
+fn golden_is_reproducible_within_process() {
+    // Two identical runs inside one process are bit-identical — the
+    // engine holds no hidden global state.
+    let a = run(Policy::SqD { d: 2 });
+    let b = run(Policy::SqD { d: 2 });
+    assert_eq!(a, b);
+}
