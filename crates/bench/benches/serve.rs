@@ -1,0 +1,187 @@
+//! Criterion bench: the serving stack end to end — cold query latency
+//! (solver + simulator on a never-seen key), cached query latency (the
+//! persistent-store hit path including the full HTTP round trip), and
+//! concurrent-client throughput against one daemon.
+//!
+//! The committed trajectory (`BENCH_pr6.json`) records these next to
+//! the kernel benches; the headline acceptance number is
+//! `serve/cold_query / serve/cached_query ≥ 100×` — a repeat query is
+//! answered from the concurrent cache in microseconds-to-a-fraction-of-
+//! a-millisecond while a cold solve simulates for tens of milliseconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use slb_cli::{client, ServeOptions, Server};
+use slb_exp::{CacheStore, Metric, Query, SimBudget};
+
+/// A running in-process daemon: address plus the teardown handles.
+struct Daemon {
+    addr: String,
+    root: std::path::PathBuf,
+    thread: std::thread::JoinHandle<()>,
+}
+
+fn start_daemon(tag: &str) -> Daemon {
+    let root = std::env::temp_dir().join(format!("slb-bench-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = Server::bind(&ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        cache_dir: Some(root.clone()),
+    })
+    .expect("bind bench server");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    Daemon { addr, root, thread }
+}
+
+fn stop_daemon(daemon: Daemon) {
+    client::post_shutdown(&daemon.addr).expect("shutdown bench server");
+    daemon.thread.join().expect("join server thread");
+    let _ = std::fs::remove_dir_all(&daemon.root);
+}
+
+/// The benched grid point: a mid-size SQ(2) system under real load,
+/// sized so a cold solve costs tens of milliseconds — the regime the
+/// ≥100× cached-speedup claim is measured in.
+fn service_query(seed: u64) -> Query {
+    Query::Service {
+        policy: "sqd".into(),
+        n: 16,
+        d: 2,
+        rho: 0.9,
+        budget: SimBudget {
+            jobs: 300_000,
+            replications: 1,
+            seed,
+        },
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+
+    // Cold: every invocation (including the shim's untimed warm-up)
+    // takes a never-before-seen seed, so each round trip runs the full
+    // simulation before answering.
+    let daemon = start_daemon("cold");
+    let seq = AtomicU64::new(1);
+    group.bench_function("serve/cold_query", |b| {
+        b.iter(|| {
+            let q = service_query(seq.fetch_add(1, Ordering::Relaxed));
+            let ans = client::post_query(&daemon.addr, &q).expect("cold query");
+            assert_eq!(ans.computed, 1, "cold key must be computed");
+            ans
+        })
+    });
+    stop_daemon(daemon);
+
+    // Cached: one fixed key, warmed once, then every round trip is a
+    // store hit — the number to hold against cold_query.
+    let daemon = start_daemon("cached");
+    let q = service_query(777);
+    client::post_query(&daemon.addr, &q).expect("warm the key");
+    group.bench_function("serve/cached_query", |b| {
+        b.iter(|| {
+            let ans = client::post_query(&daemon.addr, &q).expect("cached query");
+            assert_eq!(ans.computed, 0, "warm key must be served from cache");
+            ans
+        })
+    });
+
+    // Throughput: CLIENTS threads each firing a burst of cached
+    // queries at the same daemon concurrently.
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 16;
+    group.throughput(Throughput::Elements((CLIENTS * PER_CLIENT) as u64));
+    let addr = Arc::new(daemon.addr.clone());
+    group.bench_function("serve/concurrent_clients_4x16", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    let addr = Arc::clone(&addr);
+                    let q = service_query(777);
+                    std::thread::spawn(move || {
+                        for _ in 0..PER_CLIENT {
+                            let ans = client::post_query(&addr, &q).expect("concurrent query");
+                            assert_eq!(ans.computed, 0);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("client thread");
+            }
+        })
+    });
+    stop_daemon(daemon);
+    group.finish();
+}
+
+/// The store layers below the socket: a pure in-process memory hit and
+/// a disk (cold-index) hit, for locating where served-latency goes.
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    let root = std::env::temp_dir().join(format!("slb-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = CacheStore::open(root.clone());
+    let rows: Vec<Vec<String>> = (0..4)
+        .map(|i| (0..12).map(|j| format!("{}.{:04}", i, j)).collect())
+        .collect();
+    let rows_for_compute = rows.clone();
+    store
+        .get_or_compute("bench-key", move || Ok(rows_for_compute))
+        .expect("seed the store");
+
+    group.bench_function("store/memory_hit", |b| {
+        b.iter(|| {
+            store
+                .get_or_compute("bench-key", || unreachable!("must hit"))
+                .expect("memory hit")
+        })
+    });
+    group.bench_function("store/disk_hit_cold_index", |b| {
+        b.iter(|| {
+            let cold = CacheStore::open(root.clone());
+            cold.get_or_compute("bench-key", || unreachable!("must hit"))
+                .expect("disk hit")
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
+
+    // The capacity planner end to end, warm store: a full bisection
+    // answered purely from cache.
+    let root = std::env::temp_dir().join(format!("slb-bench-cap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = CacheStore::open(root.clone());
+    let capacity = Query::Capacity {
+        policy: "sqd".into(),
+        lambda: 4.0,
+        d: 2,
+        metric: Metric::Mean,
+        slo: 1.5,
+        n_max: 64,
+        budget: SimBudget {
+            jobs: 40_000,
+            replications: 1,
+            seed: 5,
+        },
+    };
+    slb_exp::answer(&capacity, &store).expect("warm the capacity probes");
+    let mut group = c.benchmark_group("query");
+    group.bench_function("query/capacity_warm", |b| {
+        b.iter(|| {
+            let ans = slb_exp::answer(&capacity, &store).expect("warm capacity");
+            assert_eq!(ans.computed, 0);
+            ans
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_serve, bench_store);
+criterion_main!(benches);

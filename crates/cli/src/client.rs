@@ -1,0 +1,76 @@
+//! The client side of the serve protocol: one-request-per-connection
+//! HTTP over `std::net::TcpStream`. Used by `slb query --addr`, the
+//! integration tests and the serve benchmarks.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use slb_exp::json::Json;
+use slb_exp::{Answer, Query};
+
+use crate::http;
+
+/// Performs one HTTP exchange against `addr` and returns
+/// `(status, body)`.
+///
+/// # Errors
+///
+/// Returns a message on connection, write or malformed-response
+/// failures (non-2xx statuses are *not* errors here — callers decide).
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+    let mut writer = stream.try_clone().map_err(|e| format!("socket: {e}"))?;
+    let body = body.unwrap_or("");
+    std::io::Write::write_all(
+        &mut writer,
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        )
+        .as_bytes(),
+    )
+    .map_err(|e| format!("sending request to {addr}: {e}"))?;
+    http::read_response(&mut BufReader::new(stream))
+}
+
+/// Sends `query` to a running `slb serve` at `addr` and decodes the
+/// answer.
+///
+/// # Errors
+///
+/// Returns the transport error, or the server's error payload on a
+/// non-200 status.
+pub fn post_query(addr: &str, query: &Query) -> Result<Answer, String> {
+    let (status, body) = request(addr, "POST", "/v1/query", Some(&query.to_json().render()))?;
+    if status != 200 {
+        let detail = Json::parse(&body)
+            .ok()
+            .and_then(|d| d.get("error").and_then(|e| e.as_str().map(str::to_string)))
+            .unwrap_or(body);
+        return Err(format!("server at {addr} returned {status}: {detail}"));
+    }
+    let doc = Json::parse(&body).map_err(|e| format!("bad answer body: {e}"))?;
+    Answer::from_json(&doc)
+}
+
+/// Asks a running server to shut down gracefully.
+///
+/// # Errors
+///
+/// Returns the transport error or a non-200 status.
+pub fn post_shutdown(addr: &str) -> Result<(), String> {
+    let (status, body) = request(addr, "POST", "/v1/shutdown", None)?;
+    if status != 200 {
+        return Err(format!("shutdown returned {status}: {body}"));
+    }
+    Ok(())
+}

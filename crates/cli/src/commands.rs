@@ -6,6 +6,7 @@ use slb_core::brute::BruteForce;
 use slb_core::meanfield::MeanField;
 use slb_core::sigma::{solve_sigma, Interarrival};
 use slb_core::{asymptotic, BoundKind, Sqd};
+use slb_exp::json::Json;
 use slb_mapph::MapSqd;
 use slb_markov::Map;
 use slb_sim::{Policy, SimConfig};
@@ -169,6 +170,136 @@ fn sweep_panel(args: &[String]) -> CmdResult {
         table.push([f4(rho), f4(lb.delay), ub, f4(sqd.asymptotic_delay())]);
     }
     finish(&table, args)
+}
+
+/// `slb serve` — run the long-running capacity-planning service until
+/// SIGINT/SIGTERM or a `POST /v1/shutdown`.
+pub fn serve(args: &[String]) -> CmdResult {
+    let opts = slb_cli::ServeOptions {
+        addr: arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7077".into()),
+        threads: arg_parse(args, "--threads", slb_cli::ServeOptions::default().threads),
+        cache_dir: arg_value(args, "--cache-dir").map(std::path::PathBuf::from),
+    };
+    if opts.threads == 0 || opts.threads > 1024 {
+        return Err(format!(
+            "--threads {} is the pool worker count (1..=1024)",
+            opts.threads
+        ));
+    }
+    sigint::install();
+    let server = slb_cli::Server::bind(&opts)?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    println!("slb serve: listening on http://{addr}");
+    println!("slb serve: cache root {}", server.cache_root().display());
+    // The port line is how scripts (and the integration tests) find an
+    // ephemeral-port server: make sure it is out before blocking.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    server.run()?;
+    println!("slb serve: drained and shut down");
+    Ok(())
+}
+
+/// Builds a [`slb_exp::Query`] from `slb query` flags by assembling the
+/// same JSON document the wire protocol uses — one parser, one set of
+/// defaults, identical validation everywhere.
+fn build_query(args: &[String]) -> Result<slb_exp::Query, String> {
+    let mut fields = vec![(
+        "kind".to_string(),
+        Json::Str(arg_value(args, "--kind").unwrap_or_else(|| "bounds".into())),
+    )];
+    for (flag, key) in [
+        ("--n", "n"),
+        ("--d", "d"),
+        ("--rho", "rho"),
+        ("--t", "t"),
+        ("--lambda", "lambda"),
+        ("--slo", "slo"),
+        ("--n-max", "n_max"),
+        ("--jobs", "jobs"),
+        ("--replications", "replications"),
+        ("--seed", "seed"),
+    ] {
+        if let Some(raw) = arg_value(args, flag) {
+            let value: f64 = raw
+                .parse()
+                .map_err(|_| format!("{flag} expects a number, got '{raw}'"))?;
+            fields.push((key.to_string(), Json::Num(value)));
+        }
+    }
+    for (flag, key) in [("--policy", "policy"), ("--metric", "metric")] {
+        if let Some(raw) = arg_value(args, flag) {
+            fields.push((key.to_string(), Json::Str(raw)));
+        }
+    }
+    slb_exp::Query::from_json(&Json::Obj(fields))
+}
+
+/// `slb query` — answer one typed query, either locally (sharing the
+/// sweep cache) or against a running `slb serve` (`--addr`).
+pub fn query(args: &[String]) -> CmdResult {
+    let q = build_query(args)?;
+    let answer = match arg_value(args, "--addr") {
+        Some(addr) => slb_cli::client::post_query(&addr, &q)?,
+        None => {
+            let store = match arg_value(args, "--cache-dir") {
+                Some(dir) => slb_exp::CacheStore::open(dir),
+                None => slb_exp::CacheStore::open_default(),
+            };
+            slb_exp::answer(&q, &store)?
+        }
+    };
+
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", answer.to_json().render());
+        return Ok(());
+    }
+
+    print!(
+        "{}",
+        slb_exp::output::to_aligned(&answer.columns, &answer.rows)
+    );
+    println!(
+        "\n{} query: {} cached evaluation(s), {} computed",
+        answer.kind, answer.cache_hits, answer.computed
+    );
+    if let Some(cap) = &answer.capacity {
+        match (cap.n_required, cap.achieved) {
+            (Some(n), Some(achieved)) => {
+                if let slb_exp::Query::Capacity {
+                    lambda,
+                    metric,
+                    slo,
+                    ..
+                } = &q
+                {
+                    println!(
+                        "capacity: N = {n} serves lambda = {lambda} with {} = {} (slo {slo}), \
+                         {} probe(s)",
+                        metric.as_str(),
+                        f4(achieved),
+                        cap.evaluations.len()
+                    );
+                }
+            }
+            _ => println!(
+                "capacity: infeasible within the search ceiling ({} probe(s))",
+                cap.evaluations.len()
+            ),
+        }
+    }
+    match &answer.sandwich {
+        Some(Ok(rows)) => println!("sandwich check: lower <= sim <= upper holds on {rows} row(s)"),
+        Some(Err(e)) => {
+            println!("sandwich check FAILED: {e}");
+            if args.iter().any(|a| a == "--check") {
+                return Err(format!("sandwich violated: {e}"));
+            }
+        }
+        None => {}
+    }
+    Ok(())
 }
 
 /// `slb dist` — percentile bounds from the delay distributions.

@@ -1,0 +1,245 @@
+//! A deliberately small HTTP/1.1 subset: exactly what `slb serve` and
+//! `slb query` need to speak to each other over `std::net`, hand-rolled
+//! because the build environment is offline (no hyper/axum).
+//!
+//! Supported: request line + headers + `Content-Length`-delimited
+//! bodies, JSON responses, `Connection: close` on every exchange (one
+//! request per connection — the clients are local and short-lived, so
+//! keep-alive buys nothing but idle-socket bookkeeping). Unsupported on
+//! purpose: chunked transfer, continuations, TLS, multi-valued headers.
+
+use std::io::{BufRead, Read, Write};
+
+/// Maximum accepted size of the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted body size.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as received (path + optional query string).
+    pub path: String,
+    /// Decoded body (empty when the request carried none).
+    pub body: String,
+}
+
+/// Reads one request from `reader`.
+///
+/// Returns `Ok(None)` on a clean end-of-stream before any request byte
+/// (the client closed an idle connection — not an error).
+///
+/// # Errors
+///
+/// Returns a message describing the malformation (the server turns
+/// these into 400 responses).
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, String> {
+    let request_line = match read_line(reader, MAX_HEAD)? {
+        None => return Ok(None),
+        Some(line) if line.is_empty() => return Err("empty request line".into()),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| format!("malformed request line '{request_line}'"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| format!("malformed request line '{request_line}'"))?;
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+        return Err(format!("unsupported protocol '{version}'"));
+    }
+
+    let mut content_length = 0usize;
+    let mut head_bytes = request_line.len();
+    loop {
+        let line =
+            read_line(reader, MAX_HEAD)?.ok_or("connection closed inside request headers")?;
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD {
+            return Err("request head too large".into());
+        }
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header line '{line}'"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad content-length '{}'", value.trim()))?;
+            if content_length > MAX_BODY {
+                return Err(format!("body of {content_length} bytes exceeds limit"));
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("reading {content_length}-byte body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Reads one CRLF (or bare-LF) terminated line, without the terminator.
+/// `Ok(None)` = end of stream before any byte.
+fn read_line(reader: &mut impl BufRead, limit: usize) -> Result<Option<String>, String> {
+    let mut line = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(limit as u64 + 1)
+        .read_until(b'\n', &mut line)
+        .map_err(|e| format!("reading request: {e}"))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.last() != Some(&b'\n') {
+        return Err("request line not terminated within limit".into());
+    }
+    line.pop();
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| "request head is not valid UTF-8".to_string())
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete JSON response and flushes. Every response closes
+/// the connection (see the module docs).
+///
+/// # Errors
+///
+/// Propagates socket write errors (the server logs and drops them — the
+/// client is gone either way).
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Reads one response from `reader`: `(status, body)`.
+///
+/// # Errors
+///
+/// Returns a message when the response is malformed or truncated.
+pub fn read_response(reader: &mut impl BufRead) -> Result<(u16, String), String> {
+    let status_line = read_line(reader, MAX_HEAD)?.ok_or("empty response")?;
+    let mut parts = status_line.split(' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("malformed status line '{status_line}'"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line '{status_line}'"))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = read_line(reader, MAX_HEAD)?.ok_or("connection closed inside headers")?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(n) if n > MAX_BODY => return Err(format!("response body of {n} bytes")),
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| format!("reading {n}-byte response body: {e}"))?;
+            buf
+        }
+        // Connection-close delimited (this server always sends a
+        // length, but be liberal in what we accept).
+        None => {
+            let mut buf = Vec::new();
+            reader
+                .read_to_end(&mut buf)
+                .map_err(|e| format!("reading response body: {e}"))?;
+            buf
+        }
+    };
+    let body = String::from_utf8(body).map_err(|_| "response body is not valid UTF-8")?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, String> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse("POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"kind\":1}x")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.body, "{\"kind\":1}x");
+    }
+
+    #[test]
+    fn parses_bodyless_get_and_clean_eof() {
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!((req.method.as_str(), req.body.as_str()), ("GET", ""));
+        assert_eq!(parse("").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_requests_are_errors() {
+        assert!(parse("GET\r\n\r\n").is_err());
+        assert!(parse("GET / SMTP/1.0\r\n\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nbad header\r\n\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort").is_err());
+        let huge = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(parse(&huge).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "{\"ok\":true}").unwrap();
+        let (status, body) = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        assert_eq!(reason(404), "Not Found");
+    }
+}

@@ -1,0 +1,24 @@
+//! # slb-cli
+//!
+//! Library side of the `slb` command-line tool: the serving stack
+//! behind `slb serve` and `slb query --addr`.
+//!
+//! - [`http`] — the hand-rolled HTTP/1.1 subset (offline build: no
+//!   hyper, no tokio; plain `std::net` blocking sockets);
+//! - [`server`] — the long-running capacity-planning daemon: a
+//!   [`slb_exp::CacheStore`]-backed, [`slb_exp::WorkPool`]-scheduled
+//!   accept loop answering typed [`slb_exp::Query`]s;
+//! - [`client`] — the matching one-shot client.
+//!
+//! The binary's subcommands live in the binary target (`src/main.rs`);
+//! this library exists so integration tests and benchmarks can drive a
+//! real in-process server and speak the wire protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use server::{ServeOptions, Server};

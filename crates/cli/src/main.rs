@@ -4,6 +4,8 @@
 //! ```text
 //! slb bounds    --n 3 --d 2 --rho 0.7 --t 3        mean-delay bounds at one point
 //! slb sweep     experiments/fig10.toml --smoke     declarative scenario sweep
+//! slb query     --kind capacity --lambda 40 ...    one typed query (local or --addr)
+//! slb serve     --addr 127.0.0.1:7077              capacity-planning service
 //! slb dist      --n 3 --d 2 --rho 0.7 --t 3        delay percentile bounds
 //! slb simulate  --n 3 --d 2 --rho 0.7 --jobs 1e6   discrete-event simulation
 //! slb sigma     --law erlang --k 2 --rho 0.7       Theorem-2 decay root σ
@@ -35,6 +37,20 @@ COMMANDS:
              [--cache-dir dir]  (simulation budget comes from the spec)
              Flag-only form sweeps one Figure-10 panel:
              --n --d --t [--points 9] [--csv out.csv]
+  query      Answer one typed query: bounds, service percentiles, or the
+             smallest N meeting a delay SLO (capacity planning)
+             --kind bounds|service|capacity, then per kind:
+               bounds:   --n --d --rho --t
+               service:  --policy sqd|jsq --n --d --rho
+               capacity: --policy --lambda --d --metric mean|p50|p90|p99
+                         --slo --n-max
+             [--jobs N --replications R --seed S] simulation budget
+             [--addr host:port] ask a running server instead of solving
+             [--cache-dir dir] [--json] [--check]
+  serve      Long-running capacity-planning service (HTTP/1.1 on std::net)
+             [--addr 127.0.0.1:7077] [--threads N] [--cache-dir dir]
+             Endpoints: GET /healthz, GET /stats, POST /v1/query,
+             POST /v1/shutdown; SIGINT/SIGTERM drain and exit
   dist       Delay percentile bounds (median/p90/p99 by default)
              --n --d --rho --t [--percentiles 0.5,0.9,0.99]
   simulate   Discrete-event simulation of a dispatch policy
@@ -67,6 +83,8 @@ fn main() -> ExitCode {
     let result = match cmd {
         "bounds" => commands::bounds(rest),
         "sweep" => commands::sweep(rest),
+        "query" => commands::query(rest),
+        "serve" => commands::serve(rest),
         "dist" => commands::dist(rest),
         "simulate" => commands::simulate(rest),
         "sigma" => commands::sigma(rest),

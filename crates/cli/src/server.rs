@@ -1,0 +1,342 @@
+//! The `slb serve` daemon: a long-running capacity-planning service.
+//!
+//! One process owns a [`CacheStore`] (warm in-process index over the
+//! shared on-disk sweep cache) and a [`WorkPool`] (the PR 4
+//! work-stealing discipline, long-lived); the accept loop hands each
+//! connection to the pool, where it is parsed, answered through
+//! [`slb_exp::query::answer`] — the *same* evaluation path `slb query`
+//! and `slb sweep` use — and written back. Identical queries therefore
+//! return byte-identical rows whether they were first computed by a
+//! sweep, a one-shot query, or an earlier request.
+//!
+//! Endpoints:
+//!
+//! | method | path           | response                                   |
+//! |--------|----------------|--------------------------------------------|
+//! | GET    | `/healthz`     | `{"ok":true}`                              |
+//! | GET    | `/stats`       | request/hit counters, index size, uptime   |
+//! | POST   | `/v1/query`    | a [`slb_exp::Answer`] for the body's query |
+//! | POST   | `/v1/shutdown` | `{"ok":true}`, then graceful shutdown      |
+//!
+//! Malformed requests get 400, unknown paths 404, wrong methods 405,
+//! evaluation failures 422. Shutdown — via `/v1/shutdown`, SIGINT or
+//! SIGTERM — stops accepting, drains every in-flight request through
+//! [`WorkPool::shutdown`], and returns from [`Server::run`].
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use slb_exp::json::Json;
+use slb_exp::{CacheStore, Query, WorkPool};
+
+use crate::http;
+
+/// Configuration of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Pool worker count.
+    pub threads: usize,
+    /// Cache root override; defaults to the shared workspace cache
+    /// (`target/sweep-cache`) every sweep reads and writes.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            cache_dir: None,
+        }
+    }
+}
+
+/// Shared mutable state of a running server.
+struct ServerState {
+    store: CacheStore,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    computed: AtomicU64,
+    failed: AtomicU64,
+    shutdown: AtomicBool,
+    started: Instant,
+    threads: usize,
+}
+
+/// A bound (but not yet running) server. Splitting bind from run lets
+/// callers learn the ephemeral port — and hand the run loop to a thread
+/// — before any request arrives.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    pool: WorkPool,
+}
+
+impl Server {
+    /// Binds the listener and builds the store and pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the address cannot be bound.
+    pub fn bind(opts: &ServeOptions) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&opts.addr).map_err(|e| format!("binding {}: {e}", opts.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking listener: {e}"))?;
+        let store = match &opts.cache_dir {
+            Some(dir) => CacheStore::open(dir.clone()),
+            None => CacheStore::open_default(),
+        };
+        let threads = opts.threads.max(1);
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                store,
+                requests: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                computed: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+                threads,
+            }),
+            pool: WorkPool::new(threads),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the (rare) socket introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The cache root this server answers from.
+    pub fn cache_root(&self) -> &std::path::Path {
+        self.state.store.root()
+    }
+
+    /// Runs the accept loop until `/v1/shutdown`, SIGINT or SIGTERM,
+    /// then drains in-flight requests and returns. Connections are
+    /// handled on the pool; the loop polls the nonblocking listener so
+    /// a shutdown request never waits on a new connection.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after a successful bind; the `Result`
+    /// leaves room for fatal accept errors.
+    pub fn run(self) -> Result<(), String> {
+        loop {
+            if self.state.shutdown.load(Ordering::SeqCst) || sigint::triggered() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    self.pool.spawn(move || handle_connection(stream, &state));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    // Transient accept failures (e.g. EMFILE) should not
+                    // kill the daemon; back off and keep serving.
+                    eprintln!("warning: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        self.pool.shutdown();
+        Ok(())
+    }
+}
+
+/// Reads one request off `stream`, routes it, writes the response.
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let (status, body) = match http::read_request(&mut reader) {
+        Ok(Some(request)) => route(&request, state),
+        Ok(None) => return, // client connected and left; nothing to answer
+        Err(e) => (400, error_body(&e)),
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    if status >= 400 {
+        state.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    if http::write_response(&mut writer, status, &body).is_err() {
+        // The client hung up before the answer; nothing to do.
+    }
+    let _ = writer.flush();
+}
+
+/// Dispatches one parsed request to its endpoint.
+fn route(request: &http::Request, state: &ServerState) -> (u16, String) {
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => (200, "{\"ok\":true}".to_string()),
+        ("GET", "/stats") => (200, stats_body(state)),
+        ("POST", "/v1/query") => answer_query(&request.body, state),
+        ("POST", "/v1/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            (200, "{\"ok\":true,\"shutting_down\":true}".to_string())
+        }
+        (_, "/healthz" | "/stats" | "/v1/query" | "/v1/shutdown") => (
+            405,
+            error_body(&format!("method {} not allowed here", request.method)),
+        ),
+        (_, other) => (404, error_body(&format!("no such endpoint '{other}'"))),
+    }
+}
+
+/// `POST /v1/query`: decode → evaluate through the shared store → encode.
+fn answer_query(body: &str, state: &ServerState) -> (u16, String) {
+    let doc = match Json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => return (400, error_body(&format!("request body is not JSON: {e}"))),
+    };
+    let query = match Query::from_json(&doc) {
+        Ok(query) => query,
+        Err(e) => return (400, error_body(&e)),
+    };
+    match slb_exp::answer(&query, &state.store) {
+        Ok(answer) => {
+            state
+                .cache_hits
+                .fetch_add(answer.cache_hits as u64, Ordering::Relaxed);
+            state
+                .computed
+                .fetch_add(answer.computed as u64, Ordering::Relaxed);
+            (200, answer.to_json().render())
+        }
+        // Well-formed but unanswerable (bad model parameters, solver
+        // failure): the request, not the server, is at fault.
+        Err(e) => (422, error_body(&e)),
+    }
+}
+
+fn stats_body(state: &ServerState) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        (
+            "requests".into(),
+            Json::Num(state.requests.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "cache_hits".into(),
+            Json::Num(state.cache_hits.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "computed".into(),
+            Json::Num(state.computed.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "failed".into(),
+            Json::Num(state.failed.load(Ordering::Relaxed) as f64),
+        ),
+        ("indexed".into(), Json::Num(state.store.indexed() as f64)),
+        ("threads".into(), Json::Num(state.threads as f64)),
+        (
+            "uptime_ms".into(),
+            Json::Num(state.started.elapsed().as_millis() as f64),
+        ),
+    ])
+    .render()
+}
+
+/// The uniform error payload: `{"error":"..."}`.
+fn error_body(message: &str) -> String {
+    Json::Obj(vec![("error".into(), Json::Str(message.to_string()))]).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(tag: &str) -> ServerState {
+        let dir = std::env::temp_dir().join(format!("slb-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ServerState {
+            store: CacheStore::open(dir),
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            threads: 1,
+        }
+    }
+
+    fn req(method: &str, path: &str, body: &str) -> http::Request {
+        http::Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.into(),
+        }
+    }
+
+    #[test]
+    fn routing_table() {
+        let state = test_state("route");
+        assert_eq!(route(&req("GET", "/healthz", ""), &state).0, 200);
+        assert_eq!(route(&req("GET", "/stats", ""), &state).0, 200);
+        assert_eq!(route(&req("POST", "/healthz", ""), &state).0, 405);
+        assert_eq!(route(&req("GET", "/v1/query", ""), &state).0, 405);
+        assert_eq!(route(&req("GET", "/nope", ""), &state).0, 404);
+        assert_eq!(route(&req("POST", "/v1/query", "not json"), &state).0, 400);
+        assert_eq!(
+            route(&req("POST", "/v1/query", "{\"kind\":\"teleport\"}"), &state).0,
+            400
+        );
+        // Well-formed but unanswerable: rho >= 1 is a model error.
+        let (status, body) = route(
+            &req(
+                "POST",
+                "/v1/query",
+                "{\"kind\":\"bounds\",\"n\":3,\"d\":2,\"rho\":1.5,\"t\":2}",
+            ),
+            &state,
+        );
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("error"));
+        let (status, _) = route(&req("POST", "/v1/shutdown", ""), &state);
+        assert_eq!(status, 200);
+        assert!(state.shutdown.load(Ordering::SeqCst));
+        let _ = std::fs::remove_dir_all(state.store.root());
+    }
+
+    #[test]
+    fn query_endpoint_counts_hits() {
+        let state = test_state("hits");
+        let body = "{\"kind\":\"bounds\",\"n\":3,\"d\":2,\"rho\":0.6,\"t\":2,\
+                    \"jobs\":20000,\"replications\":1,\"seed\":7}";
+        let (status, cold) = route(&req("POST", "/v1/query", body), &state);
+        assert_eq!(status, 200, "{cold}");
+        assert_eq!(state.computed.load(Ordering::Relaxed), 1);
+        let (status, warm) = route(&req("POST", "/v1/query", body), &state);
+        assert_eq!(status, 200);
+        assert_eq!(state.cache_hits.load(Ordering::Relaxed), 1);
+        // Byte-identical rows on replay.
+        let rows = |s: &str| Json::parse(s).unwrap().get("rows").unwrap().render();
+        assert_eq!(rows(&cold), rows(&warm));
+        let _ = std::fs::remove_dir_all(state.store.root());
+    }
+}

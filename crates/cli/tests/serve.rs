@@ -1,0 +1,198 @@
+//! End-to-end test of `slb serve`: spawns the real binary on an
+//! ephemeral port, speaks the wire protocol over real sockets, checks
+//! that served answers match direct (in-process) `slb query` answers
+//! byte-for-byte, and exercises graceful shutdown both ways (the
+//! `/v1/shutdown` endpoint and SIGINT).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use slb_cli::client;
+use slb_exp::{answer, CacheStore, Json, Metric, Query, SimBudget};
+
+/// A spawned `slb serve` child plus the address it reported.
+struct Daemon {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+fn start_daemon(cache_dir: &std::path::Path) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_slb"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--cache-dir",
+            &cache_dir.to_string_lossy(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn slb serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    // The first line reports the resolved ephemeral port.
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .trim()
+        .rsplit("http://")
+        .next()
+        .expect("listening line names the address")
+        .to_string();
+    assert!(
+        line.contains("listening"),
+        "unexpected first line: {line:?}"
+    );
+    Daemon {
+        child,
+        addr,
+        stdout,
+    }
+}
+
+fn wait_exit(mut daemon: Daemon) -> (std::process::ExitStatus, String) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = daemon.child.try_wait().expect("try_wait") {
+            let mut rest = String::new();
+            let _ = daemon.stdout.read_to_string(&mut rest);
+            return (status, rest);
+        }
+        assert!(Instant::now() < deadline, "server did not exit in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn tiny_budget() -> SimBudget {
+    SimBudget {
+        jobs: 20_000,
+        replications: 1,
+        seed: 11,
+    }
+}
+
+#[test]
+fn serves_queries_matching_direct_evaluation() {
+    let base = std::env::temp_dir().join(format!("slb-serve-e2e-{}", std::process::id()));
+    let served_cache = base.join("served");
+    let local_cache = base.join("local");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&served_cache).unwrap();
+    let daemon = start_daemon(&served_cache);
+    let addr = daemon.addr.clone();
+
+    // Liveness and stats.
+    let (status, body) = client::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+    let (status, body) = client::request(&addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // A served service query answers with exactly the rows a direct
+    // in-process evaluation (fresh cache, same parameters) produces.
+    let service = Query::Service {
+        policy: "sqd".into(),
+        n: 6,
+        d: 2,
+        rho: 0.6,
+        budget: tiny_budget(),
+    };
+    let served = client::post_query(&addr, &service).unwrap();
+    assert_eq!(served.computed, 1);
+    let direct = answer(&service, &CacheStore::open(&local_cache)).unwrap();
+    assert_eq!(
+        served.rows, direct.rows,
+        "served rows must be byte-identical"
+    );
+
+    // Replay: the second ask is a pure cache hit.
+    let replay = client::post_query(&addr, &service).unwrap();
+    assert_eq!(replay.computed, 0);
+    assert_eq!(replay.cache_hits, 1);
+    assert_eq!(replay.rows, direct.rows);
+
+    // A capacity query over the socket matches the local planner.
+    let capacity = Query::Capacity {
+        policy: "sqd".into(),
+        lambda: 3.0,
+        d: 2,
+        metric: Metric::Mean,
+        slo: 1.8,
+        n_max: 64,
+        budget: tiny_budget(),
+    };
+    let served_cap = client::post_query(&addr, &capacity).unwrap();
+    let direct_cap = answer(&capacity, &CacheStore::open(&local_cache)).unwrap();
+    let served_n = served_cap.capacity.as_ref().unwrap().n_required;
+    assert_eq!(served_n, direct_cap.capacity.as_ref().unwrap().n_required);
+    assert!(served_n.is_some(), "this SLO is feasible");
+    assert_eq!(served_cap.rows, direct_cap.rows);
+
+    // Error paths over the real socket.
+    let (status, body) = client::request(&addr, "POST", "/v1/query", Some("not json")).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("error"));
+    let (status, _) =
+        client::request(&addr, "POST", "/v1/query", Some("{\"kind\":\"teleport\"}")).unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client::request(
+        &addr,
+        "POST",
+        "/v1/query",
+        Some("{\"kind\":\"bounds\",\"n\":3,\"d\":2,\"rho\":1.5,\"t\":2}"),
+    )
+    .unwrap();
+    assert_eq!(status, 422, "well-formed but unanswerable");
+    let (status, _) = client::request(&addr, "GET", "/no/such/path", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client::request(&addr, "DELETE", "/healthz", None).unwrap();
+    assert_eq!(status, 405);
+
+    // Raw protocol garbage gets a 400, not a hang or a crash.
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    raw.write_all(b"BLARGH\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    BufReader::new(&mut raw).read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply:?}");
+
+    // Stats reflect the traffic, then graceful endpoint shutdown.
+    let (_, stats) = client::request(&addr, "GET", "/stats", None).unwrap();
+    let doc = Json::parse(&stats).unwrap();
+    assert!(
+        doc.get("requests").unwrap().as_f64().unwrap() >= 8.0,
+        "{stats}"
+    );
+    assert!(
+        doc.get("cache_hits").unwrap().as_f64().unwrap() >= 1.0,
+        "{stats}"
+    );
+    client::post_shutdown(&addr).unwrap();
+    let (status, rest) = wait_exit(daemon);
+    assert!(status.success(), "server exit: {status:?}");
+    assert!(rest.contains("drained and shut down"), "{rest:?}");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn sigint_shuts_down_gracefully() {
+    let base = std::env::temp_dir().join(format!("slb-serve-sig-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let daemon = start_daemon(&base);
+    let (status, _) = client::request(&daemon.addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+
+    let kill = Command::new("kill")
+        .args(["-INT", &daemon.child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(kill.success());
+    let (status, rest) = wait_exit(daemon);
+    assert!(status.success(), "SIGINT exit: {status:?}");
+    assert!(rest.contains("drained and shut down"), "{rest:?}");
+    let _ = std::fs::remove_dir_all(&base);
+}

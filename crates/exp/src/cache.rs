@@ -84,6 +84,11 @@ pub fn load(dir: &Path, key: &str) -> Option<Vec<Vec<String>>> {
 
 /// Stores `rows` under `key`, creating the cache directory on demand.
 ///
+/// The entry is written to a uniquely named temporary file in the same
+/// directory and atomically renamed into place, so a concurrent reader
+/// (another sweep, a running `slb serve`) can never observe a torn
+/// entry: it sees either the old file, the new file, or a miss.
+///
 /// # Errors
 ///
 /// Propagates filesystem errors (callers treat a failed store as
@@ -106,8 +111,25 @@ pub fn store(dir: &Path, key: &str, rows: &[Vec<String>]) -> std::io::Result<()>
         ));
     }
     out.push_str("]}\n");
-    std::fs::write(entry_path(dir, key), out)
+    let tmp = dir.join(format!(
+        "{:016x}.tmp-{}-{}",
+        fnv64(key),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, out)?;
+    match std::fs::rename(&tmp, entry_path(dir, key)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
+
+/// Disambiguates temp-file names when several threads of one process
+/// store entries concurrently (the pid alone is not unique then).
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 #[cfg(test)]
 mod tests {

@@ -1,30 +1,30 @@
 //! The sweep executor: cached, multithreaded, deterministic.
 //!
-//! Jobs are distributed round-robin onto per-worker deques; a worker
-//! pops from the back of its own deque and, when empty, steals from the
-//! front of a sibling's. Stealing takes the *oldest* queued job, so two
-//! workers never contend for the same end and long tails drain evenly.
+//! Since PR 6 the executor is a thin batch driver over the two shared
+//! service layers: jobs are scheduled onto a [`WorkPool`] (the same
+//! long-lived work-stealing pool `slb serve` answers requests on) and
+//! every evaluation goes through a [`CacheStore`]
+//! ([`CacheStore::get_or_compute`]), so a sweep, a one-shot `slb query`
+//! and a served request produce — and replay — byte-identical rows for
+//! identical canonical keys.
 //!
 //! Determinism: runners are pure functions of the job parameters, every
 //! result lands in the slot of its job index, and rows are concatenated
-//! in job order after the scope joins — so the output is byte-identical
+//! in job order after the batch drains — so the output is byte-identical
 //! for any thread count and any steal interleaving (the same discipline
 //! as `slb-sim`'s `run_parallel`). The cache layer reuses that purity:
 //! a hit replays the stored rows, which are the same bytes a cold run
 //! would produce.
 
-use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::cache;
 use crate::check::check_sandwich;
-use crate::runner::{run_job, Row, Scratch};
-use crate::spec::ScenarioSpec;
-
-/// Result slot of one scheduled job: filled exactly once by whichever
-/// worker ran it.
-type JobSlot = Mutex<Option<Result<Vec<Row>, String>>>;
+use crate::pool::WorkPool;
+use crate::runner::{run_job_pooled, Row};
+use crate::spec::{Job, ScenarioSpec};
+use crate::store::CacheStore;
 
 /// Options for one sweep execution.
 #[derive(Debug, Clone)]
@@ -67,127 +67,120 @@ pub struct SweepReport {
     pub rows: Vec<Row>,
     /// Expanded grid size.
     pub jobs: usize,
-    /// Jobs answered from the cache.
+    /// Jobs answered from the cache (memory, disk, or joined with an
+    /// identical in-flight evaluation).
     pub cache_hits: usize,
     /// Rows that passed the sandwich check (0 when unchecked or the
     /// family carries no bound columns).
     pub checked_rows: usize,
 }
 
-/// Expands a spec and runs (or replays) every job.
+/// One job's outcome: its rows plus whether the store answered it (a
+/// cache hit), or the runner's error message.
+type JobOutcome = Result<(Vec<Row>, bool), String>;
+
+/// One batch's completion state: result slots plus a drained counter
+/// the submitting thread waits on.
+struct Batch {
+    /// Filled exactly once per job by whichever worker ran it.
+    slots: Vec<Mutex<Option<JobOutcome>>>,
+    finished: Mutex<usize>,
+    drained: Condvar,
+}
+
+/// Expands a spec and runs (or replays) every job on a pool owned by
+/// this call.
 ///
 /// # Errors
 ///
 /// Returns a message when expansion fails, any job's runner fails, or
 /// the sandwich check finds a violating row.
 pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> Result<SweepReport, String> {
-    let jobs = spec.expand(opts.smoke)?;
+    let store = opts.cache.then(|| {
+        Arc::new(CacheStore::open(
+            opts.cache_dir
+                .clone()
+                .unwrap_or_else(cache::default_cache_dir),
+        ))
+    });
+    let pool = WorkPool::new(opts.threads.max(1));
+    let report = run_sweep_on(spec, opts, &pool, store.as_ref());
+    pool.shutdown();
+    report
+}
+
+/// [`run_sweep`] on a caller-owned pool and store — the entry point a
+/// long-running process (`slb serve`) uses so sweeps share its workers
+/// and its warm index. `opts.threads` is ignored (the pool is already
+/// sized); `opts.cache`/`opts.cache_dir` are ignored when `store` is
+/// given.
+///
+/// # Errors
+///
+/// As [`run_sweep`].
+pub fn run_sweep_on(
+    spec: &ScenarioSpec,
+    opts: &SweepOptions,
+    pool: &WorkPool,
+    store: Option<&Arc<CacheStore>>,
+) -> Result<SweepReport, String> {
+    let jobs: Arc<Vec<Job>> = Arc::new(spec.expand(opts.smoke)?);
     let total = jobs.len();
-    let cache_dir = opts
-        .cache_dir
-        .clone()
-        .unwrap_or_else(cache::default_cache_dir);
 
-    // Cache pass: resolve hits up front so only misses are scheduled.
-    let mut slots: Vec<Option<Vec<Row>>> = vec![None; total];
-    let mut cache_hits = 0usize;
-    if opts.cache {
-        for job in &jobs {
-            if let Some(rows) = cache::load(&cache_dir, &job.canonical_key()) {
-                slots[job.index] = Some(rows);
-                cache_hits += 1;
-            }
-        }
-    }
-    let pending: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
-
-    if !pending.is_empty() {
-        let workers = opts.threads.clamp(1, pending.len());
-        // Round-robin seeding keeps neighbouring (similar-cost) grid
-        // points on different workers.
-        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| {
-                Mutex::new(
-                    pending
-                        .iter()
-                        .copied()
-                        .skip(w)
-                        .step_by(workers)
-                        .collect::<VecDeque<usize>>(),
-                )
-            })
-            .collect();
-        let results: Vec<JobSlot> = (0..total).map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let deques = &deques;
-                let results = &results;
-                let jobs = &jobs;
-                scope.spawn(move || {
-                    let mut scratch = Scratch::new();
-                    loop {
-                        // Own deque first (back = newest, cache-warm
-                        // shapes), then steal the oldest job of the
-                        // first non-empty sibling.
-                        let mut next = deques[w].lock().expect("deque lock").pop_back();
-                        if next.is_none() {
-                            for v in 1..workers {
-                                let victim = (w + v) % workers;
-                                next = deques[victim].lock().expect("deque lock").pop_front();
-                                if next.is_some() {
-                                    break;
-                                }
-                            }
-                        }
-                        let Some(i) = next else { break };
-                        let outcome = run_job(&jobs[i], &mut scratch);
-                        *results[i].lock().expect("result lock") = Some(outcome);
-                    }
-                });
-            }
+    let batch = Arc::new(Batch {
+        slots: (0..total).map(|_| Mutex::new(None)).collect(),
+        finished: Mutex::new(0),
+        drained: Condvar::new(),
+    });
+    for i in 0..total {
+        let jobs = Arc::clone(&jobs);
+        let batch = Arc::clone(&batch);
+        let store = store.map(Arc::clone);
+        pool.spawn(move || {
+            let job = &jobs[i];
+            let outcome = match &store {
+                Some(store) => store
+                    .get_or_compute(&job.canonical_key(), || run_job_pooled(job))
+                    .map(|(rows, source)| (rows.as_ref().clone(), source.is_hit())),
+                None => run_job_pooled(job).map(|rows| (rows, false)),
+            };
+            *batch.slots[i].lock().expect("slot lock") = Some(outcome);
+            let mut finished = batch.finished.lock().expect("batch lock");
+            *finished += 1;
+            batch.drained.notify_all();
         });
+    }
+    let mut finished = batch.finished.lock().expect("batch lock");
+    while *finished < total {
+        finished = batch.drained.wait(finished).expect("batch wait");
+    }
+    drop(finished);
 
-        // Collect in job order; store fresh results in the cache from
-        // the main thread so cache writes cannot race. Every successful
-        // job is cached even when a sibling failed — a retry after
-        // fixing one bad grid point replays the rest instead of
-        // recomputing it.
-        let mut first_error: Option<String> = None;
-        for i in &pending {
-            let outcome = results[*i]
-                .lock()
-                .expect("result lock")
-                .take()
-                .unwrap_or_else(|| Err("job was never executed (executor bug)".into()));
-            match outcome {
-                Ok(rows) => {
-                    if opts.cache {
-                        if let Err(e) = cache::store(&cache_dir, &jobs[*i].canonical_key(), &rows) {
-                            eprintln!("warning: cannot write sweep cache: {e}");
-                        }
-                    }
-                    slots[*i] = Some(rows);
-                }
-                Err(e) if first_error.is_none() => {
-                    first_error = Some(format!(
-                        "job {} of {} ({}): {e}",
-                        i + 1,
-                        total,
-                        describe(&jobs[*i])
-                    ));
-                }
-                Err(_) => {}
+    // Collect in job order; the first (by job order) failure names its
+    // grid point. Successful siblings were already published to the
+    // store, so a retry after fixing one bad point replays the rest.
+    let mut rows = Vec::new();
+    let mut cache_hits = 0usize;
+    for (i, slot) in batch.slots.iter().enumerate() {
+        let outcome = slot
+            .lock()
+            .expect("slot lock")
+            .take()
+            .unwrap_or_else(|| Err("job was never executed (executor bug)".into()));
+        match outcome {
+            Ok((job_rows, hit)) => {
+                cache_hits += usize::from(hit);
+                rows.extend(job_rows);
+            }
+            Err(e) => {
+                return Err(format!(
+                    "job {} of {} ({}): {e}",
+                    i + 1,
+                    total,
+                    describe(&jobs[i])
+                ));
             }
         }
-        if let Some(e) = first_error {
-            return Err(e);
-        }
-    }
-
-    let mut rows = Vec::new();
-    for slot in slots {
-        rows.extend(slot.expect("all slots filled"));
     }
 
     let checked_rows = if opts.check {
@@ -278,6 +271,37 @@ zip = ["n", "t"]
         let warm = run_sweep(&spec, &opts).unwrap();
         assert_eq!(warm.cache_hits, warm.jobs);
         assert_eq!(warm.rows, cold.rows);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_pool_and_store_match_owned_run() {
+        // The serve path (caller-owned pool + store) must produce the
+        // same bytes as a plain sweep, and the second run over the same
+        // warm store must be all hits.
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let dir = temp_dir("shared");
+        let _ = std::fs::remove_dir_all(&dir);
+        let owned = run_sweep(
+            &spec,
+            &SweepOptions {
+                threads: 2,
+                cache: false,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+
+        let pool = WorkPool::new(3);
+        let store = Arc::new(CacheStore::open(dir.clone()));
+        let opts = SweepOptions::default();
+        let first = run_sweep_on(&spec, &opts, &pool, Some(&store)).unwrap();
+        assert_eq!(first.rows, owned.rows);
+        assert_eq!(first.cache_hits, 0);
+        let second = run_sweep_on(&spec, &opts, &pool, Some(&store)).unwrap();
+        assert_eq!(second.rows, owned.rows);
+        assert_eq!(second.cache_hits, second.jobs);
+        pool.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

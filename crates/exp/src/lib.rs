@@ -57,13 +57,19 @@ pub mod exec;
 pub mod json;
 pub mod output;
 pub mod parser;
+pub mod pool;
+pub mod query;
 pub mod runner;
 pub mod spec;
+pub mod store;
 pub mod value;
 
 pub use check::check_sandwich;
-pub use exec::{run_sweep, SweepOptions, SweepReport};
+pub use exec::{run_sweep, run_sweep_on, SweepOptions, SweepReport};
 pub use json::Json;
-pub use runner::{run_job, Family, Row, Scratch};
+pub use pool::WorkPool;
+pub use query::{answer, Answer, CapacityAnswer, Metric, Query, SimBudget};
+pub use runner::{run_job, run_job_pooled, Family, Row, Scratch};
 pub use spec::{Job, ScenarioSpec};
+pub use store::{CacheStore, Source};
 pub use value::Value;

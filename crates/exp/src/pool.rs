@@ -1,0 +1,206 @@
+//! A long-lived work-stealing thread pool.
+//!
+//! PR 4's sweep executor pinned the scheduling discipline — per-worker
+//! deques, a worker pops the *newest* job off the back of its own deque
+//! and steals the *oldest* job off the front of a sibling's — but its
+//! workers lived only for the duration of one `std::thread::scope`.
+//! [`WorkPool`] extracts that discipline into a pool whose workers
+//! outlive any one batch, so the same threads can drain a sweep's job
+//! grid *and* serve a daemon's request stream ([`crate::exec`] and
+//! `slb serve` both run on it).
+//!
+//! Tasks are `'static` closures; batch completion is the caller's
+//! concern (the sweep executor counts finished slots under a condvar —
+//! see [`crate::exec::run_sweep`]). [`WorkPool::shutdown`] drains every
+//! queued task before joining the workers, which is exactly the
+//! graceful-shutdown behaviour the server needs: accepted requests are
+//! answered, no new ones are admitted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A unit of pool work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    /// One deque per worker; external submissions round-robin across
+    /// them, each worker owns the back of its own.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Round-robin cursor for submissions.
+    next: AtomicUsize,
+    /// Parking lot for idle workers.
+    idle: Mutex<()>,
+    wake: Condvar,
+    /// Set once by [`WorkPool::shutdown`]; workers exit when it is set
+    /// *and* every queue has drained.
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size work-stealing thread pool. See the module docs.
+pub struct WorkPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkPool {
+    /// Spawns a pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("slb-pool-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a task. Tasks are distributed round-robin onto the
+    /// worker deques; an idle worker is woken.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        let w = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.queues[w]
+            .lock()
+            .expect("pool queue lock")
+            .push_back(Box::new(task));
+        self.shared.wake.notify_all();
+    }
+
+    /// Drains every queued task, then joins the workers. Tasks already
+    /// running or still queued complete; new submissions after this
+    /// call would be lost (the pool is consumed, so the type system
+    /// prevents them).
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Pops work for worker `w`: own back first (newest — warm caches),
+/// then the front (oldest) of the first non-empty sibling.
+fn grab(shared: &PoolShared, w: usize) -> Option<Task> {
+    if let Some(task) = shared.queues[w].lock().expect("pool queue lock").pop_back() {
+        return Some(task);
+    }
+    let k = shared.queues.len();
+    for v in 1..k {
+        let victim = (w + v) % k;
+        if let Some(task) = shared.queues[victim]
+            .lock()
+            .expect("pool queue lock")
+            .pop_front()
+        {
+            return Some(task);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &PoolShared, w: usize) {
+    loop {
+        if let Some(task) = grab(shared, w) {
+            task();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Re-check after observing shutdown: a task submitted just
+            // before the flag was raised must still run.
+            match grab(shared, w) {
+                Some(task) => task(),
+                None => return,
+            }
+            continue;
+        }
+        // Park with a timeout: a wake can race with the queue check,
+        // and the timeout bounds the window without busy-spinning.
+        let guard = shared.idle.lock().expect("pool idle lock");
+        let _ = shared
+            .wake
+            .wait_timeout(guard, Duration::from_millis(50))
+            .expect("pool idle wait");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_across_threads() {
+        let pool = WorkPool::new(4);
+        let sum = Arc::new(AtomicU64::new(0));
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        const TASKS: u64 = 200;
+        for i in 1..=TASKS {
+            let sum = Arc::clone(&sum);
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+                let (count, cv) = &*done;
+                *count.lock().unwrap() += 1;
+                cv.notify_all();
+            });
+        }
+        let (count, cv) = &*done;
+        let mut finished = count.lock().unwrap();
+        while *finished < TASKS as usize {
+            finished = cv.wait(finished).unwrap();
+        }
+        drop(finished);
+        assert_eq!(sum.load(Ordering::Relaxed), TASKS * (TASKS + 1) / 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_tasks() {
+        // More tasks than workers, each slow enough that some are still
+        // queued when shutdown is called: all must run anyway.
+        let pool = WorkPool::new(2);
+        let ran = Arc::new(AtomicU64::new(0));
+        for _ in 0..20 {
+            let ran = Arc::clone(&ran);
+            pool.spawn(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        pool.shutdown();
+    }
+}

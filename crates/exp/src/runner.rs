@@ -56,6 +56,13 @@ pub enum Family {
     /// reference values are O(1) to evaluate at any `N`, unlike the QBD
     /// bounds whose block size `C(N+T−1, T)` explodes combinatorially.
     Scaling,
+    /// One service-level point: the simulated mean delay *and* its
+    /// p50/p90/p99 sojourn-time percentiles at `(policy, N, d, ρ)`,
+    /// with the same O(1) mean-delay sandwich as [`Family::Scaling`].
+    /// This is the evaluation primitive behind the capacity-planning
+    /// queries of [`crate::query`]: "how many servers for arrival rate
+    /// λ at a p99 SLO" bisects `N` over rows of this family.
+    Service,
 }
 
 impl Family {
@@ -73,9 +80,10 @@ impl Family {
             "logred-iters" => Ok(Family::LogredIters),
             "theorem3" => Ok(Family::Theorem3),
             "scaling" => Ok(Family::Scaling),
+            "service" => Ok(Family::Service),
             other => Err(format!(
                 "unknown family '{other}' (expected bounds, asymptotic-error, delay-tails, \
-                 burstiness, logred-iters, theorem3 or scaling)"
+                 burstiness, logred-iters, theorem3, scaling or service)"
             )),
         }
     }
@@ -90,6 +98,7 @@ impl Family {
             Family::LogredIters => "logred-iters",
             Family::Theorem3 => "theorem3",
             Family::Scaling => "scaling",
+            Family::Service => "service",
         }
     }
 
@@ -158,6 +167,20 @@ impl Family {
                 "lower",
                 "sim",
                 "sim_ci",
+                "upper",
+                "max_queue",
+            ],
+            Family::Service => &[
+                "policy",
+                "n",
+                "d",
+                "rho",
+                "lower",
+                "sim",
+                "sim_ci",
+                "p50",
+                "p90",
+                "p99",
                 "upper",
                 "max_queue",
             ],
@@ -230,7 +253,27 @@ pub fn run_job(job: &Job, scratch: &mut Scratch) -> Result<Vec<Row>, String> {
         Family::LogredIters => run_logred_iters(job, scratch),
         Family::Theorem3 => run_theorem3(job),
         Family::Scaling => run_scaling(job),
+        Family::Service => run_service(job),
     }
+}
+
+thread_local! {
+    /// Per-thread scratch for [`run_job_pooled`]: long-lived pool
+    /// workers (sweep executor, `slb serve` handlers) keep their dense
+    /// workspaces warm across every job they ever run, not just one
+    /// batch.
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::new());
+}
+
+/// Runs one job on the calling thread's persistent [`Scratch`] pool —
+/// the entry point for pool workers and server request handlers, where
+/// no caller-owned scratch outlives the closure.
+///
+/// # Errors
+///
+/// Exactly as [`run_job`].
+pub fn run_job_pooled(job: &Job) -> Result<Vec<Row>, String> {
+    SCRATCH.with(|s| run_job(job, &mut s.borrow_mut()))
 }
 
 /// Splits a total job budget across replications, floored so degenerate
@@ -524,22 +567,10 @@ fn run_scaling(job: &Job) -> Result<Vec<Row>, String> {
     let d = job.usize("d")?;
     let rho = job.f64("rho")?;
     let policy_name = job.str("policy")?;
-    let policy = match policy_name {
-        // Cannot poll more servers than exist: skip the point, as the
-        // asymptotic-error family does, instead of silently clamping d
-        // while the row still prints the unclamped value.
-        "sqd" if d > n => return Ok(Vec::new()),
-        "sqd" => Policy::SqD { d },
-        "jsq" => Policy::Jsq,
-        other => Err(format!("unknown policy '{other}' (expected sqd or jsq)"))?,
+    let Some(policy) = scaling_policy(policy_name, d, n)? else {
+        return Ok(Vec::new());
     };
-    let lower = match policy {
-        // Mean-field mean delay: exact as N → ∞, approached from below.
-        Policy::SqD { d } => asymptotic::mean_delay(rho, d),
-        // JSQ delay tends to the bare service time at fixed ρ < 1.
-        _ => 1.0,
-    };
-    let upper = 1.0 / (1.0 - rho);
+    let (lower, upper) = o1_sandwich(policy, rho);
     let sim = run_sim(job, n, rho, policy, None)?;
 
     Ok(vec![vec![
@@ -550,6 +581,67 @@ fn run_scaling(job: &Job) -> Result<Vec<Row>, String> {
         f4(lower),
         f4(sim.mean_delay),
         f4(sim.ci_halfwidth),
+        f4(upper),
+        sim.max_queue_len.to_string(),
+    ]])
+}
+
+/// Resolves the scaling/service policy name; `Ok(None)` marks an
+/// infeasible point (`d > N` under SQ(d)) that the sweep skips, as the
+/// asymptotic-error family does, instead of silently clamping `d`
+/// while the row still prints the unclamped value.
+fn scaling_policy(name: &str, d: usize, n: usize) -> Result<Option<Policy>, String> {
+    match name {
+        "sqd" if d > n => Ok(None),
+        "sqd" => Ok(Some(Policy::SqD { d })),
+        "jsq" => Ok(Some(Policy::Jsq)),
+        other => Err(format!("unknown policy '{other}' (expected sqd or jsq)")),
+    }
+}
+
+/// The O(1)-to-evaluate mean-delay sandwich valid at any `N`: the
+/// mean-field delay (Eq. 16 for SQ(d); the bare unit service time for
+/// JSQ, whose delay tends to 1 as `N → ∞`) from below, and the SQ(1)
+/// random-routing M/M/1 delay `1/(1 − ρ)` from above.
+fn o1_sandwich(policy: Policy, rho: f64) -> (f64, f64) {
+    let lower = match policy {
+        Policy::SqD { d } => asymptotic::mean_delay(rho, d),
+        _ => 1.0,
+    };
+    (lower, 1.0 / (1.0 - rho))
+}
+
+/// `service`: one service-level grid point — the scaling row extended
+/// with the p50/p90/p99 sojourn-time percentiles the capacity planner
+/// bisects against. Percentiles come from the simulation's delay
+/// histogram (bin width 0.02 service units).
+fn run_service(job: &Job) -> Result<Vec<Row>, String> {
+    let n = job.usize("n")?;
+    let d = job.usize("d")?;
+    let rho = job.f64("rho")?;
+    let policy_name = job.str("policy")?;
+    let Some(policy) = scaling_policy(policy_name, d, n)? else {
+        return Ok(Vec::new());
+    };
+    let (lower, upper) = o1_sandwich(policy, rho);
+    let sim = run_sim(job, n, rho, policy, None)?;
+    let q = |p: f64| {
+        sim.delay_quantile(p)
+            .map(f4)
+            .ok_or_else(|| "simulation measured no jobs".to_string())
+    };
+
+    Ok(vec![vec![
+        policy_name.to_string(),
+        n.to_string(),
+        d.to_string(),
+        f4(rho),
+        f4(lower),
+        f4(sim.mean_delay),
+        f4(sim.ci_halfwidth),
+        q(0.5)?,
+        q(0.9)?,
+        q(0.99)?,
         f4(upper),
         sim.max_queue_len.to_string(),
     ]])
@@ -581,11 +673,56 @@ mod tests {
             Family::LogredIters,
             Family::Theorem3,
             Family::Scaling,
+            Family::Service,
         ] {
             assert_eq!(Family::from_name(f.as_str()).unwrap(), f);
             assert!(!f.columns().is_empty());
         }
         assert!(Family::from_name("bogus").is_err());
+    }
+
+    #[test]
+    fn service_row_orders_percentiles_and_sandwiches() {
+        let j = job(
+            Family::Service,
+            &[
+                ("n", Value::Int(16)),
+                ("d", Value::Int(2)),
+                ("rho", Value::Float(0.8)),
+                ("policy", Value::Str("sqd".into())),
+                ("jobs", Value::Int(60_000)),
+                ("replications", Value::Int(2)),
+                ("seed", Value::Int(7)),
+            ],
+        );
+        let rows = run_job(&j, &mut Scratch::new()).unwrap();
+        assert_eq!(rows.len(), 1);
+        let cols = Family::Service.columns();
+        assert_eq!(rows[0].len(), cols.len());
+        let cell = |name: &str| -> f64 {
+            rows[0][cols.iter().position(|c| *c == name).unwrap()]
+                .parse()
+                .unwrap()
+        };
+        assert!(cell("p50") <= cell("p90") && cell("p90") <= cell("p99"));
+        assert!(cell("lower") <= cell("sim") + 0.1);
+        assert!(cell("sim") <= cell("upper") + 0.1);
+        // Pooled entry point produces identical rows (shared scratch).
+        assert_eq!(run_job_pooled(&j).unwrap(), rows);
+        // Infeasible d > n skips, like scaling.
+        let j = job(
+            Family::Service,
+            &[
+                ("n", Value::Int(2)),
+                ("d", Value::Int(4)),
+                ("rho", Value::Float(0.5)),
+                ("policy", Value::Str("sqd".into())),
+                ("jobs", Value::Int(1_000)),
+                ("replications", Value::Int(1)),
+                ("seed", Value::Int(1)),
+            ],
+        );
+        assert_eq!(run_job(&j, &mut Scratch::new()).unwrap(), Vec::<Row>::new());
     }
 
     #[test]

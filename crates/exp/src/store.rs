@@ -1,0 +1,316 @@
+//! Persistent, concurrency-safe result store shared by `slb sweep`,
+//! `slb query` and `slb serve`.
+//!
+//! [`CacheStore`] promotes the per-sweep cache files of [`crate::cache`]
+//! to a long-lived cross-request store under one shared root
+//! (`target/sweep-cache` by default). The keys, the on-disk schema and
+//! the schema-version gating are unchanged — an entry written by a
+//! sweep is replayed byte-identically by the server and vice versa —
+//! but three layers make it safe and fast under concurrent access:
+//!
+//! 1. **In-process index**: an `RwLock` map from canonical key to the
+//!    parsed rows. A repeat query never touches the filesystem; a hit
+//!    is an `Arc` clone behind a read lock (microseconds).
+//! 2. **In-flight dedup**: concurrent requests for the *same* key block
+//!    on the first request's computation instead of solving twice; the
+//!    solve runs exactly once per process per key.
+//! 3. **Atomic publication**: disk writes go through
+//!    [`crate::cache::store`]'s unique-temp-file + `rename` protocol,
+//!    so concurrent writers (even across processes) can never produce
+//!    a torn entry — a reader sees a complete entry or a miss.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+use crate::cache;
+use crate::runner::Row;
+
+/// How a [`CacheStore`] request was satisfied — the store's analogue of
+/// a cache hit/miss counter, kept per call so callers can aggregate
+/// whichever way suits them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Served from the in-process index (no filesystem access).
+    Memory,
+    /// Loaded from a persistent entry on disk.
+    Disk,
+    /// Computed by this call (and published to index + disk).
+    Computed,
+    /// Another thread was already computing the same key; this call
+    /// waited and shares its result.
+    Joined,
+}
+
+impl Source {
+    /// Whether the request was answered without running the solver.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, Source::Computed)
+    }
+}
+
+/// One in-flight computation: the first requester of a key parks a
+/// flight here; followers wait on the condvar and share the outcome.
+struct Flight {
+    done: Mutex<Option<Result<Arc<Vec<Row>>, String>>>,
+    cv: Condvar,
+}
+
+/// Clears an abandoned flight (compute panicked before finalizing) so
+/// waiters fail with a message instead of blocking forever.
+struct FlightGuard<'a> {
+    store: &'a CacheStore,
+    key: &'a str,
+    flight: &'a Arc<Flight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.store.finish_flight(
+                self.key,
+                self.flight,
+                Err("cache compute panicked".to_string()),
+            );
+        }
+    }
+}
+
+/// The persistent concurrent cache. See the module docs for the layer
+/// structure; construction is cheap (no eager directory scan — entries
+/// load lazily on first lookup).
+pub struct CacheStore {
+    root: PathBuf,
+    index: RwLock<HashMap<String, Arc<Vec<Row>>>>,
+    inflight: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl std::fmt::Debug for CacheStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheStore")
+            .field("root", &self.root)
+            .field("indexed", &self.index.read().map(|i| i.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+impl CacheStore {
+    /// Opens (lazily) the store rooted at `root`. The directory is
+    /// created on first write, not here.
+    pub fn open(root: impl Into<PathBuf>) -> Self {
+        CacheStore {
+            root: root.into(),
+            index: RwLock::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Opens the store at the workspace-default root
+    /// (`<workspace>/target/sweep-cache`, the same directory every
+    /// `slb sweep` has always used).
+    pub fn open_default() -> Self {
+        CacheStore::open(cache::default_cache_dir())
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of entries currently held in the in-process index.
+    pub fn indexed(&self) -> usize {
+        self.index.read().expect("index lock").len()
+    }
+
+    /// Index-then-disk lookup without computing. A disk hit is promoted
+    /// into the index so the next lookup is memory-speed.
+    pub fn lookup(&self, key: &str) -> Option<Arc<Vec<Row>>> {
+        if let Some(rows) = self.index.read().expect("index lock").get(key) {
+            return Some(Arc::clone(rows));
+        }
+        let rows = Arc::new(cache::load(&self.root, key)?);
+        self.index
+            .write()
+            .expect("index lock")
+            .insert(key.to_string(), Arc::clone(&rows));
+        Some(rows)
+    }
+
+    /// Publishes `rows` under `key` to both the index and (best-effort)
+    /// the disk entry. A failed disk write degrades to a warning: the
+    /// result is already in hand and indexed.
+    pub fn publish(&self, key: &str, rows: Arc<Vec<Row>>) {
+        if let Err(e) = cache::store(&self.root, key, &rows) {
+            eprintln!("warning: cannot write sweep cache: {e}");
+        }
+        self.index
+            .write()
+            .expect("index lock")
+            .insert(key.to_string(), rows);
+    }
+
+    /// The core request path: answers `key` from the index, then disk,
+    /// then — deduplicated across threads — by running `compute` once
+    /// and publishing its result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute error (shared verbatim by every caller
+    /// that joined the same in-flight computation).
+    pub fn get_or_compute<F>(
+        &self,
+        key: &str,
+        compute: F,
+    ) -> Result<(Arc<Vec<Row>>, Source), String>
+    where
+        F: FnOnce() -> Result<Vec<Row>, String>,
+    {
+        if let Some(rows) = self.index.read().expect("index lock").get(key) {
+            return Ok((Arc::clone(rows), Source::Memory));
+        }
+
+        // Register interest under the in-flight lock: exactly one
+        // requester per key proceeds to the slow path.
+        let flight = {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            // Double-check the index: the previous holder may have
+            // published between our read miss and this lock.
+            if let Some(rows) = self.index.read().expect("index lock").get(key) {
+                return Ok((Arc::clone(rows), Source::Memory));
+            }
+            if let Some(flight) = inflight.get(key) {
+                let flight = Arc::clone(flight);
+                drop(inflight);
+                return self.join_flight(&flight);
+            }
+            let flight = Arc::new(Flight {
+                done: Mutex::new(None),
+                cv: Condvar::new(),
+            });
+            inflight.insert(key.to_string(), Arc::clone(&flight));
+            flight
+        };
+
+        let mut guard = FlightGuard {
+            store: self,
+            key,
+            flight: &flight,
+            armed: true,
+        };
+
+        // Disk may already hold the entry (a previous process, or a
+        // sweep sharing the root): schema/key-gated load, no compute.
+        if let Some(rows) = cache::load(&self.root, key) {
+            let rows = Arc::new(rows);
+            self.index
+                .write()
+                .expect("index lock")
+                .insert(key.to_string(), Arc::clone(&rows));
+            guard.armed = false;
+            self.finish_flight(key, &flight, Ok(Arc::clone(&rows)));
+            return Ok((rows, Source::Disk));
+        }
+
+        let outcome = compute().map(Arc::new);
+        if let Ok(rows) = &outcome {
+            self.publish(key, Arc::clone(rows));
+        }
+        guard.armed = false;
+        self.finish_flight(key, &flight, outcome.clone());
+        outcome.map(|rows| (rows, Source::Computed))
+    }
+
+    /// Waits for another thread's computation of the same key.
+    fn join_flight(&self, flight: &Arc<Flight>) -> Result<(Arc<Vec<Row>>, Source), String> {
+        let mut done = flight.done.lock().expect("flight lock");
+        while done.is_none() {
+            done = flight.cv.wait(done).expect("flight wait");
+        }
+        done.as_ref()
+            .expect("loop invariant")
+            .clone()
+            .map(|rows| (rows, Source::Joined))
+    }
+
+    /// Records a flight's outcome, wakes every waiter, and retires the
+    /// flight so later requests go through index/disk.
+    fn finish_flight(
+        &self,
+        key: &str,
+        flight: &Arc<Flight>,
+        outcome: Result<Arc<Vec<Row>>, String>,
+    ) {
+        self.inflight.lock().expect("inflight lock").remove(key);
+        *flight.done.lock().expect("flight lock") = Some(outcome);
+        flight.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_store(tag: &str) -> CacheStore {
+        let dir = std::env::temp_dir().join(format!("slb-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CacheStore::open(dir)
+    }
+
+    fn rows(tag: &str) -> Vec<Row> {
+        vec![vec![tag.to_string(), "1.25".to_string()]]
+    }
+
+    #[test]
+    fn compute_then_memory_then_disk() {
+        let store = temp_store("basic");
+        let calls = AtomicUsize::new(0);
+        let compute = || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(rows("a"))
+        };
+        let (r1, s1) = store.get_or_compute("k", compute).unwrap();
+        assert_eq!(s1, Source::Computed);
+        assert_eq!(*r1, rows("a"));
+        let (r2, s2) = store
+            .get_or_compute("k", || panic!("must not run"))
+            .unwrap();
+        assert_eq!(s2, Source::Memory);
+        assert_eq!(r2, r1);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+
+        // A fresh store over the same root answers from disk.
+        let reopened = CacheStore::open(store.root().to_path_buf());
+        let (r3, s3) = reopened
+            .get_or_compute("k", || panic!("must not run"))
+            .unwrap();
+        assert_eq!(s3, Source::Disk);
+        assert_eq!(*r3, rows("a"));
+        assert_eq!(reopened.indexed(), 1);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn errors_propagate_and_are_not_cached() {
+        let store = temp_store("err");
+        let err = store
+            .get_or_compute("k", || Err("boom".to_string()))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        // The failure was not published: a retry recomputes.
+        let (r, s) = store.get_or_compute("k", || Ok(rows("fixed"))).unwrap();
+        assert_eq!(s, Source::Computed);
+        assert_eq!(*r, rows("fixed"));
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn lookup_does_not_compute() {
+        let store = temp_store("lookup");
+        assert!(store.lookup("missing").is_none());
+        store.publish("k", Arc::new(rows("x")));
+        assert_eq!(*store.lookup("k").unwrap(), rows("x"));
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

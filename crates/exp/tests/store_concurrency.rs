@@ -1,0 +1,200 @@
+//! Concurrency contract of the persistent [`CacheStore`]: many threads
+//! hammering the same and distinct keys must never observe a torn
+//! entry, must deduplicate identical in-flight computations down to a
+//! single solve, and must treat schema-mismatched entries as misses.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use slb_exp::{CacheStore, Row, Source};
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("slb-store-conc-{tag}-{}", std::process::id()))
+}
+
+fn payload(key: &str) -> Vec<Row> {
+    // Multi-row, multi-cell payload so torn writes would be visible.
+    (0..8)
+        .map(|i| vec![key.to_string(), i.to_string(), format!("cell-{key}-{i}")])
+        .collect()
+}
+
+#[test]
+fn identical_keys_compute_once_across_threads() {
+    let root = temp_root("same-key");
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Arc::new(CacheStore::open(root.clone()));
+    let solves = Arc::new(AtomicUsize::new(0));
+    const THREADS: usize = 16;
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let solves = Arc::clone(&solves);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                store
+                    .get_or_compute("shared-key", || {
+                        solves.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough that every
+                        // sibling thread arrives while it is in flight.
+                        std::thread::sleep(Duration::from_millis(30));
+                        Ok(payload("shared-key"))
+                    })
+                    .unwrap()
+            })
+        })
+        .collect();
+
+    let mut computed = 0;
+    let mut joined_or_hit = 0;
+    for handle in handles {
+        let (rows, source) = handle.join().unwrap();
+        assert_eq!(*rows, payload("shared-key"), "no torn or partial entry");
+        match source {
+            Source::Computed => computed += 1,
+            _ => joined_or_hit += 1,
+        }
+    }
+    assert_eq!(
+        solves.load(Ordering::SeqCst),
+        1,
+        "in-flight dedup must run the solve exactly once"
+    );
+    assert_eq!(computed, 1);
+    assert_eq!(joined_or_hit, THREADS - 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn distinct_keys_under_contention_stay_intact() {
+    let root = temp_root("distinct");
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Arc::new(CacheStore::open(root.clone()));
+    const THREADS: usize = 8;
+    const KEYS: usize = 24;
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    // Every thread walks every key in a different order: plenty of
+    // same-key races and plenty of disjoint traffic.
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..KEYS {
+                    let k = (i * (t + 1)) % KEYS;
+                    let key = format!("key-{k}");
+                    let (rows, _) = store.get_or_compute(&key, || Ok(payload(&key))).unwrap();
+                    assert_eq!(*rows, payload(&key), "thread {t} read a torn entry");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    // Every key is now a persistent, intact disk entry: a fresh store
+    // (new process, cold index) replays all of them without computing.
+    let reopened = CacheStore::open(root.clone());
+    for k in 0..KEYS {
+        let key = format!("key-{k}");
+        let (rows, source) = reopened
+            .get_or_compute(&key, || panic!("disk entry for {key} must exist"))
+            .unwrap();
+        assert_eq!(*rows, payload(&key));
+        assert_eq!(source, Source::Disk);
+    }
+    assert_eq!(reopened.indexed(), KEYS);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn schema_mismatch_forces_recompute() {
+    let root = temp_root("schema");
+    let _ = std::fs::remove_dir_all(&root);
+    let store = CacheStore::open(root.clone());
+    let key = "schema-key";
+    let (_, source) = store.get_or_compute(key, || Ok(payload(key))).unwrap();
+    assert_eq!(source, Source::Computed);
+
+    // Rewrite the entry as if produced by an older engine: same file
+    // name, same key string, stale schema number.
+    let path = root.join(format!("{:016x}.json", slb_exp::cache::fnv64(key)));
+    let entry = std::fs::read_to_string(&path).unwrap();
+    let stale = entry.replace(
+        &format!("\"schema\":{}", slb_exp::cache::CACHE_SCHEMA),
+        "\"schema\":1",
+    );
+    assert_ne!(entry, stale, "the entry must carry the schema field");
+    std::fs::write(&path, stale).unwrap();
+
+    // A cold store treats the stale entry as a miss and recomputes;
+    // the recompute overwrites it with the current schema.
+    let reopened = CacheStore::open(root.clone());
+    let fresh = vec![vec!["recomputed".to_string()]];
+    let fresh_clone = fresh.clone();
+    let (rows, source) = reopened
+        .get_or_compute(key, move || Ok(fresh_clone))
+        .unwrap();
+    assert_eq!(source, Source::Computed);
+    assert_eq!(*rows, fresh);
+    let again = CacheStore::open(root.clone());
+    let (rows, source) = again
+        .get_or_compute(key, || panic!("entry must be valid again"))
+        .unwrap();
+    assert_eq!(source, Source::Disk);
+    assert_eq!(*rows, fresh);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn failed_compute_is_shared_by_waiters_but_not_cached() {
+    let root = temp_root("fail");
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Arc::new(CacheStore::open(root.clone()));
+    const THREADS: usize = 6;
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let attempts = Arc::new(AtomicUsize::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            let attempts = Arc::clone(&attempts);
+            std::thread::spawn(move || {
+                barrier.wait();
+                store.get_or_compute("doomed", move || {
+                    attempts.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(20));
+                    Err("solver exploded".to_string())
+                })
+            })
+        })
+        .collect();
+    let mut failures = 0;
+    for handle in handles {
+        match handle.join().unwrap() {
+            Err(e) => {
+                assert_eq!(e, "solver exploded");
+                failures += 1;
+            }
+            Ok((_, source)) => panic!("unexpected success from {source:?}"),
+        }
+    }
+    // At least the first flight failed and its error reached every
+    // waiter of that flight; errors are never written to disk.
+    assert!((1..=THREADS).contains(&failures));
+    assert!(attempts.load(Ordering::SeqCst) <= THREADS);
+    assert!(store.lookup("doomed").is_none(), "failures must not cache");
+    let (_, source) = store
+        .get_or_compute("doomed", || Ok(payload("ok-now")))
+        .unwrap();
+    assert_eq!(source, Source::Computed, "a retry recomputes cleanly");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,92 @@
+//! Minimal signal-to-flag shim (offline stand-in for the tiny slice of
+//! `signal-hook` / `ctrlc` this workspace needs).
+//!
+//! [`install`] registers a handler for `SIGINT` (ctrl-C) and `SIGTERM`
+//! that does nothing but set a process-global [`AtomicBool`]; the
+//! application polls [`triggered`] at its own pace. Setting a
+//! pre-`static` atomic is async-signal-safe, so the handler performs no
+//! allocation, locking or I/O.
+//!
+//! On non-Unix targets [`install`] is a no-op and [`triggered`] only
+//! ever reports `true` after [`trigger`] (the programmatic path used by
+//! tests and by graceful in-process shutdown).
+//!
+//! ```
+//! sigint::install();
+//! assert!(!sigint::triggered());
+//! sigint::trigger(); // what the handler does on SIGINT/SIGTERM
+//! assert!(sigint::triggered());
+//! sigint::reset();
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FLAG: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal (or [`trigger`]) has been observed
+/// since the last [`reset`].
+pub fn triggered() -> bool {
+    FLAG.load(Ordering::SeqCst)
+}
+
+/// Raises the flag programmatically — exactly what the signal handler
+/// does, usable from tests and from in-process shutdown paths.
+pub fn trigger() {
+    FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (tests; re-arming after a handled shutdown).
+pub fn reset() {
+    FLAG.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::os::raw::c_int;
+
+    extern "C" {
+        /// POSIX `signal(2)`: always linked via libc, no crate needed.
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: c_int) {
+        // Async-signal-safe: one relaxed-to-seqcst store on a static.
+        super::trigger();
+    }
+
+    pub fn install() {
+        const SIGINT: c_int = 2;
+        const SIGTERM: c_int = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Registers the `SIGINT`/`SIGTERM` handler. Idempotent; call once at
+/// startup before entering the poll loop.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_lifecycle() {
+        install();
+        reset();
+        assert!(!triggered());
+        trigger();
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+    }
+}
