@@ -117,16 +117,18 @@ fn bench_sim_throughput(c: &mut Criterion) {
         );
     }
     // Parallel replications: the *same total work* (4 replications of
-    // 25k jobs) on 1 worker thread vs 4. The t1 variant is the serial
+    // 100k jobs each — full replication-sized slices, so per-run setup
+    // is noise) on 1 worker thread vs 4. The t1 variant is the serial
     // reference, so the parallel speedup is the t1/t4 median ratio — a
-    // directly gateable number, unlike the old sim_parallel4 bench
-    // whose median coincided with sim_serial by construction.
+    // directly gateable number. PR 7's pre-resize pairs ran 4×25k
+    // slices, small enough that thread hand-off and merge overhead
+    // drowned the signal.
     let par = |n: usize, policy: Policy, threads: usize| {
         SimConfig::new(n, 0.9)
             .unwrap()
             .policy(policy)
-            .jobs(JOBS / 4)
-            .warmup(JOBS / 40)
+            .jobs(JOBS)
+            .warmup(JOBS / 10)
             .seed(1)
             .run_parallel(4, threads)
             .unwrap()
@@ -137,7 +139,7 @@ fn bench_sim_throughput(c: &mut Criterion) {
                 group.bench_function(
                     BenchmarkId::new(
                         format!("sim_par_{policy_name}_t{threads}"),
-                        format!("N{n}_rho0.9_4x25k"),
+                        format!("N{n}_rho0.9_4x100k"),
                     ),
                     |b| b.iter(|| par(n, policy, threads)),
                 );

@@ -20,7 +20,12 @@ use crate::json::{escape, Json};
 /// ziggurat exponential sampling) changed every simulated cell, so
 /// rows cached by the heap-based engine must not replay as if they
 /// were produced by the current one.
-pub const CACHE_SCHEMA: u32 = 2;
+///
+/// v3: the batched-draw engine (block-refilled service/interarrival
+/// buffers, block-reduced statistics) interleaves the RNG streams
+/// differently and reduces sums in a different — still deterministic —
+/// order, changing every simulated cell again.
+pub const CACHE_SCHEMA: u32 = 3;
 
 /// 64-bit FNV-1a — the workspace-standard small stable hash.
 pub fn fnv64(s: &str) -> u64 {

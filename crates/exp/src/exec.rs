@@ -21,10 +21,10 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use crate::cache;
 use crate::check::check_sandwich;
-use crate::pool::WorkPool;
 use crate::runner::{run_job_pooled, Row};
 use crate::spec::{Job, ScenarioSpec};
 use crate::store::CacheStore;
+use slb_pool::WorkPool;
 
 /// Options for one sweep execution.
 #[derive(Debug, Clone)]

@@ -57,7 +57,6 @@ pub mod exec;
 pub mod json;
 pub mod output;
 pub mod parser;
-pub mod pool;
 pub mod query;
 pub mod runner;
 pub mod spec;
@@ -67,9 +66,9 @@ pub mod value;
 pub use check::check_sandwich;
 pub use exec::{run_sweep, run_sweep_on, SweepOptions, SweepReport};
 pub use json::Json;
-pub use pool::WorkPool;
 pub use query::{answer, Answer, CapacityAnswer, Metric, Query, SimBudget};
 pub use runner::{run_job, run_job_pooled, Family, Row, Scratch};
+pub use slb_pool::WorkPool;
 pub use spec::{Job, ScenarioSpec};
 pub use store::{CacheStore, Source};
 pub use value::Value;

@@ -1,0 +1,364 @@
+//! A long-lived work-stealing thread pool.
+//!
+//! PR 4's sweep executor pinned the scheduling discipline — per-worker
+//! deques, a worker pops the *newest* job off the back of its own deque
+//! and steals the *oldest* job off the front of a sibling's — and PR 6
+//! extracted it into a pool whose workers outlive any one batch. This
+//! crate hoists that pool out of `slb-exp` into the bottom of the
+//! dependency graph so the *simulator* can run its replications on the
+//! same long-lived workers: `slb-sim` must not depend on `slb-exp`
+//! (`slb-exp` depends on it), but both can depend on `slb-pool`.
+//!
+//! Tasks are `'static` closures; batch completion is the caller's
+//! concern (the sweep executor counts finished slots under a condvar).
+//! [`WorkPool::shutdown`] drains every queued task before joining the
+//! workers, which is exactly the graceful-shutdown behaviour the server
+//! needs: accepted requests are answered, no new ones are admitted.
+//!
+//! [`WorkPool::run_indexed`] adds the batch shape the simulator's
+//! `run_parallel` needs: `tasks` independent index-addressed jobs, at
+//! most `concurrency` running at once, with the **caller participating
+//! as one of the workers**. Because the caller always drains the shared
+//! index counter itself, the batch completes even if every pool worker
+//! is busy or blocked — in particular a task running *on* the pool may
+//! itself call `run_indexed` on the same pool without deadlocking (its
+//! helpers simply never get scheduled and the caller does all the work
+//! serially).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A unit of pool work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    /// One deque per worker; external submissions round-robin across
+    /// them, each worker owns the back of its own.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Round-robin cursor for submissions.
+    next: AtomicUsize,
+    /// Parking lot for idle workers.
+    idle: Mutex<()>,
+    wake: Condvar,
+    /// Set once by [`WorkPool::shutdown`]; workers exit when it is set
+    /// *and* every queue has drained.
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size work-stealing thread pool. See the module docs.
+pub struct WorkPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkPool {
+    /// Spawns a pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("slb-pool-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a task. Tasks are distributed round-robin onto the
+    /// worker deques; an idle worker is woken.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        let w = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.queues[w]
+            .lock()
+            .expect("pool queue lock")
+            .push_back(Box::new(task));
+        self.shared.wake.notify_all();
+    }
+
+    /// Runs `tasks` index-addressed jobs (`f(0), …, f(tasks − 1)`) with
+    /// at most `concurrency` running concurrently and returns the
+    /// results in index order.
+    ///
+    /// The calling thread participates as one of the workers, so at most
+    /// `concurrency − 1` helper tasks are submitted to the pool — and
+    /// the batch completes even if none of them is ever scheduled. With
+    /// `concurrency <= 1` the pool is not touched at all: the caller
+    /// runs every index serially. Results land in per-index slots, so
+    /// which thread computed what is unobservable in the output.
+    pub fn run_indexed<T, F>(&self, tasks: usize, concurrency: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        let helpers = concurrency.min(tasks).saturating_sub(1);
+        let state = Arc::new(BatchState {
+            f,
+            next: AtomicUsize::new(0),
+            slots: (0..tasks).map(|_| CachePadded(Mutex::new(None))).collect(),
+            done: Mutex::new(0),
+            all_done: Condvar::new(),
+        });
+        for _ in 0..helpers {
+            let state = Arc::clone(&state);
+            self.spawn(move || state.drain());
+        }
+        state.drain();
+        // The caller found the counter exhausted; wait for any helpers
+        // still mid-task.
+        let mut finished = state.done.lock().expect("batch done lock");
+        while *finished < tasks {
+            finished = state.all_done.wait(finished).expect("batch done wait");
+        }
+        drop(finished);
+        state
+            .slots
+            .iter()
+            .map(|slot| {
+                slot.0
+                    .lock()
+                    .expect("batch slot")
+                    .take()
+                    .expect("every batch index was claimed and completed")
+            })
+            .collect()
+    }
+
+    /// Drains every queued task, then joins the workers. Tasks already
+    /// running or still queued complete; new submissions after this
+    /// call would be lost (the pool is consumed, so the type system
+    /// prevents them).
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A value alone on its cache line, so adjacent batch slots written by
+/// different threads never share (and so never bounce) a line.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// Shared state of one [`WorkPool::run_indexed`] batch. Slots are
+/// written once each and cache-line padded so concurrent writers never
+/// share a line: adjacent unpadded slots would bounce between cores on
+/// every replication hand-off.
+struct BatchState<T, F> {
+    f: F,
+    next: AtomicUsize,
+    slots: Vec<CachePadded<Mutex<Option<T>>>>,
+    done: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl<T: Send, F: Fn(usize) -> T + Send + Sync> BatchState<T, F> {
+    /// Claims and runs batch indices until the counter is exhausted.
+    fn drain(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.slots.len() {
+                return;
+            }
+            let result = (self.f)(i);
+            *self.slots[i].0.lock().expect("batch slot") = Some(result);
+            let mut finished = self.done.lock().expect("batch done lock");
+            *finished += 1;
+            if *finished == self.slots.len() {
+                self.all_done.notify_all();
+            }
+        }
+    }
+}
+
+/// Pops work for worker `w`: own back first (newest — warm caches),
+/// then the front (oldest) of the first non-empty sibling.
+fn grab(shared: &PoolShared, w: usize) -> Option<Task> {
+    if let Some(task) = shared.queues[w].lock().expect("pool queue lock").pop_back() {
+        return Some(task);
+    }
+    let k = shared.queues.len();
+    for v in 1..k {
+        let victim = (w + v) % k;
+        if let Some(task) = shared.queues[victim]
+            .lock()
+            .expect("pool queue lock")
+            .pop_front()
+        {
+            return Some(task);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &PoolShared, w: usize) {
+    loop {
+        if let Some(task) = grab(shared, w) {
+            task();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Re-check after observing shutdown: a task submitted just
+            // before the flag was raised must still run.
+            match grab(shared, w) {
+                Some(task) => task(),
+                None => return,
+            }
+            continue;
+        }
+        // Park with a timeout: a wake can race with the queue check,
+        // and the timeout bounds the window without busy-spinning.
+        let guard = shared.idle.lock().expect("pool idle lock");
+        let _ = shared
+            .wake
+            .wait_timeout(guard, Duration::from_millis(50))
+            .expect("pool idle wait");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_across_threads() {
+        let pool = WorkPool::new(4);
+        let sum = Arc::new(AtomicU64::new(0));
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        const TASKS: u64 = 200;
+        for i in 1..=TASKS {
+            let sum = Arc::clone(&sum);
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+                let (count, cv) = &*done;
+                *count.lock().unwrap() += 1;
+                cv.notify_all();
+            });
+        }
+        let (count, cv) = &*done;
+        let mut finished = count.lock().unwrap();
+        while *finished < TASKS as usize {
+            finished = cv.wait(finished).unwrap();
+        }
+        drop(finished);
+        assert_eq!(sum.load(Ordering::Relaxed), TASKS * (TASKS + 1) / 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_tasks() {
+        // More tasks than workers, each slow enough that some are still
+        // queued when shutdown is called: all must run anyway.
+        let pool = WorkPool::new(2);
+        let ran = Arc::new(AtomicU64::new(0));
+        for _ in 0..20 {
+            let ran = Arc::clone(&ran);
+            pool.spawn(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn run_indexed_returns_results_in_index_order() {
+        let pool = WorkPool::new(3);
+        for concurrency in [1, 2, 3, 8] {
+            let out = pool.run_indexed(17, concurrency, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+        // Degenerate batch sizes.
+        assert_eq!(pool.run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run_indexed(1, 4, |i| i + 10), vec![10]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn run_indexed_from_inside_a_pool_task_does_not_deadlock() {
+        // A task running on the pool launches a nested batch on the
+        // same pool. All workers may be busy, so the nested batch's
+        // helpers might never run — the caller-participates discipline
+        // must complete it anyway.
+        let mut pool = Arc::new(WorkPool::new(2));
+        let inner: Vec<Vec<usize>> = {
+            let pool2 = Arc::clone(&pool);
+            pool.run_indexed(4, 4, move |i| pool2.run_indexed(5, 2, move |j| i * 10 + j))
+        };
+        for (i, row) in inner.iter().enumerate() {
+            assert_eq!(row, &(0..5).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+        // Helper tasks that were queued but never needed may still hold
+        // clones of the outer batch (and through it, of the pool) for a
+        // moment after the batch completes; wait them out.
+        let pool = loop {
+            match Arc::try_unwrap(pool) {
+                Ok(p) => break p,
+                Err(still_shared) => {
+                    pool = still_shared;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        pool.shutdown();
+    }
+
+    #[test]
+    fn run_indexed_uses_pool_threads() {
+        // With enough concurrency, at least one index must run on a
+        // pool worker thread (named slb-pool-*), proving the helpers
+        // actually participate rather than the caller doing everything.
+        let pool = WorkPool::new(4);
+        let names = pool.run_indexed(64, 4, |_| {
+            std::thread::sleep(Duration::from_millis(1));
+            std::thread::current()
+                .name()
+                .unwrap_or_default()
+                .to_string()
+        });
+        assert!(
+            names.iter().any(|n| n.starts_with("slb-pool-")),
+            "no index ran on a pool worker: {names:?}"
+        );
+        pool.shutdown();
+    }
+}

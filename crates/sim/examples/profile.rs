@@ -1,0 +1,42 @@
+//! Scratch profiling harness: wall-times one serial run per policy so
+//! hot-path costs can be attributed by differencing (RoundRobin draws
+//! no dispatch randomness, Random draws one index, SqD two).
+//!
+//! ```sh
+//! cargo run --release -p slb-sim --example profile
+//! ```
+
+use slb_sim::{Policy, SimConfig};
+use std::time::Instant;
+
+fn time(policy: Policy, warmup: u64) -> f64 {
+    let mut cfg = SimConfig::new(16, 0.9).unwrap();
+    cfg.policy(policy).jobs(100_000).warmup(warmup).seed(42);
+    let cfg = cfg;
+    // One throwaway run to warm caches, then the min of 15 — the
+    // noise-robust statistic on this shared single-core box.
+    let _ = cfg.clone().run().unwrap();
+    (0..15)
+        .map(|_| {
+            let t = Instant::now();
+            let r = cfg.clone().run().unwrap();
+            let dt = t.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(r.mean_delay);
+            dt
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    for (name, policy) in [
+        ("round_robin", Policy::RoundRobin),
+        ("random", Policy::Random),
+        ("sq2", Policy::SqD { d: 2 }),
+        ("jsq", Policy::Jsq),
+        ("jiq", Policy::Jiq),
+    ] {
+        let normal = time(policy, 10_000);
+        let no_stats = time(policy, 99_999);
+        println!("{name:12} {normal:7.3} ms   (all-warmup: {no_stats:7.3} ms)");
+    }
+}

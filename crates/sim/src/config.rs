@@ -144,7 +144,8 @@ impl SimConfig {
     }
 
     /// Runs `replications` independent replications of this configuration
-    /// on up to `n_threads` worker threads and merges their statistics.
+    /// on up to `n_threads` workers of the process-wide replication pool
+    /// and merges their statistics.
     ///
     /// Replication `r` runs the full configured job count with the seed
     /// of replication `r`: the base seed for `r = 0` (so
@@ -156,6 +157,15 @@ impl SimConfig {
     /// statistics pool their observations (the confidence interval
     /// tightens roughly as `1/√replications`); time-averaged quantities
     /// weight each replication by its simulated horizon.
+    ///
+    /// Replications run on a long-lived [`slb_pool::WorkPool`] built
+    /// lazily on first use and sized to the machine, with the calling
+    /// thread participating as one of the workers — repeated calls (a
+    /// sweep, a server) pay thread spawn/teardown once per process, not
+    /// once per run, and a call from *inside* a pool task cannot
+    /// deadlock. With `n_threads == 1` (or a single replication) the
+    /// pool is bypassed entirely and the replications run serially on
+    /// the calling thread.
     ///
     /// # Errors
     ///
@@ -170,34 +180,22 @@ impl SimConfig {
             });
         }
         let base = self.validated()?;
-        let workers = n_threads.min(replications);
-        // Work queue: each worker pops the next replication index; slots
-        // are written once, so a per-slot mutex carries no contention.
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<crate::engine::RunStats>>> = (0..replications)
-            .map(|_| std::sync::Mutex::new(None))
-            .collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let r = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if r >= replications {
-                        break;
-                    }
-                    let mut cfg = base.clone();
-                    cfg.seed = replication_seed(base.seed, r as u64);
-                    let stats = Simulation::new(cfg).run_collect();
-                    *slots[r].lock().expect("replication slot") = Some(stats);
-                });
-            }
-        });
+        let base_seed = base.seed;
+        let replicate = move |cfg: &SimConfig, r: usize| {
+            let mut cfg = cfg.clone();
+            cfg.seed = replication_seed(base_seed, r as u64);
+            Simulation::new(cfg).run_collect()
+        };
+        let concurrency = n_threads.min(replications);
+        let all: Vec<crate::engine::RunStats> = if concurrency <= 1 {
+            (0..replications).map(|r| replicate(&base, r)).collect()
+        } else {
+            let base = std::sync::Arc::new(base);
+            replication_pool().run_indexed(replications, concurrency, move |r| replicate(&base, r))
+        };
         // Deterministic merge in replication order.
         let mut merged: Option<crate::engine::RunStats> = None;
-        for slot in slots {
-            let stats = slot
-                .into_inner()
-                .expect("replication slot")
-                .expect("every replication index was claimed and completed");
+        for stats in all {
             match merged.as_mut() {
                 None => merged = Some(stats),
                 Some(m) => m.merge(&stats),
@@ -261,6 +259,19 @@ impl SimConfig {
         }
         Ok(cfg)
     }
+}
+
+/// The process-wide replication pool behind [`SimConfig::run_parallel`]:
+/// built once, sized to the machine (workers = available parallelism − 1,
+/// because the calling thread always participates), and reused for the
+/// life of the process — replication batches ride long-lived warmed-up
+/// workers instead of freshly spawned scoped threads.
+fn replication_pool() -> &'static slb_pool::WorkPool {
+    static POOL: std::sync::OnceLock<slb_pool::WorkPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        slb_pool::WorkPool::new(cores.saturating_sub(1).max(1))
+    })
 }
 
 /// The splitmix64 finalizer: the avalanche rounds applied after

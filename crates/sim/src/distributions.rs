@@ -61,23 +61,59 @@ impl ServiceDistribution {
 
     /// Draws one service time.
     ///
+    /// Arithmetically identical, draw for draw, to [`Self::fill`]: both
+    /// scale a unit-rate ziggurat variate by the same precomputed
+    /// factor, so the scalar and block paths produce bit-equal streams
+    /// from equal RNG states (pinned by the batched-draw tests).
+    ///
     /// # Panics
     ///
     /// Panics (debug) if parameters are invalid; validation happens at
     /// configuration time.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
         match *self {
-            ServiceDistribution::Exponential { mean } => sample_exp(rng, 1.0 / mean),
+            ServiceDistribution::Exponential { mean } => exp1(rng) * mean,
             ServiceDistribution::Deterministic { value } => value,
             ServiceDistribution::Erlang { k, mean } => {
-                let rate = k as f64 / mean;
-                (0..k).map(|_| sample_exp(rng, rate)).sum()
+                let scale = mean / k as f64;
+                (0..k).map(|_| exp1(rng)).sum::<f64>() * scale
             }
             ServiceDistribution::HyperExp { p, rate1, rate2 } => {
                 if rng.gen::<f64>() < p {
-                    sample_exp(rng, rate1)
+                    exp1(rng) * (1.0 / rate1)
                 } else {
-                    sample_exp(rng, rate2)
+                    exp1(rng) * (1.0 / rate2)
+                }
+            }
+        }
+    }
+
+    /// Fills `out` with one service time per slot — the batched
+    /// counterpart of [`Self::sample`], used by the engine's refill
+    /// buffers. The exponential case runs the ziggurat block fill and
+    /// then one autovectorizable scaling pass; the table lookup, enum
+    /// dispatch and parameter work are paid once per block instead of
+    /// once per draw.
+    pub fn fill<R: Rng>(&self, rng: &mut R, out: &mut [f64]) {
+        match *self {
+            ServiceDistribution::Exponential { mean } => {
+                rand::distributions::Exp1.fill(rng, out);
+                for x in out.iter_mut() {
+                    *x *= mean;
+                }
+            }
+            ServiceDistribution::Deterministic { value } => out.fill(value),
+            ServiceDistribution::Erlang { k, mean } => {
+                let scale = mean / k as f64;
+                for slot in out.iter_mut() {
+                    *slot = (0..k).map(|_| exp1(rng)).sum::<f64>() * scale;
+                }
+            }
+            ServiceDistribution::HyperExp { p, rate1, rate2 } => {
+                let (s1, s2) = (1.0 / rate1, 1.0 / rate2);
+                for slot in out.iter_mut() {
+                    let scale = if rng.gen::<f64>() < p { s1 } else { s2 };
+                    *slot = exp1(rng) * scale;
                 }
             }
         }
@@ -123,13 +159,16 @@ pub enum ArrivalProcess {
 
 impl ArrivalProcess {
     /// Draws one interarrival time for a process of the given `rate`.
+    ///
+    /// Arithmetically identical, draw for draw, to [`Self::fill`] — see
+    /// [`ServiceDistribution::sample`].
     pub fn sample<R: Rng>(&self, rng: &mut R, rate: f64) -> f64 {
         match *self {
-            ArrivalProcess::Poisson => sample_exp(rng, rate),
+            ArrivalProcess::Poisson => exp1(rng) * (1.0 / rate),
             ArrivalProcess::Deterministic => 1.0 / rate,
             ArrivalProcess::Erlang { k } => {
-                let stage_rate = rate * k as f64;
-                (0..k).map(|_| sample_exp(rng, stage_rate)).sum()
+                let stage_scale = 1.0 / (rate * k as f64);
+                (0..k).map(|_| exp1(rng)).sum::<f64>() * stage_scale
             }
             ArrivalProcess::HyperExp { p_percent, ratio } => {
                 let p = f64::from(p_percent) / 100.0;
@@ -138,22 +177,62 @@ impl ArrivalProcess {
                 // mean is 1/rate: p/(c·r) + (1−p)/c = 1/rate.
                 let c = rate * (p / r + (1.0 - p));
                 if rng.gen::<f64>() < p {
-                    sample_exp(rng, c * r)
+                    exp1(rng) * (1.0 / (c * r))
                 } else {
-                    sample_exp(rng, c)
+                    exp1(rng) * (1.0 / c)
+                }
+            }
+        }
+    }
+
+    /// Fills `out` with one interarrival time per slot for a process of
+    /// the given `rate` — the batched counterpart of [`Self::sample`],
+    /// used by the engine's arrival-stream refill buffer.
+    pub fn fill<R: Rng>(&self, rng: &mut R, rate: f64, out: &mut [f64]) {
+        match *self {
+            ArrivalProcess::Poisson => {
+                let inv = 1.0 / rate;
+                rand::distributions::Exp1.fill(rng, out);
+                for x in out.iter_mut() {
+                    *x *= inv;
+                }
+            }
+            ArrivalProcess::Deterministic => out.fill(1.0 / rate),
+            ArrivalProcess::Erlang { k } => {
+                let stage_scale = 1.0 / (rate * k as f64);
+                for slot in out.iter_mut() {
+                    *slot = (0..k).map(|_| exp1(rng)).sum::<f64>() * stage_scale;
+                }
+            }
+            ArrivalProcess::HyperExp { p_percent, ratio } => {
+                let p = f64::from(p_percent) / 100.0;
+                let r = f64::from(ratio.max(1));
+                let c = rate * (p / r + (1.0 - p));
+                let (s1, s2) = (1.0 / (c * r), 1.0 / c);
+                for slot in out.iter_mut() {
+                    let scale = if rng.gen::<f64>() < p { s1 } else { s2 };
+                    *slot = exp1(rng) * scale;
                 }
             }
         }
     }
 }
 
-/// Exponential sampling at the given rate, via the vendored ziggurat
-/// fast path (`rand::distributions::Exp1`) — no transcendental call on
-/// ~99% of draws, which matters because the simulator takes one of
-/// these per arrival and one per service.
+/// One unit-rate exponential draw via the vendored ziggurat fast path
+/// (`rand::distributions::Exp1`) — no transcendental call on ~99% of
+/// draws. Callers scale by *multiplying* with a precomputed factor
+/// (never dividing by a rate in the hot path), and the scalar and block
+/// paths above use the same factor so their streams agree bitwise.
+#[inline]
+fn exp1<R: Rng>(rng: &mut R) -> f64 {
+    rand::distributions::Distribution::sample(&rand::distributions::Exp1, rng)
+}
+
+/// Exponential sampling at the given rate (used by the stateful MAP
+/// sampler, which draws one phase holding time at a time).
 pub(crate) fn sample_exp<R: Rng>(rng: &mut R, rate: f64) -> f64 {
     debug_assert!(rate > 0.0);
-    rand::distributions::Distribution::sample(&rand::distributions::Exp1, rng) / rate
+    exp1(rng) * (1.0 / rate)
 }
 
 #[cfg(test)]

@@ -5,9 +5,12 @@
 //! the head-of-line job of each server ever has a scheduled departure, so
 //! at any instant exactly `N + 1` candidate events exist: one pending
 //! arrival plus one next-departure per server (`+∞` when idle). The
-//! engine keeps the departures in a dense array reduced by an indexed
-//! tournament tree — O(log N) when a server's departure changes, O(1) to
-//! find the earliest, zero allocation and no heap churn.
+//! engine keeps the departures in the leaves of an indexed tournament
+//! tree whose nodes cache the winning *time* next to the winning
+//! index, so match re-runs compare sibling nodes directly with no
+//! dependent-load chain through a separate departure array — O(log N)
+//! when a server's departure changes, O(1) to find the earliest, zero
+//! allocation and no heap churn.
 //!
 //! Tie rule (also pinned by a unit test below): at equal timestamps a
 //! **departure precedes the arrival** — the rule the seed engine's
@@ -23,6 +26,19 @@
 //! incrementally, and the event loop is monomorphized per dispatch
 //! policy ([`crate::policy::DispatchCore`]), with per-length server
 //! buckets maintained only for the policies that read them (JSQ/JIQ).
+//!
+//! The per-event *cost model* is batched. Service times and renewal
+//! interarrival gaps are not sampled one at a time: refill buffers of
+//! `DRAW_BLOCK` variates are filled through the ziggurat block path
+//! ([`crate::distributions`]) so the distribution dispatch, table
+//! resolution and scale factors are paid per block, and the hot loop's
+//! "draw" is an array read plus a cursor bump. (A stateful MAP arrival
+//! stream cannot be pre-drawn and keeps the scalar path.) Symmetrically,
+//! measured sojourn/wait observations are not folded into
+//! Welford/batch-means/histogram accumulators per event: they land in
+//! flat scratch buffers with plain stores and are reduced in bulk at
+//! block boundaries ([`crate::stats`] block APIs), so the loop body
+//! carries no dividing, serially-dependent statistics chains.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -42,26 +58,65 @@ pub(crate) enum NextEvent {
 }
 
 /// Indexed tournament tree over the per-server next-departure times:
-/// a perfect binary tree whose internal nodes hold the index of the
-/// earlier child, left-biased on ties so equal departure times resolve
-/// to the lowest server index.
+/// a perfect binary tree whose internal nodes hold the earlier child's
+/// `(time, index)`, left-biased on ties so equal departure times
+/// resolve to the lowest server index.
 #[derive(Debug, Clone)]
 struct DepartureTree {
     /// `node[1]` = overall winner; leaves occupy `[base, base + n)`.
-    /// Padding leaves point at `u32::MAX` (time `+∞` by convention).
-    node: Vec<u32>,
+    /// Padding leaves hold `(+∞, NO_SERVER)`.
+    node: Vec<TreeNode>,
     /// Leaf offset (power of two, `≥ n`).
     base: usize,
 }
 
+/// One tournament-tree node: the winning departure time with the server
+/// index it belongs to, cached together so match re-runs never touch
+/// the departure array.
+#[derive(Debug, Clone, Copy)]
+struct TreeNode {
+    time: f64,
+    idx: u32,
+}
+
 const NO_SERVER: u32 = u32::MAX;
+
+/// One occupancy level of the incremental queue-length histogram,
+/// event-sourced: alongside the live server count it accumulates
+/// `Σ Δcount · t_event`, from which the exact time-integral falls out
+/// at the end of the run as `∫ count dt = T·count(T) − Σ Δ·t` — so the
+/// per-event maintenance is one add and one increment per touched
+/// level, with no interval folding, no stamps and no multiplies on the
+/// hot path.
+#[derive(Debug, Clone, Copy, Default)]
+struct OccLevel {
+    /// Servers currently holding exactly this many jobs.
+    count: u32,
+    /// `Σ Δcount · t_event` over all count changes so far.
+    sum_td: f64,
+}
+
+/// Variates pre-drawn per refill of the service / interarrival buffers
+/// (2 KiB of f64 each — comfortably L1-resident next to the queue
+/// arena).
+const DRAW_BLOCK: usize = 256;
+
+/// Measured observations buffered per scratch before a bulk reduction
+/// into the statistics accumulators.
+const STAT_BLOCK: usize = 1024;
 
 impl DepartureTree {
     fn new(n: usize) -> Self {
         let base = n.next_power_of_two();
-        let mut node = vec![NO_SERVER; 2 * base];
+        let mut node = vec![
+            TreeNode {
+                time: f64::INFINITY,
+                idx: NO_SERVER,
+            };
+            2 * base
+        ];
         for s in 0..n {
-            node[base + s] = s as u32;
+            node[base + s].idx = s as u32;
         }
         // All departures start at +∞; left bias makes server 0 the
         // initial winner everywhere.
@@ -71,30 +126,32 @@ impl DepartureTree {
         DepartureTree { node, base }
     }
 
-    /// The server with the earliest departure (ties → lowest index).
+    /// The winning node: the earliest departure time with its server
+    /// (ties → lowest index; all idle → `(+∞, server 0)`).
     #[inline]
+    fn min(&self) -> TreeNode {
+        self.node[1]
+    }
+
+    /// The server with the earliest departure (ties → lowest index).
+    #[cfg(test)]
     fn min_server(&self) -> usize {
-        self.node[1] as usize
+        self.node[1].idx as usize
     }
 
     /// Re-runs the matches on the path above server `s` after its
-    /// departure time changed.
+    /// departure time changed to `time`.
     #[inline]
-    fn update(&mut self, dep: &[f64], s: usize) {
-        let time = |idx: u32| -> f64 {
-            if idx == NO_SERVER {
-                f64::INFINITY
-            } else {
-                dep[idx as usize]
-            }
-        };
-        let mut i = (self.base + s) >> 1;
+    fn update(&mut self, time: f64, s: usize) {
+        let leaf = self.base + s;
+        self.node[leaf].time = time;
+        let mut i = leaf >> 1;
         while i >= 1 {
             let l = self.node[2 * i];
             let r = self.node[2 * i + 1];
             // Strict `<` keeps the left child on ties: lower server
             // indices and real servers (over padding) win.
-            self.node[i] = if time(r) < time(l) { r } else { l };
+            self.node[i] = if r.time < l.time { r } else { l };
             i >>= 1;
         }
     }
@@ -122,8 +179,25 @@ struct Core {
     arrival_rate: f64,
     /// Time of the one pending arrival.
     next_arrival: f64,
-    /// Next departure per server; `+∞` when the server is idle.
-    departure: Vec<f64>,
+    /// Refill buffer of pre-drawn raw service times (before the
+    /// per-server speed scaling); exhausted when `service_pos` reaches
+    /// the buffer length.
+    service_buf: Vec<f64>,
+    service_pos: usize,
+    /// Refill buffer of pre-drawn interarrival gaps; left empty when a
+    /// stateful MAP drives arrivals (that path cannot be pre-drawn).
+    arrival_buf: Vec<f64>,
+    arrival_pos: usize,
+    /// Precomputed `1 / speeds[s]` so heterogeneous scaling is a
+    /// multiply in the hot path.
+    inv_speeds: Option<Vec<f64>>,
+    /// Post-warmup sojourn observations awaiting a bulk reduction.
+    sojourn_scratch: Vec<f64>,
+    /// Post-warmup waiting-time observations awaiting a bulk reduction.
+    wait_scratch: Vec<f64>,
+    /// Per-server next departures, reduced by the tournament tree; a
+    /// server's current departure time lives in its leaf (`+∞` when
+    /// idle).
     tree: DepartureTree,
     /// Arrival timestamps of queued jobs (head = in service).
     queues: Queues,
@@ -138,19 +212,11 @@ struct Core {
     wait_stats: Welford,
     /// Total jobs in the system, maintained incrementally.
     total_jobs: usize,
-    /// `len_counts[l]` = number of servers currently holding exactly `l`
-    /// jobs, maintained incrementally.
-    len_counts: Vec<u32>,
-    /// `area_hist[l]` = time-integral of `len_counts[l]`, folded lazily:
-    /// a level's integral is brought up to date only when its count is
-    /// about to change (and once at the end of the run), so the
-    /// per-event cost is O(1) instead of O(max occupancy).
-    area_hist: Vec<f64>,
-    /// Per-level time up to which `area_hist` has been folded.
-    hist_stamp: Vec<f64>,
-    /// Time-averaged total queue length accumulator.
-    area_jobs: f64,
-    last_event_time: f64,
+    /// Occupancy level `l`'s live state, event-sourced (see
+    /// [`OccLevel`]). The time-averaged *total* job count needs no
+    /// accumulator of its own: it is recovered as `Σ l · area(l)` at
+    /// the end of the run.
+    levels: Vec<OccLevel>,
     max_queue: u32,
 }
 
@@ -166,17 +232,36 @@ impl Simulation {
             None => config.arrival.sample(&mut rng, arrival_rate),
         };
         let batch = (config.jobs.saturating_sub(config.warmup) / 64).max(1);
-        let mut len_counts = vec![0u32; 8];
-        len_counts[0] = n as u32;
+        let mut levels = vec![OccLevel::default(); 8];
+        levels[0].count = n as u32;
         let policy = PolicyCore::new(config.policy, n);
         let needs_buckets = policy.needs_buckets();
+        // Buffers start exhausted (`pos == len`) so the first draw
+        // triggers a refill; the MAP path never reads the arrival
+        // buffer, so it stays empty there.
+        let arrival_buf = if map_sampler.is_some() {
+            Vec::new()
+        } else {
+            vec![0.0; DRAW_BLOCK]
+        };
+        let arrival_pos = arrival_buf.len();
+        let inv_speeds = config
+            .speeds
+            .as_ref()
+            .map(|s| s.iter().map(|&v| 1.0 / v).collect());
         Simulation {
             core: Core {
                 rng,
                 map_sampler,
                 arrival_rate,
                 next_arrival: first,
-                departure: vec![f64::INFINITY; n],
+                service_buf: vec![0.0; DRAW_BLOCK],
+                service_pos: DRAW_BLOCK,
+                arrival_buf,
+                arrival_pos,
+                inv_speeds,
+                sojourn_scratch: Vec::with_capacity(STAT_BLOCK),
+                wait_scratch: Vec::with_capacity(STAT_BLOCK),
                 tree: DepartureTree::new(n),
                 queues: Queues::new(n),
                 buckets: if needs_buckets {
@@ -191,11 +276,7 @@ impl Simulation {
                 delay_hist: DelayHistogram::new(0.02),
                 wait_stats: Welford::new(),
                 total_jobs: 0,
-                len_counts,
-                area_hist: vec![0.0; 8],
-                hist_stamp: vec![0.0; 8],
-                area_jobs: 0.0,
-                last_event_time: 0.0,
+                levels,
                 max_queue: 0,
                 config,
             },
@@ -261,12 +342,16 @@ impl Simulation {
 
 impl Core {
     /// The earliest pending event under the deterministic tie rule:
-    /// departures fire before a simultaneous arrival.
-    #[inline]
+    /// departures fire before a simultaneous arrival. `step` inlines
+    /// this comparison to reuse the winning time; tests call it to
+    /// probe event order directly.
+    #[cfg(test)]
     fn next_event(&self) -> NextEvent {
-        let s = self.tree.min_server();
-        if self.departure[s] <= self.next_arrival {
-            NextEvent::Departure { server: s }
+        let w = self.tree.min();
+        if w.time <= self.next_arrival {
+            NextEvent::Departure {
+                server: w.idx as usize,
+            }
         } else {
             NextEvent::Arrival
         }
@@ -282,17 +367,17 @@ impl Core {
 
     #[inline]
     fn step<P: DispatchCore>(&mut self, policy: &mut P) {
-        let (event, time) = match self.next_event() {
-            NextEvent::Departure { server } => {
-                (NextEvent::Departure { server }, self.departure[server])
-            }
-            NextEvent::Arrival => (NextEvent::Arrival, self.next_arrival),
+        let w = self.tree.min();
+        let (event, time) = if w.time <= self.next_arrival {
+            (
+                NextEvent::Departure {
+                    server: w.idx as usize,
+                },
+                w.time,
+            )
+        } else {
+            (NextEvent::Arrival, self.next_arrival)
         };
-        // Accumulate the time-averaged job count; the occupancy
-        // histogram folds lazily inside `reclassify`.
-        let dt = time - self.last_event_time;
-        self.area_jobs += self.total_jobs as f64 * dt;
-        self.last_event_time = time;
         self.clock = time;
 
         match event {
@@ -313,10 +398,23 @@ impl Core {
                 if old_len == 0 {
                     self.schedule_departure(server);
                 }
-                // Next arrival.
-                let gap = match self.map_sampler.as_mut() {
+                // Next arrival: from the pre-drawn gap buffer, except
+                // for the stateful MAP path.
+                let gap = match &mut self.map_sampler {
                     Some(s) => s.next_interarrival(&mut self.rng),
-                    None => self.config.arrival.sample(&mut self.rng, self.arrival_rate),
+                    None => {
+                        if self.arrival_pos == self.arrival_buf.len() {
+                            self.config.arrival.fill(
+                                &mut self.rng,
+                                self.arrival_rate,
+                                &mut self.arrival_buf,
+                            );
+                            self.arrival_pos = 0;
+                        }
+                        let g = self.arrival_buf[self.arrival_pos];
+                        self.arrival_pos += 1;
+                        g
+                    }
                 };
                 self.next_arrival = self.clock + gap;
             }
@@ -331,68 +429,102 @@ impl Core {
                 self.total_jobs -= 1;
                 self.completed += 1;
                 if self.completed > self.config.warmup {
-                    let sojourn = self.clock - arrived_at;
-                    self.delay_stats.push(sojourn);
-                    self.delay_hist.push(sojourn);
+                    self.sojourn_scratch.push(self.clock - arrived_at);
+                    if self.sojourn_scratch.len() == STAT_BLOCK {
+                        self.flush_sojourns();
+                    }
                 }
                 if qlen > 0 {
                     // Waiting time of the job now entering service.
                     let head_arrival = self.queues.front(server);
                     if self.completed > self.config.warmup {
-                        self.wait_stats.push(self.clock - head_arrival);
+                        self.wait_scratch.push(self.clock - head_arrival);
+                        if self.wait_scratch.len() == STAT_BLOCK {
+                            self.flush_waits();
+                        }
                     }
                     self.schedule_departure(server);
                 } else {
-                    self.departure[server] = f64::INFINITY;
-                    self.tree.update(&self.departure, server);
+                    self.tree.update(f64::INFINITY, server);
                 }
             }
         }
     }
 
     /// Moves one server from occupancy `from` to `from ± 1` in the
-    /// incremental histogram, folding the two touched levels' time
-    /// integrals up to the current clock first.
+    /// incremental histogram: a signed timestamp accumulation per
+    /// touched level.
     #[inline]
     fn reclassify(&mut self, from: usize, to: usize) {
         let need = from.max(to) + 1;
-        if self.len_counts.len() < need {
-            self.len_counts.resize(need, 0);
-            self.area_hist.resize(need, 0.0);
-            self.hist_stamp.resize(need, 0.0);
+        if self.levels.len() < need {
+            self.levels.resize(need, OccLevel::default());
         }
-        for l in [from, to] {
-            self.area_hist[l] += f64::from(self.len_counts[l]) * (self.clock - self.hist_stamp[l]);
-            self.hist_stamp[l] = self.clock;
-        }
-        self.len_counts[from] -= 1;
-        self.len_counts[to] += 1;
+        let lv = &mut self.levels[from];
+        lv.sum_td -= self.clock;
+        lv.count -= 1;
+        let lv = &mut self.levels[to];
+        lv.sum_td += self.clock;
+        lv.count += 1;
     }
 
     #[inline]
     fn schedule_departure(&mut self, server: usize) {
-        let mut service = self.config.service.sample(&mut self.rng);
-        if let Some(speeds) = &self.config.speeds {
-            service /= speeds[server];
+        if self.service_pos == self.service_buf.len() {
+            self.config
+                .service
+                .fill(&mut self.rng, &mut self.service_buf);
+            self.service_pos = 0;
         }
-        self.departure[server] = self.clock + service;
-        self.tree.update(&self.departure, server);
+        let mut service = self.service_buf[self.service_pos];
+        self.service_pos += 1;
+        if let Some(inv) = &self.inv_speeds {
+            service *= inv[server];
+        }
+        self.tree.update(self.clock + service, server);
+    }
+
+    /// Bulk-reduces the sojourn scratch into the batch-means and
+    /// histogram accumulators.
+    fn flush_sojourns(&mut self) {
+        self.delay_stats.push_block(&self.sojourn_scratch);
+        self.delay_hist.push_block(&self.sojourn_scratch);
+        self.sojourn_scratch.clear();
+    }
+
+    /// Bulk-reduces the waiting-time scratch into its accumulator.
+    fn flush_waits(&mut self) {
+        self.wait_stats.push_block(&self.wait_scratch);
+        self.wait_scratch.clear();
     }
 
     fn into_stats(mut self) -> RunStats {
-        // Final fold: bring every level's lazy integral up to the end of
-        // the simulated horizon.
-        for l in 0..self.area_hist.len() {
-            self.area_hist[l] += f64::from(self.len_counts[l]) * (self.clock - self.hist_stamp[l]);
-            self.hist_stamp[l] = self.clock;
-        }
+        // Drain the partial statistics scratches before reading any
+        // accumulator.
+        self.flush_sojourns();
+        self.flush_waits();
+        // Recover each level's time-integral from its event-sourced
+        // accumulator: ∫ count dt = T·count(T) − Σ Δ·t. Rounding can
+        // leave a tiny negative where the true integral is ~0; clamp.
+        let area_hist: Vec<f64> = self
+            .levels
+            .iter()
+            .map(|lv| (self.clock * f64::from(lv.count) - lv.sum_td).max(0.0))
+            .collect();
+        // ∫ total_jobs dt falls out of the histogram: level l holds
+        // count_l servers, and Σ_l l·count_l is the total job count.
+        let area_jobs = area_hist
+            .iter()
+            .enumerate()
+            .map(|(l, &a)| l as f64 * a)
+            .sum();
         RunStats {
             n: self.config.n,
             delay_stats: self.delay_stats,
             delay_hist: self.delay_hist,
             wait_stats: self.wait_stats,
-            area_hist: self.area_hist,
-            area_jobs: self.area_jobs,
+            area_hist,
+            area_jobs,
             clock: self.clock,
             max_queue: self.max_queue,
         }
@@ -503,41 +635,62 @@ mod tests {
         // Force a three-way tie by hand: two departures and the arrival
         // all at t = 1.0.
         sim.core.next_arrival = 1.0;
-        sim.core.departure[1] = 1.0;
-        sim.core.tree.update(&sim.core.departure, 1);
-        sim.core.departure[2] = 1.0;
-        sim.core.tree.update(&sim.core.departure, 2);
+        sim.core.tree.update(1.0, 1);
+        sim.core.tree.update(1.0, 2);
         assert_eq!(sim.core.next_event(), NextEvent::Departure { server: 1 });
         // The lower-indexed simultaneous departure wins; once it clears,
         // the next one fires, and only then the arrival.
-        sim.core.departure[1] = f64::INFINITY;
-        sim.core.tree.update(&sim.core.departure, 1);
+        sim.core.tree.update(f64::INFINITY, 1);
         assert_eq!(sim.core.next_event(), NextEvent::Departure { server: 2 });
-        sim.core.departure[2] = f64::INFINITY;
-        sim.core.tree.update(&sim.core.departure, 2);
+        sim.core.tree.update(f64::INFINITY, 2);
         assert_eq!(sim.core.next_event(), NextEvent::Arrival);
+    }
+
+    /// The time-caching tree against a brute-force argmin on a random
+    /// update stream, pinning the lowest-index tie rule at several
+    /// (non-power-of-two) sizes.
+    #[test]
+    fn tree_agrees_with_brute_force() {
+        use rand::Rng;
+        for n in [1usize, 3, 11, 64, 65, 200] {
+            let mut dep = vec![f64::INFINITY; n];
+            let mut tree = DepartureTree::new(n);
+            let mut rng = SmallRng::seed_from_u64(n as u64);
+            for round in 0..500 {
+                let s = rng.gen_range(0..n);
+                // Coarse grid so equal times actually occur; every
+                // fourth round parks the server at +∞.
+                dep[s] = if round % 4 == 3 {
+                    f64::INFINITY
+                } else {
+                    f64::from(rng.gen_range(0u32..8))
+                };
+                tree.update(dep[s], s);
+                let brute = dep
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                assert_eq!(tree.min_server(), brute, "tree, n={n}");
+            }
+        }
     }
 
     #[test]
     fn tournament_tree_tracks_minimum() {
         let n = 11; // deliberately not a power of two
-        let mut dep = vec![f64::INFINITY; n];
         let mut tree = DepartureTree::new(n);
         assert_eq!(tree.min_server(), 0, "all-idle tie resolves to server 0");
-        dep[7] = 3.0;
-        tree.update(&dep, 7);
+        tree.update(3.0, 7);
         assert_eq!(tree.min_server(), 7);
-        dep[2] = 1.5;
-        tree.update(&dep, 2);
+        tree.update(1.5, 2);
         assert_eq!(tree.min_server(), 2);
-        dep[10] = 1.5; // equal time: lower index keeps winning
-        tree.update(&dep, 10);
+        tree.update(1.5, 10); // equal time: lower index keeps winning
         assert_eq!(tree.min_server(), 2);
-        dep[2] = f64::INFINITY;
-        tree.update(&dep, 2);
+        tree.update(f64::INFINITY, 2);
         assert_eq!(tree.min_server(), 10);
-        dep[10] = f64::INFINITY;
-        tree.update(&dep, 10);
+        tree.update(f64::INFINITY, 10);
         assert_eq!(tree.min_server(), 7);
     }
 

@@ -23,9 +23,11 @@
 //!
 //! Independent replications can run in parallel:
 //! [`SimConfig::run_parallel`] derives one deterministic seed per
-//! replication (splitmix64 over the base seed), executes them on scoped
-//! worker threads and merges the statistics in replication order — the
-//! result does not depend on the thread count or scheduling.
+//! replication (splitmix64 over the base seed), executes them on a
+//! long-lived process-wide work-stealing pool (`slb-pool`; the calling
+//! thread participates as a worker) and merges the statistics in
+//! replication order — the result does not depend on the thread count
+//! or scheduling.
 //!
 //! ## Example
 //!

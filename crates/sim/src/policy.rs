@@ -210,6 +210,23 @@ impl DispatchCore for SqdCore {
 
     #[inline]
     fn pick<R: Rng>(&mut self, rng: &mut R, lens: &[u32], _: &Buckets) -> usize {
+        // d = 2 — the paper's headline policy and the hot benchmark
+        // path — skips the permutation buffer: two draws give a uniform
+        // distinct pair directly (second drawn from the n−1 remaining
+        // slots), same draw count as the Fisher–Yates prefix.
+        if self.d == 2 && lens.len() > 1 {
+            let a = rng.gen_range(0..lens.len());
+            let mut b = rng.gen_range(0..lens.len() - 1);
+            if b >= a {
+                b += 1;
+            }
+            let (qa, qb) = (lens[a], lens[b]);
+            return if qb < qa || (qb == qa && rng.gen_range(0..2u32) == 0) {
+                b
+            } else {
+                a
+            };
+        }
         self.shuffle_prefix(rng);
         min_of_candidates(rng, lens, &self.scratch[..self.d]).0
     }

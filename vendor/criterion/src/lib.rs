@@ -18,7 +18,8 @@
 //!   `Cargo.lock`), because cargo runs bench binaries with their cwd at
 //!   the *package* root. When set, [`criterion_main!`] appends one
 //!   machine-readable record per benchmark (median/mean/min/max ns per
-//!   iteration) to that JSON file after the groups finish. Records carry
+//!   iteration, plus the host's available parallelism as `cpus`) to that
+//!   JSON file after the groups finish. Records carry
 //!   the phase label from `CRITERION_PHASE` (default `"current"`), so a
 //!   before/after trajectory can accumulate in a single file — this is
 //!   how the repository's `BENCH_*.json` files are produced.
@@ -91,15 +92,19 @@ pub fn write_json_report() {
     if records.is_empty() {
         return;
     }
+    // Recorded so consumers can judge parallel-speedup numbers: a ratio
+    // measured on a 1-CPU box says nothing about multi-core scaling.
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let body: Vec<String> = records
         .iter()
         .map(|r| {
             format!(
-                "  {{\"phase\": \"{}\", \"bench\": \"{}\", \"samples\": {}, \
+                "  {{\"phase\": \"{}\", \"bench\": \"{}\", \"samples\": {}, \"cpus\": {}, \
                  \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}",
                 json_escape(&phase),
                 json_escape(&r.label),
                 r.samples,
+                cpus,
                 r.median_ns,
                 r.mean_ns,
                 r.min_ns,

@@ -234,29 +234,54 @@ pub mod distributions {
         })
     }
 
+    /// One ziggurat draw against an already-resolved table reference —
+    /// the shared body of the scalar [`Distribution::sample`] and the
+    /// block [`Exp1::fill`] paths, so the two are *bit-identical* per
+    /// draw by construction (pinned by a test in `slb-sim`).
+    #[inline(always)]
+    fn exp1_draw<R: RngCore + ?Sized>(t: &Tables, rng: &mut R) -> f64 {
+        loop {
+            // One u64 funds both the layer index (low byte) and the
+            // 53-bit uniform (disjoint high bits).
+            let bits = rng.next_u64();
+            let i = (bits & 0xFF) as usize;
+            let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let x = u * t.x[i];
+            if x < t.x[i + 1] {
+                return x; // inside the layer's rectangular core
+            }
+            if i == 0 {
+                // Tail beyond R: exponential memorylessness.
+                let u2 = f64::sample(rng);
+                return ZIG_R - (1.0 - u2).ln();
+            }
+            // Wedge between the rectangle and the pdf.
+            let v = f64::sample(rng);
+            if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * v < (-x).exp() {
+                return x;
+            }
+        }
+    }
+
     impl Distribution<f64> for Exp1 {
         fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            exp1_draw(tables(), rng)
+        }
+    }
+
+    impl Exp1 {
+        /// Fills `out` with unit-rate exponential draws in one block:
+        /// the `OnceLock` table resolution, the distribution dispatch
+        /// and the per-call function boundary are paid once per block
+        /// instead of once per draw, and the accept path runs as a
+        /// tight table-in-L1 loop. Draw `k` of the block consumes the
+        /// generator exactly as `k` scalar [`Distribution::sample`]
+        /// calls would, so block and scalar streams are bit-identical
+        /// from the same starting state.
+        pub fn fill<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
             let t = tables();
-            loop {
-                // One u64 funds both the layer index (low byte) and the
-                // 53-bit uniform (disjoint high bits).
-                let bits = rng.next_u64();
-                let i = (bits & 0xFF) as usize;
-                let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-                let x = u * t.x[i];
-                if x < t.x[i + 1] {
-                    return x; // inside the layer's rectangular core
-                }
-                if i == 0 {
-                    // Tail beyond R: exponential memorylessness.
-                    let u2 = f64::sample(rng);
-                    return ZIG_R - (1.0 - u2).ln();
-                }
-                // Wedge between the rectangle and the pdf.
-                let v = f64::sample(rng);
-                if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * v < (-x).exp() {
-                    return x;
-                }
+            for slot in out {
+                *slot = exp1_draw(t, rng);
             }
         }
     }
@@ -370,6 +395,28 @@ mod tests {
         // right frequency, not just produce valid values.
         let frac = f64::from(tail) / n as f64;
         assert!((frac - (-3.0f64).exp()).abs() < 0.005, "tail {frac}");
+    }
+
+    #[test]
+    fn exp1_fill_bit_identical_to_scalar_draws() {
+        use super::distributions::{Distribution, Exp1};
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+            for len in [1usize, 2, 31, 256, 1000] {
+                let mut block_rng = SmallRng::seed_from_u64(seed);
+                let mut scalar_rng = SmallRng::seed_from_u64(seed);
+                let mut block = vec![0.0; len];
+                Exp1.fill(&mut block_rng, &mut block);
+                for (k, &b) in block.iter().enumerate() {
+                    let s = Exp1.sample(&mut scalar_rng);
+                    assert!(
+                        b.to_bits() == s.to_bits(),
+                        "seed {seed}, len {len}, draw {k}: block {b} != scalar {s}"
+                    );
+                }
+                // And the generators end in the same state.
+                assert_eq!(block_rng.gen::<u64>(), scalar_rng.gen::<u64>());
+            }
+        }
     }
 
     #[test]
