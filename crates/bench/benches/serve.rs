@@ -30,6 +30,7 @@ fn start_daemon(tag: &str) -> Daemon {
         addr: "127.0.0.1:0".into(),
         threads: 2,
         cache_dir: Some(root.clone()),
+        ..ServeOptions::default()
     })
     .expect("bind bench server");
     let addr = server.local_addr().expect("local addr").to_string();

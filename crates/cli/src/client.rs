@@ -24,6 +24,21 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
+    request_full(addr, method, path, body).map(|(status, _headers, body)| (status, body))
+}
+
+/// [`request`], keeping the response headers (lowercased names) — the
+/// retry loop reads `Retry-After` from them.
+///
+/// # Errors
+///
+/// Same contract as [`request`].
+pub fn request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<http::FullResponse, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
@@ -39,7 +54,137 @@ pub fn request(
         .as_bytes(),
     )
     .map_err(|e| format!("sending request to {addr}: {e}"))?;
-    http::read_response(&mut BufReader::new(stream))
+    http::read_response_full(&mut BufReader::new(stream))
+}
+
+/// How [`request_with_retries`] retries transient failures: transport
+/// errors (connection refused, resets, timeouts) and `503` responses
+/// are retried with capped exponential backoff and full jitter; any
+/// other status — including every `4xx` — is final and returned as-is.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries *after* the first attempt (0 = exactly one attempt).
+    pub retries: u32,
+    /// First backoff; doubles per retry.
+    pub base: Duration,
+    /// Ceiling on any single backoff.
+    pub cap: Duration,
+    /// Jitter seed. Retries draw deterministically from it, so a fixed
+    /// seed gives a reproducible wait sequence in tests.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 2,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| u64::from(d.subsec_nanos()))
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy retrying `retries` times with the default backoff.
+    pub fn with_retries(retries: u32) -> Self {
+        RetryPolicy {
+            retries,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// splitmix64 step — the workspace-standard small deterministic RNG,
+/// used here for backoff jitter.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The wait before retry number `attempt` (0-based): full jitter over
+/// an exponentially growing, capped window, raised to any `Retry-After`
+/// the server sent (the server knows its own recovery time better than
+/// our backoff curve does).
+fn backoff(
+    policy: &RetryPolicy,
+    attempt: u32,
+    retry_after: Option<Duration>,
+    rng: &mut u64,
+) -> Duration {
+    let window = policy
+        .base
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(policy.cap);
+    let window_ms = window.as_millis().max(1) as u64;
+    let jittered = Duration::from_millis(next_rand(rng) % window_ms + 1);
+    jittered.max(retry_after.unwrap_or(Duration::ZERO))
+}
+
+/// [`request`] with bounded retries for transient failures (see
+/// [`RetryPolicy`] for what counts as transient). A `503`'s
+/// `Retry-After` header is honored as a lower bound on the wait.
+///
+/// # Errors
+///
+/// Returns the last transport error once the attempt budget is spent.
+/// Non-transient statuses are `Ok` — callers decide, as with
+/// [`request`].
+pub fn request_with_retries(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+) -> Result<(u16, String), String> {
+    let mut rng = policy.seed;
+    let mut attempt = 0u32;
+    loop {
+        let outcome = request_full(addr, method, path, body);
+        let retry_after = match &outcome {
+            // Overload shedding is the one retryable status; everything
+            // else (including every 4xx) is a final answer.
+            Ok((503, headers, _)) => headers
+                .iter()
+                .find(|(name, _)| name == "retry-after")
+                .and_then(|(_, value)| value.parse::<u64>().ok())
+                .map(Duration::from_secs)
+                .or(Some(Duration::ZERO)),
+            Ok(_) => None,
+            Err(_) => Some(Duration::ZERO),
+        };
+        let (Some(retry_after), true) = (retry_after, attempt < policy.retries) else {
+            return outcome.map(|(status, _headers, body)| (status, body));
+        };
+        std::thread::sleep(backoff(policy, attempt, Some(retry_after), &mut rng));
+        attempt += 1;
+    }
+}
+
+/// [`post_query`] with retries under `policy`.
+///
+/// # Errors
+///
+/// Same contract as [`post_query`], after the retry budget.
+pub fn post_query_with_retries(
+    addr: &str,
+    query: &Query,
+    policy: &RetryPolicy,
+) -> Result<Answer, String> {
+    let (status, body) = request_with_retries(
+        addr,
+        "POST",
+        "/v1/query",
+        Some(&query.to_json().render()),
+        policy,
+    )?;
+    decode_answer(addr, status, body)
 }
 
 /// Sends `query` to a running `slb serve` at `addr` and decodes the
@@ -51,6 +196,12 @@ pub fn request(
 /// non-200 status.
 pub fn post_query(addr: &str, query: &Query) -> Result<Answer, String> {
     let (status, body) = request(addr, "POST", "/v1/query", Some(&query.to_json().render()))?;
+    decode_answer(addr, status, body)
+}
+
+/// Decodes a `/v1/query` exchange into an [`Answer`] (shared by the
+/// plain and retrying clients).
+fn decode_answer(addr: &str, status: u16, body: String) -> Result<Answer, String> {
     if status != 200 {
         let detail = Json::parse(&body)
             .ok()

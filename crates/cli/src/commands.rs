@@ -175,10 +175,15 @@ fn sweep_panel(args: &[String]) -> CmdResult {
 /// `slb serve` — run the long-running capacity-planning service until
 /// SIGINT/SIGTERM or a `POST /v1/shutdown`.
 pub fn serve(args: &[String]) -> CmdResult {
+    let defaults = slb_cli::ServeOptions::default();
     let opts = slb_cli::ServeOptions {
         addr: arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7077".into()),
-        threads: arg_parse(args, "--threads", slb_cli::ServeOptions::default().threads),
+        threads: arg_parse(args, "--threads", defaults.threads),
         cache_dir: arg_value(args, "--cache-dir").map(std::path::PathBuf::from),
+        // 0 = "4x threads" / "default cap" sentinels, as in ServeOptions.
+        max_inflight: arg_parse(args, "--max-inflight", defaults.max_inflight),
+        deadline_ms: arg_parse(args, "--deadline-ms", defaults.deadline_ms),
+        index_cap: arg_parse(args, "--index-cap", defaults.index_cap),
     };
     if opts.threads == 0 || opts.threads > 1024 {
         return Err(format!(
@@ -186,6 +191,12 @@ pub fn serve(args: &[String]) -> CmdResult {
             opts.threads
         ));
     }
+    if opts.deadline_ms == 0 {
+        return Err("--deadline-ms must be at least 1".into());
+    }
+    // Chaos harness opt-in: arm named fail points from SLB_FAULTS /
+    // SLB_FAULT_SEED (a no-op in normal operation).
+    slb_fault::arm_from_env();
     sigint::install();
     let server = slb_cli::Server::bind(&opts)?;
     let addr = server
@@ -241,7 +252,11 @@ fn build_query(args: &[String]) -> Result<slb_exp::Query, String> {
 pub fn query(args: &[String]) -> CmdResult {
     let q = build_query(args)?;
     let answer = match arg_value(args, "--addr") {
-        Some(addr) => slb_cli::client::post_query(&addr, &q)?,
+        Some(addr) => {
+            let policy =
+                slb_cli::client::RetryPolicy::with_retries(arg_parse(args, "--retries", 2));
+            slb_cli::client::post_query_with_retries(&addr, &q, &policy)?
+        }
         None => {
             let store = match arg_value(args, "--cache-dir") {
                 Some(dir) => slb_exp::CacheStore::open(dir),

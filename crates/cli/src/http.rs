@@ -9,11 +9,65 @@
 //! purpose: chunked transfer, continuations, TLS, multi-valued headers.
 
 use std::io::{BufRead, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Maximum accepted size of the request head (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
 /// Maximum accepted body size.
 const MAX_BODY: usize = 1024 * 1024;
+
+/// A [`Read`] adapter over a [`TcpStream`] that enforces one **total
+/// wall-clock deadline** across every read, not a per-read timeout.
+///
+/// A per-read timeout alone leaves a slow-loris hole: a client dripping
+/// one byte per timeout window holds a connection (and its worker)
+/// forever while each individual read "succeeds in time". This adapter
+/// closes it by shrinking the socket's read timeout to the *remaining*
+/// budget before every raw read, so the sum of all reads can never
+/// exceed the deadline. Once the budget is spent, reads fail with
+/// [`std::io::ErrorKind::TimedOut`].
+pub struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+}
+
+impl<'a> DeadlineStream<'a> {
+    /// Wraps `stream`, enforcing `deadline` across all future reads.
+    pub fn new(stream: &'a TcpStream, deadline: Instant) -> Self {
+        DeadlineStream { stream, deadline }
+    }
+
+    /// Time left before the deadline (`None` once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.checked_duration_since(Instant::now())
+    }
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let Some(remaining) = self.remaining() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request deadline exceeded",
+            ));
+        };
+        self.stream.set_read_timeout(Some(remaining))?;
+        match self.stream.read(buf) {
+            // Platform-dependent spelling of "the timeout elapsed".
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request deadline exceeded",
+                ))
+            }
+            other => other,
+        }
+    }
+}
 
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,6 +175,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -133,12 +188,31 @@ pub fn reason(status: u16) -> &'static str {
 /// Propagates socket write errors (the server logs and drops them — the
 /// client is gone either way).
 pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    write_response_extra(stream, status, &[], body)
+}
+
+/// [`write_response`] with additional response headers (e.g.
+/// `Retry-After` on a 503). Header names and values must already be
+/// valid HTTP header text; this is an internal server, not a proxy.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_response_extra(
+    stream: &mut impl Write,
+    status: u16,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len(),
-    )?;
+    );
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    write!(stream, "{head}\r\n{body}")?;
     stream.flush()
 }
 
@@ -148,6 +222,20 @@ pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::
 ///
 /// Returns a message when the response is malformed or truncated.
 pub fn read_response(reader: &mut impl BufRead) -> Result<(u16, String), String> {
+    read_response_full(reader).map(|(status, _headers, body)| (status, body))
+}
+
+/// A parsed response: status, headers (lowercased names), body.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
+/// Reads one response from `reader`, keeping the headers:
+/// `(status, headers, body)`. Header names are lowercased; the retrying
+/// client uses this to honor `Retry-After` on a 503.
+///
+/// # Errors
+///
+/// Returns a message when the response is malformed or truncated.
+pub fn read_response_full(reader: &mut impl BufRead) -> Result<FullResponse, String> {
     let status_line = read_line(reader, MAX_HEAD)?.ok_or("empty response")?;
     let mut parts = status_line.split(' ');
     let version = parts.next().unwrap_or_default();
@@ -160,15 +248,19 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<(u16, String), String>
         .ok_or_else(|| format!("malformed status line '{status_line}'"))?;
 
     let mut content_length: Option<usize> = None;
+    let mut headers = Vec::new();
     loop {
         let line = read_line(reader, MAX_HEAD)?.ok_or("connection closed inside headers")?;
         if line.is_empty() {
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
             }
+            headers.push((name, value));
         }
     }
 
@@ -192,7 +284,7 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<(u16, String), String>
         }
     };
     let body = String::from_utf8(body).map_err(|_| "response body is not valid UTF-8")?;
-    Ok((status, body))
+    Ok((status, headers, body))
 }
 
 #[cfg(test)]
@@ -241,5 +333,74 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(body, "{\"ok\":true}");
         assert_eq!(reason(404), "Not Found");
+        assert_eq!(reason(503), "Service Unavailable");
+    }
+
+    #[test]
+    fn extra_headers_roundtrip() {
+        let mut wire = Vec::new();
+        write_response_extra(&mut wire, 503, &[("Retry-After", "1")], "{}").unwrap();
+        let raw = String::from_utf8(wire.clone()).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        let (status, headers, body) =
+            read_response_full(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(body, "{}");
+        let retry = headers.iter().find(|(n, _)| n == "retry-after");
+        assert_eq!(retry.map(|(_, v)| v.as_str()), Some("1"));
+    }
+
+    /// The slow-loris case the deadline exists for: a client dripping
+    /// bytes with pauses shorter than any per-read timeout still cannot
+    /// hold the reader past the total wall deadline.
+    #[test]
+    fn deadline_stream_bounds_a_dripping_writer() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dripper = std::thread::spawn(move || {
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            // One byte every 40ms: each read succeeds quickly, but the
+            // request never completes. Stop when the server gives up.
+            for b in b"POST /v1/query HTTP/1.1\r\nContent-Length: 999\r\n\r\n..." {
+                if conn.write_all(&[*b]).is_err() {
+                    break;
+                }
+                conn.flush().ok();
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        });
+
+        let (stream, _) = listener.accept().unwrap();
+        let started = Instant::now();
+        let deadline = started + Duration::from_millis(300);
+        let mut reader = BufReader::new(DeadlineStream::new(&stream, deadline));
+        let err = read_request(&mut reader).unwrap_err();
+        assert!(
+            err.contains("request deadline exceeded"),
+            "unexpected error: {err}"
+        );
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(290) && elapsed < Duration::from_secs(5),
+            "deadline not enforced near 300ms: {elapsed:?}"
+        );
+        drop(stream); // hang up so the dripper's next write fails
+        dripper.join().unwrap();
+
+        // A request that completes inside the deadline is untouched.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            conn.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut reader = BufReader::new(DeadlineStream::new(&stream, deadline));
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(req.path, "/healthz");
+        writer.join().unwrap();
     }
 }

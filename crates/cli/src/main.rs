@@ -46,11 +46,18 @@ COMMANDS:
                          --slo --n-max
              [--jobs N --replications R --seed S] simulation budget
              [--addr host:port] ask a running server instead of solving
+             [--retries N] retry connect failures/503s with backoff (default 2)
              [--cache-dir dir] [--json] [--check]
   serve      Long-running capacity-planning service (HTTP/1.1 on std::net)
              [--addr 127.0.0.1:7077] [--threads N] [--cache-dir dir]
+             [--max-inflight N] admitted connections (default 4x threads)
+             [--deadline-ms MS] total per-request wall budget (default 10000)
+             [--index-cap N] in-process index bound (default 4096)
              Endpoints: GET /healthz, GET /stats, POST /v1/query,
              POST /v1/shutdown; SIGINT/SIGTERM drain and exit
+             Overload sheds /v1/query with 503 + Retry-After; /healthz
+             and /stats keep answering. SLB_FAULTS/SLB_FAULT_SEED arm
+             deterministic fault injection (chaos testing)
   dist       Delay percentile bounds (median/p90/p99 by default)
              --n --d --rho --t [--percentiles 0.5,0.9,0.99]
   simulate   Discrete-event simulation of a dispatch policy

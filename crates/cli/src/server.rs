@@ -19,21 +19,46 @@
 //! | POST   | `/v1/shutdown` | `{"ok":true}`, then graceful shutdown      |
 //!
 //! Malformed requests get 400, unknown paths 404, wrong methods 405,
-//! evaluation failures 422. Shutdown — via `/v1/shutdown`, SIGINT or
+//! evaluation failures 422, handler panics a clean 500, and overload /
+//! missed deadlines 503. Shutdown — via `/v1/shutdown`, SIGINT or
 //! SIGTERM — stops accepting, drains every in-flight request through
 //! [`WorkPool::shutdown`], and returns from [`Server::run`].
+//!
+//! # Overload safety
+//!
+//! Three mechanisms keep a saturated or hostile client from taking the
+//! daemon down:
+//!
+//! * **Admission control**: at most `max_inflight` connections (default
+//!   4× the worker count) are admitted to the pool. Beyond that,
+//!   connections are handled by a small capped set of shed threads that
+//!   still answer `/healthz`, `/stats` and `/v1/shutdown` — liveness
+//!   and observability survive overload — but answer `/v1/query` with
+//!   `503` + `Retry-After` instead of queueing unbounded work.
+//! * **Request deadline**: one total wall-clock budget (`deadline_ms`)
+//!   covers read + solve + write per request, enforced across reads by
+//!   [`http::DeadlineStream`] — a slow-loris client dripping bytes
+//!   cannot hold a worker past the deadline. Exceeded → `503`, close.
+//! * **Panic isolation**: a panic inside request handling is caught and
+//!   answered as a `500`; the worker, the pool and every other
+//!   connection are unaffected.
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use slb_exp::json::Json;
 use slb_exp::{CacheStore, Query, WorkPool};
 
 use crate::http;
+
+/// Hard backstop on concurrently running shed threads: connections
+/// arriving past admission *and* past this cap are dropped outright.
+const MAX_SHED_THREADS: usize = 32;
 
 /// Configuration of one [`Server`].
 #[derive(Debug, Clone)]
@@ -45,6 +70,15 @@ pub struct ServeOptions {
     /// Cache root override; defaults to the shared workspace cache
     /// (`target/sweep-cache`) every sweep reads and writes.
     pub cache_dir: Option<PathBuf>,
+    /// Admission limit: connections concurrently admitted to the pool.
+    /// `0` (the default) means 4× the worker count.
+    pub max_inflight: usize,
+    /// Total wall-clock budget per request in milliseconds, covering
+    /// read + solve + write.
+    pub deadline_ms: u64,
+    /// Bound on the store's in-process index; `0` (the default) uses
+    /// [`slb_exp::store::DEFAULT_INDEX_CAP`].
+    pub index_cap: usize,
 }
 
 impl Default for ServeOptions {
@@ -55,6 +89,9 @@ impl Default for ServeOptions {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             cache_dir: None,
+            max_inflight: 0,
+            deadline_ms: 10_000,
+            index_cap: 0,
         }
     }
 }
@@ -62,13 +99,45 @@ impl Default for ServeOptions {
 /// Shared mutable state of a running server.
 struct ServerState {
     store: CacheStore,
+    /// The worker pool, behind a lock so `/stats` can read its gauges
+    /// and shutdown can take it out; `None` once draining has begun.
+    pool: Mutex<Option<WorkPool>>,
     requests: AtomicU64,
     cache_hits: AtomicU64,
     computed: AtomicU64,
     failed: AtomicU64,
+    /// Queries shed (or dropped) by admission control.
+    rejected: AtomicU64,
+    /// Handler panics caught and answered as 500s.
+    panics: AtomicU64,
+    /// Connections currently admitted (accept → response written).
+    in_flight: AtomicUsize,
+    /// Shed threads currently running.
+    shed: AtomicUsize,
     shutdown: AtomicBool,
     started: Instant,
     threads: usize,
+    max_inflight: usize,
+    deadline: Duration,
+}
+
+/// Poison-recovering lock on the pool slot: a panic elsewhere must not
+/// take `/stats` (or shutdown) down with it.
+fn lock_pool(state: &ServerState) -> MutexGuard<'_, Option<WorkPool>> {
+    state
+        .pool
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Decrements the admission gauge when an admitted connection finishes,
+/// however it finishes (including by panic).
+struct InflightGuard(Arc<ServerState>);
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// A bound (but not yet running) server. Splitting bind from run lets
@@ -77,7 +146,6 @@ struct ServerState {
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
-    pool: WorkPool,
 }
 
 impl Server {
@@ -92,24 +160,39 @@ impl Server {
         listener
             .set_nonblocking(true)
             .map_err(|e| format!("nonblocking listener: {e}"))?;
-        let store = match &opts.cache_dir {
-            Some(dir) => CacheStore::open(dir.clone()),
-            None => CacheStore::open_default(),
+        let root = opts
+            .cache_dir
+            .clone()
+            .unwrap_or_else(slb_exp::cache::default_cache_dir);
+        let store = match opts.index_cap {
+            0 => CacheStore::open(root),
+            cap => CacheStore::open_with_cap(root, cap),
         };
         let threads = opts.threads.max(1);
+        let max_inflight = if opts.max_inflight == 0 {
+            threads * 4
+        } else {
+            opts.max_inflight
+        };
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
                 store,
+                pool: Mutex::new(Some(WorkPool::new(threads))),
                 requests: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
                 computed: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                panics: AtomicU64::new(0),
+                in_flight: AtomicUsize::new(0),
+                shed: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
                 threads,
+                max_inflight,
+                deadline: Duration::from_millis(opts.deadline_ms.max(1)),
             }),
-            pool: WorkPool::new(threads),
         })
     }
 
@@ -128,9 +211,11 @@ impl Server {
     }
 
     /// Runs the accept loop until `/v1/shutdown`, SIGINT or SIGTERM,
-    /// then drains in-flight requests and returns. Connections are
-    /// handled on the pool; the loop polls the nonblocking listener so
-    /// a shutdown request never waits on a new connection.
+    /// then drains in-flight requests and returns. Admitted connections
+    /// are handled on the pool; connections beyond `max_inflight` go to
+    /// capped shed threads (see the module docs). The loop polls the
+    /// nonblocking listener so a shutdown request never waits on a new
+    /// connection.
     ///
     /// # Errors
     ///
@@ -142,10 +227,7 @@ impl Server {
                 break;
             }
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let state = Arc::clone(&self.state);
-                    self.pool.spawn(move || handle_connection(stream, &state));
-                }
+                Ok((stream, _peer)) => admit_or_shed(stream, &self.state),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
                 }
@@ -157,34 +239,151 @@ impl Server {
                 }
             }
         }
-        self.pool.shutdown();
+        let pool = lock_pool(&self.state).take();
+        if let Some(pool) = pool {
+            pool.shutdown();
+        }
         Ok(())
     }
 }
 
-/// Reads one request off `stream`, routes it, writes the response.
+/// Admission control at the accept boundary: under the limit, the
+/// connection runs on the pool; over it, a capped shed thread keeps
+/// liveness endpoints answering while queries get 503.
+fn admit_or_shed(stream: TcpStream, state: &Arc<ServerState>) {
+    if state.in_flight.load(Ordering::Relaxed) >= state.max_inflight {
+        shed_connection(stream, Arc::clone(state));
+        return;
+    }
+    // Count *before* the task runs, so a burst of accepts cannot all
+    // pass the check ahead of the pool getting to any of them.
+    state.in_flight.fetch_add(1, Ordering::Relaxed);
+    let task_state = Arc::clone(state);
+    let pool = lock_pool(state);
+    match pool.as_ref() {
+        Some(pool) => pool.spawn(move || {
+            let guard = InflightGuard(task_state);
+            handle_connection(stream, &guard.0);
+        }),
+        // Draining: the listener is about to close anyway.
+        None => {
+            state.in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs an over-admission connection on a dedicated thread (up to
+/// [`MAX_SHED_THREADS`]; beyond that the connection is dropped — the
+/// hard backstop against thread exhaustion).
+fn shed_connection(stream: TcpStream, state: Arc<ServerState>) {
+    if state.shed.fetch_add(1, Ordering::Relaxed) >= MAX_SHED_THREADS {
+        state.shed.fetch_sub(1, Ordering::Relaxed);
+        state.rejected.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let spawned = std::thread::Builder::new()
+        .name("slb-shed".into())
+        .spawn(move || {
+            handle_overloaded(stream, &state);
+            state.shed.fetch_sub(1, Ordering::Relaxed);
+        });
+    if let Err(e) = spawned {
+        // Builder::spawn reports resource exhaustion instead of
+        // panicking; the connection is dropped, the daemon lives. The
+        // closure owns `state` now, so only log here.
+        eprintln!("warning: cannot spawn shed thread: {e}");
+    }
+}
+
+/// The shed path: `/healthz`, `/stats` and `/v1/shutdown` answer
+/// normally (observability and shutdown must survive overload), but
+/// `/v1/query` is refused with `503` + `Retry-After` instead of adding
+/// load.
+fn handle_overloaded(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    // Shed reads get a short fixed budget: an overloaded server should
+    // spend no time waiting on slow clients.
+    let deadline = Instant::now() + state.deadline.min(Duration::from_secs(2));
+    let request = {
+        let mut reader = BufReader::new(http::DeadlineStream::new(&stream, deadline));
+        http::read_request(&mut reader)
+    };
+    let mut stream = stream;
+    let (status, body) = match request {
+        Ok(Some(request)) => {
+            let path = request.path.split('?').next().unwrap_or("");
+            if (request.method.as_str(), path) == ("POST", "/v1/query") {
+                state.rejected.fetch_add(1, Ordering::Relaxed);
+                (503, error_body("overloaded"))
+            } else {
+                route(&request, state)
+            }
+        }
+        Ok(None) => return,
+        Err(_) => return, // a slow or malformed client gets no budget here
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    if status >= 400 {
+        state.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    let extra: &[(&str, &str)] = if status == 503 {
+        &[("Retry-After", "1")]
+    } else {
+        &[]
+    };
+    let _ = http::write_response_extra(&mut stream, status, extra, &body);
+}
+
+/// Reads one request off `stream` under the wall deadline, routes it
+/// with panic isolation, writes the response.
 fn handle_connection(stream: TcpStream, state: &ServerState) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
+    // Chaos harness: an armed `server.slow_read` simulates a slow client
+    // occupying this worker for half the deadline budget.
+    if slb_fault::fires("server.slow_read") {
+        std::thread::sleep(state.deadline / 2);
+    }
+    let deadline = Instant::now() + state.deadline;
+    let request = {
+        let mut reader = BufReader::new(http::DeadlineStream::new(&stream, deadline));
+        http::read_request(&mut reader)
     };
-    let mut reader = BufReader::new(stream);
-    let (status, body) = match http::read_request(&mut reader) {
-        Ok(Some(request)) => route(&request, state),
+    let mut stream = stream;
+    let (status, body) = match request {
+        Ok(Some(request)) => {
+            // Panic isolation: a panicking handler answers 500 and the
+            // worker lives. `route` only touches atomics and the
+            // poison-recovering store/pool locks, so observing its
+            // state after a panic is sound.
+            match catch_unwind(AssertUnwindSafe(|| route(&request, state))) {
+                // Solved, but too late: the client was promised the
+                // deadline, not a stale answer.
+                Ok(_) if Instant::now() >= deadline => {
+                    (503, error_body("request deadline exceeded"))
+                }
+                Ok(answer) => answer,
+                Err(_) => {
+                    state.panics.fetch_add(1, Ordering::Relaxed);
+                    (500, error_body("internal error: request handler panicked"))
+                }
+            }
+        }
         Ok(None) => return, // client connected and left; nothing to answer
+        Err(e) if e.contains("request deadline exceeded") => {
+            (503, error_body("request deadline exceeded"))
+        }
         Err(e) => (400, error_body(&e)),
     };
     state.requests.fetch_add(1, Ordering::Relaxed);
     if status >= 400 {
         state.failed.fetch_add(1, Ordering::Relaxed);
     }
-    if http::write_response(&mut writer, status, &body).is_err() {
+    if http::write_response(&mut stream, status, &body).is_err() {
         // The client hung up before the answer; nothing to do.
     }
-    let _ = writer.flush();
+    let _ = stream.flush();
 }
 
 /// Dispatches one parsed request to its endpoint.
@@ -208,6 +407,11 @@ fn route(request: &http::Request, state: &ServerState) -> (u16, String) {
 
 /// `POST /v1/query`: decode → evaluate through the shared store → encode.
 fn answer_query(body: &str, state: &ServerState) -> (u16, String) {
+    // Chaos harness: an armed `server.answer_panic` exercises the
+    // panic-isolation path end to end (500 answer, worker survives).
+    if slb_fault::fires("server.answer_panic") {
+        panic!("injected: server.answer_panic");
+    }
     let doc = match Json::parse(body) {
         Ok(doc) => doc,
         Err(e) => return (400, error_body(&format!("request body is not JSON: {e}"))),
@@ -233,6 +437,11 @@ fn answer_query(body: &str, state: &ServerState) -> (u16, String) {
 }
 
 fn stats_body(state: &ServerState) -> String {
+    // Pool gauges read through the lock; all zero once draining began.
+    let (queue_depth, workers_alive, pool_panics) = match lock_pool(state).as_ref() {
+        Some(pool) => (pool.queue_depth(), pool.workers_alive(), pool.panics()),
+        None => (0, 0, 0),
+    };
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         (
@@ -251,8 +460,24 @@ fn stats_body(state: &ServerState) -> String {
             "failed".into(),
             Json::Num(state.failed.load(Ordering::Relaxed) as f64),
         ),
+        (
+            "rejected".into(),
+            Json::Num(state.rejected.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "panics".into(),
+            Json::Num((state.panics.load(Ordering::Relaxed) + pool_panics) as f64),
+        ),
+        (
+            "in_flight".into(),
+            Json::Num(state.in_flight.load(Ordering::Relaxed) as f64),
+        ),
+        ("queue_depth".into(), Json::Num(queue_depth as f64)),
+        ("workers_alive".into(), Json::Num(workers_alive as f64)),
         ("indexed".into(), Json::Num(state.store.indexed() as f64)),
+        ("evicted".into(), Json::Num(state.store.evicted() as f64)),
         ("threads".into(), Json::Num(state.threads as f64)),
+        ("max_inflight".into(), Json::Num(state.max_inflight as f64)),
         (
             "uptime_ms".into(),
             Json::Num(state.started.elapsed().as_millis() as f64),
@@ -275,13 +500,20 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         ServerState {
             store: CacheStore::open(dir),
+            pool: Mutex::new(None),
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             computed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             threads: 1,
+            max_inflight: 4,
+            deadline: Duration::from_secs(10),
         }
     }
 

@@ -1,0 +1,337 @@
+//! Chaos harness for `slb serve`: spawns real daemons with named fail
+//! points armed through `SLB_FAULTS`/`SLB_FAULT_SEED` and proves the
+//! overload-safety contract over real sockets — panicking queries
+//! answer 500 while every worker survives, overload sheds queries with
+//! 503 + `Retry-After` while `/healthz` stays fast, injected disk-write
+//! failures never lose answers, and the same seed replays a
+//! byte-identical fault schedule.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use slb_cli::client;
+use slb_exp::{answer, CacheStore, Json, Query};
+
+/// A spawned `slb serve` child plus the address it reported.
+struct Daemon {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+/// Spawns the real binary with extra flags and fault-injection env.
+fn start_daemon(cache_dir: &std::path::Path, args: &[&str], env: &[(&str, &str)]) -> Daemon {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_slb"));
+    cmd.args(["serve", "--addr", "127.0.0.1:0"])
+        .args(["--cache-dir", &cache_dir.to_string_lossy()])
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn slb serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .trim()
+        .rsplit("http://")
+        .next()
+        .expect("listening line names the address")
+        .to_string();
+    assert!(
+        line.contains("listening"),
+        "unexpected first line: {line:?}"
+    );
+    Daemon {
+        child,
+        addr,
+        stdout,
+    }
+}
+
+fn shutdown_and_wait(mut daemon: Daemon) {
+    client::post_shutdown(&daemon.addr).expect("shutdown");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = daemon.child.try_wait().expect("try_wait") {
+            assert!(status.success(), "daemon exit: {status:?}");
+            let mut rest = String::new();
+            let _ = daemon.stdout.read_to_string(&mut rest);
+            assert!(rest.contains("drained and shut down"), "{rest:?}");
+            return;
+        }
+        assert!(Instant::now() < deadline, "daemon did not exit in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn stat(stats: &str, name: &str) -> f64 {
+    Json::parse(stats)
+        .unwrap()
+        .get(name)
+        .unwrap_or_else(|| panic!("/stats missing '{name}': {stats}"))
+        .as_f64()
+        .unwrap()
+}
+
+const BOUNDS_BODY: &str = "{\"kind\":\"bounds\",\"n\":3,\"d\":2,\"rho\":0.6,\"t\":2}";
+
+fn bounds_query() -> Query {
+    Query::from_json(&Json::parse(BOUNDS_BODY).unwrap()).unwrap()
+}
+
+#[test]
+fn panicking_queries_answer_500_and_every_worker_survives() {
+    let base = std::env::temp_dir().join(format!("slb-chaos-panic-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let daemon = start_daemon(
+        &base,
+        &["--threads", "2"],
+        &[("SLB_FAULTS", "server.answer_panic=1")],
+    );
+    let addr = daemon.addr.clone();
+
+    // Far more panics than workers: if panics killed workers, the pool
+    // would be dead long before the last request.
+    for _ in 0..8 {
+        let (status, body) =
+            client::request(&addr, "POST", "/v1/query", Some(BOUNDS_BODY)).unwrap();
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("error"), "{body}");
+    }
+    let (status, _) = client::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200, "liveness must survive the panic storm");
+    let (_, stats) = client::request(&addr, "GET", "/stats", None).unwrap();
+    assert!(stat(&stats, "panics") >= 8.0, "{stats}");
+    assert_eq!(stat(&stats, "workers_alive"), 2.0, "{stats}");
+    shutdown_and_wait(daemon);
+
+    // A fresh, disarmed daemon over the same cache dir answers the
+    // very query that panicked — correctly, matching direct evaluation.
+    let daemon = start_daemon(&base, &["--threads", "2"], &[]);
+    let served = client::post_query(&daemon.addr, &bounds_query()).unwrap();
+    let local = base.join("direct");
+    let direct = answer(&bounds_query(), &CacheStore::open(&local)).unwrap();
+    assert_eq!(served.rows, direct.rows, "recovery must answer correctly");
+    shutdown_and_wait(daemon);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn overload_sheds_queries_while_liveness_stays_fast() {
+    let base = std::env::temp_dir().join(format!("slb-chaos-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    // Every admitted connection sleeps deadline/2 = 1.5s in the
+    // injected slow read; with 2 workers and max-inflight 2, the
+    // daemon is saturated by two occupier queries.
+    let daemon = start_daemon(
+        &base,
+        &[
+            "--threads",
+            "2",
+            "--max-inflight",
+            "2",
+            "--deadline-ms",
+            "3000",
+        ],
+        &[("SLB_FAULTS", "server.slow_read=1")],
+    );
+    let addr = daemon.addr.clone();
+
+    let occupiers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                client::request(&addr, "POST", "/v1/query", Some(BOUNDS_BODY)).unwrap()
+            })
+        })
+        .collect();
+    // Let the accept loop admit both occupiers before piling on.
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Over-admission queries are shed: 503, Retry-After, no queueing.
+    let mut shed = 0;
+    for _ in 0..4 {
+        let (status, headers, body) =
+            client::request_full(&addr, "POST", "/v1/query", Some(BOUNDS_BODY)).unwrap();
+        if status == 503 {
+            shed += 1;
+            assert!(body.contains("overloaded"), "{body}");
+            let retry_after = headers.iter().find(|(name, _)| name == "retry-after");
+            assert!(retry_after.is_some(), "503 must carry Retry-After");
+        }
+    }
+    assert!(shed >= 1, "expected at least one shed query");
+
+    // Liveness and observability keep answering, promptly, mid-overload.
+    let started = Instant::now();
+    let (status, _) = client::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "/healthz slowed to {:?} under overload",
+        started.elapsed()
+    );
+    let (status, stats) = client::request(&addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(stat(&stats, "rejected") >= shed as f64, "{stats}");
+
+    // The occupiers finish normally (their deadline was not exceeded).
+    for occupier in occupiers {
+        let (status, body) = occupier.join().unwrap();
+        assert_eq!(status, 200, "occupier failed: {body}");
+    }
+    shutdown_and_wait(daemon);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn injected_disk_write_failures_never_lose_answers() {
+    let base = std::env::temp_dir().join(format!("slb-chaos-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let daemon = start_daemon(
+        &base,
+        &["--threads", "1"],
+        &[("SLB_FAULTS", "store.disk_write=1")],
+    );
+    let addr = daemon.addr.clone();
+
+    // The compute succeeds and is served even though every disk write
+    // fails; the replay is a pure memory hit.
+    let first = client::post_query(&addr, &bounds_query()).unwrap();
+    assert_eq!(first.computed, 1);
+    let replay = client::post_query(&addr, &bounds_query()).unwrap();
+    assert_eq!(replay.computed, 0, "index must still replay");
+    assert_eq!(replay.rows, first.rows);
+    shutdown_and_wait(daemon);
+
+    // Nothing reached disk, so a fresh (disarmed) daemon recomputes —
+    // and now persists — the same answer.
+    let daemon = start_daemon(&base, &["--threads", "1"], &[]);
+    let recovered = client::post_query(&daemon.addr, &bounds_query()).unwrap();
+    assert_eq!(
+        recovered.computed, 1,
+        "the armed run must not have persisted"
+    );
+    assert_eq!(recovered.rows, first.rows);
+    shutdown_and_wait(daemon);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn same_seed_replays_a_byte_identical_fault_schedule() {
+    const SEED: &str = "42";
+    const CALLS: usize = 16;
+    let spec = "server.answer_panic=0.5";
+
+    // The pure schedule the daemons must follow.
+    let expected: Vec<u16> = slb_fault::schedule(42, "server.answer_panic", 0.5, CALLS as u64)
+        .into_iter()
+        .map(|fires| if fires { 500 } else { 200 })
+        .collect();
+    assert!(expected.contains(&500) && expected.contains(&200));
+
+    let run = |tag: &str, seed: &str| -> Vec<u16> {
+        let base =
+            std::env::temp_dir().join(format!("slb-chaos-seed-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        // One worker and strictly sequential requests: the per-point
+        // call order is the request order.
+        let daemon = start_daemon(
+            &base,
+            &["--threads", "1"],
+            &[("SLB_FAULTS", spec), ("SLB_FAULT_SEED", seed)],
+        );
+        let statuses = (0..CALLS)
+            .map(|_| {
+                client::request(&daemon.addr, "POST", "/v1/query", Some(BOUNDS_BODY))
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        shutdown_and_wait(daemon);
+        let _ = std::fs::remove_dir_all(&base);
+        statuses
+    };
+
+    let first = run("a", SEED);
+    let second = run("b", SEED);
+    assert_eq!(first, expected, "daemon must follow the pure schedule");
+    assert_eq!(first, second, "same seed, same schedule");
+    let other = run("c", "43");
+    assert_ne!(first, other, "a different seed reschedules");
+}
+
+#[test]
+fn client_retries_transient_failures_but_not_client_errors() {
+    // A hand-rolled one-thread server: first connection is shed with
+    // 503 + Retry-After, the second succeeds — the retrying client
+    // should surface only the success.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let responses = [
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 22\r\nRetry-After: 0\r\n\
+             Connection: close\r\n\r\n{\"error\":\"overloaded\"}"
+                .to_string(),
+            "HTTP/1.1 200 OK\r\nContent-Length: 11\r\nConnection: close\r\n\r\n{\"ok\":true}"
+                .to_string(),
+        ];
+        let mut served = 0;
+        for response in &responses {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut drain = [0u8; 1024];
+            let _ = conn.read(&mut drain);
+            conn.write_all(response.as_bytes()).unwrap();
+            served += 1;
+        }
+        served
+    });
+
+    let policy = client::RetryPolicy {
+        retries: 3,
+        base: Duration::from_millis(10),
+        cap: Duration::from_millis(50),
+        seed: 7,
+    };
+    let (status, body) =
+        client::request_with_retries(&addr, "POST", "/v1/query", Some("{}"), &policy).unwrap();
+    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+    assert_eq!(server.join().unwrap(), 2, "exactly one retry");
+
+    // 4xx responses are final: exactly one attempt, no retries.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut drain = [0u8; 1024];
+        let _ = conn.read(&mut drain);
+        conn.write_all(
+            b"HTTP/1.1 422 Unprocessable Entity\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}",
+        )
+        .unwrap();
+        // A second accept would hang the test; reaching here is proof
+        // enough that only one connection arrived before the client
+        // returned.
+    });
+    let (status, _) =
+        client::request_with_retries(&addr, "POST", "/v1/query", Some("bad"), &policy).unwrap();
+    assert_eq!(status, 422, "client errors must not be retried");
+    server.join().unwrap();
+
+    // A dead address exhausts the retry budget and reports the
+    // transport error.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let dead = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    let err = client::request_with_retries(&dead, "GET", "/healthz", None, &policy).unwrap_err();
+    assert!(err.contains("connecting to"), "{err}");
+}

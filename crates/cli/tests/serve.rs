@@ -162,14 +162,26 @@ fn serves_queries_matching_direct_evaluation() {
     // Stats reflect the traffic, then graceful endpoint shutdown.
     let (_, stats) = client::request(&addr, "GET", "/stats", None).unwrap();
     let doc = Json::parse(&stats).unwrap();
+    let stat = |name: &str| {
+        doc.get(name)
+            .unwrap_or_else(|| panic!("/stats missing '{name}': {stats}"))
+            .as_f64()
+            .unwrap()
+    };
+    assert!(stat("requests") >= 8.0, "{stats}");
+    assert!(stat("cache_hits") >= 1.0, "{stats}");
+    // Robustness gauges: present, and quiet under normal traffic.
+    assert_eq!(stat("rejected"), 0.0, "{stats}");
+    assert_eq!(stat("panics"), 0.0, "{stats}");
+    assert_eq!(stat("workers_alive"), 2.0, "{stats}");
+    assert_eq!(stat("max_inflight"), 8.0, "4x the 2 threads: {stats}");
+    assert_eq!(stat("evicted"), 0.0, "{stats}");
+    let in_flight = stat("in_flight");
     assert!(
-        doc.get("requests").unwrap().as_f64().unwrap() >= 8.0,
-        "{stats}"
+        (1.0..=8.0).contains(&in_flight),
+        "the /stats request itself is admitted: {stats}"
     );
-    assert!(
-        doc.get("cache_hits").unwrap().as_f64().unwrap() >= 1.0,
-        "{stats}"
-    );
+    assert!(stat("queue_depth") <= 8.0, "{stats}");
     client::post_shutdown(&addr).unwrap();
     let (status, rest) = wait_exit(daemon);
     assert!(status.success(), "server exit: {status:?}");

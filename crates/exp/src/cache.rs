@@ -62,29 +62,83 @@ pub fn default_cache_dir() -> PathBuf {
     find_workspace_root(&cwd).join("target").join("sweep-cache")
 }
 
-fn entry_path(dir: &Path, key: &str) -> PathBuf {
+/// The on-disk file holding `key`'s entry.
+pub fn entry_path(dir: &Path, key: &str) -> PathBuf {
     dir.join(format!("{:016x}.json", fnv64(key)))
 }
 
-/// Loads the cached rows for `key`, or `None` on miss / mismatch /
-/// unreadable entry.
-pub fn load(dir: &Path, key: &str) -> Option<Vec<Vec<String>>> {
-    let src = std::fs::read_to_string(entry_path(dir, key)).ok()?;
-    let doc = Json::parse(&src).ok()?;
-    let schema = doc.get("schema")?.as_f64()?;
-    if schema != f64::from(CACHE_SCHEMA) || doc.get("key")?.as_str()? != key {
-        return None;
+/// Where a corrupt entry is quarantined (same name, `.bad` suffix).
+pub fn quarantine_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{:016x}.bad", fnv64(key)))
+}
+
+/// Outcome of probing the disk for `key` — distinguishing a legitimate
+/// miss (absent entry, or one written under another schema/key, which a
+/// recompute will overwrite in place) from a *corrupt* entry (the file
+/// is there but unparsable), which the store quarantines so it is not
+/// re-parsed on every subsequent miss.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Entry {
+    /// A valid entry for this key under the current schema.
+    Hit(Vec<Vec<String>>),
+    /// No entry, or a stale-schema / different-key entry: recompute.
+    Miss,
+    /// The file exists but cannot be decoded (truncated write by a
+    /// crashed process, bit rot, manual editing): quarantine it.
+    Corrupt,
+}
+
+/// Probes the disk entry for `key`. See [`Entry`] for the outcomes.
+pub fn load_entry(dir: &Path, key: &str) -> Entry {
+    let path = entry_path(dir, key);
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        // Absent is the common miss; any other read error (not UTF-8,
+        // permissions) on an existing file means the entry is unusable.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Entry::Miss,
+        Err(_) => return Entry::Corrupt,
+    };
+    let Ok(doc) = Json::parse(&src) else {
+        return Entry::Corrupt;
+    };
+    // A structurally valid document with the wrong schema or key is a
+    // clean miss (older engine, hash collision) — not corruption.
+    let (Some(schema), Some(entry_key)) = (
+        doc.get("schema").and_then(Json::as_f64),
+        doc.get("key").and_then(Json::as_str),
+    ) else {
+        return Entry::Corrupt;
+    };
+    if schema != f64::from(CACHE_SCHEMA) || entry_key != key {
+        return Entry::Miss;
     }
+    let Some(raw_rows) = doc.get("rows").and_then(Json::as_arr) else {
+        return Entry::Corrupt;
+    };
     let mut rows = Vec::new();
-    for row in doc.get("rows")?.as_arr()? {
+    for row in raw_rows {
         let cells: Option<Vec<String>> = row
-            .as_arr()?
-            .iter()
+            .as_arr()
+            .into_iter()
+            .flatten()
             .map(|c| c.as_str().map(str::to_string))
             .collect();
-        rows.push(cells?);
+        match (row.as_arr().is_some(), cells) {
+            (true, Some(cells)) => rows.push(cells),
+            _ => return Entry::Corrupt,
+        }
     }
-    Some(rows)
+    Entry::Hit(rows)
+}
+
+/// Loads the cached rows for `key`, or `None` on miss / mismatch /
+/// unreadable entry. (Thin wrapper over [`load_entry`] for callers
+/// that do not care about quarantining.)
+pub fn load(dir: &Path, key: &str) -> Option<Vec<Vec<String>>> {
+    match load_entry(dir, key) {
+        Entry::Hit(rows) => Some(rows),
+        Entry::Miss | Entry::Corrupt => None,
+    }
 }
 
 /// Stores `rows` under `key`, creating the cache directory on demand.
@@ -99,6 +153,9 @@ pub fn load(dir: &Path, key: &str) -> Option<Vec<Vec<String>>> {
 /// Propagates filesystem errors (callers treat a failed store as
 /// non-fatal: the sweep result is already in hand).
 pub fn store(dir: &Path, key: &str, rows: &[Vec<String>]) -> std::io::Result<()> {
+    if slb_fault::fires("store.disk_write") {
+        return Err(std::io::Error::other("injected: store.disk_write"));
+    }
     std::fs::create_dir_all(dir)?;
     // Hand-rendered with one row per line: diffable, and the cache
     // entry doubles as a human-readable record of the job.

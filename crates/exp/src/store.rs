@@ -10,7 +10,13 @@
 //!
 //! 1. **In-process index**: an `RwLock` map from canonical key to the
 //!    parsed rows. A repeat query never touches the filesystem; a hit
-//!    is an `Arc` clone behind a read lock (microseconds).
+//!    is an `Arc` clone behind a read lock (microseconds). The index is
+//!    **bounded** (configurable entry cap, second-chance eviction in
+//!    insertion-clock order): under millions of distinct keys the
+//!    daemon's memory stays flat, and because every evicted entry still
+//!    has its durable disk file, eviction never loses a result — the
+//!    next request for an evicted key reloads it from disk
+//!    byte-identically.
 //! 2. **In-flight dedup**: concurrent requests for the *same* key block
 //!    on the first request's computation instead of solving twice; the
 //!    solve runs exactly once per process per key.
@@ -18,13 +24,26 @@
 //!    [`crate::cache::store`]'s unique-temp-file + `rename` protocol,
 //!    so concurrent writers (even across processes) can never produce
 //!    a torn entry — a reader sees a complete entry or a miss.
+//!
+//! A disk entry that exists but cannot be decoded (torn by a crashed
+//! process, bit-rotted, hand-edited) is **quarantined**: renamed to
+//! `<hash>.bad` and warned about once, instead of being re-parsed —
+//! and re-failing — on every subsequent miss. The key is then
+//! recomputed and republished cleanly.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use crate::cache;
 use crate::runner::Row;
+
+/// Default bound on the in-process index. Entries are a few hundred
+/// bytes of parsed rows each, so the default keeps the warm set of a
+/// busy daemon around a couple of MB while still caching far more
+/// points than any committed sweep produces.
+pub const DEFAULT_INDEX_CAP: usize = 4096;
 
 /// How a [`CacheStore`] request was satisfied — the store's analogue of
 /// a cache hit/miss counter, kept per call so callers can aggregate
@@ -77,32 +96,65 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
+/// One indexed entry plus its second-chance bit: set on every hit,
+/// cleared (one reprieve) when the eviction clock sweeps past.
+struct IndexSlot {
+    rows: Arc<Vec<Row>>,
+    referenced: AtomicBool,
+}
+
+/// The index map plus the eviction clock (keys in insertion order; each
+/// key appears exactly once while it is in the map).
+struct IndexInner {
+    map: HashMap<String, IndexSlot>,
+    clock: VecDeque<String>,
+}
+
 /// The persistent concurrent cache. See the module docs for the layer
 /// structure; construction is cheap (no eager directory scan — entries
 /// load lazily on first lookup).
 pub struct CacheStore {
     root: PathBuf,
-    index: RwLock<HashMap<String, Arc<Vec<Row>>>>,
+    index: RwLock<IndexInner>,
     inflight: Mutex<HashMap<String, Arc<Flight>>>,
+    cap: usize,
+    evicted: AtomicU64,
+    quarantined: AtomicU64,
+    quarantine_warned: AtomicBool,
 }
 
 impl std::fmt::Debug for CacheStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CacheStore")
             .field("root", &self.root)
-            .field("indexed", &self.index.read().map(|i| i.len()).unwrap_or(0))
+            .field("indexed", &self.indexed())
+            .field("cap", &self.cap)
             .finish()
     }
 }
 
 impl CacheStore {
-    /// Opens (lazily) the store rooted at `root`. The directory is
-    /// created on first write, not here.
+    /// Opens (lazily) the store rooted at `root` with the default index
+    /// cap. The directory is created on first write, not here.
     pub fn open(root: impl Into<PathBuf>) -> Self {
+        CacheStore::open_with_cap(root, DEFAULT_INDEX_CAP)
+    }
+
+    /// Opens the store with an explicit bound on the in-process index
+    /// (clamped to at least 1). Disk entries are unaffected by the cap:
+    /// an evicted key reloads from its durable file on the next request.
+    pub fn open_with_cap(root: impl Into<PathBuf>, cap: usize) -> Self {
         CacheStore {
             root: root.into(),
-            index: RwLock::new(HashMap::new()),
+            index: RwLock::new(IndexInner {
+                map: HashMap::new(),
+                clock: VecDeque::new(),
+            }),
             inflight: Mutex::new(HashMap::new()),
+            cap: cap.max(1),
+            evicted: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            quarantine_warned: AtomicBool::new(false),
         }
     }
 
@@ -120,21 +172,105 @@ impl CacheStore {
 
     /// Number of entries currently held in the in-process index.
     pub fn indexed(&self) -> usize {
-        self.index.read().expect("index lock").len()
+        self.index.read().expect("index lock").map.len()
     }
 
-    /// Index-then-disk lookup without computing. A disk hit is promoted
-    /// into the index so the next lookup is memory-speed.
-    pub fn lookup(&self, key: &str) -> Option<Arc<Vec<Row>>> {
-        if let Some(rows) = self.index.read().expect("index lock").get(key) {
-            return Some(Arc::clone(rows));
+    /// The configured bound on the in-process index.
+    pub fn index_cap(&self) -> usize {
+        self.cap
+    }
+
+    /// How many index entries the cap has evicted so far. Evictions
+    /// never lose results — the durable disk tier still has them.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// How many corrupt disk entries have been quarantined (renamed to
+    /// `<hash>.bad`) so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Index hit: clone the rows and mark the slot recently used.
+    fn index_get(&self, key: &str) -> Option<Arc<Vec<Row>>> {
+        let inner = self.index.read().expect("index lock");
+        let slot = inner.map.get(key)?;
+        slot.referenced.store(true, Ordering::Relaxed);
+        Some(Arc::clone(&slot.rows))
+    }
+
+    /// Inserts (or refreshes) an index entry, evicting via second
+    /// chance when the cap is reached: the clock hand sweeps insertion
+    /// order, granting one reprieve to entries hit since the last sweep.
+    fn index_insert(&self, key: &str, rows: Arc<Vec<Row>>) {
+        let mut inner = self.index.write().expect("index lock");
+        if let Some(slot) = inner.map.get_mut(key) {
+            slot.rows = rows;
+            slot.referenced.store(true, Ordering::Relaxed);
+            return;
         }
-        let rows = Arc::new(cache::load(&self.root, key)?);
-        self.index
-            .write()
-            .expect("index lock")
-            .insert(key.to_string(), Arc::clone(&rows));
-        Some(rows)
+        while inner.map.len() >= self.cap {
+            let Some(victim) = inner.clock.pop_front() else {
+                break; // unreachable: clock and map stay in sync
+            };
+            let referenced = inner
+                .map
+                .get(&victim)
+                .is_some_and(|slot| slot.referenced.swap(false, Ordering::Relaxed));
+            if referenced {
+                inner.clock.push_back(victim);
+            } else {
+                inner.map.remove(&victim);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.clock.push_back(key.to_string());
+        inner.map.insert(
+            key.to_string(),
+            IndexSlot {
+                rows,
+                referenced: AtomicBool::new(true),
+            },
+        );
+    }
+
+    /// Probes the disk tier, promoting a hit into the index and
+    /// quarantining a corrupt entry (renamed to `<hash>.bad`, warned
+    /// about once per store) so it is recomputed instead of re-parsed
+    /// on every subsequent miss.
+    fn disk_probe(&self, key: &str) -> Option<Arc<Vec<Row>>> {
+        match cache::load_entry(&self.root, key) {
+            cache::Entry::Hit(rows) => {
+                let rows = Arc::new(rows);
+                self.index_insert(key, Arc::clone(&rows));
+                Some(rows)
+            }
+            cache::Entry::Miss => None,
+            cache::Entry::Corrupt => {
+                self.quarantine(key);
+                None
+            }
+        }
+    }
+
+    /// Moves `key`'s unreadable disk entry out of the lookup path.
+    fn quarantine(&self, key: &str) {
+        let entry = cache::entry_path(&self.root, key);
+        let bad = cache::quarantine_path(&self.root, key);
+        let moved = std::fs::rename(&entry, &bad)
+            .or_else(|_| std::fs::remove_file(&entry))
+            .is_ok();
+        if moved {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+        if !self.quarantine_warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: corrupt cache entry quarantined to {} (recomputing; further \
+                 quarantines are silent)",
+                bad.display()
+            );
+        }
     }
 
     /// Publishes `rows` under `key` to both the index and (best-effort)
@@ -144,10 +280,16 @@ impl CacheStore {
         if let Err(e) = cache::store(&self.root, key, &rows) {
             eprintln!("warning: cannot write sweep cache: {e}");
         }
-        self.index
-            .write()
-            .expect("index lock")
-            .insert(key.to_string(), rows);
+        self.index_insert(key, rows);
+    }
+
+    /// Index-then-disk lookup without computing. A disk hit is promoted
+    /// into the index so the next lookup is memory-speed.
+    pub fn lookup(&self, key: &str) -> Option<Arc<Vec<Row>>> {
+        if let Some(rows) = self.index_get(key) {
+            return Some(rows);
+        }
+        self.disk_probe(key)
     }
 
     /// The core request path: answers `key` from the index, then disk,
@@ -166,8 +308,8 @@ impl CacheStore {
     where
         F: FnOnce() -> Result<Vec<Row>, String>,
     {
-        if let Some(rows) = self.index.read().expect("index lock").get(key) {
-            return Ok((Arc::clone(rows), Source::Memory));
+        if let Some(rows) = self.index_get(key) {
+            return Ok((rows, Source::Memory));
         }
 
         // Register interest under the in-flight lock: exactly one
@@ -176,8 +318,8 @@ impl CacheStore {
             let mut inflight = self.inflight.lock().expect("inflight lock");
             // Double-check the index: the previous holder may have
             // published between our read miss and this lock.
-            if let Some(rows) = self.index.read().expect("index lock").get(key) {
-                return Ok((Arc::clone(rows), Source::Memory));
+            if let Some(rows) = self.index_get(key) {
+                return Ok((rows, Source::Memory));
             }
             if let Some(flight) = inflight.get(key) {
                 let flight = Arc::clone(flight);
@@ -201,12 +343,9 @@ impl CacheStore {
 
         // Disk may already hold the entry (a previous process, or a
         // sweep sharing the root): schema/key-gated load, no compute.
-        if let Some(rows) = cache::load(&self.root, key) {
-            let rows = Arc::new(rows);
-            self.index
-                .write()
-                .expect("index lock")
-                .insert(key.to_string(), Arc::clone(&rows));
+        // A corrupt entry is quarantined inside the probe and falls
+        // through to a clean recompute.
+        if let Some(rows) = self.disk_probe(key) {
             guard.armed = false;
             self.finish_flight(key, &flight, Ok(Arc::clone(&rows)));
             return Ok((rows, Source::Disk));

@@ -154,6 +154,98 @@ fn schema_mismatch_forces_recompute() {
 }
 
 #[test]
+fn eviction_is_bounded_and_lossless() {
+    let root = temp_root("evict");
+    let _ = std::fs::remove_dir_all(&root);
+    const CAP: usize = 4;
+    const KEYS: usize = 10;
+    let store = CacheStore::open_with_cap(root.clone(), CAP);
+    assert_eq!(store.index_cap(), CAP);
+
+    for k in 0..KEYS {
+        let key = format!("key-{k}");
+        let (_, source) = store.get_or_compute(&key, || Ok(payload(&key))).unwrap();
+        assert_eq!(source, Source::Computed);
+        assert!(
+            store.indexed() <= CAP,
+            "index grew past its cap: {} > {CAP}",
+            store.indexed()
+        );
+    }
+    assert!(
+        store.evicted() >= (KEYS - CAP) as u64,
+        "evicted only {}",
+        store.evicted()
+    );
+
+    // Every key — including every evicted one — still answers
+    // byte-identically, reloaded from the durable disk tier without
+    // recomputing.
+    for k in 0..KEYS {
+        let key = format!("key-{k}");
+        let (rows, source) = store
+            .get_or_compute(&key, || panic!("{key} must not recompute"))
+            .unwrap();
+        assert_eq!(*rows, payload(&key), "evicted {key} lost data");
+        assert!(
+            matches!(source, Source::Memory | Source::Disk),
+            "{key} was {source:?}"
+        );
+        assert!(store.indexed() <= CAP);
+    }
+    // At least one of those reloads crossed the disk tier: with
+    // KEYS > CAP they cannot all have stayed resident.
+    let disk_reloads = (0..KEYS)
+        .filter(|k| {
+            let key = format!("key-{k}");
+            store.lookup(&key).is_some()
+        })
+        .count();
+    assert!(disk_reloads == KEYS, "lookup must see every key");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_entry_is_quarantined_once_and_recomputed() {
+    let root = temp_root("quarantine");
+    let _ = std::fs::remove_dir_all(&root);
+    let key = "victim";
+    {
+        let store = CacheStore::open(root.clone());
+        let (_, source) = store.get_or_compute(key, || Ok(payload(key))).unwrap();
+        assert_eq!(source, Source::Computed);
+    }
+
+    // Truncate the entry mid-file: the classic torn write of a crashed
+    // process (the atomic-rename protocol prevents this from the store
+    // itself, but not from external interference or disk rot).
+    let entry = root.join(format!("{:016x}.json", slb_exp::cache::fnv64(key)));
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+
+    let store = CacheStore::open(root.clone());
+    let fresh = vec![vec!["recomputed".to_string()]];
+    let fresh_clone = fresh.clone();
+    let (rows, source) = store.get_or_compute(key, move || Ok(fresh_clone)).unwrap();
+    assert_eq!(source, Source::Computed, "corruption must force recompute");
+    assert_eq!(*rows, fresh);
+    assert_eq!(store.quarantined(), 1);
+
+    // The broken file moved aside, and the recompute republished a
+    // valid entry in its place.
+    let bad = root.join(format!("{:016x}.bad", slb_exp::cache::fnv64(key)));
+    assert!(bad.is_file(), "quarantined file must exist at {bad:?}");
+    let reopened = CacheStore::open(root.clone());
+    let (rows, source) = reopened
+        .get_or_compute(key, || panic!("entry must be valid again"))
+        .unwrap();
+    assert_eq!(source, Source::Disk);
+    assert_eq!(*rows, fresh);
+    assert_eq!(reopened.quarantined(), 0, "no further quarantines");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn failed_compute_is_shared_by_waiters_but_not_cached() {
     let root = temp_root("fail");
     let _ = std::fs::remove_dir_all(&root);

@@ -24,17 +24,40 @@
 //! itself call `run_indexed` on the same pool without deadlocking (its
 //! helpers simply never get scheduled and the caller does all the work
 //! serially).
+//!
+//! **Panic isolation.** Every task runs under
+//! `catch_unwind(AssertUnwindSafe(..))`: a panicking job is contained —
+//! counted in [`WorkPool::panics`], logged once — and the worker
+//! survives to take the next task. A `run_indexed` batch with a
+//! panicking index still completes, and the first panic payload is
+//! re-thrown on the *caller*. Pool locks recover from poison (no pool
+//! invariant lives in data a user task can touch), so one bad request
+//! can neither kill a worker nor cascade `Mutex` poison into its
+//! siblings. [`WorkPool::queue_depth`] and [`WorkPool::in_flight`]
+//! expose the load gauges a server's admission control needs, and
+//! [`WorkPool::workers_alive`] lets tests prove containment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// A unit of pool work.
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks `m`, recovering from poison. No pool invariant lives in the
+/// data a panicking task could leave half-updated (queues hold opaque
+/// boxed tasks, the idle mutex guards nothing), so a poisoned lock is
+/// safe to re-enter — and cascading `expect` panics out of *every*
+/// worker because *one* task misbehaved is exactly the failure mode a
+/// long-running daemon cannot afford.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 struct PoolShared {
     /// One deque per worker; external submissions round-robin across
@@ -48,6 +71,12 @@ struct PoolShared {
     /// Set once by [`WorkPool::shutdown`]; workers exit when it is set
     /// *and* every queue has drained.
     shutdown: AtomicBool,
+    /// Tasks currently executing on a worker (gauge).
+    in_flight: AtomicUsize,
+    /// Tasks that panicked and were contained (counter).
+    panics: AtomicU64,
+    /// Ensures the containment warning is logged once, not per panic.
+    panic_logged: AtomicBool,
 }
 
 /// A fixed-size work-stealing thread pool. See the module docs.
@@ -74,6 +103,9 @@ impl WorkPool {
             idle: Mutex::new(()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
+            panic_logged: AtomicBool::new(false),
         });
         let workers = (0..threads)
             .map(|w| {
@@ -92,14 +124,35 @@ impl WorkPool {
         self.workers.len()
     }
 
+    /// Number of worker threads still running their loop. A contained
+    /// panic leaves this equal to [`WorkPool::threads`]; anything less
+    /// means a worker actually died.
+    pub fn workers_alive(&self) -> usize {
+        self.workers.iter().filter(|h| !h.is_finished()).count()
+    }
+
+    /// Tasks queued but not yet claimed by a worker (gauge). With
+    /// [`WorkPool::in_flight`], the admission signal a server needs:
+    /// accepted-but-unfinished work on the pool.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queues.iter().map(|q| lock(q).len()).sum()
+    }
+
+    /// Tasks currently executing on a worker (gauge).
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Tasks whose panic was contained by a worker (counter).
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
     /// Submits a task. Tasks are distributed round-robin onto the
     /// worker deques; an idle worker is woken.
     pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
         let w = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
-        self.shared.queues[w]
-            .lock()
-            .expect("pool queue lock")
-            .push_back(Box::new(task));
+        lock(&self.shared.queues[w]).push_back(Box::new(task));
         self.shared.wake.notify_all();
     }
 
@@ -125,6 +178,7 @@ impl WorkPool {
             slots: (0..tasks).map(|_| CachePadded(Mutex::new(None))).collect(),
             done: Mutex::new(0),
             all_done: Condvar::new(),
+            panic: Mutex::new(None),
         });
         for _ in 0..helpers {
             let state = Arc::clone(&state);
@@ -133,18 +187,24 @@ impl WorkPool {
         state.drain();
         // The caller found the counter exhausted; wait for any helpers
         // still mid-task.
-        let mut finished = state.done.lock().expect("batch done lock");
+        let mut finished = lock(&state.done);
         while *finished < tasks {
-            finished = state.all_done.wait(finished).expect("batch done wait");
+            finished = state
+                .all_done
+                .wait(finished)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         drop(finished);
+        // A panicking task must surface on the *caller*, not wedge the
+        // batch or kill a helper: the first payload is re-thrown here.
+        if let Some(payload) = lock(&state.panic).take() {
+            std::panic::resume_unwind(payload);
+        }
         state
             .slots
             .iter()
             .map(|slot| {
-                slot.0
-                    .lock()
-                    .expect("batch slot")
+                lock(&slot.0)
                     .take()
                     .expect("every batch index was claimed and completed")
             })
@@ -179,19 +239,31 @@ struct BatchState<T, F> {
     slots: Vec<CachePadded<Mutex<Option<T>>>>,
     done: Mutex<usize>,
     all_done: Condvar,
+    /// First panic payload out of any batch task; re-thrown by the
+    /// caller once the batch has settled.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 impl<T: Send, F: Fn(usize) -> T + Send + Sync> BatchState<T, F> {
-    /// Claims and runs batch indices until the counter is exhausted.
+    /// Claims and runs batch indices until the counter is exhausted. A
+    /// panicking index is contained (its payload parked for the caller)
+    /// so the batch always completes and no helper dies mid-batch.
     fn drain(&self) {
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.slots.len() {
                 return;
             }
-            let result = (self.f)(i);
-            *self.slots[i].0.lock().expect("batch slot") = Some(result);
-            let mut finished = self.done.lock().expect("batch done lock");
+            match catch_unwind(AssertUnwindSafe(|| (self.f)(i))) {
+                Ok(result) => *lock(&self.slots[i].0) = Some(result),
+                Err(payload) => {
+                    let mut first = lock(&self.panic);
+                    if first.is_none() {
+                        *first = Some(payload);
+                    }
+                }
+            }
+            let mut finished = lock(&self.done);
             *finished += 1;
             if *finished == self.slots.len() {
                 self.all_done.notify_all();
@@ -203,45 +275,65 @@ impl<T: Send, F: Fn(usize) -> T + Send + Sync> BatchState<T, F> {
 /// Pops work for worker `w`: own back first (newest — warm caches),
 /// then the front (oldest) of the first non-empty sibling.
 fn grab(shared: &PoolShared, w: usize) -> Option<Task> {
-    if let Some(task) = shared.queues[w].lock().expect("pool queue lock").pop_back() {
+    if let Some(task) = lock(&shared.queues[w]).pop_back() {
         return Some(task);
     }
     let k = shared.queues.len();
     for v in 1..k {
         let victim = (w + v) % k;
-        if let Some(task) = shared.queues[victim]
-            .lock()
-            .expect("pool queue lock")
-            .pop_front()
-        {
+        if let Some(task) = lock(&shared.queues[victim]).pop_front() {
             return Some(task);
         }
     }
     None
 }
 
+/// Runs one task with panic containment: a panicking job is counted and
+/// logged (once), and the worker survives to take the next task. The
+/// `pool.task_panic` fail point injects a panic exactly where a user
+/// task would throw one, so the chaos harness can prove containment.
+fn run_task(shared: &PoolShared, task: Task) {
+    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        if slb_fault::fires("pool.task_panic") {
+            panic!("injected: pool.task_panic");
+        }
+        task();
+    }));
+    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    if outcome.is_err() {
+        shared.panics.fetch_add(1, Ordering::Relaxed);
+        if !shared.panic_logged.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: a pool task panicked; the worker survives \
+                 (counted in panics(), logged once)"
+            );
+        }
+    }
+}
+
 fn worker_loop(shared: &PoolShared, w: usize) {
     loop {
         if let Some(task) = grab(shared, w) {
-            task();
+            run_task(shared, task);
             continue;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             // Re-check after observing shutdown: a task submitted just
             // before the flag was raised must still run.
             match grab(shared, w) {
-                Some(task) => task(),
+                Some(task) => run_task(shared, task),
                 None => return,
             }
             continue;
         }
         // Park with a timeout: a wake can race with the queue check,
         // and the timeout bounds the window without busy-spinning.
-        let guard = shared.idle.lock().expect("pool idle lock");
+        let guard = lock(&shared.idle);
         let _ = shared
             .wake
             .wait_timeout(guard, Duration::from_millis(50))
-            .expect("pool idle wait");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
     }
 }
 
@@ -339,6 +431,96 @@ mod tests {
                 }
             }
         };
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_is_contained_and_worker_survives() {
+        let pool = WorkPool::new(2);
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        // Interleave panicking and well-behaved tasks: every
+        // well-behaved one must still run, on workers that stay alive.
+        for i in 0..20 {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                if i % 2 == 0 {
+                    panic!("task {i} exploded");
+                }
+                let (count, cv) = &*done;
+                *count.lock().unwrap() += 1;
+                cv.notify_all();
+            });
+        }
+        let (count, cv) = &*done;
+        let mut finished = count.lock().unwrap();
+        while *finished < 10 {
+            finished = cv.wait(finished).unwrap();
+        }
+        drop(finished);
+        // The good tasks are done but panicking ones may still be
+        // draining; their count settles at exactly 10.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.panics() < 10 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.panics(), 10);
+        assert_eq!(pool.workers_alive(), 2, "no worker may die to a panic");
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(pool.queue_depth(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn run_indexed_panic_reaches_the_caller_not_a_worker() {
+        let pool = WorkPool::new(2);
+        // Force the panicking index onto a helper (sleep keeps the
+        // caller busy elsewhere); the panic must surface here, with
+        // every other index still completed and both workers alive.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(16, 3, |i| {
+                std::thread::sleep(Duration::from_millis(2));
+                assert!(i != 7, "index 7 goes boom");
+                i
+            })
+        }));
+        assert!(outcome.is_err(), "the batch panic propagates to the caller");
+        assert_eq!(pool.workers_alive(), 2);
+        // The pool is still serviceable after the poisoned batch.
+        assert_eq!(pool.run_indexed(4, 4, |i| i * 3), vec![0, 3, 6, 9]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn gauges_track_queued_and_running_work() {
+        let pool = WorkPool::new(1);
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let started = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let release = Arc::clone(&release);
+            let started = Arc::clone(&started);
+            pool.spawn(move || {
+                *started.0.lock().unwrap() = true;
+                started.1.notify_all();
+                let mut go = release.0.lock().unwrap();
+                while !*go {
+                    go = release.1.wait(go).unwrap();
+                }
+            });
+        }
+        let mut on = started.0.lock().unwrap();
+        while !*on {
+            on = started.1.wait(on).unwrap();
+        }
+        drop(on);
+        // Only now queue more: the lone worker is pinned on the
+        // blocker, so these must sit in the queue.
+        for _ in 0..3 {
+            pool.spawn(|| {});
+        }
+        assert_eq!(pool.in_flight(), 1, "the blocker is executing");
+        assert_eq!(pool.queue_depth(), 3, "the rest are queued behind it");
+        *release.0.lock().unwrap() = true;
+        release.1.notify_all();
         pool.shutdown();
     }
 

@@ -1,0 +1,336 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A *fail point* is a named site in production code — `"store.disk_write"`,
+//! `"pool.task_panic"`, `"server.slow_read"` — that asks this registry
+//! whether to misbehave right now:
+//!
+//! ```
+//! if slb_fault::fires("store.disk_write") {
+//!     // return an injected I/O error instead of writing
+//! }
+//! ```
+//!
+//! **Disarmed is free.** When no fault spec is armed (the production
+//! default), [`fires`] is a single relaxed atomic load and a branch — no
+//! lock, no hash lookup, no allocation — so fail points can sit on hot
+//! paths without showing up in benchmarks.
+//!
+//! **Armed is deterministic.** A spec maps point names to firing
+//! probabilities, and every decision is a pure function of
+//! `(seed, point name, per-point call index)` through a splitmix64 mix:
+//! the same seed replays a byte-identical fault schedule, regardless of
+//! wall-clock time or (per point) thread interleaving. [`schedule`]
+//! exposes that pure function directly so tests can pin it.
+//!
+//! Arming happens programmatically ([`arm`]) or from the environment
+//! ([`arm_from_env`]): `SLB_FAULTS="store.disk_write=1,server.slow_read=0.5"`
+//! with an optional `SLB_FAULT_SEED=42`. The chaos harness spawns a
+//! daemon with those variables set; the daemon opts in by calling
+//! [`arm_from_env`] once at startup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable holding the fault spec (`name=prob,...`).
+pub const ENV_SPEC: &str = "SLB_FAULTS";
+/// Environment variable holding the schedule seed (decimal `u64`).
+pub const ENV_SEED: &str = "SLB_FAULT_SEED";
+
+/// Fast-path flag: `false` (the default) means [`fires`] returns
+/// immediately without touching the registry.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The armed registry. Only consulted when [`ARMED`] is set, so the
+/// mutex is never contended in production.
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+struct Point {
+    /// Firing probability in `[0, 1]`.
+    prob: f64,
+    /// Calls made against this point so far (the schedule index).
+    calls: u64,
+    /// Calls that fired.
+    hits: u64,
+}
+
+struct Registry {
+    seed: u64,
+    points: HashMap<String, Point>,
+    /// Total fired faults across all points.
+    fired: u64,
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, Option<Registry>> {
+    // A panic while holding this lock cannot corrupt it (plain data);
+    // recover instead of cascading poison through every fail point.
+    REGISTRY
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// splitmix64 — the workspace-standard seed mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// 64-bit FNV-1a over the point name (stable across runs/platforms).
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The pure scheduling decision: does call number `index` (0-based) of
+/// `point` fire under `seed` and probability `prob`? Everything
+/// [`fires`] does reduces to this function, so pinning it pins the
+/// whole schedule.
+pub fn decide(seed: u64, point: &str, index: u64, prob: f64) -> bool {
+    if prob <= 0.0 {
+        return false;
+    }
+    if prob >= 1.0 {
+        return true;
+    }
+    let x = splitmix64(seed ^ fnv64(point).wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+    // Top 53 bits → uniform in [0, 1).
+    let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+    u < prob
+}
+
+/// The first `calls` decisions of `point` under `seed`/`prob` — the
+/// byte-identical fault schedule a daemon armed with the same seed
+/// replays. Pure; usable without arming anything.
+pub fn schedule(seed: u64, point: &str, prob: f64, calls: u64) -> Vec<bool> {
+    (0..calls).map(|i| decide(seed, point, i, prob)).collect()
+}
+
+/// Parses a fault spec: comma- or semicolon-separated `name=prob`
+/// entries (`prob` a float in `[0, 1]`; bare `name` means `1`).
+///
+/// # Errors
+///
+/// Returns a message naming the malformed entry.
+fn parse_spec(spec: &str) -> Result<HashMap<String, Point>, String> {
+    let mut points = HashMap::new();
+    for entry in spec.split([',', ';']) {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, prob) = match entry.split_once('=') {
+            Some((name, raw)) => {
+                let prob: f64 = raw
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad fault probability in '{entry}'"))?;
+                if !(0.0..=1.0).contains(&prob) {
+                    return Err(format!("fault probability out of [0,1] in '{entry}'"));
+                }
+                (name.trim(), prob)
+            }
+            None => (entry, 1.0),
+        };
+        if name.is_empty() {
+            return Err(format!("empty fault point name in '{entry}'"));
+        }
+        points.insert(
+            name.to_string(),
+            Point {
+                prob,
+                calls: 0,
+                hits: 0,
+            },
+        );
+    }
+    Ok(points)
+}
+
+/// Arms the registry with `spec` (`point=prob` pairs, comma-separated)
+/// under `seed`, replacing any previous arming and resetting all
+/// counters.
+///
+/// # Errors
+///
+/// Returns a message when the spec is malformed; the previous arming
+/// (or disarmed state) is left untouched in that case.
+pub fn arm(spec: &str, seed: u64) -> Result<(), String> {
+    let points = parse_spec(spec)?;
+    let mut registry = lock_registry();
+    if points.is_empty() {
+        *registry = None;
+        ARMED.store(false, Ordering::Release);
+        return Ok(());
+    }
+    *registry = Some(Registry {
+        seed,
+        points,
+        fired: 0,
+    });
+    ARMED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Arms from `SLB_FAULTS` / `SLB_FAULT_SEED` when set; a no-op (still
+/// disarmed) when `SLB_FAULTS` is absent or empty. A malformed spec is
+/// reported on stderr rather than crashing the process — a typo in an
+/// operator's environment must not take the daemon down.
+pub fn arm_from_env() {
+    let Ok(spec) = std::env::var(ENV_SPEC) else {
+        return;
+    };
+    if spec.trim().is_empty() {
+        return;
+    }
+    let seed = std::env::var(ENV_SEED)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0);
+    match arm(&spec, seed) {
+        Ok(()) => eprintln!("slb-fault: armed '{spec}' (seed {seed})"),
+        Err(e) => eprintln!("slb-fault: ignoring {ENV_SPEC}: {e}"),
+    }
+}
+
+/// Disarms every fail point and drops the registry. [`fires`] reverts
+/// to its single-branch fast path.
+pub fn disarm() {
+    let mut registry = lock_registry();
+    *registry = None;
+    ARMED.store(false, Ordering::Release);
+}
+
+/// Whether any fault spec is currently armed.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Should the fail point `point` misbehave on this call?
+///
+/// Disarmed: one relaxed load, `false`. Armed: advances the point's
+/// deterministic schedule (unknown points never fire but are not
+/// errors — a binary may carry more fail points than a spec arms).
+pub fn fires(point: &str) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let mut registry = lock_registry();
+    let Some(registry) = registry.as_mut() else {
+        return false;
+    };
+    let seed = registry.seed;
+    let Some(state) = registry.points.get_mut(point) else {
+        return false;
+    };
+    let index = state.calls;
+    state.calls += 1;
+    let fire = decide(seed, point, index, state.prob);
+    if fire {
+        state.hits += 1;
+        registry.fired += 1;
+    }
+    fire
+}
+
+/// How many times `point` has fired since arming (0 when disarmed or
+/// unknown).
+pub fn hits(point: &str) -> u64 {
+    lock_registry()
+        .as_ref()
+        .and_then(|r| r.points.get(point))
+        .map_or(0, |p| p.hits)
+}
+
+/// Total faults fired across all points since arming (0 when disarmed).
+pub fn total_fired() -> u64 {
+    lock_registry().as_ref().map_or(0, |r| r.fired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The registry is process-global; tests that arm it serialize here.
+    fn registry_guard() -> MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        GUARD
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_never_fires() {
+        let _guard = registry_guard();
+        disarm();
+        assert!(!armed());
+        for _ in 0..100 {
+            assert!(!fires("store.disk_write"));
+        }
+        assert_eq!(total_fired(), 0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        // Same seed ⇒ byte-identical schedule; different seed ⇒ (at
+        // these lengths) a different one. Pure function, no arming.
+        let a = schedule(42, "server.slow_read", 0.5, 256);
+        let b = schedule(42, "server.slow_read", 0.5, 256);
+        assert_eq!(a, b);
+        let c = schedule(43, "server.slow_read", 0.5, 256);
+        assert_ne!(a, c);
+        let d = schedule(42, "pool.task_panic", 0.5, 256);
+        assert_ne!(a, d, "distinct points get distinct streams");
+        // Probability extremes are exact, not approximate.
+        assert!(schedule(7, "x", 1.0, 64).iter().all(|&f| f));
+        assert!(schedule(7, "x", 0.0, 64).iter().all(|&f| !f));
+        // 0.5 actually mixes at this length.
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!((64..=192).contains(&fired), "fired {fired}/256");
+    }
+
+    #[test]
+    fn armed_fires_follow_the_pure_schedule() {
+        let _guard = registry_guard();
+        arm("p.always=1, p.half=0.5, p.never=0", 99).unwrap();
+        assert!(armed());
+        let live: Vec<bool> = (0..64).map(|_| fires("p.half")).collect();
+        assert_eq!(live, schedule(99, "p.half", 0.5, 64));
+        assert_eq!(hits("p.half"), live.iter().filter(|&&f| f).count() as u64);
+        assert!(fires("p.always") && fires("p.always"));
+        assert!(!fires("p.never"));
+        assert!(!fires("p.unarmed"), "unknown points never fire");
+        assert_eq!(total_fired(), hits("p.half") + hits("p.always"));
+        // Re-arming with the same seed replays the same schedule.
+        arm("p.half=0.5", 99).unwrap();
+        let replay: Vec<bool> = (0..64).map(|_| fires("p.half")).collect();
+        assert_eq!(replay, live);
+        disarm();
+        assert!(!fires("p.always"));
+    }
+
+    #[test]
+    fn spec_parsing_accepts_and_rejects() {
+        let _guard = registry_guard();
+        arm("a=1;b=0.25 , c", 1).unwrap(); // bare name = always
+        assert!(fires("c"));
+        disarm();
+        assert!(arm("", 1).is_ok()); // empty spec = disarmed
+        assert!(!armed());
+        assert!(arm("x=zebra", 1).is_err());
+        assert!(arm("x=1.5", 1).is_err());
+        assert!(arm("=0.5", 1).is_err());
+        assert!(!armed(), "a bad spec must leave the registry disarmed");
+    }
+}
