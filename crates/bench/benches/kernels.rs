@@ -8,6 +8,7 @@
 //! (`BENCH_pr3.json`) is produced; see README §Performance.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slb_core::{BoundKind, LumpedModel, Sqd};
 use slb_linalg::Matrix;
 use slb_qbd::{cyclic_reduction, logarithmic_reduction, QbdBlocks, SolveOptions};
 use slb_sim::{Policy, SimConfig};
@@ -86,6 +87,33 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// The occupancy-lumped large-N path (`experiments/scaling.toml`'s
+/// engine): sparse block assembly and the Theorem-3 lower-bound solve
+/// at the grid's smallest panel (N = 16, T = 4, block m = 3876), plus
+/// assembly alone at N = 64, T = 3 (m = 45 760) where the CSR builder
+/// dominates. Solve time is Gauss–Seidel-bound, so these medians track
+/// exactly what the scaling sweep pays per row.
+fn bench_lumped(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    for (n, t) in [(16usize, 4u32), (64, 3)] {
+        let sqd = Sqd::new(n, 2, 0.5).unwrap();
+        let model = LumpedModel::new(sqd, BoundKind::Lower, t).unwrap();
+        group.bench_function(
+            BenchmarkId::new("lumped_assembly", format!("N{n}_T{t}")),
+            |b| b.iter(|| model.qbd_blocks().unwrap()),
+        );
+    }
+    let sqd = Sqd::new(16, 2, 0.5).unwrap();
+    group.bench_function(BenchmarkId::new("lumped_lower", "N16_T4"), |b| {
+        b.iter(|| sqd.lower_bound_lumped(4).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("lumped_decay", "N16_T4"), |b| {
+        b.iter(|| sqd.decay_rate_lumped(BoundKind::Upper, 4).unwrap())
+    });
+    group.finish();
+}
+
 /// Server counts for the simulator scaling benches: N = 16 is the
 /// paper-sized regime, 256 and 4096 stress the dispatch path (an O(N)
 /// scan per arrival dominates long before 4096 servers).
@@ -152,6 +180,6 @@ fn bench_sim_throughput(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_g_kernels, bench_matmul, bench_sim_throughput
+    targets = bench_g_kernels, bench_matmul, bench_lumped, bench_sim_throughput
 }
 criterion_main!(benches);

@@ -11,8 +11,9 @@
 //! Two threshold classes:
 //!
 //! * **Kernel benches** (`logred/…`, `cr/…`, `stationary_solve/…`,
-//!   `matmul/…`, and since PR 7 the serial simulator benches
-//!   `sim_serial/…`, `sim_jsq/…`) are tight, single-threaded loops whose
+//!   `matmul/…`, since PR 7 the serial simulator benches
+//!   `sim_serial/…`, `sim_jsq/…`, and since PR 9 the occupancy-lumped
+//!   solver benches `lumped_*`) are tight, single-threaded loops whose
 //!   medians are reproducible to a few percent, so they get the strict
 //!   `--kernel-threshold` (default 1.3×) — the PR 5 → PR 6 trajectory
 //!   showed a phantom "regression" on `logred/m64` that was pure
@@ -46,13 +47,14 @@ use slb_exp::Json;
 
 /// Bench-name prefixes of the tight single-threaded loops held to the
 /// strict threshold.
-const KERNEL_PREFIXES: [&str; 6] = [
+const KERNEL_PREFIXES: [&str; 7] = [
     "logred/",
     "cr/",
     "stationary_solve/",
     "matmul/",
     "sim_serial/",
     "sim_jsq/",
+    "lumped_",
 ];
 
 fn is_kernel(bench: &str) -> bool {

@@ -57,6 +57,7 @@ pub mod brute;
 pub mod combinatorics;
 pub mod delay_dist;
 pub mod meanfield;
+pub mod occupancy;
 pub mod precedence;
 pub mod sigma;
 pub mod transient;
@@ -70,6 +71,7 @@ mod transitions;
 pub use bounds::{BoundKind, BoundModel, BoundResult, Sqd};
 pub use delay_dist::DelayDistribution;
 pub use error::CoreError;
+pub use occupancy::{LumpedModel, OccLocation, OccupancySpace};
 pub use state::{Group, State};
 pub use statespace::{BlockLocation, BlockSpace, StateIndex};
 pub use transitions::{transitions, transitions_with_mode, ModelVariant, PollMode, Transition};

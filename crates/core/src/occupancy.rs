@@ -1,0 +1,1055 @@
+//! Occupancy-lumped ("macro-state") representation of the bound models.
+//!
+//! The dense path in [`crate::BoundModel`] enumerates sorted server
+//! tuples `m1 ≥ … ≥ mN` and assembles dense QBD blocks — fine for the
+//! paper's `N ≤ 16`, hopeless at production scale where the repeating
+//! block holds `C(N+T−1, T)` states (32,896 at `N = 256, T = 2`;
+//! 131,328 at `N = 512`) and a dense block would need gigabytes.
+//!
+//! This module exploits that every transition rate depends on the state
+//! only through its *occupancy vector*: how many servers sit at each
+//! level. A macro-state is stored as `[base, c_0, …, c_T]` where `base`
+//! is the shortest-queue length and `c_j` counts servers at level
+//! `base + j` (so `c_0 ≥ 1` and `Σ c_j = N`). This is an exact lumping —
+//! the canonical sorted tuple and its occupancy vector are two spellings
+//! of the same state, and [`OccupancySpace`] enumerates them in exactly
+//! the canonical `(total, lexicographic)` order of
+//! [`crate::BlockSpace`], so the lumped generator blocks are
+//! entry-for-entry equal to the dense ones (a fact pinned by tests).
+//! The payoff is the *assembly path*: transitions are generated straight
+//! from the `T + 1` counters in `O(T)` per state, rates land directly in
+//! sparse [`CooBuilder`]s, and no dense `m × m` matrix ever exists.
+//!
+//! [`LumpedModel`] mirrors [`crate::BoundModel`] on top of this space
+//! and solves with the sparse machinery of `slb-qbd`:
+//! the Theorem-3 scalar tail for the lower bound
+//! ([`Sqd::lower_bound_lumped`]), a reflecting level-doubling truncation
+//! for the upper bound ([`Sqd::upper_bound_lumped`]), and a
+//! decay-rate-only fast path ([`Sqd::decay_rate_lumped`]).
+
+use std::cmp::Ordering;
+
+use slb_linalg::CooBuilder;
+use slb_qbd::{decay_rate_sparse, SparseQbdBlocks, SparseSolveOptions};
+
+use crate::combinatorics::{
+    binomial, group_arrival_probability, group_arrival_probability_with_replacement,
+};
+use crate::transitions::MU;
+use crate::{BoundKind, BoundResult, CoreError, PollMode, Result, Sqd, State};
+
+/// Location of a macro-state within the lumped block partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccLocation {
+    /// In the boundary block, at this index.
+    Boundary(usize),
+    /// In repeating block `q`, at this within-block index.
+    Level {
+        /// Repeating-block number (0-based).
+        q: usize,
+        /// Index within the block.
+        index: usize,
+    },
+}
+
+/// The block-partitioned threshold state space in occupancy coordinates.
+///
+/// Stores each macro-state as a `T + 2` record `[base, c_0, …, c_T]` in
+/// one flat, canonically sorted array per block; lookup is a binary
+/// search, so no per-state hashing or tuple materialisation happens even
+/// at `N = 1024` (where the repeating block holds 524,800 states for
+/// `T = 2`).
+///
+/// # Example
+///
+/// ```
+/// use slb_core::occupancy::OccupancySpace;
+///
+/// # fn main() -> Result<(), slb_core::CoreError> {
+/// let space = OccupancySpace::new(3, 2)?;
+/// // Same block cardinality as the dense space: C(N+T−1, T) = 6.
+/// assert_eq!(space.block_len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OccupancySpace {
+    n: usize,
+    t: u32,
+    stride: usize,
+    boundary: Vec<u32>,
+    block0: Vec<u32>,
+}
+
+impl OccupancySpace {
+    /// Enumerates the boundary block and the template repeating block for
+    /// `n` servers and threshold `t`, in canonical `(total, lex)` order.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] if `n < 2` or `t < 1`.
+    pub fn new(n: usize, t: u32) -> Result<Self> {
+        if n < 2 {
+            return Err(CoreError::InvalidParameters {
+                reason: format!("need at least 2 servers for the bound models, got {n}"),
+            });
+        }
+        if t < 1 {
+            return Err(CoreError::InvalidParameters {
+                reason: "threshold T must be at least 1".into(),
+            });
+        }
+        let t = t as usize;
+        let stride = t + 2;
+        let cap = (n as u64 - 1) * t as u64;
+
+        let mut boundary = Vec::new();
+        let mut block0 = Vec::new();
+        let mut counts = vec![0u32; t + 1];
+        enumerate_counts(&mut counts, 0, n as u32, &mut |c| {
+            let sigma: u64 = c
+                .iter()
+                .enumerate()
+                .map(|(j, &cj)| j as u64 * u64::from(cj))
+                .sum();
+            debug_assert!(sigma <= cap);
+            // Boundary: bases 0..=⌊(cap − σ)/N⌋; block 0: the next base.
+            let b_max = (cap - sigma) / n as u64;
+            for b in 0..=b_max {
+                boundary.push(b as u32);
+                boundary.extend_from_slice(c);
+            }
+            block0.push(b_max as u32 + 1);
+            block0.extend_from_slice(c);
+        });
+
+        let boundary = sort_canonical(boundary, stride, n);
+        let block0 = sort_canonical(block0, stride, n);
+        let space = OccupancySpace {
+            n,
+            t: t as u32,
+            stride,
+            boundary,
+            block0,
+        };
+        debug_assert_eq!(space.block_len() as f64, binomial(n - 1 + t, t));
+        Ok(space)
+    }
+
+    /// Number of servers `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Threshold `T`.
+    pub fn threshold(&self) -> u32 {
+        self.t
+    }
+
+    /// Record length of one macro-state, `T + 2`.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Highest total-job count of the boundary block, `(N−1)·T`.
+    pub fn boundary_cap(&self) -> u64 {
+        (self.n as u64 - 1) * u64::from(self.t)
+    }
+
+    /// Number of boundary macro-states.
+    pub fn boundary_len(&self) -> usize {
+        self.boundary.len() / self.stride
+    }
+
+    /// Number of macro-states per repeating block, `C(N+T−1, T)`.
+    pub fn block_len(&self) -> usize {
+        self.block0.len() / self.stride
+    }
+
+    /// The `i`-th boundary macro-state, `[base, c_0, …, c_T]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn boundary_state(&self, i: usize) -> &[u32] {
+        &self.boundary[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// The `i`-th template-block macro-state, `[base, c_0, …, c_T]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn block0_state(&self, i: usize) -> &[u32] {
+        &self.block0[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Locates a canonical macro-state within the partition; `None` if it
+    /// lies outside the threshold set or has the wrong record length.
+    pub fn locate(&self, occ: &[u32]) -> Option<OccLocation> {
+        if occ.len() != self.stride {
+            return None;
+        }
+        let mut scratch = occ.to_vec();
+        self.locate_scratch(&mut scratch)
+    }
+
+    /// As [`OccupancySpace::locate`], but reduces the base in place
+    /// (restoring it before returning) to avoid an allocation per lookup
+    /// on the assembly hot path.
+    fn locate_scratch(&self, occ: &mut [u32]) -> Option<OccLocation> {
+        debug_assert_eq!(occ.len(), self.stride);
+        debug_assert!(occ[1] >= 1, "macro-state not canonical: c_0 = 0");
+        let total = total_of(occ, self.n);
+        let cap = self.boundary_cap();
+        if total <= cap {
+            return self.find_in(&self.boundary, occ).map(OccLocation::Boundary);
+        }
+        let q = ((total - cap - 1) / self.n as u64) as usize;
+        if (occ[0] as usize) < q {
+            return None;
+        }
+        occ[0] -= q as u32;
+        let found = self.find_in(&self.block0, occ);
+        occ[0] += q as u32;
+        found.map(|index| OccLocation::Level { q, index })
+    }
+
+    /// Binary search for `occ` in a canonically sorted flat block.
+    fn find_in(&self, flat: &[u32], occ: &[u32]) -> Option<usize> {
+        let stride = self.stride;
+        let (mut lo, mut hi) = (0usize, flat.len() / stride);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match cmp_occ(&flat[mid * stride..(mid + 1) * stride], occ, self.n) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+}
+
+/// Expands a macro-state `[base, c_0, …, c_T]` into the equivalent
+/// sorted server tuple — the inverse of [`state_to_occupancy`], used to
+/// cross-check the lumping against the dense space.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::occupancy::occupancy_to_state;
+///
+/// // base 1, two servers at level 1, one at level 2 → (2,1,1).
+/// let s = occupancy_to_state(&[1, 2, 1]);
+/// assert_eq!(s.as_slice(), &[2, 1, 1]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the record is shorter than 2 entries or all counts are 0.
+pub fn occupancy_to_state(occ: &[u32]) -> State {
+    assert!(occ.len() >= 2, "macro-state needs [base, c_0, ..]");
+    let base = occ[0];
+    let mut v = Vec::new();
+    for (j, &cj) in occ[1..].iter().enumerate().rev() {
+        for _ in 0..cj {
+            v.push(base + j as u32);
+        }
+    }
+    State::new(v).expect("expansion is sorted non-increasing")
+}
+
+/// Compresses a sorted server tuple into the macro-state
+/// `[base, c_0, …, c_T]`; `None` if its imbalance exceeds `t`.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::occupancy::state_to_occupancy;
+/// use slb_core::State;
+///
+/// let s = State::new(vec![2, 1, 1]).unwrap();
+/// assert_eq!(state_to_occupancy(&s, 2), Some(vec![1, 2, 1, 0]));
+/// assert_eq!(state_to_occupancy(&s, 1), Some(vec![1, 2, 1]));
+/// ```
+pub fn state_to_occupancy(s: &State, t: u32) -> Option<Vec<u32>> {
+    if s.diff() > t {
+        return None;
+    }
+    let base = s.level(s.n() - 1);
+    let mut occ = vec![0u32; t as usize + 2];
+    occ[0] = base;
+    for &m in s.as_slice() {
+        occ[1 + (m - base) as usize] += 1;
+    }
+    Some(occ)
+}
+
+/// All count vectors `(c_0, …, c_T)` with `Σ c_j = n` and `c_0 ≥ 1`.
+fn enumerate_counts(c: &mut [u32], j: usize, remaining: u32, f: &mut dyn FnMut(&[u32])) {
+    let last = c.len() - 1;
+    if j == last {
+        c[j] = remaining;
+        if c[0] >= 1 {
+            f(c);
+        }
+        return;
+    }
+    let lo = u32::from(j == 0);
+    for v in lo..=remaining {
+        c[j] = v;
+        enumerate_counts(c, j + 1, remaining - v, f);
+    }
+}
+
+/// Total jobs of a macro-state, `base·N + Σ j·c_j`.
+fn total_of(occ: &[u32], n: usize) -> u64 {
+    let base = u64::from(occ[0]);
+    let sigma: u64 = occ[1..]
+        .iter()
+        .enumerate()
+        .map(|(j, &cj)| j as u64 * u64::from(cj))
+        .sum();
+    base * n as u64 + sigma
+}
+
+/// Servers at absolute level `lvl` of a macro-state.
+fn count_at(occ: &[u32], lvl: u64) -> u32 {
+    let base = u64::from(occ[0]);
+    if lvl < base || lvl - base >= occ.len() as u64 - 1 {
+        return 0;
+    }
+    occ[1 + (lvl - base) as usize]
+}
+
+/// Canonical order of macro-states: by total, then lexicographically on
+/// the expanded non-increasing tuple — identical to the dense
+/// [`crate::StateIndex`] order, which is what makes the lumped blocks
+/// entry-for-entry comparable to the dense ones. Comparing expansions
+/// reduces to walking absolute levels top-down: at the first level where
+/// the counts differ, the state with *more* servers there is the
+/// lexicographically greater one.
+fn cmp_occ(a: &[u32], b: &[u32], n: usize) -> Ordering {
+    let (ta, tb) = (total_of(a, n), total_of(b, n));
+    if ta != tb {
+        return ta.cmp(&tb);
+    }
+    let top = |occ: &[u32]| {
+        let diff = occ[1..].iter().rposition(|&c| c > 0).unwrap_or(0);
+        u64::from(occ[0]) + diff as u64
+    };
+    let mut lvl = top(a).max(top(b));
+    loop {
+        match count_at(a, lvl).cmp(&count_at(b, lvl)) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+        if lvl == 0 {
+            return Ordering::Equal;
+        }
+        lvl -= 1;
+    }
+}
+
+/// Sorts a flat record array canonically (by index permutation, to keep
+/// the big blocks allocation-light).
+fn sort_canonical(flat: Vec<u32>, stride: usize, n: usize) -> Vec<u32> {
+    let count = flat.len() / stride;
+    let mut idx: Vec<u32> = (0..count as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        let (a, b) = (a as usize * stride, b as usize * stride);
+        cmp_occ(&flat[a..a + stride], &flat[b..b + stride], n)
+    });
+    let mut out = Vec::with_capacity(flat.len());
+    for i in idx {
+        let at = i as usize * stride;
+        out.extend_from_slice(&flat[at..at + stride]);
+    }
+    out
+}
+
+/// Reusable buffers for the transition generator.
+struct TransitionScratch {
+    /// Tie groups top-down: `(relative level, start, end)` with 1-based
+    /// inclusive positions in the expanded sorted tuple.
+    groups: Vec<(usize, usize, usize)>,
+    /// Target macro-state being built.
+    target: Vec<u32>,
+}
+
+impl TransitionScratch {
+    fn new(stride: usize) -> Self {
+        TransitionScratch {
+            groups: Vec::with_capacity(stride),
+            target: vec![0; stride],
+        }
+    }
+}
+
+/// Arrival into the tie group at relative level `j`: one server moves
+/// from `base + j` to `base + j + 1`, re-based when the bottom level
+/// empties.
+fn arrival_into(occ: &[u32], j: usize, target: &mut [u32]) {
+    let t = occ.len() - 2;
+    target.copy_from_slice(occ);
+    target[1 + j] -= 1;
+    target[2 + j] += 1;
+    if j == 0 && target[1] == 0 {
+        target[0] += 1;
+        for i in 0..t {
+            target[1 + i] = target[2 + i];
+        }
+        target[1 + t] = 0;
+    }
+}
+
+/// Departure from the tie group at relative level `j`: one server moves
+/// from `base + j` down; `j = 0` opens a new bottom level (requires
+/// `c_T = 0`, guaranteed because a bottom departure at full imbalance is
+/// redirected or blocked).
+fn departure_into(occ: &[u32], j: usize, target: &mut [u32]) {
+    let t = occ.len() - 2;
+    target.copy_from_slice(occ);
+    if j >= 1 {
+        target[1 + j] -= 1;
+        target[j] += 1;
+    } else {
+        debug_assert!(occ[0] >= 1, "departure below level 0");
+        debug_assert_eq!(occ[1 + t], 0, "bottom departure at full imbalance");
+        target[0] -= 1;
+        for i in (1..=t).rev() {
+            target[1 + i] = target[i];
+        }
+        target[1] = 1;
+        target[2] -= 1;
+    }
+}
+
+/// The upper model's threshold arrival: the polled top-group server
+/// takes the job (level `T → T+1`) *and* every bottom server gains a
+/// phantom job, keeping the imbalance at `T` (Section IV's amplified
+/// redirect). The whole state shifts one base level up.
+fn upper_arrival_into(occ: &[u32], target: &mut [u32]) {
+    let t = occ.len() - 2;
+    debug_assert!(occ[1 + t] > 0, "upper redirect requires diff = T");
+    target[0] = occ[0] + 1;
+    // New counts live on old levels 1..=T+1.
+    target[1..1 + t].copy_from_slice(&occ[2..2 + t]);
+    target[1 + t] = 0;
+    target[1] += occ[1]; // bottom servers join old level 1
+    target[t] -= 1; // one server left old level T …
+    target[1 + t] += 1; // … for old level T+1
+}
+
+/// Enumerates the transitions of one macro-state of a bound model,
+/// mirroring `transitions_with_mode` on the dense tuples exactly
+/// (including the paper's four threshold redirects), but in `O(T)` per
+/// state. Parallel transitions to the same target are emitted
+/// separately; the sparse builder accumulates them, as the dense `+=`
+/// does.
+#[allow(clippy::too_many_arguments)] // internal hot path; a params struct would just rename the list
+fn for_each_transition(
+    occ: &[u32],
+    n: usize,
+    d: usize,
+    lambda: f64,
+    kind: BoundKind,
+    mode: PollMode,
+    scratch: &mut TransitionScratch,
+    mut emit: impl FnMut(&mut [u32], f64),
+) {
+    let t = occ.len() - 2;
+    let TransitionScratch { groups, target } = scratch;
+    groups.clear();
+    let mut above = 0usize;
+    for j in (0..=t).rev() {
+        let cj = occ[1 + j] as usize;
+        if cj == 0 {
+            continue;
+        }
+        groups.push((j, above + 1, above + cj));
+        above += cj;
+    }
+    let ng = groups.len();
+    let at_threshold = groups[0].0 == t;
+
+    // Arrivals: polled group → one level up, except the top group at
+    // full imbalance, which each model redirects its own way.
+    for (gi, &(j, s1, e1)) in groups.iter().enumerate() {
+        let p = match mode {
+            PollMode::WithoutReplacement => group_arrival_probability(n, d, s1, e1),
+            PollMode::WithReplacement => group_arrival_probability_with_replacement(n, d, s1, e1),
+        };
+        if p <= 0.0 {
+            continue;
+        }
+        let rate = lambda * n as f64 * p;
+        if !(at_threshold && gi == 0) {
+            arrival_into(occ, j, target);
+            emit(target, rate);
+        } else {
+            match kind {
+                BoundKind::Lower => {
+                    arrival_into(occ, groups[1].0, target);
+                    emit(target, rate);
+                }
+                BoundKind::Upper => {
+                    upper_arrival_into(occ, target);
+                    emit(target, rate);
+                }
+            }
+        }
+    }
+
+    // Departures: each busy group one level down, except the bottom
+    // group at full imbalance (lower: redirected one group up; upper:
+    // blocked).
+    for (gi, &(j, _, _)) in groups.iter().enumerate() {
+        if occ[0] == 0 && j == 0 {
+            continue; // idle servers do not complete jobs
+        }
+        let rate = f64::from(occ[1 + j]) * MU;
+        if !(at_threshold && gi == ng - 1) {
+            departure_into(occ, j, target);
+            emit(target, rate);
+        } else if kind == BoundKind::Lower {
+            departure_into(occ, groups[ng - 2].0, target);
+            emit(target, rate);
+        }
+    }
+}
+
+/// Waiting jobs of a macro-state, `total − busy`.
+fn waiting_of(occ: &[u32], n: usize) -> f64 {
+    let idle = if occ[0] == 0 { u64::from(occ[1]) } else { 0 };
+    (total_of(occ, n) - (n as u64 - idle)) as f64
+}
+
+/// A bound model assembled over the occupancy-lumped state space —
+/// the sparse, production-`N` counterpart of [`crate::BoundModel`].
+///
+/// # Example
+///
+/// ```
+/// use slb_core::occupancy::LumpedModel;
+/// use slb_core::{BoundKind, Sqd};
+///
+/// # fn main() -> Result<(), slb_core::CoreError> {
+/// let sqd = Sqd::new(64, 2, 0.85)?;
+/// let model = LumpedModel::new(sqd, BoundKind::Lower, 2)?;
+/// // N = 64, T = 2 already needs 2,080 phases — the dense path would
+/// // build three 2,080² blocks; the lumped blocks stay sparse.
+/// assert_eq!(model.space().block_len(), 2_080);
+/// let blocks = model.qbd_blocks()?;
+/// assert!(blocks.is_stable()?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LumpedModel {
+    sqd: Sqd,
+    kind: BoundKind,
+    t: u32,
+    space: OccupancySpace,
+}
+
+impl LumpedModel {
+    /// Builds the model and enumerates its macro-state space.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] for invalid `(N, T)`.
+    pub fn new(sqd: Sqd, kind: BoundKind, t: u32) -> Result<Self> {
+        let space = OccupancySpace::new(sqd.n(), t)?;
+        Ok(LumpedModel {
+            sqd,
+            kind,
+            t,
+            space,
+        })
+    }
+
+    /// Which bound this model computes.
+    pub fn kind(&self) -> BoundKind {
+        self.kind
+    }
+
+    /// Threshold `T`.
+    pub fn threshold(&self) -> u32 {
+        self.t
+    }
+
+    /// The underlying macro-state space.
+    pub fn space(&self) -> &OccupancySpace {
+        &self.space
+    }
+
+    /// Assembles the six QBD generator blocks directly in sparse form.
+    ///
+    /// Boundary rows fill `R00/R01`, template-block rows fill
+    /// `R10/A1/A0`, and `A2` is read off the first repeating block one
+    /// level up — the same extraction points as the dense
+    /// [`crate::BoundModel::qbd_blocks`], so level independence carries
+    /// over unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-validation failures (which would indicate a bug
+    /// in the lumped transition rules rather than bad user input).
+    pub fn qbd_blocks(&self) -> Result<SparseQbdBlocks> {
+        let sp = &self.space;
+        let (nb, m) = (sp.boundary_len(), sp.block_len());
+        let (d, lambda, mode) = (self.sqd.d(), self.sqd.lambda(), self.sqd.poll_mode());
+        let kind = self.kind;
+        let n = sp.n();
+
+        let mut r00 = CooBuilder::new(nb, nb);
+        let mut r01 = CooBuilder::new(nb, m);
+        let mut r10 = CooBuilder::new(m, nb);
+        let mut a0 = CooBuilder::new(m, m);
+        let mut a1 = CooBuilder::new(m, m);
+        let mut a2 = CooBuilder::new(m, m);
+        let add = |b: &mut CooBuilder, r: usize, c: usize, v: f64| {
+            b.add(r, c, v).expect("indices in range by construction");
+        };
+
+        let mut scratch = TransitionScratch::new(sp.stride());
+
+        // Boundary rows.
+        for i in 0..nb {
+            let occ = sp.boundary_state(i);
+            let mut outflow = 0.0;
+            for_each_transition(occ, n, d, lambda, kind, mode, &mut scratch, |tgt, rate| {
+                outflow += rate;
+                match sp.locate_scratch(tgt) {
+                    Some(OccLocation::Boundary(j)) => add(&mut r00, i, j, rate),
+                    Some(OccLocation::Level { q: 0, index: j }) => add(&mut r01, i, j, rate),
+                    other => unreachable!("boundary transition {occ:?} -> {tgt:?} at {other:?}"),
+                }
+            });
+            add(&mut r00, i, i, -outflow);
+        }
+
+        // Template-block rows.
+        for i in 0..m {
+            let occ = sp.block0_state(i);
+            let mut outflow = 0.0;
+            for_each_transition(occ, n, d, lambda, kind, mode, &mut scratch, |tgt, rate| {
+                outflow += rate;
+                match sp.locate_scratch(tgt) {
+                    Some(OccLocation::Boundary(j)) => add(&mut r10, i, j, rate),
+                    Some(OccLocation::Level { q: 0, index: j }) => add(&mut a1, i, j, rate),
+                    Some(OccLocation::Level { q: 1, index: j }) => add(&mut a0, i, j, rate),
+                    other => unreachable!("level-0 transition {occ:?} -> {tgt:?} at {other:?}"),
+                }
+            });
+            add(&mut a1, i, i, -outflow);
+        }
+
+        // Downward block A2, extracted one level up (level independence
+        // makes the A1/A0 rates there copies of the ones above).
+        let mut up = vec![0u32; sp.stride()];
+        for i in 0..m {
+            up.copy_from_slice(sp.block0_state(i));
+            up[0] += 1;
+            for_each_transition(
+                &up,
+                n,
+                d,
+                lambda,
+                kind,
+                mode,
+                &mut scratch,
+                |tgt, rate| match sp.locate_scratch(tgt) {
+                    Some(OccLocation::Level { q: 0, index: j }) => add(&mut a2, i, j, rate),
+                    Some(OccLocation::Level { q: 1 | 2, .. }) => {}
+                    other => unreachable!("level-1 transition {up:?} -> {tgt:?} at {other:?}"),
+                },
+            );
+        }
+
+        SparseQbdBlocks::new(
+            r00.build(),
+            r01.build(),
+            r10.build(),
+            a0.build(),
+            a1.build(),
+            a2.build(),
+        )
+        .map_err(CoreError::from)
+    }
+
+    /// Solves the lower model with the Theorem-3 scalar tail `β = ρᴺ`
+    /// on the sparse blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] on an upper model (the scalar
+    /// tail is a lower-model theorem); solver failures otherwise.
+    pub fn solve_scalar_tail(&self, opts: &SparseSolveOptions) -> Result<BoundResult> {
+        if self.kind != BoundKind::Lower {
+            return Err(CoreError::InvalidParameters {
+                reason: "the ρᴺ scalar tail (Theorem 3) applies to the lower model only".into(),
+            });
+        }
+        let blocks = self.qbd_blocks()?;
+        let beta = self.sqd.lambda().powi(self.sqd.n() as i32);
+        let sol = blocks.solve_scalar_tail(beta, opts)?;
+        let (cb, c0, growth) = self.cost_vectors();
+        Ok(self.result(sol.mean_linear_cost(&cb, &c0, &growth), sol.residual()))
+    }
+
+    /// Solves either model by the reflecting level-doubling truncation
+    /// (no rate matrix `R` is ever formed or densified).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UpperBoundUnstable`] when the drift condition fails;
+    /// solver failures otherwise.
+    pub fn solve_truncated(&self, opts: &SparseSolveOptions) -> Result<BoundResult> {
+        let blocks = self.qbd_blocks()?;
+        let sol = blocks.solve_decay_tail(opts)?;
+        let (cb, c0, growth) = self.cost_vectors();
+        Ok(self.result(sol.mean_linear_cost(&cb, &c0, &growth), sol.residual()))
+    }
+
+    /// The tail decay rate `sp(R)` of this model, computed without ever
+    /// forming `R` (Perron-root bisection of `A(z) = A0 + zA1 + z²A2`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UpperBoundUnstable`] when the drift condition fails;
+    /// solver failures otherwise.
+    pub fn decay_rate(&self, tol: f64) -> Result<f64> {
+        Ok(decay_rate_sparse(&self.qbd_blocks()?, tol)?)
+    }
+
+    /// Waiting-job cost vectors: boundary costs, template-block costs,
+    /// and the per-level growth (`N` — every server is busy on repeating
+    /// levels).
+    fn cost_vectors(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let sp = &self.space;
+        let n = sp.n();
+        let cb = (0..sp.boundary_len())
+            .map(|i| waiting_of(sp.boundary_state(i), n))
+            .collect();
+        let c0 = (0..sp.block_len())
+            .map(|i| waiting_of(sp.block0_state(i), n))
+            .collect();
+        let growth = vec![n as f64; sp.block_len()];
+        (cb, c0, growth)
+    }
+
+    fn result(&self, waiting: f64, residual: f64) -> BoundResult {
+        let mean_wait = waiting / (self.sqd.lambda() * self.sqd.n() as f64);
+        BoundResult {
+            delay: mean_wait + 1.0,
+            waiting_jobs: waiting,
+            residual,
+            g_iterations: 0,
+            boundary_states: self.space.boundary_len(),
+            level_states: self.space.block_len(),
+        }
+    }
+}
+
+impl Sqd {
+    /// Lower bound on the mean delay via the occupancy-lumped sparse
+    /// path — same value as [`Sqd::lower_bound`] (pinned to `1e-8`
+    /// relative agreement by tests), but scaling to production `N`
+    /// where the dense path cannot allocate its blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates state-space or solver failures; the lower-bound model
+    /// is stable for every `λ < 1`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use slb_core::Sqd;
+    ///
+    /// # fn main() -> Result<(), slb_core::CoreError> {
+    /// let sqd = Sqd::new(8, 2, 0.8)?;
+    /// let dense = sqd.lower_bound(2)?;
+    /// let lumped = sqd.lower_bound_lumped(2)?;
+    /// assert!((dense.delay - lumped.delay).abs() < 1e-8 * dense.delay);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn lower_bound_lumped(&self, t: u32) -> Result<BoundResult> {
+        LumpedModel::new(*self, BoundKind::Lower, t)?
+            .solve_scalar_tail(&SparseSolveOptions::default())
+    }
+
+    /// Upper bound on the mean delay via the occupancy-lumped sparse
+    /// path — same value as [`Sqd::upper_bound`], computed by the
+    /// reflecting level-doubling truncation instead of the dense rate
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UpperBoundUnstable`] when blocking reduces capacity
+    /// below the offered load at this `(λ, T)` — raise `T` in that case.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use slb_core::Sqd;
+    ///
+    /// # fn main() -> Result<(), slb_core::CoreError> {
+    /// let sqd = Sqd::new(6, 2, 0.7)?;
+    /// let dense = sqd.upper_bound(3)?;
+    /// let lumped = sqd.upper_bound_lumped(3)?;
+    /// assert!((dense.delay - lumped.delay).abs() < 1e-8 * dense.delay);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn upper_bound_lumped(&self, t: u32) -> Result<BoundResult> {
+        LumpedModel::new(*self, BoundKind::Upper, t)?
+            .solve_truncated(&SparseSolveOptions::default())
+    }
+
+    /// The geometric tail decay rate `sp(R)` of a bound model, via the
+    /// sparse Perron-root fast path — no stationary solve, no `R`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UpperBoundUnstable`] when the drift condition fails.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use slb_core::{BoundKind, Sqd};
+    ///
+    /// # fn main() -> Result<(), slb_core::CoreError> {
+    /// let sqd = Sqd::new(4, 2, 0.8)?;
+    /// let eta = sqd.decay_rate_lumped(BoundKind::Lower, 2)?;
+    /// // The lower model's tail decays at least as fast as ρᴺ … scaled
+    /// // chains decay geometrically with rate strictly below 1.
+    /// assert!(eta > 0.0 && eta < 1.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn decay_rate_lumped(&self, kind: BoundKind, t: u32) -> Result<f64> {
+        LumpedModel::new(*self, kind, t)?.decay_rate(1e-10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockSpace, BoundModel};
+
+    #[test]
+    fn space_matches_dense_blockspace_in_order() {
+        for &(n, t) in &[(2usize, 1u32), (3, 2), (4, 3), (6, 2), (5, 1)] {
+            let occ = OccupancySpace::new(n, t).unwrap();
+            let dense = BlockSpace::new(n, t).unwrap();
+            assert_eq!(occ.boundary_len(), dense.boundary().len(), "N={n} T={t}");
+            assert_eq!(occ.block_len(), dense.block_len(), "N={n} T={t}");
+            for (i, s) in dense.boundary().iter() {
+                assert_eq!(&occupancy_to_state(occ.boundary_state(i)), s);
+            }
+            for (i, s) in dense.block0().iter() {
+                assert_eq!(&occupancy_to_state(occ.block0_state(i)), s);
+            }
+        }
+    }
+
+    #[test]
+    fn locate_agrees_with_dense() {
+        let occ = OccupancySpace::new(4, 2).unwrap();
+        let dense = BlockSpace::new(4, 2).unwrap();
+        for i in 0..occ.boundary_len() {
+            let s = occ.boundary_state(i);
+            assert_eq!(occ.locate(s), Some(OccLocation::Boundary(i)));
+        }
+        for q in 0..3u32 {
+            for i in 0..occ.block_len() {
+                let mut s = occ.block0_state(i).to_vec();
+                s[0] += q;
+                assert_eq!(
+                    occ.locate(&s),
+                    Some(OccLocation::Level {
+                        q: q as usize,
+                        index: i
+                    })
+                );
+                // And the dense space sees the very same (q, index).
+                let ds = occupancy_to_state(&s);
+                assert_eq!(
+                    dense.locate(&ds),
+                    Some(crate::BlockLocation::Level {
+                        q: q as usize,
+                        index: i
+                    })
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_state_occupancy() {
+        let s = State::new(vec![4, 3, 3, 2]).unwrap();
+        let occ = state_to_occupancy(&s, 2).unwrap();
+        assert_eq!(occ, vec![2, 1, 2, 1]);
+        assert_eq!(occupancy_to_state(&occ), s);
+        assert_eq!(state_to_occupancy(&s, 1), None);
+    }
+
+    #[test]
+    fn lumped_blocks_equal_dense_blocks() {
+        for &(n, d, lam, t) in &[
+            (3usize, 2usize, 0.7f64, 2u32),
+            (3, 1, 0.6, 2),
+            (4, 4, 0.8, 2), // JSQ
+            (4, 2, 0.85, 3),
+            (5, 3, 0.5, 1),
+        ] {
+            let sqd = Sqd::new(n, d, lam).unwrap();
+            for kind in [BoundKind::Lower, BoundKind::Upper] {
+                let dense = BoundModel::new(sqd, kind, t).unwrap().qbd_blocks().unwrap();
+                let lumped = LumpedModel::new(sqd, kind, t)
+                    .unwrap()
+                    .qbd_blocks()
+                    .unwrap();
+                let pairs = [
+                    ("R00", lumped.r00().to_dense(), dense.r00()),
+                    ("R01", lumped.r01().to_dense(), dense.r01()),
+                    ("R10", lumped.r10().to_dense(), dense.r10()),
+                    ("A0", lumped.a0().to_dense(), dense.a0()),
+                    ("A1", lumped.a1().to_dense(), dense.a1()),
+                    ("A2", lumped.a2().to_dense(), dense.a2()),
+                ];
+                for (name, sparse, dense) in pairs {
+                    assert!(
+                        sparse.approx_eq(dense, 1e-12),
+                        "N={n} d={d} λ={lam} T={t} {kind:?}: {name} differs"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_replacement_blocks_equal_dense() {
+        let sqd = Sqd::new_with_mode(4, 5, 0.7, PollMode::WithReplacement).unwrap();
+        for kind in [BoundKind::Lower, BoundKind::Upper] {
+            let dense = BoundModel::new(sqd, kind, 2).unwrap().qbd_blocks().unwrap();
+            let lumped = LumpedModel::new(sqd, kind, 2)
+                .unwrap()
+                .qbd_blocks()
+                .unwrap();
+            assert!(lumped.a1().to_dense().approx_eq(dense.a1(), 1e-12));
+            assert!(lumped.a0().to_dense().approx_eq(dense.a0(), 1e-12));
+            assert!(lumped.a2().to_dense().approx_eq(dense.a2(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn lumped_bounds_match_dense_to_1e8() {
+        for &(n, d, lam, t) in &[
+            (3usize, 2usize, 0.7f64, 2u32),
+            (6, 2, 0.8, 2),
+            (8, 2, 0.9, 2),
+            (10, 3, 0.85, 2),
+            (16, 2, 0.8, 1),
+        ] {
+            let sqd = Sqd::new(n, d, lam).unwrap();
+            let ld = sqd.lower_bound(t).unwrap().delay;
+            let ll = sqd.lower_bound_lumped(t).unwrap().delay;
+            assert!(
+                (ld - ll).abs() <= 1e-8 * ld,
+                "lower N={n} d={d} λ={lam} T={t}: dense {ld} vs lumped {ll}"
+            );
+            match sqd.upper_bound(t) {
+                Ok(ud) => {
+                    let ul = sqd.upper_bound_lumped(t).unwrap().delay;
+                    assert!(
+                        (ud.delay - ul).abs() <= 1e-8 * ud.delay,
+                        "upper N={n} d={d} λ={lam} T={t}: dense {} vs lumped {ul}",
+                        ud.delay
+                    );
+                }
+                Err(CoreError::UpperBoundUnstable { .. }) => {
+                    // The lumped path must agree on infeasibility.
+                    assert!(matches!(
+                        sqd.upper_bound_lumped(t),
+                        Err(CoreError::UpperBoundUnstable { .. })
+                    ));
+                }
+                Err(e) => panic!("unexpected dense failure: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decay_rate_matches_dense() {
+        for &(n, d, lam, t) in &[
+            (3usize, 2usize, 0.7f64, 2u32),
+            (4, 2, 0.85, 2),
+            (6, 2, 0.6, 1),
+        ] {
+            let sqd = Sqd::new(n, d, lam).unwrap();
+            for kind in [BoundKind::Lower, BoundKind::Upper] {
+                let blocks = BoundModel::new(sqd, kind, t).unwrap().qbd_blocks().unwrap();
+                if !blocks.is_stable().unwrap() {
+                    continue;
+                }
+                let dense = slb_qbd::decay_rate(&blocks, 1e-13, 10_000).unwrap();
+                let sparse = sqd.decay_rate_lumped(kind, t).unwrap();
+                assert!(
+                    (dense - sparse).abs() <= 1e-6 * dense.max(1e-12),
+                    "N={n} {kind:?}: dense sp(R) {dense} vs sparse {sparse}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_tail_rejected_for_upper_model() {
+        let sqd = Sqd::new(3, 2, 0.5).unwrap();
+        let model = LumpedModel::new(sqd, BoundKind::Upper, 2).unwrap();
+        assert!(matches!(
+            model.solve_scalar_tail(&SparseSolveOptions::default()),
+            Err(CoreError::InvalidParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn production_n_space_enumerates() {
+        // The N = 256 block from the issue: C(257, 2) = 32,896 phases.
+        let space = OccupancySpace::new(256, 2).unwrap();
+        assert_eq!(space.block_len(), 32_896);
+        assert!(space.boundary_len() > space.block_len());
+        // Spot-check canonical invariants on a few records.
+        for i in (0..space.block_len()).step_by(1_001) {
+            let occ = space.block0_state(i);
+            assert!(occ[1] >= 1);
+            assert_eq!(occ[1..].iter().sum::<u32>(), 256);
+        }
+    }
+
+    // Tier-1 `cargo test` runs in debug, where a quarter-million-phase
+    // sparse solve would dominate the suite; the production-scale
+    // regression (N = 512 under a time budget) therefore only arms in
+    // release test runs (`cargo test --release`, as the bench/CI lane
+    // does).
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn n512_bounds_within_time_budget() {
+        let budget = std::time::Duration::from_secs(300);
+        let start = std::time::Instant::now();
+        let sqd = Sqd::new(512, 2, 0.9).unwrap();
+        let lb = sqd.lower_bound_lumped(2).unwrap();
+        assert!(lb.delay >= 1.0 && lb.residual < 1e-6);
+        assert_eq!(lb.level_states, 131_328); // C(513, 2)
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < budget,
+            "N=512 lumped lower bound took {elapsed:?} (budget {budget:?})"
+        );
+    }
+}

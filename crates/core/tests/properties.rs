@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use slb_core::precedence::{precedes, verify_redirects};
-use slb_core::{transitions, BlockSpace, ModelVariant, State};
+use slb_core::{
+    transitions, BlockSpace, BoundKind, BoundModel, LumpedModel, ModelVariant, Sqd, State,
+};
 
 /// Random sorted state with bounded entries.
 fn arb_state(n: usize, max: u32) -> impl Strategy<Value = State> {
@@ -160,6 +162,103 @@ proptest! {
                 prop_assert!(within, "state {s} mislocated in block {q}");
             }
         }
+    }
+}
+
+/// `C(n + t − 1, t)` — the occupancy block size, small enough at test
+/// scale to compute by direct multiplication.
+fn binomial(n: usize, t: u32) -> usize {
+    let mut acc = 1usize;
+    for j in 1..=t as usize {
+        acc = acc * (n - 1 + j) / j;
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lumped_blocks_are_a_true_lumping_of_dense(
+        cfg in (2usize..6, 1u32..4).prop_flat_map(|(n, t)| {
+            (Just(n), Just(t), 1usize..=n, 0.1f64..0.95)
+        }),
+    ) {
+        // The dense solver already works on sorted server tuples
+        // (multisets), so an exact lumping means: same block
+        // dimensions, entrywise-equal generator blocks under the
+        // canonical order, and conservative rows.
+        let (n, t, d, lambda) = cfg;
+        let sqd = Sqd::new(n, d, lambda).unwrap();
+        for kind in [BoundKind::Lower, BoundKind::Upper] {
+            let dense = BoundModel::new(sqd, kind, t).unwrap().qbd_blocks().unwrap();
+            let lumped = LumpedModel::new(sqd, kind, t).unwrap().qbd_blocks().unwrap();
+            prop_assert_eq!(lumped.boundary_len(), dense.boundary_len());
+            prop_assert_eq!(lumped.level_len(), dense.level_len());
+            prop_assert_eq!(lumped.level_len(), binomial(n, t));
+            for (name, sparse, full) in [
+                ("R00", lumped.r00(), dense.r00()),
+                ("R01", lumped.r01(), dense.r01()),
+                ("R10", lumped.r10(), dense.r10()),
+                ("A0", lumped.a0(), dense.a0()),
+                ("A1", lumped.a1(), dense.a1()),
+                ("A2", lumped.a2(), dense.a2()),
+            ] {
+                prop_assert!(
+                    sparse.to_dense().approx_eq(full, 1e-12),
+                    "N={} d={} λ={} T={} {:?}: {} differs", n, d, lambda, t, kind, name
+                );
+            }
+            // Generator rows are conservative: boundary rows across
+            // R00|R01, level-0 rows across R10|A1|A0, repeating rows
+            // across A2|A1|A0 all sum to zero.
+            let zero_rows = |blocks: &[&slb_linalg::CsrMatrix]| {
+                let mut sums = vec![0.0f64; blocks[0].rows()];
+                for b in blocks {
+                    for (i, s) in b.row_sums().iter().enumerate() {
+                        sums[i] += s;
+                    }
+                }
+                sums.into_iter().all(|s| s.abs() < 1e-10)
+            };
+            prop_assert!(zero_rows(&[lumped.r00(), lumped.r01()]), "boundary rows");
+            prop_assert!(
+                zero_rows(&[lumped.r10(), lumped.a1(), lumped.a0()]),
+                "level-0 rows"
+            );
+            prop_assert!(
+                zero_rows(&[lumped.a2(), lumped.a1(), lumped.a0()]),
+                "repeating rows"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lumped_lower_bound_and_decay_agree_with_dense(
+        cfg in (2usize..5, 1u32..3).prop_flat_map(|(n, t)| {
+            (Just(n), Just(t), 1usize..=n, 0.2f64..0.9)
+        }),
+    ) {
+        let (n, t, d, lambda) = cfg;
+        let sqd = Sqd::new(n, d, lambda).unwrap();
+        let dense = sqd.lower_bound(t).unwrap();
+        let lumped = sqd.lower_bound_lumped(t).unwrap();
+        prop_assert!(
+            (lumped.delay - dense.delay).abs() <= 1e-8 * dense.delay,
+            "N={} d={} λ={} T={}: lumped {} vs dense {}",
+            n, d, lambda, t, lumped.delay, dense.delay
+        );
+        // The stationary tail decays at sp(R) = ρᴺ (Theorem 3) on both
+        // state spaces.
+        let eta = sqd.decay_rate_lumped(BoundKind::Lower, t).unwrap();
+        prop_assert!(
+            (eta - lambda.powi(n as i32)).abs() < 1e-6,
+            "N={} λ={}: decay {} vs ρᴺ {}", n, lambda, eta, lambda.powi(n as i32)
+        );
     }
 }
 

@@ -25,7 +25,12 @@ use crate::json::{escape, Json};
 /// buffers, block-reduced statistics) interleaves the RNG streams
 /// differently and reduces sums in a different — still deterministic —
 /// order, changing every simulated cell again.
-pub const CACHE_SCHEMA: u32 = 3;
+///
+/// v4: the `scaling` family's bound columns changed meaning — the O(1)
+/// mean-field/M-M-1 sandwich was replaced by the exact lumped-QBD
+/// lower/upper bounds (with a new `t` column), so every cached scaling
+/// row describes a different quantity than the current runner emits.
+pub const CACHE_SCHEMA: u32 = 4;
 
 /// 64-bit FNV-1a — the workspace-standard small stable hash.
 pub fn fnv64(s: &str) -> u64 {

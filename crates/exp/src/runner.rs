@@ -48,13 +48,15 @@ pub enum Family {
     LogredIters,
     /// Theorem-3 scalar-tail diagnostics.
     Theorem3,
-    /// Simulator scaling to thousands of servers: the mean delay under
-    /// SQ(d) or JSQ, sandwiched between the mean-field (Eq. 16) delay —
-    /// asymptotically exact from below as `N → ∞` — and the SQ(1)
-    /// random-routing M/M/1 delay `1/(1 − ρ)`, which any
-    /// feedback policy with `d ≥ 1` improves on at every `N`. Both
-    /// reference values are O(1) to evaluate at any `N`, unlike the QBD
-    /// bounds whose block size `C(N+T−1, T)` explodes combinatorially.
+    /// QBD bounds at production scale: the simulated mean delay under
+    /// SQ(d) or JSQ sandwiched between the paper's **exact** lower and
+    /// upper bound models, evaluated on the occupancy-lumped state
+    /// space ([`Sqd::lower_bound_lumped`], [`Sqd::upper_bound_lumped`])
+    /// whose block size `C(N+T−1, T)` is polynomial in `N` — thousands
+    /// of servers instead of the dense solver's `N ≤ ~12`. Where the
+    /// threshold-`T` upper model is not positive recurrent (fixed `T`
+    /// at large `N`; the paper's known accuracy/complexity trade-off)
+    /// the row reports `unstable` and only the lower side is checked.
     Scaling,
     /// One service-level point: the simulated mean delay *and* its
     /// p50/p90/p99 sojourn-time percentiles at `(policy, N, d, ρ)`,
@@ -163,6 +165,7 @@ impl Family {
                 "policy",
                 "n",
                 "d",
+                "t",
                 "rho",
                 "lower",
                 "sim",
@@ -557,33 +560,65 @@ fn run_theorem3(job: &Job) -> Result<Vec<Row>, String> {
     ]])
 }
 
-/// `scaling`: large-`N` simulator throughput validation. The simulated
-/// mean delay is sandwiched between two O(1) references valid at any
-/// `N`: the mean-field delay (Eq. 16 for SQ(d); the bare unit service
-/// time for JSQ, whose delay tends to 1 as `N → ∞`) from below, and the
-/// SQ(1) random-routing M/M/1 delay `1/(1 − ρ)` from above.
+/// `scaling`: the paper's delay sandwich at production `N`, computed on
+/// the occupancy-lumped QBD state space. The lower bound uses the
+/// Theorem-3 scalar tail (`β = ρᴺ`); the upper bound uses the sparse
+/// decay-tail solver and degrades to an `unstable` cell where the
+/// threshold-`T` upper model is not positive recurrent — the sandwich
+/// check then verifies only `lower ≤ sim` for that row. JSQ rows poll
+/// all `N` servers (`d = N` in the lumped model); the `d` column keeps
+/// the spec value for grid identity.
 fn run_scaling(job: &Job) -> Result<Vec<Row>, String> {
     let n = job.usize("n")?;
     let d = job.usize("d")?;
+    let t = job.u32("t")?;
     let rho = job.f64("rho")?;
     let policy_name = job.str("policy")?;
     let Some(policy) = scaling_policy(policy_name, d, n)? else {
         return Ok(Vec::new());
     };
-    let (lower, upper) = o1_sandwich(policy, rho);
+    let (lower, upper) = lumped_sandwich(policy, n, d, rho, t)?;
     let sim = run_sim(job, n, rho, policy, None)?;
 
     Ok(vec![vec![
         policy_name.to_string(),
         n.to_string(),
         d.to_string(),
+        t.to_string(),
         f4(rho),
         f4(lower),
         f4(sim.mean_delay),
         f4(sim.ci_halfwidth),
-        f4(upper),
+        upper,
         sim.max_queue_len.to_string(),
     ]])
+}
+
+/// The exact lumped-QBD mean-delay sandwich at threshold `t`. Returns
+/// the lower-bound delay and the upper-bound cell (`unstable` where the
+/// upper model's drift condition fails — [`check_sandwich`] skips that
+/// side of the comparison, exactly as the `bounds` family's `inf`).
+///
+/// [`check_sandwich`]: crate::check_sandwich
+fn lumped_sandwich(
+    policy: Policy,
+    n: usize,
+    d: usize,
+    rho: f64,
+    t: u32,
+) -> Result<(f64, String), String> {
+    // JSQ is SQ(N): every arrival polls all servers.
+    let poll = if matches!(policy, Policy::Jsq) { n } else { d };
+    let sqd = Sqd::new(n, poll, rho).map_err(|e| format!("scaling model: {e}"))?;
+    let lower = sqd
+        .lower_bound_lumped(t)
+        .map_err(|e| format!("lumped lower bound: {e}"))?;
+    let upper = match sqd.upper_bound_lumped(t) {
+        Ok(r) => f4(r.delay),
+        Err(CoreError::UpperBoundUnstable { .. }) => "unstable".to_string(),
+        Err(e) => return Err(format!("lumped upper bound: {e}")),
+    };
+    Ok((lower.delay, upper))
 }
 
 /// Resolves the scaling/service policy name; `Ok(None)` marks an
@@ -602,7 +637,10 @@ fn scaling_policy(name: &str, d: usize, n: usize) -> Result<Option<Policy>, Stri
 /// The O(1)-to-evaluate mean-delay sandwich valid at any `N`: the
 /// mean-field delay (Eq. 16 for SQ(d); the bare unit service time for
 /// JSQ, whose delay tends to 1 as `N → ∞`) from below, and the SQ(1)
-/// random-routing M/M/1 delay `1/(1 − ρ)` from above.
+/// random-routing M/M/1 delay `1/(1 − ρ)` from above. Only the
+/// `service` family still uses this: a capacity query bisects `N`, so
+/// its per-probe references must stay O(1); the `scaling` family
+/// computes the exact lumped-QBD sandwich instead.
 fn o1_sandwich(policy: Policy, rho: f64) -> (f64, f64) {
     let lower = match policy {
         Policy::SqD { d } => asymptotic::mean_delay(rho, d),
@@ -727,13 +765,20 @@ mod tests {
 
     #[test]
     fn scaling_row_is_sandwiched_for_both_policies() {
+        let cols = Family::Scaling.columns();
+        let cell = |row: &Row, name: &str| -> f64 {
+            row[cols.iter().position(|c| *c == name).unwrap()]
+                .parse()
+                .unwrap()
+        };
         for policy in ["sqd", "jsq"] {
             let j = job(
                 Family::Scaling,
                 &[
-                    ("n", Value::Int(64)),
+                    ("n", Value::Int(8)),
                     ("d", Value::Int(2)),
-                    ("rho", Value::Float(0.85)),
+                    ("t", Value::Int(3)),
+                    ("rho", Value::Float(0.7)),
                     ("policy", Value::Str(policy.into())),
                     ("jobs", Value::Int(60_000)),
                     ("replications", Value::Int(2)),
@@ -742,21 +787,47 @@ mod tests {
             );
             let rows = run_job(&j, &mut Scratch::new()).unwrap();
             assert_eq!(rows.len(), 1);
-            assert_eq!(rows[0].len(), Family::Scaling.columns().len());
-            let lower: f64 = rows[0][4].parse().unwrap();
-            let sim: f64 = rows[0][5].parse().unwrap();
-            let upper: f64 = rows[0][7].parse().unwrap();
+            assert_eq!(rows[0].len(), cols.len());
+            let (lower, sim, upper) = (
+                cell(&rows[0], "lower"),
+                cell(&rows[0], "sim"),
+                cell(&rows[0], "upper"),
+            );
+            // Both QBD bounds are finite here and the sim sits between
+            // them (generous slack for the smoke-sized sim budget).
             assert!(
                 lower <= sim + 0.1 && sim <= upper + 0.1,
                 "{policy}: {rows:?}"
             );
+            assert!(lower <= upper, "{policy}: {rows:?}");
         }
+        // Where the threshold-T upper model loses positive recurrence
+        // the row degrades to an `unstable` cell instead of failing —
+        // check_sandwich then verifies only the lower side.
+        let j = job(
+            Family::Scaling,
+            &[
+                ("n", Value::Int(16)),
+                ("d", Value::Int(2)),
+                ("t", Value::Int(2)),
+                ("rho", Value::Float(0.9)),
+                ("policy", Value::Str("sqd".into())),
+                ("jobs", Value::Int(20_000)),
+                ("replications", Value::Int(1)),
+                ("seed", Value::Int(5)),
+            ],
+        );
+        let rows = run_job(&j, &mut Scratch::new()).unwrap();
+        let upper_i = cols.iter().position(|c| *c == "upper").unwrap();
+        assert_eq!(rows[0][upper_i], "unstable", "{rows:?}");
+        assert!(cell(&rows[0], "lower") <= cell(&rows[0], "sim") + 0.1);
         // Unknown policies are reported, not panicked on.
         let j = job(
             Family::Scaling,
             &[
                 ("n", Value::Int(8)),
                 ("d", Value::Int(2)),
+                ("t", Value::Int(2)),
                 ("rho", Value::Float(0.5)),
                 ("policy", Value::Str("lru".into())),
                 ("jobs", Value::Int(1_000)),
@@ -773,6 +844,7 @@ mod tests {
             &[
                 ("n", Value::Int(4)),
                 ("d", Value::Int(8)),
+                ("t", Value::Int(2)),
                 ("rho", Value::Float(0.5)),
                 ("policy", Value::Str("sqd".into())),
                 ("jobs", Value::Int(1_000)),

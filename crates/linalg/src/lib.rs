@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod gs;
 mod lu;
 mod matrix;
 mod ops;
@@ -44,6 +45,7 @@ pub mod vector;
 mod workspace;
 
 pub use error::LinalgError;
+pub use gs::{null_vector_gs, NullVector};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use sparse::{CooBuilder, CsrMatrix};

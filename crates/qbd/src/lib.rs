@@ -62,6 +62,7 @@ mod blocks;
 mod cr;
 mod error;
 mod logred;
+mod lumped;
 pub mod models;
 mod stationary;
 
@@ -69,9 +70,10 @@ pub use blocks::QbdBlocks;
 pub use cr::{cyclic_reduction, decay_rate, u_based_iteration};
 pub use error::QbdError;
 pub use logred::{
-    functional_iteration, logarithmic_reduction, logarithmic_reduction_in, rate_matrix,
-    GComputation,
+    decay_rate_sparse, functional_iteration, logarithmic_reduction, logarithmic_reduction_in,
+    rate_matrix, GComputation,
 };
+pub use lumped::{SparseQbdBlocks, SparseSolveOptions, TruncatedStationary};
 pub use stationary::{QbdStationary, SolveOptions, Tail};
 
 /// Convenience result alias for fallible QBD operations.

@@ -18,8 +18,9 @@
 //! the `G`/`R` computation entirely; [`QbdBlocks::solve_with_scalar_tail`]
 //! implements that dramatically cheaper path.
 
-use slb_linalg::{vector, CooBuilder, CsrMatrix, Lu, Matrix};
+use slb_linalg::{null_vector_gs, vector, CooBuilder, CsrMatrix, Lu, Matrix};
 
+use crate::lumped::{add_csr_block_transposed, SparseQbdBlocks, SparseSolveOptions};
 use crate::{logarithmic_reduction, rate_matrix, QbdBlocks, QbdError, Result};
 
 /// Geometric tail operator of a solved QBD.
@@ -398,6 +399,98 @@ impl QbdBlocks {
             level1,
             tail,
             residual: res,
+            g_iterations: 0,
+        })
+    }
+}
+
+impl SparseQbdBlocks {
+    /// Sparse twin of [`QbdBlocks::solve_with_scalar_tail`]: solves the
+    /// QBD assuming the scalar geometric tail `π_{q+1} = β·π_q`
+    /// (Theorems 2–3 of the paper; `β = ρᴺ` for the Poisson lower-bound
+    /// model), with the finite balance system kept in CSR form and
+    /// solved by Gauss–Seidel instead of LU.
+    ///
+    /// The assembled system and normalization are *identical* to the
+    /// dense path — `(π_b, π_0, π_1)·M = 0` with tail column `A1 + β·A2`
+    /// and weight `w = e/(1−β)` — so the two paths agree to solver
+    /// tolerance wherever both run.
+    ///
+    /// # Errors
+    ///
+    /// * [`QbdError::InvalidBlocks`] if `β ∉ (0, 1)`.
+    /// * [`QbdError::Linalg`] if Gauss–Seidel fails to converge.
+    ///
+    /// # Examples
+    ///
+    /// M/M/1, where the scalar tail is exactly ρ:
+    ///
+    /// ```
+    /// use slb_linalg::CsrMatrix;
+    /// use slb_qbd::{SparseQbdBlocks, SparseSolveOptions};
+    ///
+    /// # fn main() -> Result<(), slb_qbd::QbdError> {
+    /// let (lam, mu) = (0.5, 1.0);
+    /// let one = |v: f64| CsrMatrix::from_triplets(1, 1, [(0, 0, v)]).unwrap();
+    /// let blocks = SparseQbdBlocks::new(
+    ///     one(-lam), one(lam), one(mu),
+    ///     one(lam), one(-(lam + mu)), one(mu),
+    /// )?;
+    /// let sol = blocks.solve_scalar_tail(0.5, &SparseSolveOptions::default())?;
+    /// // π_0 = 1 − ρ for the empty boundary state.
+    /// assert!((sol.boundary()[0] - 0.5).abs() < 1e-10);
+    /// assert!((sol.total_mass() - 1.0).abs() < 1e-10);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn solve_scalar_tail(&self, beta: f64, opts: &SparseSolveOptions) -> Result<QbdStationary> {
+        if !(0.0..1.0).contains(&beta) || beta == 0.0 {
+            return Err(QbdError::InvalidBlocks {
+                reason: format!("scalar tail β must lie in (0, 1), got {beta}"),
+            });
+        }
+        let nb = self.boundary_len();
+        let m = self.level_len();
+        let k = nb + 2 * m;
+
+        // Transpose of the finite balance system
+        //   ⎡ R00  R01      0     ⎤
+        //   ⎢ R10  A1      A0     ⎥
+        //   ⎣  0   A2   A1 + β·A2 ⎦
+        // assembled directly (blocks added with indices swapped).
+        let mut coo = CooBuilder::new(k, k);
+        add_csr_block_transposed(&mut coo, 0, 0, self.r00(), 1.0)?;
+        add_csr_block_transposed(&mut coo, 0, nb, self.r01(), 1.0)?;
+        add_csr_block_transposed(&mut coo, nb, 0, self.r10(), 1.0)?;
+        add_csr_block_transposed(&mut coo, nb, nb, self.a1(), 1.0)?;
+        add_csr_block_transposed(&mut coo, nb, nb + m, self.a0(), 1.0)?;
+        add_csr_block_transposed(&mut coo, nb + m, nb, self.a2(), 1.0)?;
+        add_csr_block_transposed(&mut coo, nb + m, nb + m, self.a1(), 1.0)?;
+        add_csr_block_transposed(&mut coo, nb + m, nb + m, self.a2(), beta)?;
+        let mt = coo.build();
+
+        // Normalization coefficients [e_b ; e_0 ; w], w = e/(1−β).
+        let mut norm = vec![1.0; k];
+        for v in &mut norm[nb + m..] {
+            *v = 1.0 / (1.0 - beta);
+        }
+
+        let gs = null_vector_gs(&mt, &norm, opts.gs_tol, opts.gs_max_sweeps)
+            .map_err(QbdError::Linalg)?;
+
+        let mut boundary = gs.x[..nb].to_vec();
+        let mut level0 = gs.x[nb..nb + m].to_vec();
+        let mut level1 = gs.x[nb + m..].to_vec();
+        vector::clamp_nonnegative(&mut boundary, 1e-8);
+        vector::clamp_nonnegative(&mut level0, 1e-8);
+        vector::clamp_nonnegative(&mut level1, 1e-8);
+
+        Ok(QbdStationary {
+            boundary,
+            level0,
+            level1,
+            tail: Tail::Scalar(beta),
+            residual: gs.residual,
             g_iterations: 0,
         })
     }
