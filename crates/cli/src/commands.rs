@@ -105,7 +105,17 @@ fn sweep_spec(path: &str, args: &[String]) -> CmdResult {
         cache: !args.iter().any(|a| a == "--no-cache"),
         cache_dir: arg_value(args, "--cache-dir").map(std::path::PathBuf::from),
         check: args.iter().any(|a| a == "--check"),
+        resume: args.iter().any(|a| a == "--resume"),
+        cancel: None,
+        // Ctrl-C cancels the run gracefully: in-flight solves abort at
+        // their next budget poll, completed points are checkpointed,
+        // and the error names `--resume` as the way to continue.
+        watch_sigint: true,
     };
+    // Chaos harness opt-in (SLB_FAULTS / SLB_FAULT_SEED), as in
+    // `slb serve`: a no-op unless the environment arms fail points.
+    slb_fault::arm_from_env();
+    sigint::install();
 
     let started = std::time::Instant::now();
     let report = slb_exp::run_sweep(&spec, &opts)?;
@@ -115,13 +125,20 @@ fn sweep_spec(path: &str, args: &[String]) -> CmdResult {
         "{}",
         slb_exp::output::to_aligned(&report.columns, &report.rows)
     );
+    if report.resumed > 0 {
+        println!(
+            "\nresumed: {} of {} points were checkpointed by an interrupted run",
+            report.resumed, report.jobs
+        );
+    }
     println!(
-        "\n{}{}: {} rows from {} grid points ({} cached) in {:.2}s",
+        "\n{}{}: {} rows from {} grid points ({} cached, {} computed) in {:.2}s",
         spec.name,
         if opts.smoke { " [smoke]" } else { "" },
         report.rows.len(),
         report.jobs,
         report.cache_hits,
+        report.computed,
         elapsed.as_secs_f64()
     );
     if opts.check {

@@ -38,7 +38,11 @@
 //! * **Request deadline**: one total wall-clock budget (`deadline_ms`)
 //!   covers read + solve + write per request, enforced across reads by
 //!   [`http::DeadlineStream`] — a slow-loris client dripping bytes
-//!   cannot hold a worker past the deadline. Exceeded → `503`, close.
+//!   cannot hold a worker past the deadline — and *inside the solve* by
+//!   a [`slb_exp::Budget`] threaded into every iterative loop: a query
+//!   whose solve outlives the deadline aborts mid-iteration (counted in
+//!   `/stats` as `solve_aborted`) instead of holding the worker for the
+//!   full solve and discarding the answer. Exceeded → `503`, close.
 //! * **Panic isolation**: a panic inside request handling is caught and
 //!   answered as a `500`; the worker, the pool and every other
 //!   connection are unaffected.
@@ -108,6 +112,9 @@ struct ServerState {
     failed: AtomicU64,
     /// Queries shed (or dropped) by admission control.
     rejected: AtomicU64,
+    /// Solves aborted mid-iteration by the request deadline budget (the
+    /// worker was freed early instead of finishing a doomed solve).
+    solve_aborted: AtomicU64,
     /// Handler panics caught and answered as 500s.
     panics: AtomicU64,
     /// Connections currently admitted (accept → response written).
@@ -184,6 +191,7 @@ impl Server {
                 computed: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
+                solve_aborted: AtomicU64::new(0),
                 panics: AtomicU64::new(0),
                 in_flight: AtomicUsize::new(0),
                 shed: AtomicUsize::new(0),
@@ -317,7 +325,7 @@ fn handle_overloaded(stream: TcpStream, state: &ServerState) {
                 state.rejected.fetch_add(1, Ordering::Relaxed);
                 (503, error_body("overloaded"))
             } else {
-                route(&request, state)
+                route(&request, state, deadline)
             }
         }
         Ok(None) => return,
@@ -357,10 +365,13 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             // worker lives. `route` only touches atomics and the
             // poison-recovering store/pool locks, so observing its
             // state after a panic is sound.
-            match catch_unwind(AssertUnwindSafe(|| route(&request, state))) {
-                // Solved, but too late: the client was promised the
-                // deadline, not a stale answer.
-                Ok(_) if Instant::now() >= deadline => {
+            match catch_unwind(AssertUnwindSafe(|| route(&request, state, deadline))) {
+                // Solved, but too late (a non-iterative code path the
+                // budget cannot poll): the client was promised the
+                // deadline, not a stale answer. An existing 503 — the
+                // budget already aborted the solve — keeps its more
+                // specific `interrupted` body.
+                Ok((status, _)) if status != 503 && Instant::now() >= deadline => {
                     (503, error_body("request deadline exceeded"))
                 }
                 Ok(answer) => answer,
@@ -386,13 +397,14 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     let _ = stream.flush();
 }
 
-/// Dispatches one parsed request to its endpoint.
-fn route(request: &http::Request, state: &ServerState) -> (u16, String) {
+/// Dispatches one parsed request to its endpoint. `deadline` is the
+/// request's total wall-clock budget; query solves poll it and abort.
+fn route(request: &http::Request, state: &ServerState, deadline: Instant) -> (u16, String) {
     let path = request.path.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => (200, "{\"ok\":true}".to_string()),
         ("GET", "/stats") => (200, stats_body(state)),
-        ("POST", "/v1/query") => answer_query(&request.body, state),
+        ("POST", "/v1/query") => answer_query(&request.body, state, deadline),
         ("POST", "/v1/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
             (200, "{\"ok\":true,\"shutting_down\":true}".to_string())
@@ -406,7 +418,13 @@ fn route(request: &http::Request, state: &ServerState) -> (u16, String) {
 }
 
 /// `POST /v1/query`: decode → evaluate through the shared store → encode.
-fn answer_query(body: &str, state: &ServerState) -> (u16, String) {
+///
+/// The request deadline becomes the solve's [`slb_exp::Budget`]: an
+/// over-budget solve aborts at its next iteration poll, the worker is
+/// freed, and the client gets `503` *within* the deadline (plus one
+/// poll interval) instead of a completed-then-discarded answer. Cache
+/// hits still answer — replaying stored rows costs no solve time.
+fn answer_query(body: &str, state: &ServerState, deadline: Instant) -> (u16, String) {
     // Chaos harness: an armed `server.answer_panic` exercises the
     // panic-isolation path end to end (500 answer, worker survives).
     if slb_fault::fires("server.answer_panic") {
@@ -420,7 +438,8 @@ fn answer_query(body: &str, state: &ServerState) -> (u16, String) {
         Ok(query) => query,
         Err(e) => return (400, error_body(&e)),
     };
-    match slb_exp::answer(&query, &state.store) {
+    let budget = slb_exp::Budget::with_deadline_at(deadline);
+    match slb_exp::answer_with_budget(&query, &state.store, &budget) {
         Ok(answer) => {
             state
                 .cache_hits
@@ -429,6 +448,12 @@ fn answer_query(body: &str, state: &ServerState) -> (u16, String) {
                 .computed
                 .fetch_add(answer.computed as u64, Ordering::Relaxed);
             (200, answer.to_json().render())
+        }
+        // The solve outlived the request deadline and aborted at an
+        // iteration poll: overload semantics (503), not a client error.
+        Err(e) if e.contains("interrupted") => {
+            state.solve_aborted.fetch_add(1, Ordering::Relaxed);
+            (503, error_body(&e))
         }
         // Well-formed but unanswerable (bad model parameters, solver
         // failure): the request, not the server, is at fault.
@@ -463,6 +488,10 @@ fn stats_body(state: &ServerState) -> String {
         (
             "rejected".into(),
             Json::Num(state.rejected.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "solve_aborted".into(),
+            Json::Num(state.solve_aborted.load(Ordering::Relaxed) as f64),
         ),
         (
             "panics".into(),
@@ -506,6 +535,7 @@ mod tests {
             computed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            solve_aborted: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
             shed: AtomicUsize::new(0),
@@ -525,17 +555,31 @@ mod tests {
         }
     }
 
+    /// A generous deadline for tests that must *not* trip the budget.
+    fn far(state: &ServerState) -> Instant {
+        Instant::now() + state.deadline
+    }
+
     #[test]
     fn routing_table() {
         let state = test_state("route");
-        assert_eq!(route(&req("GET", "/healthz", ""), &state).0, 200);
-        assert_eq!(route(&req("GET", "/stats", ""), &state).0, 200);
-        assert_eq!(route(&req("POST", "/healthz", ""), &state).0, 405);
-        assert_eq!(route(&req("GET", "/v1/query", ""), &state).0, 405);
-        assert_eq!(route(&req("GET", "/nope", ""), &state).0, 404);
-        assert_eq!(route(&req("POST", "/v1/query", "not json"), &state).0, 400);
+        let d = far(&state);
+        assert_eq!(route(&req("GET", "/healthz", ""), &state, d).0, 200);
+        assert_eq!(route(&req("GET", "/stats", ""), &state, d).0, 200);
+        assert_eq!(route(&req("POST", "/healthz", ""), &state, d).0, 405);
+        assert_eq!(route(&req("GET", "/v1/query", ""), &state, d).0, 405);
+        assert_eq!(route(&req("GET", "/nope", ""), &state, d).0, 404);
         assert_eq!(
-            route(&req("POST", "/v1/query", "{\"kind\":\"teleport\"}"), &state).0,
+            route(&req("POST", "/v1/query", "not json"), &state, d).0,
+            400
+        );
+        assert_eq!(
+            route(
+                &req("POST", "/v1/query", "{\"kind\":\"teleport\"}"),
+                &state,
+                d
+            )
+            .0,
             400
         );
         // Well-formed but unanswerable: rho >= 1 is a model error.
@@ -546,10 +590,11 @@ mod tests {
                 "{\"kind\":\"bounds\",\"n\":3,\"d\":2,\"rho\":1.5,\"t\":2}",
             ),
             &state,
+            d,
         );
         assert_eq!(status, 422, "{body}");
         assert!(body.contains("error"));
-        let (status, _) = route(&req("POST", "/v1/shutdown", ""), &state);
+        let (status, _) = route(&req("POST", "/v1/shutdown", ""), &state, d);
         assert_eq!(status, 200);
         assert!(state.shutdown.load(Ordering::SeqCst));
         let _ = std::fs::remove_dir_all(state.store.root());
@@ -560,15 +605,41 @@ mod tests {
         let state = test_state("hits");
         let body = "{\"kind\":\"bounds\",\"n\":3,\"d\":2,\"rho\":0.6,\"t\":2,\
                     \"jobs\":20000,\"replications\":1,\"seed\":7}";
-        let (status, cold) = route(&req("POST", "/v1/query", body), &state);
+        let (status, cold) = route(&req("POST", "/v1/query", body), &state, far(&state));
         assert_eq!(status, 200, "{cold}");
         assert_eq!(state.computed.load(Ordering::Relaxed), 1);
-        let (status, warm) = route(&req("POST", "/v1/query", body), &state);
+        let (status, warm) = route(&req("POST", "/v1/query", body), &state, far(&state));
         assert_eq!(status, 200);
         assert_eq!(state.cache_hits.load(Ordering::Relaxed), 1);
         // Byte-identical rows on replay.
         let rows = |s: &str| Json::parse(s).unwrap().get("rows").unwrap().render();
         assert_eq!(rows(&cold), rows(&warm));
+        let _ = std::fs::remove_dir_all(state.store.root());
+    }
+
+    #[test]
+    fn expired_deadline_aborts_solve_as_503() {
+        let state = test_state("abort");
+        // N = 64 routes through the lumped iterative solvers, which
+        // poll the budget; an already-expired deadline aborts at the
+        // first poll instead of finishing a doomed solve.
+        let body = "{\"kind\":\"bounds\",\"n\":64,\"d\":2,\"rho\":0.9,\"t\":4,\
+                    \"jobs\":20000,\"replications\":1,\"seed\":7}";
+        let started = Instant::now();
+        let (status, answer) = route(&req("POST", "/v1/query", body), &state, started);
+        assert_eq!(status, 503, "{answer}");
+        assert!(answer.contains("interrupted"), "{answer}");
+        assert_eq!(state.solve_aborted.load(Ordering::Relaxed), 1);
+        // The abort must be immediate (poll latency), not solve-sized.
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "abort took {:?}",
+            started.elapsed()
+        );
+        // Nothing partial was published to the cache: an interrupted
+        // solve leaves no entry a later query could replay.
+        assert_eq!(state.store.indexed(), 0);
+        assert_eq!(state.computed.load(Ordering::Relaxed), 0);
         let _ = std::fs::remove_dir_all(state.store.root());
     }
 }

@@ -226,6 +226,97 @@ fn injected_disk_write_failures_never_lose_answers() {
 }
 
 #[test]
+fn injected_mid_solve_cancellation_answers_503_and_never_corrupts_cache() {
+    let base = std::env::temp_dir().join(format!("slb-chaos-cancel-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    // `solver.cancel` fires at the solver's own budget poll — the
+    // deepest cancellation point there is, mid-iteration inside the
+    // numeric loops.
+    let daemon = start_daemon(
+        &base,
+        &["--threads", "1"],
+        &[("SLB_FAULTS", "solver.cancel=1")],
+    );
+    let addr = daemon.addr.clone();
+
+    let (status, body) = client::request(&addr, "POST", "/v1/query", Some(BOUNDS_BODY)).unwrap();
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("interrupted"), "{body}");
+    let (_, stats) = client::request(&addr, "GET", "/stats", None).unwrap();
+    assert!(stat(&stats, "solve_aborted") >= 1.0, "{stats}");
+    assert_eq!(stat(&stats, "workers_alive"), 1.0, "{stats}");
+    shutdown_and_wait(daemon);
+
+    // Nothing partial was published: the disarmed daemon *recomputes*
+    // (no cache entry to replay) and the answer matches direct
+    // evaluation byte for byte.
+    let daemon = start_daemon(&base, &["--threads", "1"], &[]);
+    let recovered = client::post_query(&daemon.addr, &bounds_query()).unwrap();
+    assert_eq!(
+        recovered.computed, 1,
+        "an interrupted solve must not have persisted anything"
+    );
+    let direct = answer(&bounds_query(), &CacheStore::open(base.join("direct"))).unwrap();
+    assert_eq!(recovered.rows, direct.rows);
+    shutdown_and_wait(daemon);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn cancelled_sweep_leaves_a_clean_cache_for_replay() {
+    let base = std::env::temp_dir().join(format!("slb-chaos-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cache = base.join("cache");
+    std::fs::create_dir_all(&cache).unwrap();
+    let spec_path = base.join("grid.toml");
+    std::fs::write(
+        &spec_path,
+        "[scenario]\nname = \"chaos-grid\"\nfamily = \"logred-iters\"\nd = 2\n\
+         [axes]\nn = [3]\nt = [2]\nrho = [0.5, 0.7, 0.9]\nkind = [\"lower\", \"upper\"]\n",
+    )
+    .unwrap();
+    let out = base.join("grid.csv");
+    let sweep = |faults: Option<&str>| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_slb"));
+        cmd.args(["sweep", &spec_path.to_string_lossy()])
+            .args(["--cache-dir", &cache.to_string_lossy()])
+            .args(["--out", &out.to_string_lossy()])
+            .args(["--jobs", "2"]);
+        if let Some(f) = faults {
+            cmd.env("SLB_FAULTS", f);
+        }
+        cmd.output().expect("run slb sweep")
+    };
+
+    // Armed: every job's solver poll trips → the sweep fails with a
+    // structured interrupted error, not a panic or a bogus table.
+    let armed = sweep(Some("solver.cancel=1"));
+    assert!(!armed.status.success());
+    let stderr = String::from_utf8_lossy(&armed.stderr);
+    assert!(stderr.contains("interrupted"), "{stderr}");
+
+    // Disarmed: nothing partial was cached, so the whole grid is
+    // recomputed (0 cached) — and a replay is then a pure cache hit.
+    let clean = sweep(None);
+    assert!(
+        clean.status.success(),
+        "{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert!(stdout.contains("(0 cached, 6 computed)"), "{stdout}");
+    let first_csv = std::fs::read_to_string(&out).unwrap();
+
+    let replay = sweep(None);
+    assert!(replay.status.success());
+    let stdout = String::from_utf8_lossy(&replay.stdout);
+    assert!(stdout.contains("(6 cached, 0 computed)"), "{stdout}");
+    assert_eq!(std::fs::read_to_string(&out).unwrap(), first_csv);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
 fn same_seed_replays_a_byte_identical_fault_schedule() {
     const SEED: &str = "42";
     const CALLS: usize = 16;

@@ -190,6 +190,78 @@ fn serves_queries_matching_direct_evaluation() {
 }
 
 #[test]
+fn over_deadline_solve_aborts_mid_iteration_and_frees_the_worker() {
+    let base = std::env::temp_dir().join(format!("slb-serve-abort-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    // A short deadline the N = 24 lumped solve cannot possibly meet
+    // in a debug build. (CI's release-build cancel-smoke job runs the
+    // same check at the production N = 64.)
+    let mut child = Command::new(env!("CARGO_BIN_EXE_slb"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--deadline-ms",
+            "250",
+            "--cache-dir",
+            &base.to_string_lossy(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn slb serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listening line");
+    let addr = line.trim().rsplit("http://").next().unwrap().to_string();
+    let daemon = Daemon {
+        child,
+        addr: addr.clone(),
+        stdout,
+    };
+
+    // A query worth seconds of solve against a 250 ms budget. The
+    // budget threaded into the solve must abort it mid-iteration and
+    // answer 503 promptly — not after the full solve.
+    let big = "{\"kind\":\"bounds\",\"n\":24,\"d\":2,\"rho\":0.9,\"t\":4,\
+               \"jobs\":20000,\"replications\":1,\"seed\":7}";
+    let started = Instant::now();
+    let (status, body) = client::request(&addr, "POST", "/v1/query", Some(big)).unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("interrupted"), "{body}");
+    assert!(
+        elapsed < Duration::from_millis(250 + 1500),
+        "503 must arrive within deadline + poll latency, took {elapsed:?}"
+    );
+
+    // The worker was freed, not wedged: the abort is counted, every
+    // worker is alive, and a small query still answers immediately.
+    let (_, stats) = client::request(&addr, "GET", "/stats", None).unwrap();
+    let doc = Json::parse(&stats).unwrap();
+    let stat = |name: &str| doc.get(name).unwrap().as_f64().unwrap();
+    assert!(stat("solve_aborted") >= 1.0, "{stats}");
+    assert_eq!(stat("workers_alive"), 2.0, "{stats}");
+    let small = Query::Bounds {
+        n: 3,
+        d: 2,
+        rho: 0.6,
+        t: 2,
+        budget: tiny_budget(),
+    };
+    let answered = client::post_query(&addr, &small).unwrap();
+    assert_eq!(answered.computed, 1, "worker must still answer queries");
+
+    client::post_shutdown(&addr).unwrap();
+    let (status, _) = wait_exit(daemon);
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
 fn sigint_shuts_down_gracefully() {
     let base = std::env::temp_dir().join(format!("slb-serve-sig-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);

@@ -22,6 +22,32 @@ pub enum CoreError {
         /// Mean downward drift of the level process.
         down_drift: f64,
     },
+    /// An iterative solve was interrupted cooperatively — its budget's
+    /// deadline passed, its cancel token fired, or the `solver.cancel`
+    /// fail point triggered — before reaching convergence.
+    Interrupted {
+        /// Name of the interrupted stage.
+        method: &'static str,
+        /// Iterations completed before the interruption.
+        iterations: usize,
+        /// Residual at the point of interruption (`NaN` when the stage
+        /// had not yet measured one).
+        residual: f64,
+        /// Wall-clock time the solve ran before being interrupted.
+        elapsed: std::time::Duration,
+    },
+    /// An iterative solve exhausted its iteration cap without meeting
+    /// its tolerance: the result would be the last iterate, which is
+    /// not a bound. Callers report this as a row status rather than a
+    /// silent value.
+    NonConverged {
+        /// Name of the stage that stalled.
+        method: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual at the last iterate.
+        residual: f64,
+    },
     /// The underlying QBD machinery failed.
     Qbd(QbdError),
     /// The underlying Markov-chain machinery failed (brute-force solver).
@@ -41,6 +67,29 @@ impl fmt::Display for CoreError {
                 f,
                 "upper-bound model unstable at this utilization/threshold \
                  (drift up {up_drift:.6} >= down {down_drift:.6}); increase T or lower λ"
+            ),
+            // The "interrupted:" prefix is load-bearing: the serving
+            // layer classifies stringly-typed job errors by it to turn
+            // a budget abort into a 503 rather than a 422.
+            CoreError::Interrupted {
+                method,
+                iterations,
+                residual,
+                elapsed,
+            } => write!(
+                f,
+                "interrupted: {method} stopped after {iterations} iterations \
+                 ({:.3}s elapsed, residual {residual:.3e})",
+                elapsed.as_secs_f64()
+            ),
+            CoreError::NonConverged {
+                method,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "nonconverged: {method} exhausted {iterations} iterations \
+                 (residual {residual:.3e})"
             ),
             CoreError::Qbd(e) => write!(f, "QBD solver failure: {e}"),
             CoreError::Markov(e) => write!(f, "Markov solver failure: {e}"),
@@ -67,6 +116,26 @@ impl From<QbdError> for CoreError {
             } => CoreError::UpperBoundUnstable {
                 up_drift,
                 down_drift,
+            },
+            QbdError::Interrupted {
+                method,
+                iterations,
+                residual,
+                elapsed,
+            } => CoreError::Interrupted {
+                method,
+                iterations,
+                residual,
+                elapsed,
+            },
+            QbdError::NoConvergence {
+                method,
+                iterations,
+                residual,
+            } => CoreError::NonConverged {
+                method,
+                iterations,
+                residual,
             },
             other => CoreError::Qbd(other),
         }
@@ -98,6 +167,39 @@ mod tests {
             down_drift: 0.9,
         });
         assert!(matches!(e, CoreError::UpperBoundUnstable { .. }));
+    }
+
+    #[test]
+    fn budget_conversions_keep_structure() {
+        let e = CoreError::from(QbdError::Interrupted {
+            method: "null_vector_gs",
+            iterations: 17,
+            residual: 1e-4,
+            elapsed: std::time::Duration::from_millis(90),
+        });
+        assert!(matches!(
+            e,
+            CoreError::Interrupted {
+                method: "null_vector_gs",
+                iterations: 17,
+                ..
+            }
+        ));
+        assert!(e.to_string().starts_with("interrupted:"));
+        let e = CoreError::from(QbdError::NoConvergence {
+            method: "decay_rate_bisection",
+            iterations: 200,
+            residual: 0.5,
+        });
+        assert!(matches!(
+            e,
+            CoreError::NonConverged {
+                method: "decay_rate_bisection",
+                iterations: 200,
+                ..
+            }
+        ));
+        assert!(e.to_string().starts_with("nonconverged:"));
     }
 
     #[test]

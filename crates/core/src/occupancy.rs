@@ -29,8 +29,8 @@
 
 use std::cmp::Ordering;
 
-use slb_linalg::CooBuilder;
-use slb_qbd::{decay_rate_sparse, SparseQbdBlocks, SparseSolveOptions};
+use slb_linalg::{Budget, CooBuilder};
+use slb_qbd::{decay_rate_sparse, decay_rate_sparse_budgeted, SparseQbdBlocks, SparseSolveOptions};
 
 use crate::combinatorics::{
     binomial, group_arrival_probability, group_arrival_probability_with_replacement,
@@ -89,6 +89,19 @@ impl OccupancySpace {
     ///
     /// [`CoreError::InvalidParameters`] if `n < 2` or `t < 1`.
     pub fn new(n: usize, t: u32) -> Result<Self> {
+        Self::new_budgeted(n, t, &Budget::unlimited())
+    }
+
+    /// [`OccupancySpace::new`] under a cooperative [`Budget`], polled
+    /// between enumeration batches — at production `N` the enumeration
+    /// alone is seconds of work, and it runs before any solver gets a
+    /// chance to poll.
+    ///
+    /// # Errors
+    ///
+    /// As [`OccupancySpace::new`], plus [`CoreError::Interrupted`] when
+    /// the budget trips mid-enumeration.
+    pub fn new_budgeted(n: usize, t: u32, budget: &Budget) -> Result<Self> {
         if n < 2 {
             return Err(CoreError::InvalidParameters {
                 reason: format!("need at least 2 servers for the bound models, got {n}"),
@@ -106,7 +119,22 @@ impl OccupancySpace {
         let mut boundary = Vec::new();
         let mut block0 = Vec::new();
         let mut counts = vec![0u32; t + 1];
+        // `enumerate_counts` drives a plain callback, so a budget trip
+        // is latched here and the remaining visits become no-ops; the
+        // error surfaces once the recursion unwinds.
+        let mut tripped = None;
+        let mut visited = 0usize;
         enumerate_counts(&mut counts, 0, n as u32, &mut |c| {
+            if tripped.is_some() {
+                return;
+            }
+            visited += 1;
+            if visited % 4096 == 0 {
+                if let Err(e) = budget.check("occupancy-enumeration", visited, f64::NAN) {
+                    tripped = Some(e);
+                    return;
+                }
+            }
             let sigma: u64 = c
                 .iter()
                 .enumerate()
@@ -122,9 +150,22 @@ impl OccupancySpace {
             block0.push(b_max as u32 + 1);
             block0.extend_from_slice(c);
         });
+        if let Some(e) = tripped {
+            return Err(CoreError::from(slb_qbd::QbdError::from(e)));
+        }
 
+        // The canonical sorts dominate construction at production `N`
+        // (millions of flat records) and cannot poll internally, so
+        // re-check between and after them: abort latency is bounded by
+        // one sort, not the whole construction.
         let boundary = sort_canonical(boundary, stride, n);
+        budget
+            .check("occupancy-sort", visited, f64::NAN)
+            .map_err(|e| CoreError::from(slb_qbd::QbdError::from(e)))?;
         let block0 = sort_canonical(block0, stride, n);
+        budget
+            .check("occupancy-sort", visited, f64::NAN)
+            .map_err(|e| CoreError::from(slb_qbd::QbdError::from(e)))?;
         let space = OccupancySpace {
             n,
             t: t as u32,
@@ -561,7 +602,19 @@ impl LumpedModel {
     ///
     /// [`CoreError::InvalidParameters`] for invalid `(N, T)`.
     pub fn new(sqd: Sqd, kind: BoundKind, t: u32) -> Result<Self> {
-        let space = OccupancySpace::new(sqd.n(), t)?;
+        Self::new_budgeted(sqd, kind, t, &Budget::unlimited())
+    }
+
+    /// [`LumpedModel::new`] under a cooperative [`Budget`]: the
+    /// macro-state enumeration polls it, so a deadline can interrupt
+    /// model construction, not just the solve.
+    ///
+    /// # Errors
+    ///
+    /// As [`LumpedModel::new`], plus [`CoreError::Interrupted`] when
+    /// the budget trips mid-enumeration.
+    pub fn new_budgeted(sqd: Sqd, kind: BoundKind, t: u32, budget: &Budget) -> Result<Self> {
+        let space = OccupancySpace::new_budgeted(sqd.n(), t, budget)?;
         Ok(LumpedModel {
             sqd,
             kind,
@@ -598,6 +651,32 @@ impl LumpedModel {
     /// Propagates block-validation failures (which would indicate a bug
     /// in the lumped transition rules rather than bad user input).
     pub fn qbd_blocks(&self) -> Result<SparseQbdBlocks> {
+        self.qbd_blocks_budgeted(&Budget::unlimited())
+    }
+
+    /// [`LumpedModel::qbd_blocks`] under a cooperative [`Budget`],
+    /// polled between row batches. At production `N` the assembly
+    /// itself is minutes of work (hundreds of thousands of macro-state
+    /// rows), so a deadline or cancellation must be able to interrupt
+    /// it *before* any solver iteration runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`LumpedModel::qbd_blocks`], plus [`CoreError::Interrupted`]
+    /// when the budget trips mid-assembly.
+    pub fn qbd_blocks_budgeted(&self, budget: &Budget) -> Result<SparseQbdBlocks> {
+        // Rows per budget poll: coarse enough to keep the poll cost
+        // invisible, fine enough that an abort lands within a few
+        // thousand sparse-row assemblies.
+        const ROW_BATCH: usize = 512;
+        let poll = |row: usize| -> Result<()> {
+            if row % ROW_BATCH == 0 {
+                budget
+                    .check("lumped-assembly", row, f64::NAN)
+                    .map_err(|e| CoreError::from(slb_qbd::QbdError::from(e)))?;
+            }
+            Ok(())
+        };
         let sp = &self.space;
         let (nb, m) = (sp.boundary_len(), sp.block_len());
         let (d, lambda, mode) = (self.sqd.d(), self.sqd.lambda(), self.sqd.poll_mode());
@@ -618,6 +697,7 @@ impl LumpedModel {
 
         // Boundary rows.
         for i in 0..nb {
+            poll(i)?;
             let occ = sp.boundary_state(i);
             let mut outflow = 0.0;
             for_each_transition(occ, n, d, lambda, kind, mode, &mut scratch, |tgt, rate| {
@@ -633,6 +713,7 @@ impl LumpedModel {
 
         // Template-block rows.
         for i in 0..m {
+            poll(i)?;
             let occ = sp.block0_state(i);
             let mut outflow = 0.0;
             for_each_transition(occ, n, d, lambda, kind, mode, &mut scratch, |tgt, rate| {
@@ -651,6 +732,7 @@ impl LumpedModel {
         // makes the A1/A0 rates there copies of the ones above).
         let mut up = vec![0u32; sp.stride()];
         for i in 0..m {
+            poll(i)?;
             up.copy_from_slice(sp.block0_state(i));
             up[0] += 1;
             for_each_transition(
@@ -693,7 +775,7 @@ impl LumpedModel {
                 reason: "the ρᴺ scalar tail (Theorem 3) applies to the lower model only".into(),
             });
         }
-        let blocks = self.qbd_blocks()?;
+        let blocks = self.qbd_blocks_budgeted(&opts.budget)?;
         let beta = self.sqd.lambda().powi(self.sqd.n() as i32);
         let sol = blocks.solve_scalar_tail(beta, opts)?;
         let (cb, c0, growth) = self.cost_vectors();
@@ -708,7 +790,7 @@ impl LumpedModel {
     /// [`CoreError::UpperBoundUnstable`] when the drift condition fails;
     /// solver failures otherwise.
     pub fn solve_truncated(&self, opts: &SparseSolveOptions) -> Result<BoundResult> {
-        let blocks = self.qbd_blocks()?;
+        let blocks = self.qbd_blocks_budgeted(&opts.budget)?;
         let sol = blocks.solve_decay_tail(opts)?;
         let (cb, c0, growth) = self.cost_vectors();
         Ok(self.result(sol.mean_linear_cost(&cb, &c0, &growth), sol.residual()))
@@ -723,6 +805,20 @@ impl LumpedModel {
     /// solver failures otherwise.
     pub fn decay_rate(&self, tol: f64) -> Result<f64> {
         Ok(decay_rate_sparse(&self.qbd_blocks()?, tol)?)
+    }
+
+    /// [`LumpedModel::decay_rate`] under a cooperative [`Budget`].
+    ///
+    /// # Errors
+    ///
+    /// As [`LumpedModel::decay_rate`], plus [`CoreError::Interrupted`]
+    /// when the budget trips mid-bisection.
+    pub fn decay_rate_budgeted(&self, tol: f64, budget: &Budget) -> Result<f64> {
+        Ok(decay_rate_sparse_budgeted(
+            &self.qbd_blocks_budgeted(budget)?,
+            tol,
+            budget,
+        )?)
     }
 
     /// Waiting-job cost vectors: boundary costs, template-block costs,
@@ -779,8 +875,24 @@ impl Sqd {
     /// # }
     /// ```
     pub fn lower_bound_lumped(&self, t: u32) -> Result<BoundResult> {
-        LumpedModel::new(*self, BoundKind::Lower, t)?
-            .solve_scalar_tail(&SparseSolveOptions::default())
+        self.lower_bound_lumped_with(t, &SparseSolveOptions::default())
+    }
+
+    /// [`Sqd::lower_bound_lumped`] with caller-supplied solve options —
+    /// in particular a [`SparseSolveOptions::budget`], which is how the
+    /// serving stack makes the multi-minute production-`N` solve abort
+    /// at its request deadline instead of holding a worker.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sqd::lower_bound_lumped`], plus [`CoreError::Interrupted`]
+    /// when the budget trips mid-solve.
+    pub fn lower_bound_lumped_with(
+        &self,
+        t: u32,
+        opts: &SparseSolveOptions,
+    ) -> Result<BoundResult> {
+        LumpedModel::new_budgeted(*self, BoundKind::Lower, t, &opts.budget)?.solve_scalar_tail(opts)
     }
 
     /// Upper bound on the mean delay via the occupancy-lumped sparse
@@ -807,8 +919,22 @@ impl Sqd {
     /// # }
     /// ```
     pub fn upper_bound_lumped(&self, t: u32) -> Result<BoundResult> {
-        LumpedModel::new(*self, BoundKind::Upper, t)?
-            .solve_truncated(&SparseSolveOptions::default())
+        self.upper_bound_lumped_with(t, &SparseSolveOptions::default())
+    }
+
+    /// [`Sqd::upper_bound_lumped`] with caller-supplied solve options
+    /// (see [`Sqd::lower_bound_lumped_with`] for the budget rationale).
+    ///
+    /// # Errors
+    ///
+    /// As [`Sqd::upper_bound_lumped`], plus [`CoreError::Interrupted`]
+    /// when the budget trips mid-solve.
+    pub fn upper_bound_lumped_with(
+        &self,
+        t: u32,
+        opts: &SparseSolveOptions,
+    ) -> Result<BoundResult> {
+        LumpedModel::new_budgeted(*self, BoundKind::Upper, t, &opts.budget)?.solve_truncated(opts)
     }
 
     /// The geometric tail decay rate `sp(R)` of a bound model, via the

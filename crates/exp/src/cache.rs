@@ -30,7 +30,13 @@ use crate::json::{escape, Json};
 /// mean-field/M-M-1 sandwich was replaced by the exact lumped-QBD
 /// lower/upper bounds (with a new `t` column), so every cached scaling
 /// row describes a different quantity than the current runner emits.
-pub const CACHE_SCHEMA: u32 = 4;
+///
+/// v5: the `bounds` family routes `n > 12` through the occupancy-lumped
+/// solvers (same quantities, but only equal to the dense path to solver
+/// tolerance), and bound cells can now carry the `nonconverged` status
+/// where an iterative solve exhausts its cap instead of silently
+/// reporting its last iterate.
+pub const CACHE_SCHEMA: u32 = 5;
 
 /// 64-bit FNV-1a — the workspace-standard small stable hash.
 pub fn fnv64(s: &str) -> u64 {

@@ -60,9 +60,18 @@ pub fn check_sandwich(
     let mut checked = 0usize;
     let mut violations: Vec<String> = Vec::new();
     for (i, row) in rows.iter().enumerate() {
+        // A `nonconverged` lower cell is an explicitly reported solver
+        // status (the iteration cap ran out; the last iterate is not a
+        // bound): the row's comparison is skipped — the cell itself is
+        // the report — unlike an unexplained non-finite lower below,
+        // which still fails the gate.
+        if row.get(lower_c).is_some_and(|c| c == "nonconverged") {
+            continue;
+        }
         // Only the upper bound is legitimately unbounded (`inf` /
-        // `unstable`); a non-finite lower, sim or exact cell means a
-        // broken runner and must fail the gate, never skip it.
+        // `unstable` / `nonconverged`); a non-finite lower, sim or
+        // exact cell means a broken runner and must fail the gate,
+        // never skip it.
         let Some(lower) = row.get(lower_c).map(String::as_str).and_then(finite) else {
             violations.push(format!(
                 "row {i}: lower '{}' is not a finite number",
@@ -162,6 +171,17 @@ mod tests {
         assert_eq!(check_sandwich(Family::DelayTails, cols, &ok), Ok(1));
         let bad = vec![row(&["1.0", "0.99", "1.1"])];
         assert!(check_sandwich(Family::DelayTails, cols, &bad).is_err());
+    }
+
+    #[test]
+    fn nonconverged_lower_is_a_reported_skip() {
+        // The solver said so explicitly — skip the row (uncounted)
+        // instead of failing the gate or comparing a non-bound.
+        let rows = vec![
+            row(&["0.5", "nonconverged", "1.05", "0.01", "1.2"]),
+            row(&["0.7", "1.0", "1.05", "0.01", "nonconverged"]), // upper side skipped
+        ];
+        assert_eq!(check_sandwich(Family::Bounds, COLS, &rows), Ok(1));
     }
 
     #[test]

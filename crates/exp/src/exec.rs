@@ -18,12 +18,15 @@
 
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use crate::cache;
 use crate::check::check_sandwich;
-use crate::runner::{run_job_pooled, Row};
+use crate::manifest::RunManifest;
+use crate::runner::{run_job_pooled_budgeted, Row};
 use crate::spec::{Job, ScenarioSpec};
 use crate::store::CacheStore;
+use slb_linalg::{Budget, CancelToken};
 use slb_pool::WorkPool;
 
 /// Options for one sweep execution.
@@ -42,6 +45,20 @@ pub struct SweepOptions {
     /// Verify the bound sandwich (`lower ≤ sim/exact ≤ upper`) on every
     /// row that carries those columns; violations fail the sweep.
     pub check: bool,
+    /// Resume an interrupted run: seed the checkpoint manifest with the
+    /// previous run's completed set (the results themselves replay from
+    /// the cache regardless).
+    pub resume: bool,
+    /// External cancellation: when this token fires, in-flight jobs
+    /// abort at their next budget poll, queued jobs are skipped, the
+    /// checkpoint is flushed, and the sweep returns an `interrupted`
+    /// error.
+    pub cancel: Option<CancelToken>,
+    /// Also treat a delivered SIGINT/SIGTERM (`sigint::triggered()`) as
+    /// cancellation — the graceful ctrl-C path of `slb sweep`. Off for
+    /// embedded runs (`slb serve`), whose sweeps must not be cancelled
+    /// by the daemon's own shutdown signal handling.
+    pub watch_sigint: bool,
 }
 
 impl Default for SweepOptions {
@@ -54,6 +71,9 @@ impl Default for SweepOptions {
             cache: true,
             cache_dir: None,
             check: false,
+            resume: false,
+            cancel: None,
+            watch_sigint: false,
         }
     }
 }
@@ -70,6 +90,12 @@ pub struct SweepReport {
     /// Jobs answered from the cache (memory, disk, or joined with an
     /// identical in-flight evaluation).
     pub cache_hits: usize,
+    /// Jobs that actually ran a solver/simulator (`jobs − cache_hits`;
+    /// a pure replay reports 0).
+    pub computed: usize,
+    /// Points the `--resume` checkpoint recorded as completed by a
+    /// previous interrupted run (0 without `--resume`).
+    pub resumed: usize,
     /// Rows that passed the sandwich check (0 when unchecked or the
     /// family carries no bound columns).
     pub checked_rows: usize,
@@ -127,6 +153,50 @@ pub fn run_sweep_on(
     let jobs: Arc<Vec<Job>> = Arc::new(spec.expand(opts.smoke)?);
     let total = jobs.len();
 
+    // The run's checkpoint identity: a hash over every expanded
+    // canonical key, so any parameter/axis/smoke change — which also
+    // changes the cache keys — starts a fresh checkpoint.
+    let spec_hash = cache::fnv64(
+        &jobs
+            .iter()
+            .map(Job::canonical_key)
+            .collect::<Vec<_>>()
+            .join("\n"),
+    );
+    // Checkpointing needs the durable store (resume replays from it);
+    // with the cache disabled there is nothing a manifest could resume.
+    let (manifest, resumed) = match store {
+        Some(store) => {
+            let (m, resumed) = RunManifest::open(
+                store.root(),
+                spec_hash,
+                &spec.name,
+                opts.smoke,
+                total,
+                opts.resume,
+            );
+            (Some(Arc::new(m)), resumed)
+        }
+        None => (None, 0),
+    };
+
+    // One cancel token for the whole run: tripped by the caller's token
+    // or by SIGINT/SIGTERM (when watched). Workers observe it two ways —
+    // in-flight solves poll it through the job budget and abort
+    // mid-iteration; queued jobs check it before starting and skip.
+    let run_cancel = CancelToken::new();
+    let budget = Budget::unlimited().cancel_token(run_cancel.clone());
+    let externally_cancelled = || {
+        (opts.watch_sigint && sigint::triggered())
+            || opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    };
+    // A cancellation that predates the run must win even if every job
+    // would finish inside the first drain-poll interval.
+    let mut interrupted = externally_cancelled();
+    if interrupted {
+        run_cancel.cancel();
+    }
+
     let batch = Arc::new(Batch {
         slots: (0..total).map(|_| Mutex::new(None)).collect(),
         finished: Mutex::new(0),
@@ -136,25 +206,77 @@ pub fn run_sweep_on(
         let jobs = Arc::clone(&jobs);
         let batch = Arc::clone(&batch);
         let store = store.map(Arc::clone);
+        let manifest = manifest.clone();
+        let cancel = run_cancel.clone();
+        let budget = budget.clone();
         pool.spawn(move || {
             let job = &jobs[i];
-            let outcome = match &store {
-                Some(store) => store
-                    .get_or_compute(&job.canonical_key(), || run_job_pooled(job))
-                    .map(|(rows, source)| (rows.as_ref().clone(), source.is_hit())),
-                None => run_job_pooled(job).map(|rows| (rows, false)),
+            let outcome = if cancel.is_cancelled() {
+                Err("interrupted: sweep cancelled before this job started".to_string())
+            } else {
+                match &store {
+                    Some(store) => store
+                        .get_or_compute(&job.canonical_key(), || {
+                            run_job_pooled_budgeted(job, &budget)
+                        })
+                        .map(|(rows, source)| (rows.as_ref().clone(), source.is_hit())),
+                    None => run_job_pooled_budgeted(job, &budget).map(|rows| (rows, false)),
+                }
             };
+            if outcome.is_ok() {
+                // The rows are published (store) by the time we record
+                // the index, so a checkpointed index is always
+                // replayable.
+                if let Some(m) = &manifest {
+                    m.complete(i);
+                }
+            }
             *batch.slots[i].lock().expect("slot lock") = Some(outcome);
             let mut finished = batch.finished.lock().expect("batch lock");
             *finished += 1;
             batch.drained.notify_all();
         });
     }
-    let mut finished = batch.finished.lock().expect("batch lock");
-    while *finished < total {
-        finished = batch.drained.wait(finished).expect("batch wait");
+
+    // Drain, watching for cancellation: on SIGINT (or the caller's
+    // token) trip the shared token once, then keep waiting — in-flight
+    // jobs abort at their next budget poll and queued jobs skip, so the
+    // drain completes promptly instead of after minutes of doomed
+    // solving.
+    {
+        let mut finished = batch.finished.lock().expect("batch lock");
+        while *finished < total {
+            let (f, _) = batch
+                .drained
+                .wait_timeout(finished, Duration::from_millis(50))
+                .expect("batch wait");
+            finished = f;
+            if !interrupted && externally_cancelled() {
+                interrupted = true;
+                run_cancel.cancel();
+            }
+        }
     }
-    drop(finished);
+
+    if interrupted {
+        // Completed points are all in the store and checkpointed; the
+        // error tells the operator how to pick the run back up.
+        let done = manifest.as_ref().map_or_else(
+            || {
+                (0..total)
+                    .filter(|&i| matches!(&*batch.slots[i].lock().expect("slot lock"), Some(Ok(_))))
+                    .count()
+            },
+            |m| {
+                m.flush();
+                m.completed()
+            },
+        );
+        return Err(format!(
+            "interrupted after {done} of {total} points; completed points are checkpointed — \
+             re-run with --resume to continue"
+        ));
+    }
 
     // Collect in job order; the first (by job order) failure names its
     // grid point. Successful siblings were already published to the
@@ -189,11 +311,18 @@ pub fn run_sweep_on(
         0
     };
 
+    // Every point landed: the run needs no resume checkpoint any more.
+    if let Some(m) = &manifest {
+        m.finish();
+    }
+
     Ok(SweepReport {
         columns: spec.family.columns().to_vec(),
         rows,
         jobs: total,
         cache_hits,
+        computed: total - cache_hits,
+        resumed,
         checked_rows,
     })
 }
@@ -302,6 +431,94 @@ zip = ["n", "t"]
         assert_eq!(second.rows, owned.rows);
         assert_eq!(second.cache_hits, second.jobs);
         pool.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_sweep_reports_interrupted_then_resumes_cleanly() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let dir = temp_dir("cancel");
+        let _ = std::fs::remove_dir_all(&dir);
+        let token = CancelToken::new();
+        token.cancel(); // cancelled before any job starts: nothing may run
+        let err = run_sweep(
+            &spec,
+            &SweepOptions {
+                threads: 4,
+                cache: true,
+                cache_dir: Some(dir.clone()),
+                cancel: Some(token),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("interrupted after 0 of 12"), "{err}");
+        assert!(err.contains("--resume"), "{err}");
+
+        // The interrupted run left a checkpoint; resuming without the
+        // cancel token completes the grid and retires it.
+        let resume_opts = SweepOptions {
+            threads: 4,
+            cache: true,
+            cache_dir: Some(dir.clone()),
+            resume: true,
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&spec, &resume_opts).unwrap();
+        assert_eq!(report.computed, 12);
+        assert_eq!(report.resumed, 0, "nothing had completed before cancel");
+        // A further resume replays everything from the cache — the CI
+        // "0 computed" invariant — and finds no checkpoint left behind.
+        let replay = run_sweep(&spec, &resume_opts).unwrap();
+        assert_eq!(replay.computed, 0);
+        assert_eq!(replay.resumed, 0, "a finished run retired its manifest");
+        assert_eq!(replay.rows, report.rows);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_counts_previously_completed_points() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let dir = temp_dir("resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = SweepOptions {
+            threads: 2,
+            cache: true,
+            cache_dir: Some(dir.clone()),
+            ..SweepOptions::default()
+        };
+        let cold = run_sweep(&spec, &opts).unwrap();
+
+        // Fabricate the checkpoint an interruption after 5 points would
+        // have left (the executor deletes its own on success).
+        let jobs = spec.expand(false).unwrap();
+        let spec_hash = cache::fnv64(
+            &jobs
+                .iter()
+                .map(Job::canonical_key)
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+        let (m, _) = RunManifest::open(&dir, spec_hash, &spec.name, false, jobs.len(), false);
+        for i in 0..5 {
+            m.complete(i);
+        }
+        m.flush();
+
+        let resumed_run = run_sweep(
+            &spec,
+            &SweepOptions {
+                resume: true,
+                ..opts.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed_run.resumed, 5);
+        assert_eq!(
+            resumed_run.cache_hits, 12,
+            "all points replay from the store"
+        );
+        assert_eq!(resumed_run.rows, cold.rows);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

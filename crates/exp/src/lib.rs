@@ -55,6 +55,7 @@ pub mod cache;
 pub mod check;
 pub mod exec;
 pub mod json;
+pub mod manifest;
 pub mod output;
 pub mod parser;
 pub mod query;
@@ -66,8 +67,12 @@ pub mod value;
 pub use check::check_sandwich;
 pub use exec::{run_sweep, run_sweep_on, SweepOptions, SweepReport};
 pub use json::Json;
-pub use query::{answer, Answer, CapacityAnswer, Metric, Query, SimBudget};
-pub use runner::{run_job, run_job_pooled, Family, Row, Scratch};
+pub use manifest::{manifest_path, RunManifest};
+pub use query::{answer, answer_with_budget, Answer, CapacityAnswer, Metric, Query, SimBudget};
+pub use runner::{
+    run_job, run_job_budgeted, run_job_pooled, run_job_pooled_budgeted, Family, Row, Scratch,
+};
+pub use slb_linalg::{Budget, CancelToken};
 pub use slb_pool::WorkPool;
 pub use spec::{Job, ScenarioSpec};
 pub use store::{CacheStore, Source};

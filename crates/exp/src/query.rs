@@ -31,10 +31,11 @@
 
 use crate::check::check_sandwich;
 use crate::json::Json;
-use crate::runner::{run_job_pooled, Family, Row};
+use crate::runner::{run_job_pooled_budgeted, Family, Row};
 use crate::spec::Job;
 use crate::store::{CacheStore, Source};
 use crate::value::Value;
+use slb_linalg::Budget;
 
 /// Simulation budget of one query: total jobs split over replications,
 /// plus the base seed. Defaults match the sweep engine's injected
@@ -394,13 +395,18 @@ fn service_job(policy: &str, n: usize, d: usize, rho: f64, budget: SimBudget) ->
 }
 
 /// Evaluates one job through the store, tallying hit/computed counts.
+/// The budget only gates the *compute* path — a cache hit answers even
+/// an already-expired budget (the work is in hand; nothing to abort).
 fn eval(
     store: &CacheStore,
     job: &Job,
+    budget: &Budget,
     hits: &mut usize,
     computed: &mut usize,
 ) -> Result<std::sync::Arc<Vec<Row>>, String> {
-    let (rows, source) = store.get_or_compute(&job.canonical_key(), || run_job_pooled(job))?;
+    let (rows, source) = store.get_or_compute(&job.canonical_key(), || {
+        run_job_pooled_budgeted(job, budget)
+    })?;
     if source.is_hit() {
         *hits += 1;
     } else {
@@ -420,6 +426,23 @@ fn eval(
 /// fails; capacity infeasibility is *not* an error (see
 /// [`CapacityAnswer::n_required`]).
 pub fn answer(query: &Query, store: &CacheStore) -> Result<Answer, String> {
+    answer_with_budget(query, store, &Budget::unlimited())
+}
+
+/// [`answer`] under a cooperative [`Budget`] — what `slb serve` calls
+/// with the request deadline so an over-budget solve aborts
+/// mid-iteration (freeing the worker) instead of completing work whose
+/// answer will be discarded. An interrupted evaluation surfaces as an
+/// `interrupted: ...` error and is never cached.
+///
+/// # Errors
+///
+/// As [`answer`], plus `interrupted: ...` messages on budget trips.
+pub fn answer_with_budget(
+    query: &Query,
+    store: &CacheStore,
+    budget: &Budget,
+) -> Result<Answer, String> {
     let mut hits = 0usize;
     let mut computed = 0usize;
     let family = query.family();
@@ -429,7 +452,7 @@ pub fn answer(query: &Query, store: &CacheStore) -> Result<Answer, String> {
             d,
             rho,
             t,
-            budget,
+            budget: sim_budget,
         } => {
             let job = point_job(
                 Family::Bounds,
@@ -439,9 +462,9 @@ pub fn answer(query: &Query, store: &CacheStore) -> Result<Answer, String> {
                     ("rho".into(), Value::Float(*rho)),
                     ("t".into(), Value::Int(i64::from(*t))),
                 ],
-                *budget,
+                *sim_budget,
             );
-            let rows = eval(store, &job, &mut hits, &mut computed)?;
+            let rows = eval(store, &job, budget, &mut hits, &mut computed)?;
             (rows.as_ref().clone(), None)
         }
         Query::Service {
@@ -449,10 +472,10 @@ pub fn answer(query: &Query, store: &CacheStore) -> Result<Answer, String> {
             n,
             d,
             rho,
-            budget,
+            budget: sim_budget,
         } => {
-            let job = service_job(policy, *n, *d, *rho, *budget);
-            let rows = eval(store, &job, &mut hits, &mut computed)?;
+            let job = service_job(policy, *n, *d, *rho, *sim_budget);
+            let rows = eval(store, &job, budget, &mut hits, &mut computed)?;
             if rows.is_empty() {
                 return Err(format!(
                     "infeasible point: policy '{policy}' with d = {d} needs at least d servers \
@@ -468,7 +491,7 @@ pub fn answer(query: &Query, store: &CacheStore) -> Result<Answer, String> {
             metric,
             slo,
             n_max,
-            budget,
+            budget: sim_budget,
         } => capacity_search(
             store,
             policy,
@@ -477,7 +500,8 @@ pub fn answer(query: &Query, store: &CacheStore) -> Result<Answer, String> {
             *metric,
             *slo,
             *n_max,
-            *budget,
+            *sim_budget,
+            budget,
             &mut hits,
             &mut computed,
         )?,
@@ -510,7 +534,8 @@ fn capacity_search(
     metric: Metric,
     slo: f64,
     n_max: usize,
-    budget: SimBudget,
+    sim_budget: SimBudget,
+    budget: &Budget,
     hits: &mut usize,
     computed: &mut usize,
 ) -> Result<(Vec<Row>, Option<CapacityAnswer>), String> {
@@ -539,8 +564,8 @@ fn capacity_search(
                      computed: &mut usize|
      -> Result<(f64, std::sync::Arc<Vec<Row>>), String> {
         let rho = lambda / n as f64;
-        let job = service_job(policy, n, d, rho, budget);
-        let rows = eval(store, &job, hits, computed)?;
+        let job = service_job(policy, n, d, rho, sim_budget);
+        let rows = eval(store, &job, budget, hits, computed)?;
         let row = rows
             .first()
             .ok_or_else(|| format!("capacity probe at N = {n}: infeasible point"))?;

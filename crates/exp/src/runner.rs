@@ -12,10 +12,12 @@ use std::fmt;
 
 use slb_core::brute::BruteForce;
 use slb_core::{asymptotic, BoundKind, BoundModel, CoreError, Sqd};
-use slb_linalg::{power_iteration_sparse, CsrMatrix, Workspace};
+use slb_linalg::{power_iteration_sparse, Budget, CsrMatrix, Workspace};
 use slb_mapph::MapSqd;
 use slb_markov::{Map, PhaseType};
-use slb_qbd::{functional_iteration, logarithmic_reduction_in, SolveOptions, Tail};
+use slb_qbd::{
+    functional_iteration, logarithmic_reduction_in_budgeted, SolveOptions, SparseSolveOptions, Tail,
+};
 use slb_sim::{Policy, SimConfig, SimResult};
 
 use crate::spec::Job;
@@ -248,15 +250,32 @@ fn f4(x: f64) -> String {
 /// points that the old binaries silently skipped (e.g. `d > N` in the
 /// Figure-9 grid) yield an empty row list instead of an error.
 pub fn run_job(job: &Job, scratch: &mut Scratch) -> Result<Vec<Row>, String> {
+    run_job_budgeted(job, scratch, &Budget::unlimited())
+}
+
+/// [`run_job`] under a cooperative [`Budget`]: every iterative solve
+/// and the simulator poll the budget and abandon the job with an
+/// `interrupted: ...` error when it trips. Interrupted jobs are never
+/// cached ([`crate::CacheStore`] only publishes `Ok` results), so a
+/// later uninterrupted run recomputes them cleanly.
+///
+/// # Errors
+///
+/// As [`run_job`], plus `interrupted: ...` messages on budget trips.
+pub fn run_job_budgeted(
+    job: &Job,
+    scratch: &mut Scratch,
+    budget: &Budget,
+) -> Result<Vec<Row>, String> {
     match job.family {
-        Family::Bounds => run_bounds(job),
-        Family::AsymptoticError => run_asymptotic_error(job),
-        Family::DelayTails => run_delay_tails(job),
-        Family::Burstiness => run_burstiness(job),
-        Family::LogredIters => run_logred_iters(job, scratch),
+        Family::Bounds => run_bounds(job, budget),
+        Family::AsymptoticError => run_asymptotic_error(job, budget),
+        Family::DelayTails => run_delay_tails(job, budget),
+        Family::Burstiness => run_burstiness(job, budget),
+        Family::LogredIters => run_logred_iters(job, scratch, budget),
         Family::Theorem3 => run_theorem3(job),
-        Family::Scaling => run_scaling(job),
-        Family::Service => run_service(job),
+        Family::Scaling => run_scaling(job, budget),
+        Family::Service => run_service(job, budget),
     }
 }
 
@@ -279,6 +298,17 @@ pub fn run_job_pooled(job: &Job) -> Result<Vec<Row>, String> {
     SCRATCH.with(|s| run_job(job, &mut s.borrow_mut()))
 }
 
+/// [`run_job_pooled`] under a cooperative [`Budget`] — what the sweep
+/// executor and `slb serve` handlers call so a deadline or a ctrl-C
+/// interrupts the solve mid-iteration instead of after it.
+///
+/// # Errors
+///
+/// Exactly as [`run_job_budgeted`].
+pub fn run_job_pooled_budgeted(job: &Job, budget: &Budget) -> Result<Vec<Row>, String> {
+    SCRATCH.with(|s| run_job_budgeted(job, &mut s.borrow_mut(), budget))
+}
+
 /// Splits a total job budget across replications, floored so degenerate
 /// budgets still leave room for a warm-up prefix (the same rule the old
 /// binaries applied via `slb_bench::rep_jobs`).
@@ -296,6 +326,7 @@ fn run_sim(
     rho: f64,
     policy: Policy,
     map: Option<&Map>,
+    budget: &Budget,
 ) -> Result<SimResult, String> {
     let total = job.u64("jobs")?;
     let reps = job.usize("replications")?.max(1);
@@ -308,45 +339,74 @@ fn run_sim(
     if let Some(m) = map {
         cfg.arrival_map(m.clone());
     }
-    cfg.run_parallel(reps, 1)
+    cfg.run_parallel_budgeted(reps, 1, budget)
         .map_err(|e| format!("sim run: {e}"))
 }
 
+/// Largest `N` the bounds family answers with the dense QBD solver;
+/// beyond it the state space (`(T+1)^N` phases before lumping) makes
+/// the dense path infeasible and the family routes through the exact
+/// occupancy-lumped solvers instead — the same quantities (the lumping
+/// is lossless; `lumped_bounds_match_dense_to_1e8` in `slb-core` pins
+/// the agreement) computed on a polynomial-size state space, and
+/// cancellable mid-iteration via the job's [`Budget`].
+const DENSE_N_MAX: usize = 12;
+
 /// `bounds` (ex-`fig10`): LB / sim / UB / asymptotic at one `(N, T, ρ)`.
-fn run_bounds(job: &Job) -> Result<Vec<Row>, String> {
+fn run_bounds(job: &Job, budget: &Budget) -> Result<Vec<Row>, String> {
     let n = job.usize("n")?;
     let d = job.usize("d")?;
     let t = job.u32("t")?;
     let rho = job.f64("rho")?;
 
     let sqd = Sqd::new(n, d, rho).map_err(|e| format!("bounds model: {e}"))?;
-    let lb = sqd
-        .lower_bound(t)
-        .map_err(|e| format!("lower bound: {e}"))?;
     // Where the upper-bound model is unstable (high utilization at small
     // T — the blow-up visible in the paper's plots) report `inf`.
-    let ub = match sqd.upper_bound(t) {
-        Ok(r) => f4(r.delay),
-        Err(CoreError::UpperBoundUnstable { .. }) => "inf".to_string(),
-        Err(e) => return Err(format!("upper bound: {e}")),
+    let (lb_cell, ub_cell) = if n <= DENSE_N_MAX {
+        let lb = sqd
+            .lower_bound(t)
+            .map_err(|e| format!("lower bound: {e}"))?;
+        let ub = match sqd.upper_bound(t) {
+            Ok(r) => f4(r.delay),
+            Err(CoreError::UpperBoundUnstable { .. }) => "inf".to_string(),
+            Err(e) => return Err(format!("upper bound: {e}")),
+        };
+        (f4(lb.delay), ub)
+    } else {
+        let opts = SparseSolveOptions {
+            budget: budget.clone(),
+            ..SparseSolveOptions::default()
+        };
+        let lb = match sqd.lower_bound_lumped_with(t, &opts) {
+            Ok(r) => f4(r.delay),
+            Err(CoreError::NonConverged { .. }) => "nonconverged".to_string(),
+            Err(e) => return Err(format!("lumped lower bound: {e}")),
+        };
+        let ub = match sqd.upper_bound_lumped_with(t, &opts) {
+            Ok(r) => f4(r.delay),
+            Err(CoreError::UpperBoundUnstable { .. }) => "inf".to_string(),
+            Err(CoreError::NonConverged { .. }) => "nonconverged".to_string(),
+            Err(e) => return Err(format!("lumped upper bound: {e}")),
+        };
+        (lb, ub)
     };
-    let sim = run_sim(job, n, rho, Policy::SqD { d }, None)?;
+    let sim = run_sim(job, n, rho, Policy::SqD { d }, None, budget)?;
 
     Ok(vec![vec![
         n.to_string(),
         t.to_string(),
         d.to_string(),
         f4(rho),
-        f4(lb.delay),
+        lb_cell,
         f4(sim.mean_delay),
         f4(sim.ci_halfwidth),
-        ub,
+        ub_cell,
         f4(sqd.asymptotic_delay()),
     ]])
 }
 
 /// `asymptotic-error` (ex-`fig9`): relative error of Eq. 16 vs sim.
-fn run_asymptotic_error(job: &Job) -> Result<Vec<Row>, String> {
+fn run_asymptotic_error(job: &Job, budget: &Budget) -> Result<Vec<Row>, String> {
     let n = job.usize("n")?;
     let d = job.usize("d")?;
     let rho = job.f64("rho")?;
@@ -354,7 +414,7 @@ fn run_asymptotic_error(job: &Job) -> Result<Vec<Row>, String> {
         return Ok(Vec::new()); // cannot poll more servers than exist
     }
     let approx = asymptotic::mean_delay(rho, d);
-    let sim = run_sim(job, n, rho, Policy::SqD { d }, None)?;
+    let sim = run_sim(job, n, rho, Policy::SqD { d }, None, budget)?;
     let rel = 100.0 * (sim.mean_delay - approx).abs() / sim.mean_delay;
     Ok(vec![vec![
         f4(rho),
@@ -369,7 +429,7 @@ fn run_asymptotic_error(job: &Job) -> Result<Vec<Row>, String> {
 
 /// `delay-tails` (ex-`delay_tails`): percentile rows for one `(N, T, ρ)`
 /// — one row per requested percentile.
-fn run_delay_tails(job: &Job) -> Result<Vec<Row>, String> {
+fn run_delay_tails(job: &Job, budget: &Budget) -> Result<Vec<Row>, String> {
     let n = job.usize("n")?;
     let d = job.usize("d")?;
     let t = job.u32("t")?;
@@ -386,7 +446,7 @@ fn run_delay_tails(job: &Job) -> Result<Vec<Row>, String> {
         .map_err(|e| format!("brute force: {e}"))?
         .delay_distribution()
         .map_err(|e| format!("exact distribution: {e}"))?;
-    let sim = run_sim(job, n, rho, Policy::SqD { d }, None)?;
+    let sim = run_sim(job, n, rho, Policy::SqD { d }, None, budget)?;
 
     let q = |dist: &slb_core::DelayDistribution, p: f64| {
         dist.quantile(p).map_err(|e| format!("quantile({p}): {e}"))
@@ -431,7 +491,7 @@ fn arrival_case(name: &str) -> Result<Map, String> {
 }
 
 /// `burstiness`: bounds and simulation under one MAP arrival law.
-fn run_burstiness(job: &Job) -> Result<Vec<Row>, String> {
+fn run_burstiness(job: &Job, budget: &Budget) -> Result<Vec<Row>, String> {
     let n = job.usize("n")?;
     let d = job.usize("d")?;
     let t = job.u32("t")?;
@@ -448,7 +508,7 @@ fn run_burstiness(job: &Job) -> Result<Vec<Row>, String> {
     let ub_cell = model
         .upper_bound(t)
         .map_or("unstable".to_string(), |u| f4(u.delay));
-    let sim = run_sim(job, n, rho, Policy::SqD { d }, Some(&map))?;
+    let sim = run_sim(job, n, rho, Policy::SqD { d }, Some(&map), budget)?;
 
     Ok(vec![vec![
         n.to_string(),
@@ -467,7 +527,7 @@ fn run_burstiness(job: &Job) -> Result<Vec<Row>, String> {
 
 /// `logred-iters`: the §IV-A "within k = 6" claim, against functional
 /// iteration, drawing dense scratch from the worker's shared pool.
-fn run_logred_iters(job: &Job, scratch: &mut Scratch) -> Result<Vec<Row>, String> {
+fn run_logred_iters(job: &Job, scratch: &mut Scratch, budget: &Budget) -> Result<Vec<Row>, String> {
     let n = job.usize("n")?;
     let d = job.usize("d")?;
     let t = job.u32("t")?;
@@ -485,8 +545,8 @@ fn run_logred_iters(job: &Job, scratch: &mut Scratch) -> Result<Vec<Row>, String
     // The G equation has a solution regardless of positive recurrence;
     // report iterations even for unstable UB cases.
     let ws = scratch.square(blocks.level_len());
-    let lr =
-        logarithmic_reduction_in(&blocks, 1e-13, 64, ws).map_err(|e| format!("logred: {e}"))?;
+    let lr = logarithmic_reduction_in_budgeted(&blocks, 1e-13, 64, ws, budget)
+        .map_err(|e| format!("logred: {e}"))?;
     let fi = functional_iteration(&blocks, 1e-12, functional_budget)
         .map(|g| g.iterations.to_string())
         .unwrap_or_else(|_| format!(">{functional_budget}"));
@@ -568,7 +628,7 @@ fn run_theorem3(job: &Job) -> Result<Vec<Row>, String> {
 /// check then verifies only `lower ≤ sim` for that row. JSQ rows poll
 /// all `N` servers (`d = N` in the lumped model); the `d` column keeps
 /// the spec value for grid identity.
-fn run_scaling(job: &Job) -> Result<Vec<Row>, String> {
+fn run_scaling(job: &Job, budget: &Budget) -> Result<Vec<Row>, String> {
     let n = job.usize("n")?;
     let d = job.usize("d")?;
     let t = job.u32("t")?;
@@ -577,8 +637,8 @@ fn run_scaling(job: &Job) -> Result<Vec<Row>, String> {
     let Some(policy) = scaling_policy(policy_name, d, n)? else {
         return Ok(Vec::new());
     };
-    let (lower, upper) = lumped_sandwich(policy, n, d, rho, t)?;
-    let sim = run_sim(job, n, rho, policy, None)?;
+    let (lower, upper) = lumped_sandwich(policy, n, d, rho, t, budget)?;
+    let sim = run_sim(job, n, rho, policy, None, budget)?;
 
     Ok(vec![vec![
         policy_name.to_string(),
@@ -586,7 +646,7 @@ fn run_scaling(job: &Job) -> Result<Vec<Row>, String> {
         d.to_string(),
         t.to_string(),
         f4(rho),
-        f4(lower),
+        lower,
         f4(sim.mean_delay),
         f4(sim.ci_halfwidth),
         upper,
@@ -595,9 +655,13 @@ fn run_scaling(job: &Job) -> Result<Vec<Row>, String> {
 }
 
 /// The exact lumped-QBD mean-delay sandwich at threshold `t`. Returns
-/// the lower-bound delay and the upper-bound cell (`unstable` where the
-/// upper model's drift condition fails — [`check_sandwich`] skips that
-/// side of the comparison, exactly as the `bounds` family's `inf`).
+/// the lower- and upper-bound cells: `unstable` where the upper model's
+/// drift condition fails — [`check_sandwich`] skips that side of the
+/// comparison, exactly as the `bounds` family's `inf` — and
+/// `nonconverged` where a solver exhausted its iteration cap, which
+/// [`check_sandwich`] reports as a skipped row status instead of
+/// comparing a last iterate that is not a bound. A tripped budget
+/// aborts the job instead (`interrupted: ...`).
 ///
 /// [`check_sandwich`]: crate::check_sandwich
 fn lumped_sandwich(
@@ -606,19 +670,27 @@ fn lumped_sandwich(
     d: usize,
     rho: f64,
     t: u32,
-) -> Result<(f64, String), String> {
+    budget: &Budget,
+) -> Result<(String, String), String> {
     // JSQ is SQ(N): every arrival polls all servers.
     let poll = if matches!(policy, Policy::Jsq) { n } else { d };
     let sqd = Sqd::new(n, poll, rho).map_err(|e| format!("scaling model: {e}"))?;
-    let lower = sqd
-        .lower_bound_lumped(t)
-        .map_err(|e| format!("lumped lower bound: {e}"))?;
-    let upper = match sqd.upper_bound_lumped(t) {
+    let opts = SparseSolveOptions {
+        budget: budget.clone(),
+        ..SparseSolveOptions::default()
+    };
+    let lower = match sqd.lower_bound_lumped_with(t, &opts) {
+        Ok(r) => f4(r.delay),
+        Err(CoreError::NonConverged { .. }) => "nonconverged".to_string(),
+        Err(e) => return Err(format!("lumped lower bound: {e}")),
+    };
+    let upper = match sqd.upper_bound_lumped_with(t, &opts) {
         Ok(r) => f4(r.delay),
         Err(CoreError::UpperBoundUnstable { .. }) => "unstable".to_string(),
+        Err(CoreError::NonConverged { .. }) => "nonconverged".to_string(),
         Err(e) => return Err(format!("lumped upper bound: {e}")),
     };
-    Ok((lower.delay, upper))
+    Ok((lower, upper))
 }
 
 /// Resolves the scaling/service policy name; `Ok(None)` marks an
@@ -653,7 +725,7 @@ fn o1_sandwich(policy: Policy, rho: f64) -> (f64, f64) {
 /// with the p50/p90/p99 sojourn-time percentiles the capacity planner
 /// bisects against. Percentiles come from the simulation's delay
 /// histogram (bin width 0.02 service units).
-fn run_service(job: &Job) -> Result<Vec<Row>, String> {
+fn run_service(job: &Job, budget: &Budget) -> Result<Vec<Row>, String> {
     let n = job.usize("n")?;
     let d = job.usize("d")?;
     let rho = job.f64("rho")?;
@@ -662,7 +734,7 @@ fn run_service(job: &Job) -> Result<Vec<Row>, String> {
         return Ok(Vec::new());
     };
     let (lower, upper) = o1_sandwich(policy, rho);
-    let sim = run_sim(job, n, rho, policy, None)?;
+    let sim = run_sim(job, n, rho, policy, None, budget)?;
     let q = |p: f64| {
         sim.delay_quantile(p)
             .map(f4)

@@ -1,0 +1,276 @@
+//! Cooperative cancellation for long-running iterative solves.
+//!
+//! Production-size lumped solves run for minutes (the N = 512 lower
+//! bound is a ~6.5-minute Gauss–Seidel solve), and they execute inside a
+//! serving stack with per-request deadlines and a SIGINT-driven sweep
+//! runner. Neither can afford to *preempt* a solve — the kernels own
+//! scratch workspaces and partial iterates — so interruption is
+//! cooperative: every unbounded or iterative loop in the numeric stack
+//! carries a [`Budget`] and polls [`Budget::check`] once per iteration
+//! batch (one Gauss–Seidel sweep, one logarithmic-reduction doubling,
+//! one bisection step, a block of simulated events).
+//!
+//! A budget combines three independent triggers:
+//!
+//! * a **wall-clock deadline** ([`Budget::with_deadline_at`]), used by
+//!   `slb serve` to abort a solve the moment the request deadline
+//!   passes instead of discarding a completed answer;
+//! * an **external cancel flag** ([`CancelToken`], one relaxed atomic
+//!   load), used by `slb sweep` to drain in-flight grid points on
+//!   SIGINT; and
+//! * the **`solver.cancel` fail point** (`vendor/fault`), so chaos
+//!   tests can inject a mid-solve abort deterministically. The sibling
+//!   point `solver.slow_iter` injects a 1 ms stall per check instead,
+//!   turning any solve into a deliberately slow one.
+//!
+//! The disarmed fast path of a [`Budget::unlimited`] check is two
+//! relaxed atomic loads and a branch — cheap enough to sit inside the
+//! gated kernel benches without moving them.
+//!
+//! An exceeded budget surfaces as [`LinalgError::Interrupted`] carrying
+//! the iterations completed, the residual at the point of interruption
+//! and the elapsed wall-clock time, so callers can report exactly how
+//! far a solve got.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::{LinalgError, Result};
+
+/// A shared, clonable cancellation flag.
+///
+/// Cloning is shallow: all clones observe the same flag, so a token can
+/// be handed to worker threads while the coordinator keeps the original
+/// to [`cancel`](CancelToken::cancel) them all. Checking the flag is a
+/// single relaxed atomic load.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag; every budget sharing this token interrupts at
+    /// its next check. Idempotent and irrevocable.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called on any
+    /// clone of this token.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Two tokens are equal when they share the same underlying flag; a
+/// clone compares equal to its original, two fresh tokens do not.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+/// A cancellation budget for one solve: optional wall-clock deadline
+/// plus optional [`CancelToken`], stamped with its creation instant so
+/// interruptions can report elapsed time.
+///
+/// Budgets are cheap to clone and intended to be threaded by value
+/// through solver options (`SparseSolveOptions` in `slb-qbd` embeds
+/// one). Equality ignores the creation stamp: two unlimited budgets
+/// compare equal regardless of when they were built, which keeps
+/// options types derivable.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    started: Instant,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl PartialEq for Budget {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.cancel == other.cancel
+    }
+}
+
+impl Budget {
+    /// A budget with no deadline and no cancel token. Checks still
+    /// consult the `solver.cancel` / `solver.slow_iter` fail points, so
+    /// chaos tests can interrupt even "unlimited" solves.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            cancel: None,
+            started: Instant::now(),
+        }
+    }
+
+    /// An unlimited budget that expires `limit` from now.
+    #[must_use]
+    pub fn with_deadline(limit: Duration) -> Self {
+        Budget::unlimited().deadline(limit)
+    }
+
+    /// An unlimited budget that expires at `deadline` (an absolute
+    /// instant, e.g. a request deadline computed at read time).
+    #[must_use]
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        Budget::unlimited().deadline_at(deadline)
+    }
+
+    /// Returns this budget with the deadline set to `limit` from now.
+    #[must_use]
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(Instant::now() + limit);
+        self
+    }
+
+    /// Returns this budget with the deadline set to the absolute
+    /// instant `deadline`.
+    #[must_use]
+    pub fn deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns this budget with `token` attached; the budget interrupts
+    /// once any clone of the token is cancelled.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Wall-clock time since this budget was created.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Whether any trigger would interrupt right now, without recording
+    /// a fail-point call. Used by coordinators (e.g. the sweep runner)
+    /// that poll for cancellation outside any solve.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The per-iteration-batch poll: returns `Ok(())` to continue, or
+    /// [`LinalgError::Interrupted`] — tagged with `method` and carrying
+    /// `iterations`, `residual` and the elapsed time — when the budget
+    /// is exhausted, the attached token is cancelled, or the
+    /// `solver.cancel` fail point fires.
+    ///
+    /// The `solver.slow_iter` fail point stalls the check by 1 ms
+    /// before deciding, letting chaos and deadline tests make any solve
+    /// deliberately slow without touching the numerics.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Interrupted`] when interrupted, as above.
+    pub fn check(&self, method: &'static str, iterations: usize, residual: f64) -> Result<()> {
+        if slb_fault::fires("solver.slow_iter") {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let interrupted = self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            || slb_fault::fires("solver.cancel")
+            || self.deadline.is_some_and(|d| Instant::now() >= d);
+        if interrupted {
+            return Err(LinalgError::Interrupted {
+                method,
+                iterations,
+                residual,
+                elapsed: self.started.elapsed(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_interrupts() {
+        let b = Budget::unlimited();
+        for it in 0..1000 {
+            b.check("test_loop", it, 1.0).unwrap();
+        }
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn cancel_token_interrupts_with_context() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().cancel_token(token.clone());
+        b.check("test_loop", 3, 0.5).unwrap();
+        token.cancel();
+        assert!(b.exhausted());
+        match b.check("test_loop", 7, 0.25) {
+            Err(LinalgError::Interrupted {
+                method,
+                iterations,
+                residual,
+                ..
+            }) => {
+                assert_eq!(method, "test_loop");
+                assert_eq!(iterations, 7);
+                assert!((residual - 0.25).abs() < 1e-15);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_in_the_past_interrupts() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        // A zero-length deadline has already passed by the first check.
+        assert!(b.exhausted());
+        assert!(matches!(
+            b.check("test_loop", 0, f64::NAN),
+            Err(LinalgError::Interrupted { .. })
+        ));
+        let roomy = Budget::with_deadline(Duration::from_secs(3600));
+        assert!(!roomy.exhausted());
+        roomy.check("test_loop", 0, 0.0).unwrap();
+    }
+
+    #[test]
+    fn clones_share_the_cancel_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert_eq!(token, clone);
+        assert_ne!(token, CancelToken::new());
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn equality_ignores_creation_time() {
+        let a = Budget::unlimited();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = Budget::unlimited();
+        assert_eq!(a, b);
+        let t = CancelToken::new();
+        assert_eq!(
+            Budget::unlimited().cancel_token(t.clone()),
+            Budget::unlimited().cancel_token(t)
+        );
+    }
+}

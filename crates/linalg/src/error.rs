@@ -1,5 +1,6 @@
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Error type for all fallible operations in this crate.
 ///
@@ -45,6 +46,21 @@ pub enum LinalgError {
         /// Description of the violated precondition.
         reason: String,
     },
+    /// An iterative method was interrupted cooperatively — its
+    /// [`Budget`](crate::Budget) expired, its
+    /// [`CancelToken`](crate::CancelToken) was cancelled, or the
+    /// `solver.cancel` fail point fired — before convergence.
+    Interrupted {
+        /// Name of the interrupted method.
+        method: &'static str,
+        /// Iterations completed before the interruption.
+        iterations: usize,
+        /// Residual (method-specific) at the point of interruption;
+        /// `NaN` when the method had not yet measured one.
+        residual: f64,
+        /// Wall-clock time the solve ran before being interrupted.
+        elapsed: Duration,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -71,6 +87,17 @@ impl fmt::Display for LinalgError {
                 "{method} did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
             LinalgError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            LinalgError::Interrupted {
+                method,
+                iterations,
+                residual,
+                elapsed,
+            } => write!(
+                f,
+                "{method} interrupted after {iterations} iterations \
+                 ({:.3}s elapsed, residual {residual:.3e})",
+                elapsed.as_secs_f64()
+            ),
         }
     }
 }
@@ -96,6 +123,20 @@ mod tests {
     fn error_trait_object() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<LinalgError>();
+    }
+
+    #[test]
+    fn interrupted_display_reports_progress() {
+        let e = LinalgError::Interrupted {
+            method: "null_vector_gs",
+            iterations: 120,
+            residual: 3.5e-7,
+            elapsed: Duration::from_millis(1500),
+        };
+        let s = e.to_string();
+        assert!(s.contains("null_vector_gs interrupted after 120 iterations"));
+        assert!(s.contains("1.500s"));
+        assert!(s.contains("3.500e-7"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! the balance equation of state `i` (all inflow terms of `π M = 0`),
 //! which is what one sweep update needs contiguously.
 
+use crate::budget::Budget;
 use crate::sparse::CsrMatrix;
 use crate::{LinalgError, Result};
 
@@ -75,6 +76,30 @@ pub fn null_vector_gs(
     weights: &[f64],
     tol: f64,
     max_sweeps: usize,
+) -> Result<NullVector> {
+    null_vector_gs_budgeted(mt, weights, tol, max_sweeps, &Budget::unlimited())
+}
+
+/// [`null_vector_gs`] under a cooperative [`Budget`], polled once per
+/// sweep.
+///
+/// Production-size lumped systems take minutes of sweeps, so this is
+/// the variant the serving stack calls: an expired deadline or a
+/// cancelled token aborts after the current sweep. A sweep that has
+/// already converged returns `Ok` even if the budget expired during it
+/// — finished work is never discarded.
+///
+/// # Errors
+///
+/// Everything [`null_vector_gs`] returns, plus
+/// [`LinalgError::Interrupted`] (carrying sweeps done, the latest sweep
+/// residual and elapsed time) when the budget trips first.
+pub fn null_vector_gs_budgeted(
+    mt: &CsrMatrix,
+    weights: &[f64],
+    tol: f64,
+    max_sweeps: usize,
+    budget: &Budget,
 ) -> Result<NullVector> {
     if !mt.is_square() {
         return Err(LinalgError::NotSquare { shape: mt.shape() });
@@ -139,6 +164,9 @@ pub fn null_vector_gs(
                 });
             }
         }
+        // Poll after the convergence test so a sweep that just
+        // converged is returned rather than interrupted.
+        budget.check("null_vector_gs", sweeps, sweep_res)?;
     }
     Err(LinalgError::NoConvergence {
         method: "null_vector_gs",
@@ -229,6 +257,36 @@ mod tests {
         mt.add(1, 1, -1.0).unwrap();
         let e = null_vector_gs(&mt.build(), &[1.0, 1.0], 1e-10, 10);
         assert!(matches!(e, Err(LinalgError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_mid_solve() {
+        use crate::{Budget, CancelToken};
+        let rho = 0.999; // slow contraction: needs many sweeps
+        let n = 200;
+        let rates: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                (
+                    if i + 1 < n { rho } else { 0.0 },
+                    if i > 0 { 1.0 } else { 0.0 },
+                )
+            })
+            .collect();
+        let mt = bd_mt(&rates);
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().cancel_token(token);
+        match null_vector_gs_budgeted(&mt, &vec![1.0; n], 1e-13, 100_000, &budget) {
+            Err(LinalgError::Interrupted {
+                method, iterations, ..
+            }) => {
+                assert_eq!(method, "null_vector_gs");
+                assert_eq!(iterations, 1, "aborts after the first sweep");
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        // The unbudgeted entry point still converges on the same system.
+        assert!(null_vector_gs(&mt, &vec![1.0; n], 1e-10, 1_000_000).is_ok());
     }
 
     #[test]

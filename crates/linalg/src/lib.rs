@@ -10,7 +10,11 @@
 //! linear solves, inverses, determinants, norms, spectral utilities, and a
 //! compressed-sparse-row [`CsrMatrix`] (with its [`CooBuilder`]) that the
 //! whole solver stack shares for large, structurally sparse generators.
-//! It has no dependencies.
+//! It also hosts the cooperative-cancellation primitives ([`Budget`],
+//! [`CancelToken`]) every iterative solve above it polls, so the whole
+//! stack shares one interruption vocabulary. Its only dependency is the
+//! workspace's vendored `slb-fault` fail-point registry (free when
+//! disarmed), which those primitives use for chaos injection.
 //!
 //! The matrix-geometric method of Neuts repeatedly forms expressions such
 //! as `(−A1)⁻¹ A0`, `R = −A0 (A1 + A0 G)⁻¹` and `(I − R)⁻¹ e`; all of them
@@ -34,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod error;
 mod gs;
 mod lu;
@@ -44,8 +49,9 @@ mod spectral;
 pub mod vector;
 mod workspace;
 
+pub use budget::{Budget, CancelToken};
 pub use error::LinalgError;
-pub use gs::{null_vector_gs, NullVector};
+pub use gs::{null_vector_gs, null_vector_gs_budgeted, NullVector};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use sparse::{CooBuilder, CsrMatrix};

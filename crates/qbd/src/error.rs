@@ -31,6 +31,20 @@ pub enum QbdError {
         /// Residual at the last iterate.
         residual: f64,
     },
+    /// An iterative stage was interrupted cooperatively: its
+    /// [`Budget`](slb_linalg::Budget) expired, its cancel token fired,
+    /// or the `solver.cancel` fail point triggered mid-solve.
+    Interrupted {
+        /// Name of the interrupted stage.
+        method: &'static str,
+        /// Iterations completed before the interruption.
+        iterations: usize,
+        /// Residual at the point of interruption (`NaN` when the stage
+        /// had not yet measured one).
+        residual: f64,
+        /// Wall-clock time the stage ran before being interrupted.
+        elapsed: std::time::Duration,
+    },
     /// An underlying dense linear-algebra operation failed.
     Linalg(LinalgError),
     /// An underlying Markov-chain computation failed (e.g. the drift
@@ -57,6 +71,17 @@ impl fmt::Display for QbdError {
                 f,
                 "{method} did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
+            QbdError::Interrupted {
+                method,
+                iterations,
+                residual,
+                elapsed,
+            } => write!(
+                f,
+                "{method} interrupted after {iterations} iterations \
+                 ({:.3}s elapsed, residual {residual:.3e})",
+                elapsed.as_secs_f64()
+            ),
             QbdError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             QbdError::Markov(e) => write!(f, "markov failure: {e}"),
         }
@@ -75,7 +100,36 @@ impl Error for QbdError {
 
 impl From<LinalgError> for QbdError {
     fn from(e: LinalgError) -> Self {
-        QbdError::Linalg(e)
+        match e {
+            // A cooperative interruption is a budget event, not a
+            // numeric failure; keep its structure so callers can report
+            // progress without unwrapping the linalg layer.
+            LinalgError::Interrupted {
+                method,
+                iterations,
+                residual,
+                elapsed,
+            } => QbdError::Interrupted {
+                method,
+                iterations,
+                residual,
+                elapsed,
+            },
+            // Iteration-cap exhaustion is likewise a structured status,
+            // not an opaque numeric failure: callers report it as a
+            // `nonconverged` row instead of silently using the last
+            // iterate.
+            LinalgError::NoConvergence {
+                method,
+                iterations,
+                residual,
+            } => QbdError::NoConvergence {
+                method,
+                iterations,
+                residual,
+            },
+            other => QbdError::Linalg(other),
+        }
     }
 }
 
@@ -108,5 +162,23 @@ mod tests {
         let qe = QbdError::from(le.clone());
         assert_eq!(qe, QbdError::Linalg(le));
         assert!(Error::source(&qe).is_some());
+    }
+
+    #[test]
+    fn interrupted_converts_structurally() {
+        let le = LinalgError::Interrupted {
+            method: "null_vector_gs",
+            iterations: 42,
+            residual: 1e-3,
+            elapsed: std::time::Duration::from_millis(250),
+        };
+        match QbdError::from(le) {
+            QbdError::Interrupted {
+                method: "null_vector_gs",
+                iterations: 42,
+                ..
+            } => {}
+            other => panic!("expected structural Interrupted, got {other:?}"),
+        }
     }
 }

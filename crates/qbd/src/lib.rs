@@ -70,8 +70,9 @@ pub use blocks::QbdBlocks;
 pub use cr::{cyclic_reduction, decay_rate, u_based_iteration};
 pub use error::QbdError;
 pub use logred::{
-    decay_rate_sparse, functional_iteration, logarithmic_reduction, logarithmic_reduction_in,
-    rate_matrix, GComputation,
+    decay_rate_sparse, decay_rate_sparse_budgeted, functional_iteration,
+    functional_iteration_budgeted, logarithmic_reduction, logarithmic_reduction_in,
+    logarithmic_reduction_in_budgeted, rate_matrix, GComputation,
 };
 pub use lumped::{SparseQbdBlocks, SparseSolveOptions, TruncatedStationary};
 pub use stationary::{QbdStationary, SolveOptions, Tail};

@@ -20,7 +20,7 @@
 //! The rate matrix follows as `R = −A0 (A1 + A0·G)⁻¹` and satisfies
 //! `A0 + R·A1 + R²·A2 = 0` ([`rate_matrix`]).
 
-use slb_linalg::{power_iteration_sparse, CooBuilder, Lu, Matrix, Workspace};
+use slb_linalg::{power_iteration_sparse, Budget, CooBuilder, Lu, Matrix, Workspace};
 
 use crate::lumped::SparseQbdBlocks;
 use crate::{QbdBlocks, QbdError, Result};
@@ -124,6 +124,27 @@ pub fn logarithmic_reduction_in(
     max_iter: usize,
     ws: &mut Workspace,
 ) -> Result<GComputation> {
+    logarithmic_reduction_in_budgeted(blocks, tol, max_iter, ws, &Budget::unlimited())
+}
+
+/// [`logarithmic_reduction_in`] under a cooperative [`Budget`], polled
+/// once per doubling iteration.
+///
+/// An interruption returns every scratch matrix to the caller's pool —
+/// exactly like the existing failure paths — before surfacing
+/// [`QbdError::Interrupted`] with the doublings completed and the last
+/// additive update as the residual.
+///
+/// # Errors
+///
+/// As [`logarithmic_reduction_in`], plus [`QbdError::Interrupted`].
+pub fn logarithmic_reduction_in_budgeted(
+    blocks: &QbdBlocks,
+    tol: f64,
+    max_iter: usize,
+    ws: &mut Workspace,
+    budget: &Budget,
+) -> Result<GComputation> {
     let m = blocks.level_len();
     if ws.shape() != (m, m) {
         return Err(QbdError::InvalidBlocks {
@@ -171,8 +192,21 @@ pub fn logarithmic_reduction_in(
     // zero heap allocation (pinned by `tests/alloc_free.rs`).
     let mut u = ws.take();
     let mut sq = ws.take();
+    let mut last_delta = f64::NAN;
 
     for it in 1..=max_iter {
+        // The budget poll honours the same scratch discipline as every
+        // other early exit: the pool gets all seven matrices back.
+        if let Err(e) = budget.check("logarithmic_reduction", it - 1, last_delta) {
+            ws.put(scratch);
+            ws.put(u);
+            ws.put(sq);
+            ws.put(h);
+            ws.put(l);
+            ws.put(g);
+            ws.put(t);
+            return Err(e.into());
+        }
         // U = H·L + L·H ; H ← (I−U)⁻¹ H² ; L ← (I−U)⁻¹ L².
         h.mul_into(&l, &mut u).expect(ok);
         l.mul_into(&h, &mut scratch).expect(ok);
@@ -197,6 +231,7 @@ pub fn logarithmic_reduction_in(
         // G += T·L ; T ← T·H.
         t.mul_into(&l, &mut scratch).expect(ok);
         let delta = scratch.norm_inf();
+        last_delta = delta;
         g += &scratch;
         t.mul_into(&h, &mut u).expect(ok);
         std::mem::swap(&mut t, &mut u);
@@ -245,6 +280,22 @@ pub fn logarithmic_reduction_in(
 ///   successive-iterate change drops below `tol`.
 /// * [`QbdError::Linalg`] if `A1` is singular (invalid QBD).
 pub fn functional_iteration(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> Result<GComputation> {
+    functional_iteration_budgeted(blocks, tol, max_iter, &Budget::unlimited())
+}
+
+/// [`functional_iteration`] under a cooperative [`Budget`], polled once
+/// per fixed-point step (the linear convergence means hundreds of steps
+/// at high load, so the step is the natural batch).
+///
+/// # Errors
+///
+/// As [`functional_iteration`], plus [`QbdError::Interrupted`].
+pub fn functional_iteration_budgeted(
+    blocks: &QbdBlocks,
+    tol: f64,
+    max_iter: usize,
+    budget: &Budget,
+) -> Result<GComputation> {
     let m = blocks.level_len();
     let mut ws = Workspace::square(m);
     let ok = "functional_iteration: all QBD blocks share one square shape";
@@ -258,12 +309,15 @@ pub fn functional_iteration(blocks: &QbdBlocks, tol: f64, max_iter: usize) -> Re
     // Per-iteration scratch; the loop allocates nothing.
     let mut gg = ws.take();
     let mut next = ws.take();
+    let mut last_delta = f64::NAN;
     for it in 1..=max_iter {
+        budget.check("functional_iteration", it - 1, last_delta)?;
         g.mul_into(&g, &mut gg).expect(ok); // G²
         blocks.a0().mul_into(&gg, &mut rhs).expect(ok); // A0·G²
         rhs += blocks.a2(); // A2 + A0·G²
         lu.solve_mat_into(&rhs, &mut next).expect(ok);
         let delta = next.norm_inf_diff(&g);
+        last_delta = delta;
         std::mem::swap(&mut g, &mut next);
         if delta < tol {
             // Retire the loop scratch; g_residual recycles it.
@@ -372,11 +426,11 @@ fn perron_of_quadratic(blocks: &SparseQbdBlocks, z: f64) -> Result<f64> {
 /// `χ(z) < 0` iff `−A(z)` is a nonsingular M-matrix iff Gauss–Seidel on
 /// `(−A(z))x = e` converges (its nonnegative iterates diverge exactly
 /// when the splitting radius reaches 1).
-fn perron_sign_of_quadratic(blocks: &SparseQbdBlocks, z: f64) -> Result<bool> {
+fn perron_sign_of_quadratic(blocks: &SparseQbdBlocks, z: f64, budget: &Budget) -> Result<bool> {
     match perron_of_quadratic(blocks, z) {
         Ok(chi) if chi.is_finite() => Ok(chi > 0.0),
-        Ok(_) => m_matrix_sign(blocks, z),
-        Err(QbdError::Linalg(_)) => m_matrix_sign(blocks, z),
+        Ok(_) => m_matrix_sign(blocks, z, budget),
+        Err(QbdError::Linalg(_)) => m_matrix_sign(blocks, z, budget),
         Err(e) => Err(e),
     }
 }
@@ -384,7 +438,7 @@ fn perron_sign_of_quadratic(blocks: &SparseQbdBlocks, z: f64) -> Result<bool> {
 /// Regular-splitting sign test: returns `true` iff `χ(z) ≥ 0`, i.e. iff
 /// Gauss–Seidel on `(−A(z))x = 1` fails to converge (see
 /// [`perron_sign_of_quadratic`]).
-fn m_matrix_sign(blocks: &SparseQbdBlocks, z: f64) -> Result<bool> {
+fn m_matrix_sign(blocks: &SparseQbdBlocks, z: f64, budget: &Budget) -> Result<bool> {
     let m = blocks.level_len();
     let b = quadratic_at(blocks, z, -1.0)?; // −A(z): Z-matrix, diag > 0
     let mut diag = vec![0.0; m];
@@ -402,7 +456,12 @@ fn m_matrix_sign(blocks: &SparseQbdBlocks, z: f64) -> Result<bool> {
     let (blow_up, max_sweeps) = (1e12, 20_000);
     let mut last_delta = f64::INFINITY;
     let mut growth = 1.0;
-    for _ in 0..max_sweeps {
+    for sweep in 0..max_sweeps {
+        // The sign test can burn thousands of sweeps near the root;
+        // poll every 64 to keep the per-sweep cost unmeasurable.
+        if sweep % 64 == 0 {
+            budget.check("m_matrix_sign", sweep, last_delta)?;
+        }
         let mut delta: f64 = 0.0;
         let mut norm: f64 = 0.0;
         for r in 0..m {
@@ -481,7 +540,25 @@ fn m_matrix_sign(blocks: &SparseQbdBlocks, z: f64) -> Result<bool> {
 /// # }
 /// ```
 pub fn decay_rate_sparse(blocks: &SparseQbdBlocks, tol: f64) -> Result<f64> {
-    let (up, down) = blocks.drifts()?;
+    decay_rate_sparse_budgeted(blocks, tol, &Budget::unlimited())
+}
+
+/// [`decay_rate_sparse`] under a cooperative [`Budget`], polled once
+/// per bisection step and every 64 sweeps inside the Gauss–Seidel sign
+/// fallback.
+///
+/// # Errors
+///
+/// As [`decay_rate_sparse`], plus [`QbdError::Interrupted`]. The
+/// bisection cap surfaces as [`QbdError::NoConvergence`] (carrying the
+/// step count and residual bracket width) rather than silently
+/// reporting the midpoint of an unconverged bracket.
+pub fn decay_rate_sparse_budgeted(
+    blocks: &SparseQbdBlocks,
+    tol: f64,
+    budget: &Budget,
+) -> Result<f64> {
+    let (up, down) = blocks.drifts_budgeted(budget)?;
     if up >= down {
         return Err(QbdError::Unstable {
             up_drift: up,
@@ -494,7 +571,7 @@ pub fn decay_rate_sparse(blocks: &SparseQbdBlocks, tol: f64) -> Result<f64> {
     // at that scale).
     let mut lo = DECAY_FLOOR;
     let mut hi = 1.0 - 1e-9;
-    if perron_sign_of_quadratic(blocks, hi)? {
+    if perron_sign_of_quadratic(blocks, hi, budget)? {
         return Err(QbdError::NoConvergence {
             method: "decay_rate_bisection",
             iterations: 0,
@@ -504,9 +581,20 @@ pub fn decay_rate_sparse(blocks: &SparseQbdBlocks, tol: f64) -> Result<f64> {
     // Log-space bisection: relative precision on a root that may sit
     // anywhere between the floor and 1.
     let mut iters = 0usize;
-    while hi - lo > tol * hi && iters < 200 {
+    while hi - lo > tol * hi {
+        budget.check("decay_rate_bisection", iters, hi - lo)?;
+        if iters >= 200 {
+            // Reporting the midpoint of a wide bracket as "the decay
+            // rate" silently poisons every tail bound downstream;
+            // surface the unconverged bracket instead.
+            return Err(QbdError::NoConvergence {
+                method: "decay_rate_bisection",
+                iterations: iters,
+                residual: hi - lo,
+            });
+        }
         let mid = (lo * hi).sqrt();
-        if perron_sign_of_quadratic(blocks, mid)? {
+        if perron_sign_of_quadratic(blocks, mid, budget)? {
             lo = mid;
         } else {
             hi = mid;
@@ -628,6 +716,34 @@ mod tests {
         let b = two_phase_blocks(0.4, 1.2, 1.0, 0.3);
         let bad_g = Matrix::zeros(3, 3);
         assert!(matches!(rate_matrix(&b, &bad_g), Err(QbdError::Linalg(_))));
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_g_computations() {
+        use slb_linalg::CancelToken;
+        let b = two_phase_blocks(0.4, 1.2, 1.0, 0.3);
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().cancel_token(token);
+        let mut ws = Workspace::square(b.level_len());
+        match logarithmic_reduction_in_budgeted(&b, 1e-14, 64, &mut ws, &budget) {
+            Err(QbdError::Interrupted {
+                method: "logarithmic_reduction",
+                iterations: 0,
+                ..
+            }) => {}
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        // The interruption path returned all scratch: the pool can run a
+        // full solve without the shape check tripping on missing mats.
+        logarithmic_reduction_in(&b, 1e-14, 64, &mut ws).unwrap();
+        assert!(matches!(
+            functional_iteration_budgeted(&b, 1e-13, 200_000, &budget),
+            Err(QbdError::Interrupted {
+                method: "functional_iteration",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! Every entry point mirrors a dense counterpart and is pinned to it by
 //! equivalence tests at sizes where both run.
 
-use slb_linalg::{null_vector_gs, CooBuilder, CsrMatrix};
+use slb_linalg::{null_vector_gs_budgeted, Budget, CooBuilder, CsrMatrix};
 
 use crate::{QbdBlocks, QbdError, Result};
 
@@ -64,6 +64,11 @@ pub struct SparseSolveOptions {
     pub initial_levels: usize,
     /// Hard cap on retained levels (the doubling stops here).
     pub max_levels: usize,
+    /// Cooperative cancellation budget for the solve: deadline, cancel
+    /// token and fail-point triggers, polled once per Gauss–Seidel
+    /// sweep and once per truncation round. Defaults to
+    /// [`Budget::unlimited`].
+    pub budget: Budget,
 }
 
 impl Default for SparseSolveOptions {
@@ -74,6 +79,7 @@ impl Default for SparseSolveOptions {
             tail_tol: 1e-12,
             initial_levels: 4,
             max_levels: 4_096,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -250,9 +256,22 @@ impl SparseQbdBlocks {
     ///
     /// # Errors
     ///
-    /// [`QbdError::Linalg`] if the Gauss–Seidel iteration fails to
-    /// converge (e.g. `A` is reducible).
+    /// [`QbdError::NoConvergence`] if the Gauss–Seidel iteration fails
+    /// to converge (e.g. `A` is reducible).
     pub fn phase_stationary(&self) -> Result<Vec<f64>> {
+        self.phase_stationary_budgeted(&Budget::unlimited())
+    }
+
+    /// [`SparseQbdBlocks::phase_stationary`] under a cooperative
+    /// [`Budget`] — the phase chain is block-sized (`m` reaches six
+    /// figures at production `N`), so its Gauss–Seidel solve must be
+    /// interruptible too.
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseQbdBlocks::phase_stationary`], plus
+    /// [`QbdError::Interrupted`].
+    pub fn phase_stationary_budgeted(&self, budget: &Budget) -> Result<Vec<f64>> {
         let m = self.level_len();
         if m == 1 {
             // A single phase has the trivial stationary vector (its
@@ -263,7 +282,7 @@ impl SparseQbdBlocks {
         for blk in [&self.a0, &self.a1, &self.a2] {
             add_csr_block_transposed(&mut coo, 0, 0, blk, 1.0)?;
         }
-        let sol = null_vector_gs(&coo.build(), &vec![1.0; m], 1e-13, 100_000)?;
+        let sol = null_vector_gs_budgeted(&coo.build(), &vec![1.0; m], 1e-13, 100_000, budget)?;
         Ok(sol.x)
     }
 
@@ -274,7 +293,16 @@ impl SparseQbdBlocks {
     ///
     /// Propagates [`SparseQbdBlocks::phase_stationary`] failures.
     pub fn drifts(&self) -> Result<(f64, f64)> {
-        let pi = self.phase_stationary()?;
+        self.drifts_budgeted(&Budget::unlimited())
+    }
+
+    /// [`SparseQbdBlocks::drifts`] under a cooperative [`Budget`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseQbdBlocks::drifts`], plus [`QbdError::Interrupted`].
+    pub fn drifts_budgeted(&self, budget: &Budget) -> Result<(f64, f64)> {
+        let pi = self.phase_stationary_budgeted(budget)?;
         let dot_rows = |m: &CsrMatrix| -> f64 {
             m.row_sums()
                 .iter()
@@ -319,6 +347,8 @@ impl SparseQbdBlocks {
     /// * [`QbdError::Unstable`] if Neuts' drift condition fails.
     /// * [`QbdError::NoConvergence`] if the cap on retained levels is hit
     ///   before the tail mass target, or a Gauss–Seidel solve stalls.
+    /// * [`QbdError::Interrupted`] when [`SparseSolveOptions::budget`]
+    ///   trips mid-solve.
     ///
     /// # Examples
     ///
@@ -343,7 +373,7 @@ impl SparseQbdBlocks {
     /// # }
     /// ```
     pub fn solve_decay_tail(&self, opts: &SparseSolveOptions) -> Result<TruncatedStationary> {
-        let (up, down) = self.drifts()?;
+        let (up, down) = self.drifts_budgeted(&opts.budget)?;
         if up >= down {
             return Err(QbdError::Unstable {
                 up_drift: up,
@@ -354,10 +384,18 @@ impl SparseQbdBlocks {
         let m = self.level_len();
         let mut levels = opts.initial_levels.max(2);
         loop {
+            opts.budget
+                .check("decay_tail_truncation", levels, f64::NAN)?;
             let k = nb + levels * m;
             let mt = self.truncated_balance_transposed(levels)?;
-            let gs = null_vector_gs(&mt, &vec![1.0; k], opts.gs_tol, opts.gs_max_sweeps)
-                .map_err(QbdError::Linalg)?;
+            let gs = null_vector_gs_budgeted(
+                &mt,
+                &vec![1.0; k],
+                opts.gs_tol,
+                opts.gs_max_sweeps,
+                &opts.budget,
+            )
+            .map_err(QbdError::from)?;
             let top_mass: f64 = gs.x[nb + (levels - 1) * m..].iter().sum();
             if top_mass <= opts.tail_tol {
                 let mut boundary = gs.x[..nb].to_vec();

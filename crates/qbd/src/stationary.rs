@@ -18,7 +18,7 @@
 //! the `G`/`R` computation entirely; [`QbdBlocks::solve_with_scalar_tail`]
 //! implements that dramatically cheaper path.
 
-use slb_linalg::{null_vector_gs, vector, CooBuilder, CsrMatrix, Lu, Matrix};
+use slb_linalg::{null_vector_gs_budgeted, vector, CooBuilder, CsrMatrix, Lu, Matrix};
 
 use crate::lumped::{add_csr_block_transposed, SparseQbdBlocks, SparseSolveOptions};
 use crate::{logarithmic_reduction, rate_matrix, QbdBlocks, QbdError, Result};
@@ -419,7 +419,8 @@ impl SparseQbdBlocks {
     /// # Errors
     ///
     /// * [`QbdError::InvalidBlocks`] if `β ∉ (0, 1)`.
-    /// * [`QbdError::Linalg`] if Gauss–Seidel fails to converge.
+    /// * [`QbdError::NoConvergence`] if Gauss–Seidel exhausts its sweep
+    ///   cap, [`QbdError::Interrupted`] if the options' budget trips.
     ///
     /// # Examples
     ///
@@ -475,8 +476,8 @@ impl SparseQbdBlocks {
             *v = 1.0 / (1.0 - beta);
         }
 
-        let gs = null_vector_gs(&mt, &norm, opts.gs_tol, opts.gs_max_sweeps)
-            .map_err(QbdError::Linalg)?;
+        let gs = null_vector_gs_budgeted(&mt, &norm, opts.gs_tol, opts.gs_max_sweeps, &opts.budget)
+            .map_err(QbdError::from)?;
 
         let mut boundary = gs.x[..nb].to_vec();
         let mut level0 = gs.x[nb..nb + m].to_vec();

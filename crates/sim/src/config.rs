@@ -1,5 +1,6 @@
 //! Simulation configuration (builder) and results.
 
+use slb_linalg::Budget;
 use slb_markov::Map;
 
 use crate::distributions::{ArrivalProcess, ServiceDistribution};
@@ -140,7 +141,18 @@ impl SimConfig {
     /// [`SimError::InvalidConfig`] if the policy does not fit the server
     /// count, the service law is invalid, or `warmup ≥ jobs`.
     pub fn run(&self) -> Result<SimResult> {
-        Ok(Simulation::new(self.validated()?).run_to_end())
+        self.run_budgeted(&Budget::unlimited())
+    }
+
+    /// [`SimConfig::run`] under a cooperative [`Budget`], polled every
+    /// few thousand simulated events.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimConfig::run`], plus [`SimError::Interrupted`] when the
+    /// budget trips mid-run.
+    pub fn run_budgeted(&self, budget: &Budget) -> Result<SimResult> {
+        Simulation::new(self.validated()?).run_to_end(budget)
     }
 
     /// Runs `replications` independent replications of this configuration
@@ -172,6 +184,25 @@ impl SimConfig {
     /// As [`SimConfig::run`], plus [`SimError::InvalidConfig`] when
     /// `replications == 0` or `n_threads == 0`.
     pub fn run_parallel(&self, replications: usize, n_threads: usize) -> Result<SimResult> {
+        self.run_parallel_budgeted(replications, n_threads, &Budget::unlimited())
+    }
+
+    /// [`SimConfig::run_parallel`] under a cooperative [`Budget`]
+    /// shared by every replication: a deadline or cancellation
+    /// interrupts all in-flight replications at their next event-batch
+    /// poll, and the first interruption (in replication order) is
+    /// reported.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimConfig::run_parallel`], plus [`SimError::Interrupted`]
+    /// when the budget trips mid-run.
+    pub fn run_parallel_budgeted(
+        &self,
+        replications: usize,
+        n_threads: usize,
+        budget: &Budget,
+    ) -> Result<SimResult> {
         if replications == 0 || n_threads == 0 {
             return Err(SimError::InvalidConfig {
                 reason: format!(
@@ -181,21 +212,24 @@ impl SimConfig {
         }
         let base = self.validated()?;
         let base_seed = base.seed;
+        let run_budget = budget.clone();
         let replicate = move |cfg: &SimConfig, r: usize| {
             let mut cfg = cfg.clone();
             cfg.seed = replication_seed(base_seed, r as u64);
-            Simulation::new(cfg).run_collect()
+            Simulation::new(cfg).run_collect(&run_budget)
         };
         let concurrency = n_threads.min(replications);
-        let all: Vec<crate::engine::RunStats> = if concurrency <= 1 {
+        let all: Vec<Result<crate::engine::RunStats>> = if concurrency <= 1 {
             (0..replications).map(|r| replicate(&base, r)).collect()
         } else {
             let base = std::sync::Arc::new(base);
             replication_pool().run_indexed(replications, concurrency, move |r| replicate(&base, r))
         };
-        // Deterministic merge in replication order.
+        // Deterministic merge in replication order; the first failed
+        // replication (if any) decides the reported error.
         let mut merged: Option<crate::engine::RunStats> = None;
         for stats in all {
+            let stats = stats?;
             match merged.as_mut() {
                 None => merged = Some(stats),
                 Some(m) => m.merge(&stats),

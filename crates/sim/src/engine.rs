@@ -42,6 +42,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use slb_linalg::Budget;
 
 use crate::config::{SimConfig, SimResult};
 use crate::map_arrivals::MapSampler;
@@ -315,28 +316,38 @@ impl Simulation {
     }
 
     /// Runs to completion and returns the collected statistics.
-    pub(crate) fn run_to_end(self) -> SimResult {
-        self.run_collect().finalize()
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Interrupted`](crate::SimError::Interrupted) when
+    /// `budget` trips mid-run.
+    pub(crate) fn run_to_end(self, budget: &Budget) -> crate::Result<SimResult> {
+        Ok(self.run_collect(budget)?.finalize())
     }
 
     /// Runs to completion, returning the raw accumulators — the
     /// replication-level output that [`RunStats::merge`] folds across
     /// independent runs before a single [`RunStats::finalize`].
-    pub(crate) fn run_collect(self) -> RunStats {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Interrupted`](crate::SimError::Interrupted) when
+    /// `budget` trips mid-run.
+    pub(crate) fn run_collect(self, budget: &Budget) -> crate::Result<RunStats> {
         let Simulation {
             mut core,
             mut policy,
         } = self;
         match &mut policy {
-            PolicyCore::Random(p) => core.run(p),
-            PolicyCore::RoundRobin(p) => core.run(p),
-            PolicyCore::Jsq(p) => core.run(p),
-            PolicyCore::Jiq(p) => core.run(p),
-            PolicyCore::SqD(p) => core.run(p),
-            PolicyCore::SqDReplace(p) => core.run(p),
-            PolicyCore::SqDMemory(p) => core.run(p),
-        }
-        core.into_stats()
+            PolicyCore::Random(p) => core.run(p, budget),
+            PolicyCore::RoundRobin(p) => core.run(p, budget),
+            PolicyCore::Jsq(p) => core.run(p, budget),
+            PolicyCore::Jiq(p) => core.run(p, budget),
+            PolicyCore::SqD(p) => core.run(p, budget),
+            PolicyCore::SqDReplace(p) => core.run(p, budget),
+            PolicyCore::SqDMemory(p) => core.run(p, budget),
+        }?;
+        Ok(core.into_stats())
     }
 }
 
@@ -359,10 +370,32 @@ impl Core {
 
     /// The monomorphized event loop: drives the simulation to its
     /// configured completion count with all policy dispatch inlined.
-    fn run<P: DispatchCore>(&mut self, policy: &mut P) {
+    ///
+    /// The budget is polled once per `4096` events — long sweeps at
+    /// production job counts run minutes, and the poll keeps them
+    /// responsive to deadlines and SIGINT without a measurable per-event
+    /// cost (one counter increment on the fast path).
+    fn run<P: DispatchCore>(&mut self, policy: &mut P, budget: &Budget) -> crate::Result<()> {
+        const EVENT_BATCH: u32 = 4096;
+        let mut batch: u32 = 0;
         while self.completed < self.config.jobs {
             self.step(policy);
+            batch += 1;
+            if batch == EVENT_BATCH {
+                batch = 0;
+                if let Err(e) = budget.check("simulation", self.completed as usize, f64::NAN) {
+                    let elapsed = match e {
+                        slb_linalg::LinalgError::Interrupted { elapsed, .. } => elapsed,
+                        _ => std::time::Duration::ZERO,
+                    };
+                    return Err(crate::SimError::Interrupted {
+                        events: self.completed,
+                        elapsed_ms: elapsed.as_millis() as u64,
+                    });
+                }
+            }
         }
+        Ok(())
     }
 
     #[inline]
@@ -747,7 +780,7 @@ mod tests {
         while sim.jobs_completed() < 15_000 {
             sim.step();
         }
-        let via_step = sim.run_collect().finalize();
+        let via_step = sim.run_collect(&Budget::unlimited()).unwrap().finalize();
         assert_eq!(via_step, via_run);
     }
 }

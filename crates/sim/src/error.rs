@@ -10,12 +10,28 @@ pub enum SimError {
         /// Description of the violated precondition.
         reason: String,
     },
+    /// The run was interrupted cooperatively (deadline, cancel token or
+    /// the `solver.cancel` fail point) before completing its configured
+    /// job count. Integer fields only, preserving `Eq` for results
+    /// plumbing.
+    Interrupted {
+        /// Events processed before the interruption.
+        events: u64,
+        /// Wall-clock milliseconds the run lasted.
+        elapsed_ms: u64,
+    },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            // "interrupted" must appear verbatim: the serving layer
+            // classifies job errors by that substring.
+            SimError::Interrupted { events, elapsed_ms } => write!(
+                f,
+                "interrupted: simulation stopped after {events} events ({elapsed_ms} ms elapsed)"
+            ),
         }
     }
 }

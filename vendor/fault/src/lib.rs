@@ -25,8 +25,17 @@
 //! Arming happens programmatically ([`arm`]) or from the environment
 //! ([`arm_from_env`]): `SLB_FAULTS="store.disk_write=1,server.slow_read=0.5"`
 //! with an optional `SLB_FAULT_SEED=42`. The chaos harness spawns a
-//! daemon with those variables set; the daemon opts in by calling
-//! [`arm_from_env`] once at startup.
+//! daemon with those variables set; the daemon (and `slb sweep`) opts
+//! in by calling [`arm_from_env`] once at startup.
+//!
+//! The registry needs no per-point declaration: any string is a valid
+//! point name and unarmed points never fire. Besides the serving-stack
+//! points above, the solver budget (`slb_linalg::Budget::check`)
+//! carries two points the cancellation chaos tests arm:
+//! `"solver.cancel"` (the poll reports an injected cancellation,
+//! aborting the solve exactly as a tripped `CancelToken` would) and
+//! `"solver.slow_iter"` (the poll sleeps 1 ms, stretching solves so a
+//! mid-run signal lands in a deterministic window).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
